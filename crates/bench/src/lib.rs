@@ -1,0 +1,58 @@
+//! # faas-bench
+//!
+//! Criterion benchmark targets, one per table/figure of the paper plus
+//! micro-benchmarks of the scheduling primitives.
+//!
+//! | Bench target | Regenerates |
+//! |--------------|-------------|
+//! | `table1_calibration` | Table I idle-system latencies |
+//! | `fig2_coldstarts` | Fig. 2 cold-start sweep (reduced grid) |
+//! | `table2_completion` | Table II completion-ratio inputs |
+//! | `table3_grid` | Table III/IV grid cells (representative subset) |
+//! | `fig3_response_time` | Fig. 3 box-plot inputs |
+//! | `fig4_stretch` | Fig. 4 box-plot inputs |
+//! | `fig5_fairness` | Fig. 5 fairness panels |
+//! | `fig6_multinode` | Fig. 6 / Tables V & VI multi-node runs |
+//! | `policy_micro` | Priority computation, queue ops, estimator updates |
+//! | `ablations` | Estimator-window / FC-window / FC-count-mode ablations |
+//!
+//! The benchmarks measure the *simulator's* wall-clock cost of regenerating
+//! each artefact (the experiment outputs themselves are deterministic);
+//! they double as the regression harness for the hot simulation paths.
+//!
+//! Helper functions shared by the bench targets live here so each bench
+//! file stays declarative.
+
+use faas_core::{Policy, SchedulerConfig};
+use faas_invoker::{simulate_scenario, NodeConfig, NodeMode, NodeResult};
+use faas_workload::scenario::BurstScenario;
+use faas_workload::sebs::Catalogue;
+
+/// Run one single-node burst configuration (shared by several benches).
+pub fn run_burst(cores: u32, intensity: u32, mode: &NodeMode, seed: u64) -> NodeResult {
+    let catalogue = Catalogue::sebs();
+    let scenario = BurstScenario::standard(cores, intensity).generate(&catalogue, seed);
+    simulate_scenario(&catalogue, &scenario, mode, &NodeConfig::paper(cores), seed)
+}
+
+/// The scheduled mode for a policy with the paper's hyper-parameters.
+pub fn scheduled(policy: Policy) -> NodeMode {
+    NodeMode::Scheduled(SchedulerConfig::paper(policy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_burst_produces_outcomes() {
+        let r = run_burst(5, 30, &scheduled(Policy::Fifo), 1);
+        assert_eq!(r.measured_len(), 165);
+    }
+
+    #[test]
+    fn baseline_mode_runs() {
+        let r = run_burst(5, 30, &NodeMode::Baseline, 1);
+        assert_eq!(r.measured_len(), 165);
+    }
+}

@@ -1,0 +1,143 @@
+//! Load-balancing policies of the controller.
+//!
+//! OpenWhisk's ShardingContainerPoolBalancer hashes each action to a home
+//! invoker and overflows to the next when the home is saturated; many
+//! deployments fall back to plain rotation. We implement both; the §VIII
+//! experiments use round-robin, which spreads the paper's equal-per-function
+//! load evenly (matching the paper's observation that the per-core intensity
+//! is what determines node behaviour).
+
+use faas_workload::sebs::FuncId;
+use faas_workload::trace::Call;
+use serde::{Deserialize, Serialize};
+
+/// The controller's call-assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoadBalancer {
+    /// Calls rotate across workers in arrival order.
+    RoundRobin,
+    /// Each function has a home worker (hash of the function id); successive
+    /// calls of one function rotate through workers starting at its home,
+    /// approximating the sharding balancer's locality with overflow.
+    FunctionHash,
+}
+
+impl LoadBalancer {
+    /// Assign every call to a node in `0..nodes`. Assignment is by arrival
+    /// order and deterministic.
+    pub fn assign(&self, calls: &[Call], nodes: u16) -> Vec<u16> {
+        assert!(nodes > 0, "cluster needs at least one node");
+        match self {
+            LoadBalancer::RoundRobin => (0..calls.len())
+                .map(|i| (i % nodes as usize) as u16)
+                .collect(),
+            LoadBalancer::FunctionHash => {
+                // Per-function rotation seeded at the function's home node.
+                let mut counters: std::collections::BTreeMap<FuncId, u64> =
+                    std::collections::BTreeMap::new();
+                calls
+                    .iter()
+                    .map(|call| {
+                        let counter = counters.entry(call.func).or_insert(0);
+                        let home = home_node(call.func, nodes);
+                        let node = (home as u64 + *counter) % nodes as u64;
+                        *counter += 1;
+                        node as u16
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// The home worker of a function under [`LoadBalancer::FunctionHash`].
+pub fn home_node(func: FuncId, nodes: u16) -> u16 {
+    // SplitMix-style scramble so consecutive FuncIds spread out.
+    let mut x = func.0 as u64;
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    (x % nodes as u64) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_simcore::time::SimTime;
+    use faas_workload::trace::{CallId, CallKind};
+
+    fn calls(n: usize) -> Vec<Call> {
+        (0..n)
+            .map(|i| Call {
+                id: CallId(i as u32),
+                func: FuncId((i % 4) as u16),
+                release: SimTime::from_millis(i as u64),
+                kind: CallKind::Measured,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let cs = calls(100);
+        let assign = LoadBalancer::RoundRobin.assign(&cs, 4);
+        for node in 0..4u16 {
+            let count = assign.iter().filter(|&&n| n == node).count();
+            assert_eq!(count, 25);
+        }
+        // Deterministic rotation.
+        assert_eq!(&assign[..4], &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn function_hash_balances_per_function() {
+        let cs = calls(400);
+        let assign = LoadBalancer::FunctionHash.assign(&cs, 4);
+        // Each function's 100 calls spread evenly.
+        for func in 0..4u16 {
+            for node in 0..4u16 {
+                let count = cs
+                    .iter()
+                    .zip(&assign)
+                    .filter(|(c, &n)| c.func == FuncId(func) && n == node)
+                    .count();
+                assert_eq!(count, 25, "func {func} node {node}");
+            }
+        }
+    }
+
+    #[test]
+    fn function_hash_first_call_goes_home() {
+        let cs = calls(4);
+        let assign = LoadBalancer::FunctionHash.assign(&cs, 3);
+        for (c, &n) in cs.iter().zip(&assign) {
+            if cs.iter().position(|x| x.func == c.func) == cs.iter().position(|x| x.id == c.id) {
+                assert_eq!(n, home_node(c.func, 3));
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_assigns_everything_to_zero() {
+        let cs = calls(10);
+        for lb in [LoadBalancer::RoundRobin, LoadBalancer::FunctionHash] {
+            let assign = lb.assign(&cs, 1);
+            assert!(assign.iter().all(|&n| n == 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        LoadBalancer::RoundRobin.assign(&calls(1), 0);
+    }
+
+    #[test]
+    fn home_nodes_spread() {
+        let homes: std::collections::BTreeSet<u16> =
+            (0..11).map(|f| home_node(FuncId(f), 4)).collect();
+        assert!(
+            homes.len() >= 3,
+            "11 functions should cover most of 4 nodes"
+        );
+    }
+}

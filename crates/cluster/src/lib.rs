@@ -1,0 +1,18 @@
+//! # faas-cluster
+//!
+//! The multi-node substrate: a controller that routes calls to worker nodes
+//! (§III: "A controller manages other entities and routes actions
+//! invocations to invokers, acting as a load balancer"), plus the
+//! multi-node experiment engine of §VIII.
+//!
+//! Worker nodes do not interact with each other in OpenWhisk — each invoker
+//! manages its own container pool and queue — so a cluster simulation is
+//! exactly: (1) assign every measured call to a node with the load-balancer
+//! policy; (2) run one single-node simulation per worker (with its own
+//! warm-up, as the paper warms all workers); (3) merge the outcomes.
+
+pub mod lb;
+pub mod sim;
+
+pub use lb::LoadBalancer;
+pub use sim::{run_cluster, ClusterConfig, ClusterScenario};

@@ -1,0 +1,289 @@
+//! Multi-node experiment engine (§VIII of the paper).
+//!
+//! The paper's cloud experiment fixes the *total* load (1320 requests for
+//! 10-core workers, 2376 for 18-core workers, uniform over 60 s) and varies
+//! the number of workers from 4 down to 1, so that `k` workers see per-core
+//! intensity `120/k`. Every worker is warmed up before the burst.
+
+use crate::lb::LoadBalancer;
+use faas_invoker::{simulate_calls, NodeConfig, NodeMode, NodeResult};
+use faas_simcore::rng::Xoshiro256;
+use faas_simcore::time::{SimDuration, SimTime};
+use faas_workload::sebs::{Catalogue, FuncId};
+use faas_workload::trace::{Call, CallId, CallKind};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub nodes: u16,
+    /// Per-worker configuration.
+    pub node: NodeConfig,
+    /// Controller load-balancing policy.
+    pub lb: LoadBalancer,
+}
+
+/// A generated multi-node scenario: one shared burst plus per-node warm-ups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterScenario {
+    /// The measured burst (shared across node-count configurations, as in
+    /// the paper: "we send the same sequence of requests").
+    pub burst: Vec<Call>,
+    /// Start of the burst window.
+    pub burst_start: SimTime,
+    /// Burst window length.
+    pub burst_window: SimDuration,
+    /// Per-function warm-up wave times (each node replays these locally).
+    warmup_waves: Vec<(FuncId, SimTime)>,
+}
+
+impl ClusterScenario {
+    /// Generate the paper's fixed-total-load burst: `per_function` calls of
+    /// each function, uniform over `window`, preceded by per-node warm-up
+    /// waves of `cores` parallel calls per function.
+    pub fn generate(
+        catalogue: &Catalogue,
+        per_function: usize,
+        cores: u32,
+        window: SimDuration,
+        seed: u64,
+    ) -> ClusterScenario {
+        let mut root = Xoshiro256::seed_from_u64(seed);
+        let mut rng_times = root.derive_stream(0xC101);
+        let mut rng_assign = root.derive_stream(0xC102);
+
+        // Warm-up waves: the wave *times* are shared; each node issues its
+        // own `cores` parallel calls at each wave.
+        let mut warmup_waves = Vec::with_capacity(catalogue.len());
+        let mut wave_start = SimTime::ZERO;
+        for func in catalogue.ids() {
+            warmup_waves.push((func, wave_start));
+            wave_start += SimDuration::from_secs(12);
+        }
+        let burst_start = wave_start + SimDuration::from_secs(5);
+
+        let total = per_function * catalogue.len();
+        let mut funcs: Vec<FuncId> = Vec::with_capacity(total);
+        for func in catalogue.ids() {
+            funcs.extend(std::iter::repeat_n(func, per_function));
+        }
+        rng_assign.shuffle(&mut funcs);
+        let mut times: Vec<SimTime> = (0..total)
+            .map(|_| {
+                burst_start
+                    + SimDuration::from_secs_f64(rng_times.uniform_f64(0.0, window.as_secs_f64()))
+            })
+            .collect();
+        times.sort_unstable();
+
+        let burst: Vec<Call> = times
+            .into_iter()
+            .zip(funcs)
+            .enumerate()
+            .map(|(i, (release, func))| Call {
+                id: CallId(i as u32),
+                func,
+                release,
+                kind: CallKind::Measured,
+            })
+            .collect();
+        let _ = cores; // cores shapes only the per-node warm-up, added below.
+
+        ClusterScenario {
+            burst,
+            burst_start,
+            burst_window: window,
+            warmup_waves,
+        }
+    }
+
+    /// The warm-up calls one node issues (with ids offset to stay unique
+    /// within that node's simulation).
+    fn node_warmup(&self, cores: u32, id_base: u32) -> Vec<Call> {
+        let mut calls = Vec::with_capacity(self.warmup_waves.len() * cores as usize);
+        let mut next = id_base;
+        for &(func, at) in &self.warmup_waves {
+            for _ in 0..cores {
+                calls.push(Call {
+                    id: CallId(next),
+                    func,
+                    release: at,
+                    kind: CallKind::Warmup,
+                });
+                next += 1;
+            }
+        }
+        calls
+    }
+}
+
+/// Run a cluster experiment: assign the burst, simulate every worker, merge.
+pub fn run_cluster(
+    catalogue: &Catalogue,
+    scenario: &ClusterScenario,
+    mode: &NodeMode,
+    cfg: &ClusterConfig,
+    seed: u64,
+) -> NodeResult {
+    let assignment = cfg.lb.assign(&scenario.burst, cfg.nodes);
+    let mut root = Xoshiro256::seed_from_u64(seed ^ 0xC1u64.rotate_left(32));
+    let mut results = Vec::with_capacity(cfg.nodes as usize);
+    // Warm-up ids start above the burst ids so each node's call list has
+    // unique ids.
+    let id_base = scenario.burst.len() as u32;
+
+    for node in 0..cfg.nodes {
+        let mut calls = scenario.node_warmup(cfg.node.cores, id_base);
+        calls.extend(
+            scenario
+                .burst
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &n)| n == node)
+                .map(|(c, _)| *c),
+        );
+        calls.sort_by_key(|c| (c.release, c.id));
+        let node_seed = root.derive_stream(node as u64).next_u64();
+        results.push(simulate_calls(
+            catalogue, &calls, mode, &cfg.node, node_seed, node,
+        ));
+    }
+    NodeResult::merge(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_core::{Policy, SchedulerConfig};
+
+    fn catalogue() -> Catalogue {
+        Catalogue::sebs()
+    }
+
+    fn scenario(per_function: usize, seed: u64) -> ClusterScenario {
+        ClusterScenario::generate(
+            &catalogue(),
+            per_function,
+            10,
+            SimDuration::from_secs(60),
+            seed,
+        )
+    }
+
+    #[test]
+    fn burst_size_matches_paper_formula() {
+        // 10-core experiment: 1320 requests = 120 per function x 11.
+        let sc = scenario(120, 1);
+        assert_eq!(sc.burst.len(), 1320);
+    }
+
+    #[test]
+    fn burst_is_shared_across_node_counts() {
+        // The same scenario object is reused for 1-4 nodes; its burst is
+        // by construction identical (the paper sends the same sequence).
+        let sc = scenario(12, 2);
+        let cat = catalogue();
+        let cfg1 = ClusterConfig {
+            nodes: 1,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::RoundRobin,
+        };
+        let cfg2 = ClusterConfig { nodes: 2, ..cfg1 };
+        let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice));
+        let r1 = run_cluster(&cat, &sc, &mode, &cfg1, 3);
+        let r2 = run_cluster(&cat, &sc, &mode, &cfg2, 3);
+        assert_eq!(
+            r1.outcomes.iter().filter(|o| o.is_measured()).count(),
+            r2.outcomes.iter().filter(|o| o.is_measured()).count(),
+        );
+    }
+
+    #[test]
+    fn every_measured_call_served_once() {
+        let sc = scenario(12, 3);
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 3,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::RoundRobin,
+        };
+        let r = run_cluster(&cat, &sc, &NodeMode::Baseline, &cfg, 4);
+        let measured: Vec<_> = r.outcomes.iter().filter(|o| o.is_measured()).collect();
+        assert_eq!(measured.len(), sc.burst.len());
+        let mut ids: Vec<u32> = measured.iter().map(|o| o.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), sc.burst.len(), "no duplicates");
+    }
+
+    #[test]
+    fn outcomes_carry_node_indices() {
+        let sc = scenario(12, 5);
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 4,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::RoundRobin,
+        };
+        let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::Fifo));
+        let r = run_cluster(&cat, &sc, &mode, &cfg, 6);
+        let nodes: std::collections::BTreeSet<u16> = r
+            .outcomes
+            .iter()
+            .filter(|o| o.is_measured())
+            .map(|o| o.node)
+            .collect();
+        assert_eq!(nodes.len(), 4, "all nodes serve traffic");
+    }
+
+    #[test]
+    fn more_nodes_reduce_response_time() {
+        let sc = scenario(30, 7);
+        let cat = catalogue();
+        let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice));
+        let avg = |nodes: u16| {
+            let cfg = ClusterConfig {
+                nodes,
+                node: NodeConfig::paper(10),
+                lb: LoadBalancer::RoundRobin,
+            };
+            let r = run_cluster(&cat, &sc, &mode, &cfg, 8);
+            let v: Vec<f64> = r
+                .outcomes
+                .iter()
+                .filter(|o| o.is_measured())
+                .map(|o| o.response_time().as_secs_f64())
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let one = avg(1);
+        let four = avg(4);
+        assert!(
+            four < one,
+            "4 nodes ({four:.1}s) must beat 1 node ({one:.1}s)"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sc = scenario(12, 9);
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::FunctionHash,
+        };
+        let a = run_cluster(&cat, &sc, &NodeMode::Baseline, &cfg, 10);
+        let b = run_cluster(&cat, &sc, &NodeMode::Baseline, &cfg, 10);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn warmup_ids_do_not_collide_with_burst() {
+        let sc = scenario(12, 11);
+        let warm = sc.node_warmup(10, sc.burst.len() as u32);
+        let burst_max = sc.burst.iter().map(|c| c.id.0).max().unwrap();
+        assert!(warm.iter().all(|c| c.id.0 > burst_max));
+    }
+}

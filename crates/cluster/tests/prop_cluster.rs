@@ -1,0 +1,58 @@
+//! Property tests of the cluster layer.
+
+use faas_cluster::LoadBalancer;
+use faas_simcore::time::SimTime;
+use faas_workload::sebs::FuncId;
+use faas_workload::trace::{Call, CallId, CallKind};
+use proptest::prelude::*;
+
+fn calls(n: usize, funcs: u16) -> Vec<Call> {
+    (0..n)
+        .map(|i| Call {
+            id: CallId(i as u32),
+            func: FuncId((i as u16) % funcs),
+            release: SimTime::from_millis(i as u64),
+            kind: CallKind::Measured,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Both balancers produce a total assignment onto valid nodes, and
+    /// per-node loads are near-balanced.
+    #[test]
+    fn balancers_partition_evenly(
+        n in 1usize..500,
+        nodes in 1u16..9,
+        funcs in 1u16..12
+    ) {
+        let cs = calls(n, funcs);
+        for lb in [LoadBalancer::RoundRobin, LoadBalancer::FunctionHash] {
+            let assign = lb.assign(&cs, nodes);
+            prop_assert_eq!(assign.len(), n);
+            let mut counts = vec![0usize; nodes as usize];
+            for &a in &assign {
+                prop_assert!(a < nodes);
+                counts[a as usize] += 1;
+            }
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            // Round-robin is perfectly balanced; function-hash is balanced
+            // up to one call per function.
+            let slack = match lb {
+                LoadBalancer::RoundRobin => 1,
+                LoadBalancer::FunctionHash => funcs as usize,
+            };
+            prop_assert!(max - min <= slack, "{lb:?}: {counts:?}");
+        }
+    }
+
+    /// Assignment is deterministic (pure function of the call list).
+    #[test]
+    fn assignment_is_pure(n in 1usize..200, nodes in 1u16..5) {
+        let cs = calls(n, 11);
+        for lb in [LoadBalancer::RoundRobin, LoadBalancer::FunctionHash] {
+            prop_assert_eq!(lb.assign(&cs, nodes), lb.assign(&cs, nodes));
+        }
+    }
+}

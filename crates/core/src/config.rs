@@ -1,0 +1,77 @@
+//! Scheduler configuration.
+
+use crate::policy::Policy;
+use faas_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What Fair-Choice's `#(f, −T)` counts.
+///
+/// §IV defines the FC priority as "the estimation of the total processing
+/// time of the recently concluded calls", computed as `#(f,−T) · E(p)` where
+/// `#` is "the number of calls of function f during last T seconds". We read
+/// `#` as counting *received* calls (the product is then an estimate of the
+/// work those calls imply); counting *concluded* calls is the alternative
+/// reading, which turns FC into per-function fair queueing. The ablation
+/// bench compares both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FcCountMode {
+    /// Count calls received in the window (default; SEPT-like bulk
+    /// behaviour with frequency-based fairness).
+    Arrivals,
+    /// Count calls concluded in the window (equalises completed work per
+    /// function).
+    Completions,
+}
+
+/// Configuration of the node scheduler (the paper's new OpenWhisk
+/// configuration option plus the two history hyper-parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// The sequencing policy.
+    pub policy: Policy,
+    /// Processing-time estimation window: number of recent executions
+    /// averaged. The paper uses 10 (following its reference \[18\]).
+    pub estimate_window: usize,
+    /// Fair-Choice frequency window `T`. The paper suggests 60 s.
+    pub fc_window: SimDuration,
+    /// What the Fair-Choice count tallies (see [`FcCountMode`]).
+    pub fc_count_mode: FcCountMode,
+}
+
+impl SchedulerConfig {
+    /// The paper's configuration for a given policy: 10-call estimation
+    /// window, 60-second FC window.
+    pub fn paper(policy: Policy) -> Self {
+        SchedulerConfig {
+            policy,
+            estimate_window: 10,
+            fc_window: SimDuration::from_secs(60),
+            fc_count_mode: FcCountMode::Arrivals,
+        }
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig::paper(Policy::Fifo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SchedulerConfig::paper(Policy::Sept);
+        assert_eq!(c.policy, Policy::Sept);
+        assert_eq!(c.estimate_window, 10);
+        assert_eq!(c.fc_window, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn default_is_fifo_paper_config() {
+        let c = SchedulerConfig::default();
+        assert_eq!(c, SchedulerConfig::paper(Policy::Fifo));
+    }
+}

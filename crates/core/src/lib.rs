@@ -1,0 +1,36 @@
+//! # faas-core
+//!
+//! The paper's primary contribution: node-level call-scheduling policies for
+//! a FaaS worker, driven by locally gathered historical data.
+//!
+//! §IV of the paper replaces OpenWhisk's FIFO run queue with a priority
+//! queue. The priority of a call is computed **once, on arrival at the
+//! invoker**, from three locally observable quantities:
+//!
+//! * `E(p(i))` — the expected processing time of the function, estimated as
+//!   the mean of (at most) the 10 most recent completed executions of the
+//!   same function on this node ([`estimator`]);
+//! * `r'(i)` — the moment the call was pulled from the queue by the invoker;
+//! * the recent call history of the function: the previous call's receive
+//!   time (for RECT) and the number of calls in the last `T = 60 s`
+//!   (for Fair-Choice) ([`history`]).
+//!
+//! The five policies (plus the unmodified-OpenWhisk baseline, which is a
+//! container-management mode rather than a queue policy) live in [`policy`];
+//! the priority queue with deterministic FIFO tie-breaking lives in
+//! [`queue`]; [`scheduler`] glues the pieces into the state machine the
+//! invoker embeds.
+
+pub mod config;
+pub mod estimator;
+pub mod history;
+pub mod policy;
+pub mod queue;
+pub mod scheduler;
+
+pub use config::{FcCountMode, SchedulerConfig};
+pub use estimator::ProcTimeEstimator;
+pub use history::CallHistory;
+pub use policy::Policy;
+pub use queue::PendingQueue;
+pub use scheduler::SchedulerState;

@@ -1,0 +1,127 @@
+//! Property tests of the scheduling policies against abstract models.
+
+use faas_core::{PendingQueue, Policy, SchedulerConfig, SchedulerState};
+use faas_simcore::time::{SimDuration, SimTime};
+use faas_workload::sebs::FuncId;
+use proptest::prelude::*;
+
+proptest! {
+    /// EECT's starvation bound, stated abstractly (§IV): for any history,
+    /// if call j is received after `priority(i)` (i.e. after r'(i)+E(p(i))),
+    /// then j's priority exceeds i's — j can never overtake i.
+    #[test]
+    fn eect_bound_holds_for_any_history(
+        history in prop::collection::vec((0u16..5, 1u64..20_000), 0..120),
+        r_i_ms in 0u64..100_000,
+        func_i in 0u16..5,
+        func_j in 0u16..5,
+        extra_ms in 1u64..1_000_000
+    ) {
+        let mut s = SchedulerState::new(5, SchedulerConfig::paper(Policy::Eect));
+        let mut t = SimTime::ZERO;
+        for &(f, p_ms) in &history {
+            t += SimDuration::from_millis(1);
+            s.on_complete(FuncId(f), SimDuration::from_millis(p_ms), t);
+        }
+        let r_i = t + SimDuration::from_millis(r_i_ms);
+        let p_i = s.on_receive(FuncId(func_i), r_i);
+        // j arrives strictly after i's expected completion time.
+        let r_j = SimTime::from_secs_f64(p_i) + SimDuration::from_millis(extra_ms);
+        prop_assume!(r_j > r_i);
+        let p_j = s.on_receive(FuncId(func_j), r_j);
+        prop_assert!(p_j > p_i, "j={p_j} must exceed i={p_i}");
+    }
+
+    /// RECT priorities never decrease across successive calls of the same
+    /// function (the paper's monotonicity argument for starvation-freedom),
+    /// as long as the estimate is stable.
+    #[test]
+    fn rect_is_monotone_per_function_with_stable_estimates(
+        p_ms in 1u64..10_000,
+        gaps in prop::collection::vec(1u64..60_000, 1..50)
+    ) {
+        let mut s = SchedulerState::new(1, SchedulerConfig::paper(Policy::Rect));
+        // Stable estimate: all completions have the same processing time.
+        for k in 0..10u64 {
+            s.on_complete(FuncId(0), SimDuration::from_millis(p_ms), SimTime::from_millis(k));
+        }
+        let mut t = SimTime::from_secs(1);
+        let mut last = f64::NEG_INFINITY;
+        for &gap in &gaps {
+            t += SimDuration::from_millis(gap);
+            let p = s.on_receive(FuncId(0), t);
+            prop_assert!(p >= last - 1e-9, "RECT must be monotone: {p} < {last}");
+            last = p;
+        }
+    }
+
+    /// SEPT ranks any two functions by their current estimates, for any
+    /// completion history.
+    #[test]
+    fn sept_ranks_by_estimate(
+        history in prop::collection::vec((0u16..3, 1u64..50_000), 1..100)
+    ) {
+        let mut s = SchedulerState::new(3, SchedulerConfig::paper(Policy::Sept));
+        let mut t = SimTime::ZERO;
+        for &(f, p_ms) in &history {
+            t += SimDuration::from_millis(1);
+            s.on_complete(FuncId(f), SimDuration::from_millis(p_ms), t);
+        }
+        let now = t + SimDuration::from_secs(1);
+        let mut prios = Vec::new();
+        for f in 0..3u16 {
+            prios.push((s.estimate_secs(FuncId(f)), s.on_receive(FuncId(f), now)));
+        }
+        for &(ea, pa) in &prios {
+            for &(eb, pb) in &prios {
+                if ea < eb {
+                    prop_assert!(pa < pb + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// The pending queue sorted with FIFO priorities reproduces arrival
+    /// order exactly (FIFO-as-a-policy correctness, end to end).
+    #[test]
+    fn fifo_policy_through_queue_preserves_arrival_order(
+        arrivals in prop::collection::vec((0u16..11, 1u64..5_000), 1..200)
+    ) {
+        let mut s = SchedulerState::new(11, SchedulerConfig::paper(Policy::Fifo));
+        let mut q = PendingQueue::new();
+        let mut t = SimTime::ZERO;
+        for (i, &(f, gap)) in arrivals.iter().enumerate() {
+            t += SimDuration::from_millis(gap);
+            let prio = s.on_receive(FuncId(f), t);
+            q.push(prio, i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).collect();
+        prop_assert_eq!(order, (0..arrivals.len()).collect::<Vec<_>>());
+    }
+
+    /// Fair-Choice priorities are bounded by window-count x estimate, and
+    /// zero for unknown functions, for any interleaving.
+    #[test]
+    fn fc_priority_bounds(
+        events in prop::collection::vec((0u16..4, 1u64..10_000, any::<bool>()), 1..150)
+    ) {
+        let mut s = SchedulerState::new(4, SchedulerConfig::paper(Policy::FairChoice));
+        let mut t = SimTime::ZERO;
+        let mut arrivals_in_window = [0usize; 4];
+        for &(f, dt, complete) in &events {
+            t += SimDuration::from_millis(dt);
+            if complete {
+                s.on_complete(FuncId(f), SimDuration::from_millis(dt), t);
+            } else {
+                // Count all arrivals ever as a loose upper bound on the
+                // windowed count.
+                arrivals_in_window[f as usize] += 1;
+                let p = s.on_receive(FuncId(f), t);
+                let bound = arrivals_in_window[f as usize] as f64
+                    * s.estimate_secs(FuncId(f)).max(0.0);
+                prop_assert!(p <= bound + 1e-9, "priority {p} above bound {bound}");
+                prop_assert!(p >= 0.0);
+            }
+        }
+    }
+}

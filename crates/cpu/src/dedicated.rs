@@ -1,0 +1,125 @@
+//! Dedicated-core allocation: the paper's CPU regime.
+//!
+//! §IV-A of the paper: "We limit the number of busy containers with the
+//! number of available CPU cores \[and\] a single container is always assigned
+//! a CPU limit of exactly one core." Execution is therefore non-preemptive:
+//! once a call starts it owns its core until the container is released.
+
+use serde::{Deserialize, Serialize};
+
+/// A pool of identical cores handed out whole.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorePool {
+    total: u32,
+    busy: u32,
+    /// High-water mark of simultaneously busy cores, for diagnostics.
+    peak_busy: u32,
+}
+
+impl CorePool {
+    /// Create a pool of `total` cores. Panics if `total == 0` — a node with
+    /// zero action cores cannot make progress and always indicates a
+    /// configuration error.
+    pub fn new(total: u32) -> Self {
+        assert!(total > 0, "a node needs at least one action core");
+        CorePool {
+            total,
+            busy: 0,
+            peak_busy: 0,
+        }
+    }
+
+    /// Total number of cores.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Cores currently held.
+    pub fn busy(&self) -> u32 {
+        self.busy
+    }
+
+    /// Cores currently free.
+    pub fn free(&self) -> u32 {
+        self.total - self.busy
+    }
+
+    /// Highest number of simultaneously busy cores observed.
+    pub fn peak_busy(&self) -> u32 {
+        self.peak_busy
+    }
+
+    /// True if at least one core is free.
+    pub fn has_free(&self) -> bool {
+        self.busy < self.total
+    }
+
+    /// Acquire one core. Returns `false` (and changes nothing) if all cores
+    /// are busy.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.busy < self.total {
+            self.busy += 1;
+            self.peak_busy = self.peak_busy.max(self.busy);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one core. Panics if no core is held — releasing an un-acquired
+    /// core means the caller's accounting is corrupt.
+    pub fn release(&mut self) {
+        assert!(self.busy > 0, "released a core that was never acquired");
+        self.busy -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut pool = CorePool::new(2);
+        assert_eq!(pool.free(), 2);
+        assert!(pool.try_acquire());
+        assert!(pool.try_acquire());
+        assert!(!pool.try_acquire(), "third acquire must fail on 2 cores");
+        assert_eq!(pool.busy(), 2);
+        pool.release();
+        assert!(pool.has_free());
+        assert!(pool.try_acquire());
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut pool = CorePool::new(4);
+        pool.try_acquire();
+        pool.try_acquire();
+        pool.release();
+        pool.try_acquire();
+        pool.try_acquire();
+        assert_eq!(pool.peak_busy(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "never acquired")]
+    fn release_without_acquire_panics() {
+        CorePool::new(1).release();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_cores_rejected() {
+        CorePool::new(0);
+    }
+
+    #[test]
+    fn totals_are_invariant() {
+        let mut pool = CorePool::new(8);
+        for _ in 0..5 {
+            pool.try_acquire();
+        }
+        assert_eq!(pool.busy() + pool.free(), pool.total());
+    }
+}

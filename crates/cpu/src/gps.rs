@@ -1,0 +1,546 @@
+//! Generalized processor sharing with context-switch overhead: the baseline
+//! OpenWhisk CPU regime.
+//!
+//! Default OpenWhisk gives each container a CPU share proportional to its
+//! memory limit (soft limits) and lets the Linux scheduler time-slice the
+//! containers across the cores. We model the long-run effect of CFS with
+//! *generalized processor sharing* (GPS): at any instant every CPU-consuming
+//! task `i` receives a service rate
+//!
+//! ```text
+//! rate_i = min(max_rate_i, C_eff * weight_i / Σ weights)
+//! ```
+//!
+//! subject to water-filling redistribution of capacity unused by rate-capped
+//! tasks. `max_rate` is 1.0 core for a single-threaded function call —
+//! OpenWhisk's soft limits let a container exceed its share, but a function
+//! executing sequential Python cannot use more than one core.
+//!
+//! Context switching is not free. §IV-A: "If the number of concurrently
+//! executed actions is greater than the number of CPU cores, then multiple
+//! context switches might be performed by the OS. Such context switching can
+//! have a significant negative impact on the response time." We model this
+//! as a capacity loss that grows with oversubscription:
+//!
+//! ```text
+//! C_eff = C / (1 + kappa * max(0, n - C) / C)
+//! ```
+//!
+//! where `n` is the number of runnable tasks and `kappa` the calibrated
+//! context-switch penalty. With `n <= C` there is no penalty and GPS
+//! degenerates to "every task runs at full speed", matching an idle node.
+//!
+//! The structure is a pure state machine over simulated time. The owner
+//! drives it with [`GpsCpu::advance`] and re-queries
+//! [`GpsCpu::next_completion`] after every membership change; stale
+//! completion events are invalidated by a generation counter.
+
+use faas_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task inside a [`GpsCpu`]. Slots are recycled; a `TaskId`
+/// is only meaningful until the task completes or is removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Raw slot index (for diagnostics).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Tuning parameters of the shared-CPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsParams {
+    /// Number of physical cores available to action containers.
+    pub cores: f64,
+    /// Context-switch penalty `kappa`: fraction of capacity lost per unit of
+    /// oversubscription (`(n - cores) / cores`).
+    pub ctx_switch_penalty: f64,
+    /// Upper bound on the capacity-loss divisor `1 + kappa * oversub`:
+    /// context switching degrades throughput but never collapses it — the
+    /// OS still schedules runnable work, just with more overhead. Without
+    /// the cap, small nodes (5 cores, 128 runnable containers) would lose
+    /// almost all capacity, which the paper's 5-core baseline contradicts.
+    pub penalty_cap: f64,
+}
+
+impl GpsParams {
+    /// Effective capacity given `n` runnable tasks.
+    pub fn effective_capacity(&self, runnable: usize) -> f64 {
+        let n = runnable as f64;
+        if n <= self.cores || self.ctx_switch_penalty == 0.0 {
+            return self.cores;
+        }
+        let oversub = (n - self.cores) / self.cores;
+        self.cores / (1.0 + self.ctx_switch_penalty * oversub).min(self.penalty_cap)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    /// Remaining CPU work in core-seconds.
+    remaining: f64,
+    /// GPS weight (OpenWhisk: proportional to the container memory limit).
+    weight: f64,
+    /// Upper bound on the task's service rate in cores.
+    max_rate: f64,
+}
+
+/// Work below this many core-seconds counts as complete; guards against
+/// floating-point residue keeping a task alive forever.
+const WORK_EPSILON: f64 = 1e-9;
+
+/// The GPS processor bank.
+#[derive(Debug, Clone)]
+pub struct GpsCpu {
+    params: GpsParams,
+    slots: Vec<Option<Task>>,
+    free_slots: Vec<u32>,
+    runnable: usize,
+    last_advance: SimTime,
+    /// Incremented on every membership change; lets the owner discard stale
+    /// completion events.
+    generation: u64,
+    /// Total core-seconds of work completed, for conservation checks.
+    work_done: f64,
+    /// Scratch buffer for rate computation (avoids per-event allocation).
+    rates_scratch: Vec<f64>,
+}
+
+impl GpsCpu {
+    /// Create an empty bank.
+    pub fn new(params: GpsParams) -> Self {
+        assert!(params.cores > 0.0, "GPS needs positive capacity");
+        assert!(
+            params.ctx_switch_penalty >= 0.0,
+            "context-switch penalty must be non-negative"
+        );
+        GpsCpu {
+            params,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            runnable: 0,
+            last_advance: SimTime::ZERO,
+            generation: 0,
+            work_done: 0.0,
+            rates_scratch: Vec::new(),
+        }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> GpsParams {
+        self.params
+    }
+
+    /// Number of runnable tasks.
+    pub fn len(&self) -> usize {
+        self.runnable
+    }
+
+    /// True if no task is runnable.
+    pub fn is_empty(&self) -> bool {
+        self.runnable == 0
+    }
+
+    /// Current generation; bumped on every add/remove.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total core-seconds of service delivered so far.
+    pub fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    /// Instantaneous service rate of `id` under the current task set.
+    pub fn current_rate(&mut self, id: TaskId) -> f64 {
+        self.compute_rates();
+        self.rates_scratch[id.0 as usize]
+    }
+
+    /// Remaining work of a task (after the last `advance`).
+    pub fn remaining(&self, id: TaskId) -> f64 {
+        self.slots[id.0 as usize]
+            .as_ref()
+            .expect("remaining() on dead task")
+            .remaining
+    }
+
+    /// Advance the clock to `now`, depleting every task's remaining work by
+    /// the service it received. Must be called with monotone timestamps.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_advance).as_secs_f64();
+        self.last_advance = self.last_advance.max(now);
+        if dt <= 0.0 || self.runnable == 0 {
+            return;
+        }
+        self.compute_rates();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(task) = slot {
+                let served = self.rates_scratch[i] * dt;
+                let consumed = served.min(task.remaining);
+                task.remaining -= consumed;
+                self.work_done += consumed;
+            }
+        }
+    }
+
+    /// Add a task with `work` core-seconds of demand. `advance(now)` must
+    /// already have been called (or be implied by event ordering).
+    pub fn add_task(&mut self, now: SimTime, work: f64, weight: f64, max_rate: f64) -> TaskId {
+        assert!(work >= 0.0 && work.is_finite(), "invalid work {work}");
+        assert!(weight > 0.0, "weight must be positive");
+        assert!(max_rate > 0.0, "max_rate must be positive");
+        self.advance(now);
+        self.generation += 1;
+        let task = Task {
+            remaining: work,
+            weight,
+            max_rate,
+        };
+        self.runnable += 1;
+        if let Some(slot) = self.free_slots.pop() {
+            self.slots[slot as usize] = Some(task);
+            TaskId(slot)
+        } else {
+            self.slots.push(Some(task));
+            TaskId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Remove a task (completed or aborted), returning its residual work.
+    pub fn remove_task(&mut self, now: SimTime, id: TaskId) -> f64 {
+        self.advance(now);
+        self.generation += 1;
+        let task = self.slots[id.0 as usize]
+            .take()
+            .expect("remove_task on dead task");
+        self.free_slots.push(id.0);
+        self.runnable -= 1;
+        task.remaining
+    }
+
+    /// The earliest task completion strictly after `now`, as
+    /// `(task, completion time)`. Ties resolve to the lowest slot index for
+    /// determinism. Returns `None` when idle.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<(TaskId, SimTime)> {
+        self.advance(now);
+        if self.runnable == 0 {
+            return None;
+        }
+        self.compute_rates();
+        let mut best: Option<(usize, f64)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(task) = slot {
+                let rate = self.rates_scratch[i];
+                if rate <= 0.0 {
+                    continue;
+                }
+                let eta = if task.remaining <= WORK_EPSILON {
+                    0.0
+                } else {
+                    task.remaining / rate
+                };
+                match best {
+                    Some((_, b)) if eta >= b => {}
+                    _ => best = Some((i, eta)),
+                }
+            }
+        }
+        best.map(|(i, eta)| (TaskId(i as u32), now + SimDuration::from_secs_f64(eta)))
+    }
+
+    /// All tasks whose remaining work is (numerically) exhausted at `now`,
+    /// in slot order. The owner removes them with [`GpsCpu::remove_task`].
+    pub fn finished_tasks(&mut self, now: SimTime) -> Vec<TaskId> {
+        self.advance(now);
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Some(task) if task.remaining <= WORK_EPSILON => Some(TaskId(i as u32)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Water-filling rate computation into `rates_scratch`.
+    fn compute_rates(&mut self) {
+        self.rates_scratch.clear();
+        self.rates_scratch.resize(self.slots.len(), 0.0);
+        if self.runnable == 0 {
+            return;
+        }
+        let cap = self.params.effective_capacity(self.runnable);
+
+        // Fast path: uniform weights and max_rates (the overwhelmingly common
+        // case — OpenWhisk assigns SeBS functions identical memory limits).
+        let mut uniform = true;
+        let mut first: Option<Task> = None;
+        for slot in self.slots.iter().flatten() {
+            match first {
+                None => first = Some(*slot),
+                Some(f) => {
+                    if f.weight != slot.weight || f.max_rate != slot.max_rate {
+                        uniform = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if uniform {
+            let f = first.expect("runnable > 0 implies a task exists");
+            let rate = (cap / self.runnable as f64).min(f.max_rate);
+            for (i, slot) in self.slots.iter().enumerate() {
+                if slot.is_some() {
+                    self.rates_scratch[i] = rate;
+                }
+            }
+            return;
+        }
+
+        // General water-filling: tasks whose fair share exceeds their cap are
+        // pinned at the cap and the surplus redistributed.
+        let mut active: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect();
+        let mut remaining_cap = cap;
+        while !active.is_empty() {
+            let total_weight: f64 = active
+                .iter()
+                .map(|&i| self.slots[i].as_ref().unwrap().weight)
+                .sum();
+            let per_weight = remaining_cap / total_weight;
+            let mut pinned_any = false;
+            active.retain(|&i| {
+                let task = self.slots[i].as_ref().unwrap();
+                if task.weight * per_weight >= task.max_rate {
+                    self.rates_scratch[i] = task.max_rate;
+                    remaining_cap -= task.max_rate;
+                    pinned_any = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !pinned_any {
+                for &i in &active {
+                    let task = self.slots[i].as_ref().unwrap();
+                    self.rates_scratch[i] = task.weight * per_weight;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(cores: f64, kappa: f64) -> GpsParams {
+        GpsParams {
+            cores,
+            ctx_switch_penalty: kappa,
+            penalty_cap: 100.0,
+        }
+    }
+
+    #[test]
+    fn effective_capacity_penalty_curve() {
+        let p = params(10.0, 0.5);
+        assert_eq!(p.effective_capacity(5), 10.0);
+        assert_eq!(p.effective_capacity(10), 10.0);
+        // n = 20: oversub = 1.0 -> capacity / 1.5
+        assert!((p.effective_capacity(20) - 10.0 / 1.5).abs() < 1e-12);
+        // kappa = 0 disables the penalty entirely.
+        assert_eq!(params(10.0, 0.0).effective_capacity(100), 10.0);
+    }
+
+    #[test]
+    fn single_task_runs_at_one_core() {
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        let t0 = SimTime::ZERO;
+        let id = cpu.add_task(t0, 2.0, 1.0, 1.0);
+        let (done_id, at) = cpu.next_completion(t0).unwrap();
+        assert_eq!(done_id, id);
+        // 2 core-seconds at 1 core (max_rate cap, not the 4-core capacity).
+        assert!((at.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_sharing_when_oversubscribed() {
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let t0 = SimTime::ZERO;
+        // Four equal tasks on two cores: each runs at 0.5 cores.
+        let ids: Vec<TaskId> = (0..4).map(|_| cpu.add_task(t0, 1.0, 1.0, 1.0)).collect();
+        for &id in &ids {
+            assert!((cpu.current_rate(id) - 0.5).abs() < 1e-12);
+        }
+        let (_, at) = cpu.next_completion(t0).unwrap();
+        assert!((at.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_tie_breaks_to_lowest_slot() {
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let a = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        let _b = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        let (id, _) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    fn advance_depletes_work() {
+        let mut cpu = GpsCpu::new(params(1.0, 0.0));
+        let id = cpu.add_task(SimTime::ZERO, 3.0, 1.0, 1.0);
+        cpu.advance(SimTime::from_secs(1));
+        assert!((cpu.remaining(id) - 2.0).abs() < 1e-9);
+        cpu.advance(SimTime::from_secs(2));
+        assert!((cpu.remaining(id) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_rebalance_after_completion() {
+        let mut cpu = GpsCpu::new(params(1.0, 0.0));
+        let a = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        let b = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        // Both run at 0.5; a completes at t=2.
+        let (first, at) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(first, a);
+        assert!((at.as_secs_f64() - 2.0).abs() < 1e-9);
+        cpu.remove_task(at, a);
+        // b has 0 remaining? No: b also ran at 0.5 for 2s => done too.
+        assert!(cpu.remaining(b) < 1e-9);
+    }
+
+    #[test]
+    fn weighted_sharing() {
+        let mut cpu = GpsCpu::new(params(1.0, 0.0));
+        let heavy = cpu.add_task(SimTime::ZERO, 1.0, 3.0, 1.0);
+        let light = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        assert!((cpu.current_rate(heavy) - 0.75).abs() < 1e-12);
+        assert!((cpu.current_rate(light) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_filling_redistributes_capped_surplus() {
+        // 3 cores, two tasks: one capped at 1 core with huge weight, the
+        // other picks up the rest (but is itself capped at 1).
+        let mut cpu = GpsCpu::new(params(3.0, 0.0));
+        let capped = cpu.add_task(SimTime::ZERO, 1.0, 100.0, 1.0);
+        let other = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        assert!((cpu.current_rate(capped) - 1.0).abs() < 1e-12);
+        assert!((cpu.current_rate(other) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_filling_with_heterogeneous_caps() {
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let slow = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 0.25);
+        let fast = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        // slow pinned at 0.25; fast takes min(1.0, remaining 1.75) = 1.0.
+        assert!((cpu.current_rate(slow) - 0.25).abs() < 1e-12);
+        assert!((cpu.current_rate(fast) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_switch_penalty_slows_completion() {
+        let mut no_pen = GpsCpu::new(params(1.0, 0.0));
+        let mut pen = GpsCpu::new(params(1.0, 1.0));
+        for _ in 0..3 {
+            no_pen.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+            pen.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        }
+        let (_, t_free) = no_pen.next_completion(SimTime::ZERO).unwrap();
+        let (_, t_pen) = pen.next_completion(SimTime::ZERO).unwrap();
+        assert!(t_pen > t_free, "penalty must delay completions");
+        // n=3 on 1 core: oversub 2, capacity 1/3 -> per-task rate 1/9.
+        assert!((t_pen.as_secs_f64() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_bumps_on_membership_changes() {
+        let mut cpu = GpsCpu::new(params(1.0, 0.0));
+        let g0 = cpu.generation();
+        let id = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        assert!(cpu.generation() > g0);
+        let g1 = cpu.generation();
+        cpu.remove_task(SimTime::ZERO, id);
+        assert!(cpu.generation() > g1);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut cpu = GpsCpu::new(params(1.0, 0.0));
+        let a = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        cpu.remove_task(SimTime::ZERO, a);
+        let b = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        assert_eq!(a.index(), b.index(), "slot should be reused");
+        assert_eq!(cpu.len(), 1);
+    }
+
+    #[test]
+    fn work_conservation_under_churn() {
+        // Total work done over time must equal total work injected minus
+        // residuals, regardless of membership churn.
+        let mut cpu = GpsCpu::new(params(2.0, 0.3));
+        let mut t = SimTime::ZERO;
+        let mut injected = 0.0;
+        let mut residual = 0.0;
+        let mut live: Vec<TaskId> = Vec::new();
+        for step in 0..50 {
+            t += SimDuration::from_millis(100);
+            let work = 0.05 + (step % 7) as f64 * 0.03;
+            injected += work;
+            live.push(cpu.add_task(t, work, 1.0, 1.0));
+            if step % 3 == 2 {
+                let id = live.remove(0);
+                residual += cpu.remove_task(t, id);
+            }
+        }
+        // Drain everything.
+        let end = t + SimDuration::from_secs(100);
+        cpu.advance(end);
+        for id in live {
+            residual += cpu.remove_task(end, id);
+        }
+        assert!(
+            (cpu.work_done() + residual - injected).abs() < 1e-6,
+            "work not conserved: done={} residual={} injected={}",
+            cpu.work_done(),
+            residual,
+            injected
+        );
+    }
+
+    #[test]
+    fn zero_work_task_completes_immediately() {
+        let mut cpu = GpsCpu::new(params(1.0, 0.0));
+        let id = cpu.add_task(SimTime::from_secs(1), 0.0, 1.0, 1.0);
+        let (done, at) = cpu.next_completion(SimTime::from_secs(1)).unwrap();
+        assert_eq!(done, id);
+        assert_eq!(at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn idle_bank_reports_no_completion() {
+        let mut cpu = GpsCpu::new(params(4.0, 0.5));
+        assert!(cpu.next_completion(SimTime::ZERO).is_none());
+        assert!(cpu.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dead task")]
+    fn double_remove_panics() {
+        let mut cpu = GpsCpu::new(params(1.0, 0.0));
+        let id = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        cpu.remove_task(SimTime::ZERO, id);
+        cpu.remove_task(SimTime::ZERO, id);
+    }
+}

@@ -1,0 +1,215 @@
+//! Experiment harness CLI: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! experiments <subcommand> [--quick] [--seeds N] [--out DIR] [--per-seed]
+//!
+//! subcommands:
+//!   table1   Idle-system function latencies (paper Table I)
+//!   fig2     Cold starts vs memory sweep (paper Fig. 2)
+//!   table2   FIFO/baseline completion-time ratios (paper Table II)
+//!   table3   Aggregated single-node grid (paper Table III; --per-seed
+//!            additionally prints Table IV)
+//!   fig3     Response-time box plots (paper Fig. 3; appendix 7-21 via
+//!            --per-seed)
+//!   fig4     Stretch box plots (paper Fig. 4; appendix 22-36 via
+//!            --per-seed)
+//!   fig5     Fair-Choice fairness panels (paper Fig. 5)
+//!   fig6     Multi-node experiments (paper Fig. 6, Tables V & VI;
+//!            appendix 37-38)
+//!   ablations  Hyper-parameter sweeps beyond the paper
+//!   functions  Per-function fairness breakdown (SSII's view)
+//!   run        Custom single configuration with per-call CSV trace:
+//!              run --cores C --intensity V --policy P [--seed S]
+//!   all      Everything above
+//! ```
+//!
+//! Results are also written as JSON under `--out` (default `results/`).
+
+use faas_experiments::{ablations, custom, fig2, fig5, fig6, functions, grid, table1, Effort};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Opts {
+    effort: Effort,
+    out: PathBuf,
+    per_seed: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|run|all> \
+         [--quick] [--seeds N] [--out DIR] [--per-seed]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    if cmd == "run" {
+        run_custom(args.collect());
+        return;
+    }
+    let mut opts = Opts {
+        effort: Effort::full(),
+        out: PathBuf::from("results"),
+        per_seed: false,
+    };
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--quick" => {
+                opts.effort.quick = true;
+                opts.effort.seeds = opts.effort.seeds.min(2);
+            }
+            "--per-seed" => opts.per_seed = true,
+            "--seeds" => {
+                i += 1;
+                let n: usize = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.effort.seeds = n.clamp(1, 5);
+            }
+            "--out" => {
+                i += 1;
+                opts.out = PathBuf::from(rest.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let started = Instant::now();
+    match cmd.as_str() {
+        "table1" => run_table1(&opts),
+        "fig2" => run_fig2(&opts),
+        "table2" | "table3" | "fig3" | "fig4" => run_grid(&cmd, &opts),
+        "fig5" => run_fig5(&opts),
+        "fig6" => run_fig6(&opts),
+        "ablations" => run_ablations(&opts),
+        "functions" => run_functions(&opts),
+        "all" => {
+            run_table1(&opts);
+            run_fig2(&opts);
+            run_grid("all", &opts);
+            run_fig5(&opts);
+            run_fig6(&opts);
+            run_ablations(&opts);
+            run_functions(&opts);
+        }
+        _ => usage(),
+    }
+    eprintln!("[done in {:.1}s]", started.elapsed().as_secs_f64());
+}
+
+fn run_table1(opts: &Opts) {
+    let result = table1::run(faas_experiments::SEEDS[0]);
+    println!("{}", table1::render(&result));
+    save(opts, "table1.json", &result);
+}
+
+fn run_fig2(opts: &Opts) {
+    let result = fig2::run(opts.effort);
+    println!("{}", fig2::render(&result));
+    save(opts, "fig2.json", &result);
+}
+
+fn run_grid(which: &str, opts: &Opts) {
+    let result = grid::run(opts.effort);
+    match which {
+        "table2" => println!("{}", grid::render_table2(&result)),
+        "table3" => {
+            println!("{}", grid::render_table3(&result));
+            if opts.per_seed {
+                println!("{}", grid::render_table4(&result));
+            }
+        }
+        "fig3" => println!("{}", grid::render_boxplots(&result, false)),
+        "fig4" => println!("{}", grid::render_boxplots(&result, true)),
+        _ => {
+            println!("{}", grid::render_table3(&result));
+            if opts.per_seed {
+                println!("{}", grid::render_table4(&result));
+            }
+            println!("{}", grid::render_table2(&result));
+            println!("{}", grid::render_boxplots(&result, false));
+            println!("{}", grid::render_boxplots(&result, true));
+        }
+    }
+    save(opts, "grid.json", &result);
+}
+
+fn run_fig5(opts: &Opts) {
+    let result = fig5::run(opts.effort);
+    println!("{}", fig5::render(&result));
+    save(opts, "fig5.json", &result);
+}
+
+fn run_fig6(opts: &Opts) {
+    let result = fig6::run(opts.effort);
+    println!("{}", fig6::render(&result));
+    save(opts, "fig6.json", &result);
+}
+
+fn run_custom(args: Vec<String>) {
+    let mut spec = custom::CustomRun {
+        cores: 10,
+        intensity: 60,
+        policy: Some(faas_core::Policy::FairChoice),
+        seed: faas_experiments::SEEDS[0],
+    };
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--cores" => spec.cores = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--intensity" => spec.intensity = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => spec.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => out = PathBuf::from(value(&mut i)),
+            "--policy" => {
+                let name = value(&mut i);
+                spec.policy = if name.eq_ignore_ascii_case("baseline") {
+                    None
+                } else {
+                    Some(faas_core::Policy::from_name(&name).unwrap_or_else(|| usage()))
+                };
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let catalogue = faas_workload::sebs::Catalogue::sebs();
+    let (scenario, result) = spec.execute(&catalogue);
+    println!("{}", custom::render(&catalogue, &spec, &scenario, &result));
+    let csv = custom::trace_csv(&catalogue, &scenario, &result);
+    let path = out.join(format!("trace-{}.csv", spec.label().replace('/', "-")));
+    match csv.write_to(&path) {
+        Ok(()) => println!("trace written to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write trace: {e}"),
+    }
+}
+
+fn run_functions(opts: &Opts) {
+    let result = functions::run(opts.effort);
+    println!("{}", functions::render(&result));
+    save(opts, "functions.json", &result);
+}
+
+fn run_ablations(opts: &Opts) {
+    let result = ablations::run(opts.effort);
+    println!("{}", ablations::render(&result));
+    save(opts, "ablations.json", &result);
+}
+
+fn save<T: serde::Serialize>(opts: &Opts, name: &str, value: &T) {
+    let path = opts.out.join(name);
+    if let Err(e) = faas_metrics::export::write_json(&path, value) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}

@@ -1,0 +1,155 @@
+//! Table I reproduction: idle-system function latencies.
+//!
+//! §V-A: "we benchmarked each function in an idle on-premises setup: we
+//! warmed up the corresponding containers, and then we called this function
+//! 50 times." We replay exactly that protocol on a simulated idle node and
+//! report the 5th percentile, median and 95th percentile of the client-side
+//! response time per function.
+
+use faas_core::{Policy, SchedulerConfig};
+use faas_invoker::{simulate_calls, NodeConfig, NodeMode};
+use faas_metrics::table::TextTable;
+use faas_simcore::stats::percentile_sorted;
+use faas_simcore::time::{SimDuration, SimTime};
+use faas_workload::sebs::Catalogue;
+use faas_workload::trace::{Call, CallId, CallKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-function idle-system latency quantiles (milliseconds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Function name.
+    pub name: String,
+    /// Measured 5th percentile (ms).
+    pub p5_ms: f64,
+    /// Measured median (ms).
+    pub median_ms: f64,
+    /// Measured 95th percentile (ms).
+    pub p95_ms: f64,
+    /// Paper's published 5th percentile (ms).
+    pub paper_p5_ms: f64,
+    /// Paper's published median (ms).
+    pub paper_median_ms: f64,
+    /// Paper's published 95th percentile (ms).
+    pub paper_p95_ms: f64,
+}
+
+/// The full Table I result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// One row per SeBS function, in the paper's (descending median) order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Run the idle-system benchmark: 50 sequential calls per warmed function.
+pub fn run(seed: u64) -> Table1Result {
+    let catalogue = Catalogue::sebs();
+    let cfg = NodeConfig::paper(4);
+    let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::Fifo));
+
+    let mut rows = Vec::with_capacity(catalogue.len());
+    for (func, spec) in catalogue.iter() {
+        // Warm up one container, then 50 sequential calls spaced far enough
+        // apart that the node is always idle (the slowest function takes
+        // ~9 s; cleanup at 4 cores adds ~1.2x processing).
+        let mut calls = vec![Call {
+            id: CallId(0),
+            func,
+            release: SimTime::ZERO,
+            kind: CallKind::Warmup,
+        }];
+        let spacing = SimDuration::from_secs(30);
+        let mut at = SimTime::from_secs(30);
+        for i in 0..50u32 {
+            calls.push(Call {
+                id: CallId(i + 1),
+                func,
+                release: at,
+                kind: CallKind::Measured,
+            });
+            at += spacing;
+        }
+        let result = simulate_calls(&catalogue, &calls, &mode, &cfg, seed ^ func.0 as u64, 0);
+        let mut resp_ms: Vec<f64> = result
+            .measured()
+            .map(|o| o.response_time().as_millis_f64())
+            .collect();
+        resp_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rows.push(Table1Row {
+            name: spec.name.to_string(),
+            p5_ms: percentile_sorted(&resp_ms, 0.05),
+            median_ms: percentile_sorted(&resp_ms, 0.50),
+            p95_ms: percentile_sorted(&resp_ms, 0.95),
+            paper_p5_ms: spec.client_p5_ms,
+            paper_median_ms: spec.client_median_ms,
+            paper_p95_ms: spec.client_p95_ms,
+        });
+    }
+    Table1Result { rows }
+}
+
+/// Render the result with paper-vs-measured columns.
+pub fn render(result: &Table1Result) -> String {
+    let mut t = TextTable::new([
+        "function",
+        "p5 (paper)",
+        "p5 (ours)",
+        "median (paper)",
+        "median (ours)",
+        "p95 (paper)",
+        "p95 (ours)",
+    ]);
+    for r in &result.rows {
+        t.row([
+            r.name.clone(),
+            format!("{:.0} ms", r.paper_p5_ms),
+            format!("{:.0} ms", r.p5_ms),
+            format!("{:.0} ms", r.paper_median_ms),
+            format!("{:.0} ms", r.median_ms),
+            format!("{:.0} ms", r.paper_p95_ms),
+            format!("{:.0} ms", r.p95_ms),
+        ]);
+    }
+    format!(
+        "Table I: idle-system response times (50 warm calls per function)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn medians_track_paper_within_tolerance() {
+        let result = run(42);
+        assert_eq!(result.rows.len(), 11);
+        for row in &result.rows {
+            let rel = (row.median_ms - row.paper_median_ms).abs() / row.paper_median_ms;
+            assert!(
+                rel < 0.15,
+                "{}: measured median {:.1} vs paper {:.1}",
+                row.name,
+                row.median_ms,
+                row.paper_median_ms
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_ordered() {
+        let result = run(7);
+        for row in &result.rows {
+            assert!(row.p5_ms <= row.median_ms && row.median_ms <= row.p95_ms);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_functions() {
+        let result = run(1);
+        let s = render(&result);
+        for row in &result.rows {
+            assert!(s.contains(&row.name));
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The unmodified-OpenWhisk baseline node (§III).
+//!
+//! Semantics reproduced from the paper's description of the stock invoker:
+//!
+//! * **Greedy admission**: a request that finds no pending queue is placed
+//!   immediately — warm free-pool container, else prewarm, else a newly
+//!   created container (evicting idle containers if memory is short). Only
+//!   when placement is impossible does the request join a FIFO queue.
+//! * **Memory-based limits**: the number of simultaneously busy containers
+//!   is bounded by the memory pool, *not* by the core count.
+//! * **OS preemption**: all CPU phases (cold-start initialisation, function
+//!   execution, per-call container management) share the cores under
+//!   generalized processor sharing with a context-switch capacity penalty
+//!   (`faas_cpu::gps`). I/O phases hold the container but no CPU.
+//!
+//! Call phase machine:
+//!
+//! ```text
+//! Arrive ─(queue empty? place : enqueue)─▶ [Init (GPS)] ─▶ CpuPhase (GPS)
+//!     ─▶ IoPhase (timer) ─▶ respond ─▶ Cleanup (GPS, container held)
+//!     ─▶ container idle → drain FIFO queue
+//! ```
+
+use crate::config::NodeConfig;
+use crate::pool::{ContainerId, ContainerPool};
+use crate::result::NodeResult;
+use faas_cpu::{GpsCpu, GpsParams, TaskId};
+use faas_simcore::dist::Sampler;
+use faas_simcore::events::EventQueue;
+use faas_simcore::rng::Xoshiro256;
+use faas_simcore::time::{SimDuration, SimTime};
+use faas_workload::sebs::Catalogue;
+use faas_workload::trace::{Call, CallKind, CallOutcome, ColdStartKind};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A call reaches the invoker.
+    Arrive(u32),
+    /// Some GPS task may have completed; valid only for the stored
+    /// generation.
+    GpsTick(u64),
+    /// A call's I/O phase finishes.
+    IoDone(u32),
+    /// A call's container finishes post-response cleanup.
+    CleanupDone(u32),
+    /// A prewarm replacement becomes ready.
+    PrewarmReady,
+}
+
+/// What a GPS task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    /// Cold-start initialisation of call `i`.
+    Init(u32),
+    /// CPU phase of call `i`.
+    Exec(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CallRuntime {
+    invoker_receive: SimTime,
+    exec_start: SimTime,
+    io_secs: f64,
+    /// Intrinsic processing time drawn for the call (contention-free).
+    p_intrinsic: f64,
+    start_kind: ColdStartKind,
+    container: Option<ContainerId>,
+}
+
+impl CallRuntime {
+    fn empty() -> Self {
+        CallRuntime {
+            invoker_receive: SimTime::ZERO,
+            exec_start: SimTime::ZERO,
+            io_secs: 0.0,
+            p_intrinsic: 0.0,
+            start_kind: ColdStartKind::Warm,
+            container: None,
+        }
+    }
+}
+
+struct Sim<'a> {
+    catalogue: &'a Catalogue,
+    calls: &'a [Call],
+    cfg: &'a NodeConfig,
+    node_index: u16,
+    events: EventQueue<Ev>,
+    cpu: GpsCpu,
+    fifo: VecDeque<u32>,
+    pool: ContainerPool,
+    owners: HashMap<TaskId, Owner>,
+    runtime: Vec<CallRuntime>,
+    outcomes: Vec<Option<CallOutcome>>,
+    rng_service: Xoshiro256,
+    rng_cold: Xoshiro256,
+    peak_queue: usize,
+    leased: usize,
+    peak_leased: usize,
+    measured_snapshot: Option<crate::pool::PoolStats>,
+    last_completion: SimTime,
+}
+
+/// Run the baseline node over `calls` (sorted by release time).
+pub fn simulate(
+    catalogue: &Catalogue,
+    calls: &[Call],
+    cfg: &NodeConfig,
+    seed: u64,
+    node_index: u16,
+) -> NodeResult {
+    let mut root = Xoshiro256::seed_from_u64(seed);
+    let rng_service = root.derive_stream(0xB001);
+    let rng_cold = root.derive_stream(0xB002);
+
+    let mut sim = Sim {
+        catalogue,
+        calls,
+        cfg,
+        node_index,
+        events: EventQueue::new(),
+        cpu: GpsCpu::new(GpsParams {
+            cores: cfg.cores as f64,
+            ctx_switch_penalty: cfg.calibration.ctx_switch_penalty,
+            penalty_cap: cfg.calibration.ctx_switch_penalty_cap,
+        }),
+        fifo: VecDeque::new(),
+        pool: ContainerPool::new(
+            cfg.memory_mb,
+            catalogue.len(),
+            cfg.prewarm_count,
+            catalogue
+                .iter()
+                .map(|(_, f)| f.memory_mb as u64)
+                .min()
+                .unwrap_or(256),
+        ),
+        owners: HashMap::new(),
+        runtime: vec![CallRuntime::empty(); calls.len()],
+        outcomes: vec![None; calls.len()],
+        rng_service,
+        rng_cold,
+        peak_queue: 0,
+        leased: 0,
+        peak_leased: 0,
+        measured_snapshot: None,
+        last_completion: SimTime::ZERO,
+    };
+
+    for (idx, call) in calls.iter().enumerate() {
+        debug_assert!(
+            idx == 0 || calls[idx - 1].release <= call.release,
+            "calls must be sorted by release"
+        );
+        sim.events.schedule(
+            call.release + cfg.calibration.hop_request,
+            Ev::Arrive(idx as u32),
+        );
+    }
+
+    sim.run();
+
+    let total_stats = sim.pool.stats();
+    let snapshot = sim.measured_snapshot.unwrap_or(total_stats);
+    NodeResult {
+        outcomes: sim
+            .outcomes
+            .into_iter()
+            .map(|o| o.expect("every call must produce an outcome"))
+            .collect(),
+        measured_pool_stats: crate::pool::PoolStats {
+            warm_hits: total_stats.warm_hits - snapshot.warm_hits,
+            prewarm_hits: total_stats.prewarm_hits - snapshot.prewarm_hits,
+            cold_creates: total_stats.cold_creates - snapshot.cold_creates,
+            evictions: total_stats.evictions - snapshot.evictions,
+            placement_failures: total_stats.placement_failures - snapshot.placement_failures,
+        },
+        total_pool_stats: total_stats,
+        peak_queue: sim.peak_queue,
+        peak_concurrency: sim.peak_leased,
+        last_completion: sim.last_completion,
+    }
+}
+
+impl<'a> Sim<'a> {
+    fn run(&mut self) {
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                Ev::Arrive(i) => self.on_arrive(now, i),
+                Ev::GpsTick(generation) => self.on_gps_tick(now, generation),
+                Ev::IoDone(i) => self.on_io_done(now, i),
+                Ev::CleanupDone(i) => self.on_cleanup_done(now, i),
+                Ev::PrewarmReady => {
+                    self.pool.replenish_prewarm();
+                    self.drain_queue(now);
+                }
+            }
+        }
+        assert!(
+            self.fifo.is_empty(),
+            "baseline ended with {} stuck calls",
+            self.fifo.len()
+        );
+        debug_assert!(self.cpu.is_empty(), "GPS bank must drain");
+    }
+
+    fn on_arrive(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        if self.measured_snapshot.is_none() && self.calls[idx].kind == CallKind::Measured {
+            self.measured_snapshot = Some(self.pool.stats());
+        }
+        self.runtime[idx].invoker_receive = now;
+        // §III: "When an invoker receives a new request and there are
+        // pending requests, the request is added to the queue."
+        if !self.fifo.is_empty() || !self.try_place(now, i) {
+            self.fifo.push_back(i);
+            self.peak_queue = self.peak_queue.max(self.fifo.len());
+        }
+    }
+
+    /// Attempt immediate placement; returns false if the call must queue.
+    fn try_place(&mut self, now: SimTime, i: u32) -> bool {
+        let idx = i as usize;
+        let func = self.calls[idx].func;
+        let spec = self.catalogue.spec(func);
+        let Some(placement) = self.pool.place(func, spec.memory_mb as u64, now) else {
+            return false;
+        };
+        self.leased += 1;
+        self.peak_leased = self.peak_leased.max(self.leased);
+        self.runtime[idx].start_kind = placement.kind;
+        self.runtime[idx].container = Some(placement.container);
+        if placement.kind == ColdStartKind::Prewarm && self.pool.prewarm_deficit() > 0 {
+            self.events.schedule(
+                now + self.cfg.calibration.prewarm_replacement_delay,
+                Ev::PrewarmReady,
+            );
+        }
+        let init_work = match placement.kind {
+            ColdStartKind::Warm => 0.0,
+            ColdStartKind::Prewarm => {
+                self.cfg
+                    .calibration
+                    .coldstart_work
+                    .sample(&mut self.rng_cold)
+                    * self.cfg.calibration.prewarm_init_fraction
+            }
+            ColdStartKind::Cold => self
+                .cfg
+                .calibration
+                .coldstart_work
+                .sample(&mut self.rng_cold),
+        };
+        if init_work > 0.0 {
+            let tid = self.cpu.add_task(now, init_work, 1.0, 1.0);
+            self.owners.insert(tid, Owner::Init(i));
+        } else {
+            self.start_exec(now, i);
+        }
+        self.reschedule_tick(now);
+        true
+    }
+
+    /// Begin the execution phases: CPU work under GPS, then I/O.
+    fn start_exec(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        let func = self.calls[idx].func;
+        let spec = self.catalogue.spec(func);
+        let p = spec.service_dist().sample(&mut self.rng_service);
+        let cpu_work = spec.cpu_fraction * p;
+        self.runtime[idx].exec_start = now;
+        self.runtime[idx].io_secs = (1.0 - spec.cpu_fraction) * p;
+        self.runtime[idx].p_intrinsic = p;
+        let tid = self.cpu.add_task(now, cpu_work, 1.0, 1.0);
+        self.owners.insert(tid, Owner::Exec(i));
+    }
+
+    fn on_gps_tick(&mut self, now: SimTime, generation: u64) {
+        if generation != self.cpu.generation() {
+            return; // stale tick
+        }
+        // Collect every task that finished by now (several can tie).
+        let finished = self.cpu.finished_tasks(now);
+        for tid in finished {
+            let owner = *self
+                .owners
+                .get(&tid)
+                .expect("finished GPS task must have an owner");
+            self.owners.remove(&tid);
+            self.cpu.remove_task(now, tid);
+            match owner {
+                Owner::Init(i) => self.start_exec(now, i),
+                Owner::Exec(i) => {
+                    let io = self.runtime[i as usize].io_secs;
+                    self.events
+                        .schedule(now + SimDuration::from_secs_f64(io), Ev::IoDone(i));
+                }
+            }
+        }
+        self.reschedule_tick(now);
+    }
+
+    fn on_io_done(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        let call = &self.calls[idx];
+        let rt = self.runtime[idx];
+        let completion = now + self.cfg.calibration.hop_response;
+        let processing = now.saturating_since(rt.exec_start);
+        self.outcomes[idx] = Some(CallOutcome {
+            id: call.id,
+            func: call.func,
+            kind: call.kind,
+            release: call.release,
+            invoker_receive: rt.invoker_receive,
+            exec_start: rt.exec_start,
+            exec_end: now,
+            completion,
+            processing,
+            start_kind: rt.start_kind,
+            node: self.node_index,
+        });
+        if call.kind == CallKind::Measured {
+            self.last_completion = self.last_completion.max(completion);
+        }
+        // Post-response cleanup holds the container (docker pause, log
+        // collection) but burns no CPU: with containers oversubscribing the
+        // cores the OS overlaps this work, unlike the paper's dedicated-core
+        // regime where it idles the call's core.
+        let mgmt =
+            self.cfg
+                .calibration
+                .baseline_mgmt_secs(self.cfg.cores, rt.p_intrinsic, self.leased);
+        self.events
+            .schedule(now + SimDuration::from_secs_f64(mgmt), Ev::CleanupDone(i));
+    }
+
+    fn on_cleanup_done(&mut self, now: SimTime, i: u32) {
+        let container = self.runtime[i as usize]
+            .container
+            .expect("cleaned-up call must hold a container");
+        self.pool.release_idle(container, now);
+        self.leased -= 1;
+        self.drain_queue(now);
+    }
+
+    /// Serve queued requests in FIFO order until one cannot be placed.
+    fn drain_queue(&mut self, now: SimTime) {
+        while let Some(&head) = self.fifo.front() {
+            if self.try_place(now, head) {
+                self.fifo.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Schedule a tick at the next GPS completion for the current
+    /// generation. Earlier ticks for older generations become no-ops.
+    fn reschedule_tick(&mut self, now: SimTime) {
+        if let Some((_, at)) = self.cpu.next_completion(now) {
+            let generation = self.cpu.generation();
+            self.events.schedule(at.max(now), Ev::GpsTick(generation));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_workload::scenario::BurstScenario;
+    use faas_workload::trace::CallId;
+
+    fn catalogue() -> Catalogue {
+        Catalogue::sebs()
+    }
+
+    fn run(cores: u32, intensity: u32, seed: u64) -> NodeResult {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(cores, intensity).generate(&cat, seed);
+        simulate(
+            &cat,
+            &scenario.all_calls(),
+            &NodeConfig::paper(cores),
+            seed,
+            0,
+        )
+    }
+
+    #[test]
+    fn every_call_completes() {
+        let r = run(10, 30, 1);
+        assert_eq!(r.measured_len(), 330);
+        for o in r.measured() {
+            assert!(o.completion > o.release);
+            assert!(o.exec_end >= o.exec_start);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(10, 30, 2);
+        let b = run(10, 30, 2);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn concurrency_exceeds_cores_under_load() {
+        // The defining property of the baseline: memory-bounded concurrency,
+        // far beyond the core count (§IV-A motivation).
+        let r = run(10, 60, 3);
+        assert!(
+            r.peak_concurrency > 10,
+            "baseline should oversubscribe: peak {}",
+            r.peak_concurrency
+        );
+    }
+
+    #[test]
+    fn greedy_creation_causes_cold_starts_under_load() {
+        // Fig. 2a: the baseline keeps creating containers as load grows.
+        let r = run(10, 90, 4);
+        assert!(
+            r.measured_cold_starts() > 100,
+            "greedy baseline must cold-start heavily: got {}",
+            r.measured_cold_starts()
+        );
+    }
+
+    #[test]
+    fn short_calls_stay_fast_at_moderate_load() {
+        // Processor sharing favours short jobs: at intensity 30 on 10 cores
+        // the median response must stay in single-digit seconds even though
+        // the tail is long (paper Table III: median 2.82 s, avg 14.78 s).
+        let r = run(10, 30, 5);
+        let mut resp: Vec<f64> = r
+            .measured()
+            .map(|o| o.response_time().as_secs_f64())
+            .collect();
+        resp.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = resp[resp.len() / 2];
+        let mean = resp.iter().sum::<f64>() / resp.len() as f64;
+        assert!(median < 15.0, "median {median}");
+        assert!(mean > median, "PS must skew the mean above the median");
+    }
+
+    #[test]
+    fn node_index_is_propagated() {
+        let cat = catalogue();
+        let calls = vec![Call {
+            id: CallId(0),
+            func: cat.by_name("graph-bfs").unwrap(),
+            release: SimTime::ZERO,
+            kind: CallKind::Measured,
+        }];
+        let r = simulate(&cat, &calls, &NodeConfig::paper(4), 1, 9);
+        assert_eq!(r.outcomes[0].node, 9);
+    }
+
+    #[test]
+    fn io_heavy_function_is_insensitive_to_contention() {
+        // sleep(1s) has cpu_fraction 0.02: its processing time barely grows
+        // even under heavy sharing.
+        let r = run(10, 60, 6);
+        let cat = catalogue();
+        let sleep = cat.by_name("sleep").unwrap();
+        let mut times: Vec<f64> = r
+            .measured()
+            .filter(|o| o.func == sleep && o.start_kind == ColdStartKind::Warm)
+            .map(|o| o.processing.as_secs_f64())
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(!times.is_empty());
+        let median = times[times.len() / 2];
+        assert!(
+            median < 3.0,
+            "warm sleep executions should stay near 1s, got median {median}"
+        );
+    }
+
+    #[test]
+    fn queue_forms_when_memory_exhausted() {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 60).generate(&cat, 7);
+        let cfg = NodeConfig::paper(10).with_memory_mb(4 * 1024);
+        let r = simulate(&cat, &scenario.all_calls(), &cfg, 7, 0);
+        assert!(r.peak_queue > 0, "4 GiB at intensity 60 must queue");
+        assert_eq!(r.measured_len(), 660);
+    }
+}

@@ -1,0 +1,73 @@
+//! # faas-invoker
+//!
+//! The OpenWhisk invoker substrate: container lifecycle and the two
+//! node-level resource-management regimes the paper compares.
+//!
+//! * [`config`] — node configuration and the calibration constants that tie
+//!   the simulator to the paper's measured testbed behaviour.
+//! * [`pool`] — the container pool (§III): free (warm) pool, prewarm pool,
+//!   memory accounting, LRU eviction, cold-start bookkeeping.
+//! * [`baseline`] — the unmodified-OpenWhisk node: greedy container
+//!   creation, memory-proportional CPU shares time-sliced by the OS
+//!   (generalized processor sharing with a context-switch penalty), FIFO
+//!   overflow queue.
+//! * [`ours`] — the paper's node (§IV): a policy-driven priority queue in
+//!   front of at most `cores` busy containers, each pinned to a full core,
+//!   non-preemptive execution.
+//! * [`result`] — per-run outcome collection.
+//!
+//! Both node simulations consume the same [`faas_workload::Scenario`]s and
+//! produce the same [`result::NodeResult`], so every experiment in the paper
+//! is a like-for-like comparison.
+
+pub mod baseline;
+pub mod config;
+pub mod ours;
+pub mod pool;
+pub mod result;
+
+pub use config::{Calibration, NodeConfig, NodeMode};
+pub use pool::{ContainerPool, PoolStats};
+pub use result::NodeResult;
+
+use faas_core::SchedulerConfig;
+use faas_workload::sebs::Catalogue;
+use faas_workload::trace::Call;
+use faas_workload::Scenario;
+
+/// Simulate one node serving `calls` (release-ordered) under the given mode.
+///
+/// `node_index` tags the resulting outcomes (multi-node experiments run one
+/// simulation per worker).
+pub fn simulate_calls(
+    catalogue: &Catalogue,
+    calls: &[Call],
+    mode: &NodeMode,
+    cfg: &NodeConfig,
+    seed: u64,
+    node_index: u16,
+) -> NodeResult {
+    match mode {
+        NodeMode::Baseline => baseline::simulate(catalogue, calls, cfg, seed, node_index),
+        NodeMode::Scheduled(sched) => {
+            ours::simulate(catalogue, calls, cfg, *sched, seed, node_index)
+        }
+    }
+}
+
+/// Simulate a full scenario (warm-up plus burst) on a single node.
+pub fn simulate_scenario(
+    catalogue: &Catalogue,
+    scenario: &Scenario,
+    mode: &NodeMode,
+    cfg: &NodeConfig,
+    seed: u64,
+) -> NodeResult {
+    let calls = scenario.all_calls();
+    simulate_calls(catalogue, &calls, mode, cfg, seed, 0)
+}
+
+/// Convenience constructor for the scheduled mode.
+pub fn scheduled(sched: SchedulerConfig) -> NodeMode {
+    NodeMode::Scheduled(sched)
+}

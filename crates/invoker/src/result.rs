@@ -1,0 +1,148 @@
+//! Per-run result collection.
+
+use crate::pool::PoolStats;
+use faas_simcore::time::SimTime;
+use faas_workload::trace::CallOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Everything a node simulation produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeResult {
+    /// One outcome per call (warm-up calls included, flagged by kind).
+    pub outcomes: Vec<CallOutcome>,
+    /// Container-pool statistics accumulated over the *measured* phase
+    /// (from the first measured arrival on), which is what Fig. 2 counts.
+    pub measured_pool_stats: PoolStats,
+    /// Container-pool statistics over the whole run (warm-up included).
+    pub total_pool_stats: PoolStats,
+    /// Largest pending-queue length observed.
+    pub peak_queue: usize,
+    /// Largest number of simultaneously leased containers observed.
+    pub peak_concurrency: usize,
+    /// Completion time of the last measured call.
+    pub last_completion: SimTime,
+}
+
+impl NodeResult {
+    /// Outcomes of measured (non-warm-up) calls only.
+    pub fn measured(&self) -> impl Iterator<Item = &CallOutcome> {
+        self.outcomes.iter().filter(|o| o.is_measured())
+    }
+
+    /// Number of measured calls.
+    pub fn measured_len(&self) -> usize {
+        self.measured().count()
+    }
+
+    /// Cold starts among measured calls (what Fig. 2 reports).
+    pub fn measured_cold_starts(&self) -> usize {
+        self.measured().filter(|o| o.start_kind.is_cold()).count()
+    }
+
+    /// Merge outcomes of several nodes (multi-node experiments).
+    pub fn merge(results: Vec<NodeResult>) -> NodeResult {
+        assert!(!results.is_empty(), "merge of zero results");
+        let mut outcomes = Vec::new();
+        let mut measured_pool_stats = PoolStats::default();
+        let mut total_pool_stats = PoolStats::default();
+        let mut peak_queue = 0;
+        let mut peak_concurrency = 0;
+        let mut last_completion = SimTime::ZERO;
+        for r in results {
+            outcomes.extend(r.outcomes);
+            measured_pool_stats = add_stats(measured_pool_stats, r.measured_pool_stats);
+            total_pool_stats = add_stats(total_pool_stats, r.total_pool_stats);
+            peak_queue = peak_queue.max(r.peak_queue);
+            peak_concurrency = peak_concurrency.max(r.peak_concurrency);
+            last_completion = last_completion.max(r.last_completion);
+        }
+        outcomes.sort_by_key(|o| (o.release, o.id));
+        NodeResult {
+            outcomes,
+            measured_pool_stats,
+            total_pool_stats,
+            peak_queue,
+            peak_concurrency,
+            last_completion,
+        }
+    }
+}
+
+fn add_stats(a: PoolStats, b: PoolStats) -> PoolStats {
+    PoolStats {
+        warm_hits: a.warm_hits + b.warm_hits,
+        prewarm_hits: a.prewarm_hits + b.prewarm_hits,
+        cold_creates: a.cold_creates + b.cold_creates,
+        evictions: a.evictions + b.evictions,
+        placement_failures: a.placement_failures + b.placement_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_simcore::time::SimDuration;
+    use faas_workload::sebs::FuncId;
+    use faas_workload::trace::{CallId, CallKind, ColdStartKind};
+
+    fn outcome(id: u32, kind: CallKind, cold: ColdStartKind, node: u16) -> CallOutcome {
+        let t = SimTime::from_secs(id as u64);
+        CallOutcome {
+            id: CallId(id),
+            func: FuncId(0),
+            kind,
+            release: t,
+            invoker_receive: t,
+            exec_start: t,
+            exec_end: t + SimDuration::from_secs(1),
+            completion: t + SimDuration::from_secs(1),
+            processing: SimDuration::from_secs(1),
+            start_kind: cold,
+            node,
+        }
+    }
+
+    fn result(outcomes: Vec<CallOutcome>) -> NodeResult {
+        let last = outcomes
+            .iter()
+            .map(|o| o.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        NodeResult {
+            outcomes,
+            measured_pool_stats: PoolStats::default(),
+            total_pool_stats: PoolStats::default(),
+            peak_queue: 3,
+            peak_concurrency: 2,
+            last_completion: last,
+        }
+    }
+
+    #[test]
+    fn measured_filters_warmup() {
+        let r = result(vec![
+            outcome(0, CallKind::Warmup, ColdStartKind::Cold, 0),
+            outcome(1, CallKind::Measured, ColdStartKind::Warm, 0),
+            outcome(2, CallKind::Measured, ColdStartKind::Cold, 0),
+        ]);
+        assert_eq!(r.measured_len(), 2);
+        assert_eq!(r.measured_cold_starts(), 1, "warm-up colds excluded");
+    }
+
+    #[test]
+    fn merge_combines_and_sorts() {
+        let a = result(vec![outcome(3, CallKind::Measured, ColdStartKind::Warm, 0)]);
+        let b = result(vec![outcome(1, CallKind::Measured, ColdStartKind::Warm, 1)]);
+        let m = NodeResult::merge(vec![a, b]);
+        assert_eq!(m.outcomes.len(), 2);
+        assert_eq!(m.outcomes[0].id, CallId(1), "sorted by release");
+        assert_eq!(m.last_completion, SimTime::from_secs(4));
+        assert_eq!(m.peak_queue, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero results")]
+    fn merge_empty_panics() {
+        NodeResult::merge(vec![]);
+    }
+}

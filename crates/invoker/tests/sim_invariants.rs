@@ -1,0 +1,93 @@
+//! Randomised invariant checks of the node simulations. The simulations are
+//! expensive, so the proptest case count is kept small; each case still
+//! checks every call of a full (reduced) run.
+
+use faas_core::{Policy, SchedulerConfig};
+use faas_invoker::{simulate_scenario, NodeConfig, NodeMode};
+use faas_workload::scenario::BurstScenario;
+use faas_workload::sebs::Catalogue;
+use proptest::prelude::*;
+
+fn policies() -> Vec<NodeMode> {
+    vec![
+        NodeMode::Baseline,
+        NodeMode::Scheduled(SchedulerConfig::paper(Policy::Fifo)),
+        NodeMode::Scheduled(SchedulerConfig::paper(Policy::Sept)),
+        NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Causality, conservation and the busy-container bound hold for random
+    /// (cores, intensity, seed, memory).
+    #[test]
+    fn node_invariants_hold(
+        cores in 2u32..8,
+        intensity in prop::sample::select(vec![10u32, 20, 30]),
+        memory_gb in prop::sample::select(vec![4u64, 8, 32]),
+        seed in any::<u64>()
+    ) {
+        let catalogue = Catalogue::sebs();
+        let scenario = BurstScenario::standard(cores, intensity).generate(&catalogue, seed);
+        let cfg = NodeConfig::paper(cores).with_memory_mb(memory_gb * 1024);
+        for mode in policies() {
+            let result = simulate_scenario(&catalogue, &scenario, &mode, &cfg, seed);
+            prop_assert_eq!(result.measured_len(), scenario.measured_len());
+            for o in &result.outcomes {
+                prop_assert!(o.invoker_receive >= o.release);
+                prop_assert!(o.exec_start >= o.invoker_receive);
+                prop_assert!(o.exec_end >= o.exec_start);
+                prop_assert!(o.completion >= o.exec_end);
+            }
+            if let NodeMode::Scheduled(_) = mode {
+                prop_assert!(
+                    result.peak_concurrency <= cores as usize,
+                    "busy containers {} exceed {} cores",
+                    result.peak_concurrency,
+                    cores
+                );
+            }
+            // Memory accounting: the pool can never exceed its budget, so
+            // peak concurrency is also bounded by memory slots.
+            let slots = (memory_gb * 1024 / 256) as usize;
+            prop_assert!(result.peak_concurrency <= slots);
+        }
+    }
+
+    /// Pool statistics tally with per-call start kinds.
+    #[test]
+    fn pool_stats_match_outcomes(
+        cores in 2u32..6,
+        seed in any::<u64>()
+    ) {
+        let catalogue = Catalogue::sebs();
+        let scenario = BurstScenario::standard(cores, 20).generate(&catalogue, seed);
+        let cfg = NodeConfig::paper(cores);
+        let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::Fifo));
+        let result = simulate_scenario(&catalogue, &scenario, &mode, &cfg, seed);
+        // Every placement is attributable to exactly one call, so totals
+        // over all outcomes equal the pool counters.
+        use faas_workload::trace::ColdStartKind;
+        let warm = result
+            .outcomes
+            .iter()
+            .filter(|o| o.start_kind == ColdStartKind::Warm)
+            .count() as u64;
+        let prewarm = result
+            .outcomes
+            .iter()
+            .filter(|o| o.start_kind == ColdStartKind::Prewarm)
+            .count() as u64;
+        let cold = result
+            .outcomes
+            .iter()
+            .filter(|o| o.start_kind == ColdStartKind::Cold)
+            .count() as u64;
+        let stats = result.total_pool_stats;
+        prop_assert_eq!(stats.warm_hits, warm);
+        prop_assert_eq!(stats.prewarm_hits, prewarm);
+        prop_assert_eq!(stats.cold_creates, cold);
+    }
+}

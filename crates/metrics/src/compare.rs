@@ -1,0 +1,470 @@
+//! Reference values transcribed from the paper, for side-by-side
+//! paper-vs-measured reporting.
+//!
+//! * [`TABLE3`] — the aggregated single-node results (paper Table III):
+//!   response-time statistics, stretch statistics and `max c(i)` for every
+//!   (CPUs, intensity, strategy) combination.
+//! * [`TABLE2`] — the FIFO-to-baseline maximum-completion-time ratio ranges
+//!   (paper Table II).
+//! * [`TABLE5`] — the aggregated multi-node results (paper Table V).
+
+use serde::{Deserialize, Serialize};
+
+/// Strategy labels in the paper's vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Unmodified OpenWhisk.
+    Baseline,
+    /// The paper's FIFO variant.
+    Fifo,
+    /// Shortest expected processing time.
+    Sept,
+    /// Earliest expected completion time.
+    Eect,
+    /// Recent expected completion time.
+    Rect,
+    /// Fair-Choice.
+    Fc,
+}
+
+impl Strategy {
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Baseline => "baseline",
+            Strategy::Fifo => "FIFO",
+            Strategy::Sept => "SEPT",
+            Strategy::Eect => "EECT",
+            Strategy::Rect => "RECT",
+            Strategy::Fc => "FC",
+        }
+    }
+}
+
+/// One row of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// CPU cores for action containers.
+    pub cpus: u32,
+    /// Load intensity.
+    pub intensity: u32,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Response time: average, 50/75/95/99th percentiles (seconds).
+    pub r_avg: f64,
+    /// Median response time.
+    pub r_p50: f64,
+    /// 75th percentile response time.
+    pub r_p75: f64,
+    /// 95th percentile response time.
+    pub r_p95: f64,
+    /// 99th percentile response time.
+    pub r_p99: f64,
+    /// Average stretch.
+    pub s_avg: f64,
+    /// Median stretch.
+    pub s_p50: f64,
+    /// Maximum completion time `max c(i)` (seconds).
+    pub max_c: f64,
+}
+
+macro_rules! t3 {
+    ($cpus:expr, $int:expr, $strat:ident, $ra:expr, $r50:expr, $r75:expr, $r95:expr, $r99:expr, $sa:expr, $s50:expr, $mc:expr) => {
+        Table3Row {
+            cpus: $cpus,
+            intensity: $int,
+            strategy: Strategy::$strat,
+            r_avg: $ra,
+            r_p50: $r50,
+            r_p75: $r75,
+            r_p95: $r95,
+            r_p99: $r99,
+            s_avg: $sa,
+            s_p50: $s50,
+            max_c: $mc,
+        }
+    };
+}
+
+/// Paper Table III (aggregated on-premises results), all 90 rows.
+pub const TABLE3: [Table3Row; 90] = [
+    t3!(5, 30, Baseline, 3.79, 0.49, 4.11, 18.90, 32.14, 18.40, 3.83, 73.53),
+    t3!(5, 30, Eect, 6.43, 3.88, 8.00, 25.04, 29.57, 99.15, 13.62, 85.57),
+    t3!(5, 30, Fc, 5.54, 2.20, 6.48, 23.66, 36.83, 59.38, 8.69, 86.23),
+    t3!(5, 30, Fifo, 10.79, 10.97, 16.34, 22.48, 27.57, 267.49, 37.72, 87.56),
+    t3!(5, 30, Rect, 6.74, 3.76, 9.27, 25.42, 30.84, 110.13, 12.27, 85.89),
+    t3!(5, 30, Sept, 5.58, 2.25, 6.67, 20.77, 55.62, 66.97, 8.39, 86.52),
+    t3!(5, 40, Baseline, 7.84, 0.78, 9.69, 49.43, 65.22, 42.40, 4.50, 98.65),
+    t3!(5, 40, Eect, 12.68, 8.62, 20.37, 42.85, 49.69, 240.75, 31.92, 111.33),
+    t3!(5, 40, Fc, 8.04, 1.84, 5.86, 48.20, 55.67, 60.00, 10.16, 113.19),
+    t3!(5, 40, Fifo, 21.73, 22.12, 31.99, 41.98, 47.63, 592.82, 109.31, 108.66),
+    t3!(5, 40, Rect, 12.90, 7.71, 20.28, 41.73, 50.01, 249.60, 33.74, 107.61),
+    t3!(5, 40, Sept, 8.01, 1.95, 7.62, 47.39, 83.08, 70.75, 11.26, 112.69),
+    t3!(5, 60, Baseline, 31.54, 23.97, 48.77, 100.60, 115.51, 638.02, 50.13, 155.92),
+    t3!(5, 60, Eect, 30.11, 25.76, 50.37, 81.06, 98.03, 710.32, 81.45, 159.58),
+    t3!(5, 60, Fc, 14.24, 1.47, 5.85, 90.18, 106.32, 87.99, 10.38, 165.98),
+    t3!(5, 60, Fifo, 46.78, 46.39, 70.99, 89.01, 94.76, 1351.39, 270.23, 158.81),
+    t3!(5, 60, Rect, 32.78, 29.94, 52.70, 81.52, 97.73, 800.29, 109.32, 162.50),
+    t3!(5, 60, Sept, 13.94, 1.46, 5.37, 103.82, 118.37, 90.72, 10.88, 173.84),
+    t3!(5, 90, Baseline, 76.56, 67.91, 129.62, 166.84, 174.65, 2056.74, 264.63, 244.70),
+    t3!(5, 90, Eect, 58.73, 51.93, 98.46, 144.19, 173.34, 1477.99, 185.33, 240.29),
+    t3!(5, 90, Fc, 22.93, 1.22, 5.82, 150.14, 183.61, 118.44, 11.29, 246.51),
+    t3!(5, 90, Fifo, 85.57, 83.47, 130.60, 163.63, 171.31, 2520.90, 502.49, 237.99),
+    t3!(5, 90, Rect, 60.41, 54.69, 99.59, 145.50, 174.24, 1542.98, 188.08, 240.56),
+    t3!(5, 90, Sept, 23.44, 1.22, 5.70, 166.37, 197.88, 128.88, 10.22, 257.22),
+    t3!(5, 120, Baseline, 120.51, 121.39, 190.35, 253.43, 270.09, 3399.50, 569.46, 345.26),
+    t3!(5, 120, Eect, 86.76, 79.90, 147.58, 203.09, 247.98, 2215.09, 300.10, 315.79),
+    t3!(5, 120, Fc, 32.50, 1.16, 12.80, 209.93, 259.32, 157.91, 13.98, 325.65),
+    t3!(5, 120, Fifo, 124.95, 124.89, 186.62, 239.51, 248.62, 3692.52, 745.51, 317.34),
+    t3!(5, 120, Rect, 90.74, 84.65, 150.90, 206.02, 248.73, 2359.35, 336.33, 318.62),
+    t3!(5, 120, Sept, 33.54, 1.09, 5.15, 236.60, 272.83, 196.43, 10.39, 349.09),
+    t3!(10, 30, Baseline, 14.78, 2.82, 20.37, 71.04, 84.41, 261.61, 4.67, 128.65),
+    t3!(10, 30, Eect, 13.22, 4.55, 11.17, 79.27, 93.93, 166.66, 20.42, 153.17),
+    t3!(10, 30, Fc, 10.67, 1.62, 6.29, 81.10, 91.89, 83.59, 8.94, 150.75),
+    t3!(10, 30, Fifo, 36.42, 37.97, 55.78, 69.94, 86.56, 1000.59, 199.93, 150.51),
+    t3!(10, 30, Rect, 12.15, 3.37, 10.66, 74.57, 90.25, 144.19, 15.44, 149.43),
+    t3!(10, 30, Sept, 12.52, 1.73, 8.55, 84.58, 131.41, 104.11, 10.35, 174.91),
+    t3!(10, 40, Baseline, 64.43, 61.00, 108.77, 154.20, 181.03, 1837.13, 187.27, 251.03),
+    t3!(10, 40, Eect, 21.36, 7.03, 29.23, 108.73, 133.87, 312.56, 33.89, 199.08),
+    t3!(10, 40, Fc, 14.52, 1.24, 5.08, 111.98, 132.91, 95.18, 8.10, 194.24),
+    t3!(10, 40, Fifo, 58.29, 59.30, 86.89, 112.32, 125.61, 1647.40, 332.79, 194.84),
+    t3!(10, 40, Rect, 20.37, 5.70, 27.18, 99.79, 127.44, 297.64, 28.59, 190.04),
+    t3!(10, 40, Sept, 17.01, 1.53, 7.41, 112.04, 180.39, 130.87, 9.86, 216.74),
+    t3!(10, 60, Baseline, 123.36, 116.07, 201.95, 274.14, 295.28, 3608.83, 525.59, 369.25),
+    t3!(10, 60, Eect, 40.93, 14.05, 72.20, 163.55, 217.66, 766.19, 77.38, 283.88),
+    t3!(10, 60, Fc, 22.65, 1.07, 5.43, 168.50, 213.96, 134.24, 9.24, 280.89),
+    t3!(10, 60, Fifo, 101.76, 102.51, 151.86, 194.93, 206.76, 2959.46, 577.59, 277.47),
+    t3!(10, 60, Rect, 40.42, 13.38, 69.02, 155.80, 211.23, 763.78, 69.68, 274.04),
+    t3!(10, 60, Sept, 25.14, 1.07, 4.55, 179.04, 269.92, 164.52, 8.50, 314.87),
+    t3!(10, 90, Baseline, 163.41, 160.93, 250.53, 332.04, 365.07, 4748.15, 961.85, 442.46),
+    t3!(10, 90, Eect, 68.52, 31.49, 114.37, 247.83, 339.17, 1360.79, 141.64, 415.94),
+    t3!(10, 90, Fc, 34.90, 0.92, 14.38, 253.47, 334.52, 195.96, 10.68, 411.55),
+    t3!(10, 90, Fifo, 166.79, 166.11, 247.05, 319.84, 332.49, 4890.04, 992.74, 410.28),
+    t3!(10, 90, Rect, 72.55, 35.91, 119.24, 246.27, 334.55, 1510.78, 195.02, 411.09),
+    t3!(10, 90, Sept, 39.65, 0.88, 3.95, 293.21, 421.20, 246.66, 8.16, 467.82),
+    t3!(10, 120, Baseline, 340.28, 334.90, 530.57, 679.62, 727.89, 10098.53, 1804.64, 816.32),
+    t3!(10, 120, Eect, 102.92, 56.33, 166.78, 340.72, 463.55, 2194.44, 299.42, 554.27),
+    t3!(10, 120, Fc, 49.48, 0.88, 24.30, 343.05, 456.92, 262.87, 11.82, 544.74),
+    t3!(10, 120, Fifo, 233.94, 233.63, 349.59, 442.46, 463.08, 6893.03, 1389.36, 540.65),
+    t3!(10, 120, Rect, 104.77, 54.50, 173.36, 346.35, 461.93, 2233.62, 307.82, 549.79),
+    t3!(10, 120, Sept, 54.96, 0.89, 10.38, 394.66, 550.91, 331.32, 9.83, 619.56),
+    t3!(20, 30, Baseline, 157.13, 154.36, 243.54, 327.49, 348.70, 4656.11, 641.34, 421.43),
+    t3!(20, 30, Eect, 27.08, 7.37, 21.26, 187.72, 242.39, 327.66, 26.93, 313.95),
+    t3!(20, 30, Fc, 22.88, 1.24, 8.25, 174.38, 239.57, 153.59, 8.63, 310.59),
+    t3!(20, 30, Fifo, 85.78, 85.75, 132.47, 170.81, 205.32, 2406.78, 438.65, 293.68),
+    t3!(20, 30, Rect, 27.18, 6.18, 22.19, 188.00, 246.34, 317.96, 23.08, 319.11),
+    t3!(20, 30, Sept, 24.93, 1.21, 6.44, 211.93, 259.23, 166.36, 8.72, 325.67),
+    t3!(20, 40, Baseline, 244.43, 242.17, 378.90, 488.51, 521.93, 7261.72, 1284.46, 611.27),
+    t3!(20, 40, Eect, 40.61, 15.61, 38.50, 251.18, 336.74, 566.71, 40.89, 413.02),
+    t3!(20, 40, Fc, 29.91, 1.05, 7.30, 232.46, 311.38, 191.42, 9.16, 403.58),
+    t3!(20, 40, Fifo, 123.64, 127.04, 187.83, 241.29, 275.38, 3538.65, 665.99, 363.43),
+    t3!(20, 40, Rect, 39.68, 15.72, 36.06, 245.46, 334.45, 555.86, 45.04, 402.88),
+    t3!(20, 40, Sept, 33.92, 1.21, 7.71, 266.25, 354.82, 220.89, 10.09, 433.72),
+    t3!(20, 60, Baseline, 369.33, 370.80, 569.78, 728.69, 767.49, 10964.39, 2006.96, 862.45),
+    t3!(20, 60, Eect, 71.46, 35.24, 80.24, 382.11, 526.46, 1157.30, 78.11, 600.83),
+    t3!(20, 60, Fc, 42.92, 0.82, 13.13, 331.28, 475.63, 265.52, 9.17, 549.97),
+    t3!(20, 60, Fifo, 206.81, 206.47, 309.32, 393.60, 423.32, 6008.17, 1197.68, 528.11),
+    t3!(20, 60, Rect, 72.19, 39.89, 78.36, 370.32, 505.96, 1230.51, 105.51, 600.42),
+    t3!(20, 60, Sept, 50.62, 0.98, 6.91, 398.61, 542.25, 321.73, 9.07, 617.94),
+    t3!(20, 90, Baseline, 595.82, 594.62, 906.13, 1160.06, 1211.78, 17752.87, 3442.67, 1308.52),
+    t3!(20, 90, Eect, 125.19, 83.01, 151.72, 557.89, 771.26, 2383.54, 293.77, 884.80),
+    t3!(20, 90, Fc, 65.40, 0.69, 24.31, 492.77, 706.85, 389.71, 9.75, 831.43),
+    t3!(20, 90, Fifo, 326.33, 322.70, 494.80, 624.92, 656.79, 9591.56, 1892.46, 766.41),
+    t3!(20, 90, Rect, 121.63, 78.58, 145.62, 559.83, 772.80, 2260.83, 253.93, 890.43),
+    t3!(20, 90, Sept, 80.59, 0.87, 24.60, 606.82, 817.78, 490.77, 9.52, 937.90),
+    t3!(20, 120, Baseline, 833.48, 830.32, 1261.60, 1598.61, 1671.75, 24885.55, 5016.84, 1815.17),
+    t3!(20, 120, Eect, 176.54, 125.10, 222.15, 749.37, 1034.12, 3566.74, 450.96, 1161.07),
+    t3!(20, 120, Fc, 91.91, 0.67, 38.77, 666.66, 957.16, 526.71, 10.68, 1090.75),
+    t3!(20, 120, Fifo, 441.81, 441.75, 666.65, 840.46, 880.22, 13051.82, 2662.33, 1000.99),
+    t3!(20, 120, Rect, 169.21, 108.62, 211.17, 741.05, 1035.93, 3302.91, 465.54, 1174.23),
+    t3!(20, 120, Sept, 111.86, 0.92, 58.64, 815.36, 1125.18, 662.51, 10.16, 1259.98),
+];
+
+/// Look up a Table III row.
+pub fn table3(cpus: u32, intensity: u32, strategy: Strategy) -> Option<&'static Table3Row> {
+    TABLE3
+        .iter()
+        .find(|r| r.cpus == cpus && r.intensity == intensity && r.strategy == strategy)
+}
+
+/// One cell of the paper's Table II: the range of FIFO-to-baseline maximum
+/// completion time ratios over the 5 repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Cell {
+    /// CPU cores.
+    pub cpus: u32,
+    /// Load intensity.
+    pub intensity: u32,
+    /// Lower end of the published ratio range.
+    pub ratio_lo: f64,
+    /// Upper end of the published ratio range.
+    pub ratio_hi: f64,
+}
+
+/// Paper Table II: FIFO/baseline maximum-completion-time ratio ranges.
+pub const TABLE2: [Table2Cell; 15] = [
+    Table2Cell {
+        cpus: 5,
+        intensity: 30,
+        ratio_lo: 1.14,
+        ratio_hi: 1.20,
+    },
+    Table2Cell {
+        cpus: 5,
+        intensity: 40,
+        ratio_lo: 1.10,
+        ratio_hi: 1.13,
+    },
+    Table2Cell {
+        cpus: 5,
+        intensity: 60,
+        ratio_lo: 0.98,
+        ratio_hi: 1.05,
+    },
+    Table2Cell {
+        cpus: 5,
+        intensity: 90,
+        ratio_lo: 0.97,
+        ratio_hi: 1.02,
+    },
+    Table2Cell {
+        cpus: 5,
+        intensity: 120,
+        ratio_lo: 0.90,
+        ratio_hi: 0.98,
+    },
+    Table2Cell {
+        cpus: 10,
+        intensity: 30,
+        ratio_lo: 1.11,
+        ratio_hi: 1.28,
+    },
+    Table2Cell {
+        cpus: 10,
+        intensity: 40,
+        ratio_lo: 0.76,
+        ratio_hi: 0.90,
+    },
+    Table2Cell {
+        cpus: 10,
+        intensity: 60,
+        ratio_lo: 0.74,
+        ratio_hi: 0.90,
+    },
+    Table2Cell {
+        cpus: 10,
+        intensity: 90,
+        ratio_lo: 0.92,
+        ratio_hi: 1.04,
+    },
+    Table2Cell {
+        cpus: 10,
+        intensity: 120,
+        ratio_lo: 0.66,
+        ratio_hi: 0.70,
+    },
+    Table2Cell {
+        cpus: 20,
+        intensity: 30,
+        ratio_lo: 0.67,
+        ratio_hi: 0.78,
+    },
+    Table2Cell {
+        cpus: 20,
+        intensity: 40,
+        ratio_lo: 0.59,
+        ratio_hi: 0.66,
+    },
+    Table2Cell {
+        cpus: 20,
+        intensity: 60,
+        ratio_lo: 0.60,
+        ratio_hi: 0.64,
+    },
+    Table2Cell {
+        cpus: 20,
+        intensity: 90,
+        ratio_lo: 0.57,
+        ratio_hi: 0.60,
+    },
+    Table2Cell {
+        cpus: 20,
+        intensity: 120,
+        ratio_lo: 0.55,
+        ratio_hi: 0.58,
+    },
+];
+
+/// Look up a Table II cell.
+pub fn table2(cpus: u32, intensity: u32) -> Option<&'static Table2Cell> {
+    TABLE2
+        .iter()
+        .find(|c| c.cpus == cpus && c.intensity == intensity)
+}
+
+/// One row of the paper's Table V (multi-node, aggregated).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Number of worker VMs.
+    pub nodes: u32,
+    /// Action cores per node.
+    pub cpus_per_node: u32,
+    /// Resulting per-core intensity.
+    pub intensity: u32,
+    /// Strategy (baseline or FC only in the paper).
+    pub strategy: Strategy,
+    /// Average response time (seconds).
+    pub r_avg: f64,
+    /// Median response time.
+    pub r_p50: f64,
+    /// 75th percentile.
+    pub r_p75: f64,
+    /// 95th percentile.
+    pub r_p95: f64,
+    /// 99th percentile.
+    pub r_p99: f64,
+    /// Maximum completion time.
+    pub max_c: f64,
+}
+
+macro_rules! t5 {
+    ($n:expr, $c:expr, $i:expr, $strat:ident, $ra:expr, $r50:expr, $r75:expr, $r95:expr, $r99:expr, $mc:expr) => {
+        Table5Row {
+            nodes: $n,
+            cpus_per_node: $c,
+            intensity: $i,
+            strategy: Strategy::$strat,
+            r_avg: $ra,
+            r_p50: $r50,
+            r_p75: $r75,
+            r_p95: $r95,
+            r_p99: $r99,
+            max_c: $mc,
+        }
+    };
+}
+
+/// Paper Table V: multi-node aggregated results.
+pub const TABLE5: [Table5Row; 16] = [
+    t5!(1, 10, 120, Baseline, 253.74, 253.68, 385.12, 490.51, 511.45, 586.21),
+    t5!(1, 10, 120, Fc, 49.15, 1.68, 33.12, 337.01, 446.11, 548.03),
+    t5!(2, 10, 60, Baseline, 106.39, 106.54, 167.49, 220.35, 240.22, 317.15),
+    t5!(2, 10, 60, Fc, 42.40, 2.46, 30.15, 270.63, 346.99, 467.53),
+    t5!(3, 10, 40, Baseline, 94.50, 73.19, 137.27, 287.51, 315.08, 381.75),
+    t5!(3, 10, 40, Fc, 35.73, 5.03, 41.94, 203.59, 281.38, 364.24),
+    t5!(4, 10, 30, Baseline, 87.96, 54.84, 147.22, 283.36, 315.95, 376.84),
+    t5!(4, 10, 30, Fc, 38.65, 5.68, 45.93, 217.24, 292.32, 373.19),
+    t5!(1, 18, 120, Baseline, 521.15, 519.76, 789.13, 1003.64, 1045.16, 1136.16),
+    t5!(1, 18, 120, Fc, 108.96, 6.00, 59.48, 803.26, 1063.21, 1232.69),
+    t5!(2, 18, 60, Baseline, 250.52, 251.49, 381.16, 487.78, 518.81, 609.21),
+    t5!(2, 18, 60, Fc, 99.55, 2.93, 28.97, 728.20, 859.13, 1009.59),
+    t5!(3, 18, 40, Baseline, 245.87, 215.44, 377.28, 597.07, 643.72, 737.64),
+    t5!(3, 18, 40, Fc, 68.62, 6.00, 54.02, 443.97, 638.19, 756.19),
+    t5!(4, 18, 30, Baseline, 239.86, 193.97, 406.44, 599.57, 649.21, 723.27),
+    t5!(4, 18, 30, Fc, 80.72, 15.02, 80.27, 461.29, 627.30, 831.40),
+];
+
+/// Look up a Table V row.
+pub fn table5(nodes: u32, cpus_per_node: u32, strategy: Strategy) -> Option<&'static Table5Row> {
+    TABLE5
+        .iter()
+        .find(|r| r.nodes == nodes && r.cpus_per_node == cpus_per_node && r.strategy == strategy)
+}
+
+/// Ratio of measured to reference with a guard for tiny denominators.
+pub fn ratio(measured: f64, reference: f64) -> f64 {
+    if reference.abs() < 1e-9 {
+        f64::NAN
+    } else {
+        measured / reference
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_is_complete() {
+        // 3 core counts x 5 intensities x 6 strategies.
+        assert_eq!(TABLE3.len(), 90);
+        for cpus in [5, 10, 20] {
+            for intensity in [30, 40, 60, 90, 120] {
+                for strategy in [
+                    Strategy::Baseline,
+                    Strategy::Fifo,
+                    Strategy::Sept,
+                    Strategy::Eect,
+                    Strategy::Rect,
+                    Strategy::Fc,
+                ] {
+                    assert!(
+                        table3(cpus, intensity, strategy).is_some(),
+                        "missing {cpus}/{intensity}/{strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table3_spot_checks() {
+        let r = table3(10, 30, Strategy::Fifo).unwrap();
+        assert_eq!(r.r_avg, 36.42);
+        assert_eq!(r.s_avg, 1000.59);
+        let r = table3(20, 120, Strategy::Fc).unwrap();
+        assert_eq!(r.r_p50, 0.67);
+        assert_eq!(r.max_c, 1090.75);
+    }
+
+    #[test]
+    fn table3_percentiles_ordered() {
+        for r in &TABLE3 {
+            assert!(
+                r.r_p50 <= r.r_p75 && r.r_p75 <= r.r_p95 && r.r_p95 <= r.r_p99,
+                "row {}/{}/{:?} disordered",
+                r.cpus,
+                r.intensity,
+                r.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn table2_ranges_valid() {
+        assert_eq!(TABLE2.len(), 15);
+        for c in &TABLE2 {
+            assert!(c.ratio_lo <= c.ratio_hi);
+        }
+        let c = table2(20, 30).unwrap();
+        assert_eq!(c.ratio_lo, 0.67);
+        // The paper's headline flip: FIFO completes faster at 20 cores...
+        assert!(c.ratio_hi < 1.0);
+        // ...but slower at 5 cores, intensity 30.
+        assert!(table2(5, 30).unwrap().ratio_lo > 1.0);
+    }
+
+    #[test]
+    fn table5_headline_claim() {
+        // FC on 3 VMs beats the baseline on 4 VMs (18-core nodes): the
+        // paper's §VIII claim.
+        let fc3 = table5(3, 18, Strategy::Fc).unwrap();
+        let base4 = table5(4, 18, Strategy::Baseline).unwrap();
+        assert!(fc3.r_avg < base4.r_avg);
+        assert!(fc3.r_p75 < base4.r_p75);
+        assert!(fc3.r_p95 < base4.r_p95);
+        assert!(fc3.r_p99 < base4.r_p99);
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert!(ratio(1.0, 0.0).is_nan());
+        assert!((ratio(3.0, 2.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::Baseline.name(), "baseline");
+        assert_eq!(Strategy::Fc.name(), "FC");
+    }
+}

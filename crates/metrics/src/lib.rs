@@ -1,0 +1,20 @@
+//! # faas-metrics
+//!
+//! Aggregation and reporting of experiment results, following the paper's
+//! conventions exactly:
+//!
+//! * [`summary`] — response-time and stretch summaries (`R(i)`, `S(i)`),
+//!   relative to the burst-window start, with the paper's percentile set and
+//!   `max c(i)`.
+//! * [`table`] — plain-text table rendering for the experiment binaries.
+//! * [`compare`] — reference values transcribed from the paper's tables and
+//!   ratio helpers, so every run can print paper-vs-measured side by side.
+//! * [`export`] — JSON/CSV export of rows for offline plotting.
+
+pub mod compare;
+pub mod export;
+pub mod summary;
+pub mod table;
+
+pub use summary::{MetricSummary, RunSummary};
+pub use table::TextTable;

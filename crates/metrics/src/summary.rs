@@ -1,0 +1,247 @@
+//! Response-time and stretch aggregation (§II of the paper).
+//!
+//! All times are reported relative to the start of the measured burst
+//! window, matching the paper's plots (the warm-up phase happens at negative
+//! time, so to speak). Stretch uses each function's median idle-system
+//! response time from Table I as the denominator (§V-A), which is why values
+//! below 1 are possible.
+
+use faas_simcore::stats::{BoxPlot, Summary};
+use faas_simcore::time::SimTime;
+use faas_workload::sebs::{Catalogue, FuncId};
+use faas_workload::trace::CallOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one metric (seconds for response time, dimensionless for
+/// stretch) over the measured calls of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Number of calls aggregated.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    /// Build from raw observations.
+    pub fn from_values(values: &[f64]) -> MetricSummary {
+        let s = Summary::from_data(values);
+        MetricSummary {
+            count: s.count,
+            mean: s.mean,
+            p50: s.percentiles.p50,
+            p75: s.percentiles.p75,
+            p95: s.percentiles.p95,
+            p99: s.percentiles.p99,
+            max: s.max,
+        }
+    }
+}
+
+/// The full per-run summary row, mirroring one line of the paper's
+/// Table III/IV: response-time stats, stretch stats, and `max c(i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Response-time statistics, seconds.
+    pub response: MetricSummary,
+    /// Stretch statistics.
+    pub stretch: MetricSummary,
+    /// Completion time of the last measured call, seconds from burst start
+    /// (the paper's `max c(i)` column).
+    pub max_completion: f64,
+}
+
+/// Response times (seconds) of the measured calls.
+pub fn response_times(outcomes: &[&CallOutcome]) -> Vec<f64> {
+    outcomes
+        .iter()
+        .map(|o| o.response_time().as_secs_f64())
+        .collect()
+}
+
+/// Stretch values of the measured calls, using Table I medians.
+pub fn stretches(outcomes: &[&CallOutcome], catalogue: &Catalogue) -> Vec<f64> {
+    outcomes
+        .iter()
+        .map(|o| o.stretch(catalogue.spec(o.func).stretch_reference()))
+        .collect()
+}
+
+impl RunSummary {
+    /// Summarise the measured calls of a run.
+    ///
+    /// `burst_start` anchors `max c(i)`; response time and stretch are
+    /// anchored to each call's own release time so they need no shifting.
+    pub fn from_outcomes(
+        outcomes: &[&CallOutcome],
+        catalogue: &Catalogue,
+        burst_start: SimTime,
+    ) -> RunSummary {
+        assert!(!outcomes.is_empty(), "summary of zero calls");
+        let resp = response_times(outcomes);
+        let st = stretches(outcomes, catalogue);
+        let max_completion = outcomes
+            .iter()
+            .map(|o| o.completion.saturating_since(burst_start).as_secs_f64())
+            .fold(0.0f64, f64::max);
+        RunSummary {
+            response: MetricSummary::from_values(&resp),
+            stretch: MetricSummary::from_values(&st),
+            max_completion,
+        }
+    }
+
+    /// Summarise only the calls of one function (Fig. 5's per-function
+    /// breakdowns).
+    pub fn for_function(
+        outcomes: &[&CallOutcome],
+        catalogue: &Catalogue,
+        burst_start: SimTime,
+        func: FuncId,
+    ) -> Option<RunSummary> {
+        let filtered: Vec<&CallOutcome> = outcomes
+            .iter()
+            .copied()
+            .filter(|o| o.func == func)
+            .collect();
+        if filtered.is_empty() {
+            None
+        } else {
+            Some(RunSummary::from_outcomes(&filtered, catalogue, burst_start))
+        }
+    }
+}
+
+/// Box-plot statistics of response times (for figure regeneration).
+pub fn response_boxplot(outcomes: &[&CallOutcome]) -> BoxPlot {
+    BoxPlot::from_data(&response_times(outcomes))
+}
+
+/// Box-plot statistics of stretch (for figure regeneration).
+pub fn stretch_boxplot(outcomes: &[&CallOutcome], catalogue: &Catalogue) -> BoxPlot {
+    BoxPlot::from_data(&stretches(outcomes, catalogue))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_simcore::time::SimDuration;
+    use faas_workload::trace::{CallId, CallKind, ColdStartKind};
+
+    fn outcome(func: FuncId, release_s: u64, resp_s: f64) -> CallOutcome {
+        let release = SimTime::from_secs(release_s);
+        let completion = release + SimDuration::from_secs_f64(resp_s);
+        CallOutcome {
+            id: CallId(release_s as u32),
+            func,
+            kind: CallKind::Measured,
+            release,
+            invoker_receive: release,
+            exec_start: release,
+            exec_end: completion,
+            completion,
+            processing: SimDuration::from_secs_f64(resp_s),
+            start_kind: ColdStartKind::Warm,
+            node: 0,
+        }
+    }
+
+    fn catalogue() -> Catalogue {
+        Catalogue::sebs()
+    }
+
+    #[test]
+    fn response_summary_basic() {
+        let cat = catalogue();
+        let outs = [
+            outcome(FuncId(0), 10, 1.0),
+            outcome(FuncId(0), 11, 3.0),
+            outcome(FuncId(0), 12, 2.0),
+        ];
+        let refs: Vec<&CallOutcome> = outs.iter().collect();
+        let s = RunSummary::from_outcomes(&refs, &cat, SimTime::from_secs(10));
+        assert_eq!(s.response.count, 3);
+        assert!((s.response.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.response.p50, 2.0);
+        // Last completion: release 12 + 2.0 = 14, minus burst start 10 = 4.
+        assert!((s.max_completion - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretch_uses_table1_reference() {
+        let cat = catalogue();
+        let bfs = cat.by_name("graph-bfs").unwrap();
+        // graph-bfs reference is 12 ms; a 1.2 s response is stretch 100.
+        let outs = [outcome(bfs, 0, 1.2)];
+        let refs: Vec<&CallOutcome> = outs.iter().collect();
+        let s = RunSummary::from_outcomes(&refs, &cat, SimTime::ZERO);
+        assert!((s.stretch.mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_below_one_is_possible() {
+        let cat = catalogue();
+        let dna = cat.by_name("dna-visualisation").unwrap();
+        // dna reference 8.552 s; a 6 s response gives stretch < 1 (§V-A).
+        let outs = [outcome(dna, 0, 6.0)];
+        let refs: Vec<&CallOutcome> = outs.iter().collect();
+        let s = RunSummary::from_outcomes(&refs, &cat, SimTime::ZERO);
+        assert!(s.stretch.mean < 1.0);
+    }
+
+    #[test]
+    fn per_function_filter() {
+        let cat = catalogue();
+        let a = cat.by_name("graph-bfs").unwrap();
+        let b = cat.by_name("sleep").unwrap();
+        let outs = [outcome(a, 0, 1.0), outcome(b, 1, 2.0), outcome(a, 2, 3.0)];
+        let refs: Vec<&CallOutcome> = outs.iter().collect();
+        let s = RunSummary::for_function(&refs, &cat, SimTime::ZERO, a).unwrap();
+        assert_eq!(s.response.count, 2);
+        assert!((s.response.mean - 2.0).abs() < 1e-12);
+        let missing = cat.by_name("uploader").unwrap();
+        assert!(RunSummary::for_function(&refs, &cat, SimTime::ZERO, missing).is_none());
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let cat = catalogue();
+        let outs: Vec<CallOutcome> = (0..100)
+            .map(|i| outcome(FuncId(0), i, (i as f64 + 1.0) * 0.1))
+            .collect();
+        let refs: Vec<&CallOutcome> = outs.iter().collect();
+        let s = RunSummary::from_outcomes(&refs, &cat, SimTime::ZERO);
+        let r = s.response;
+        assert!(r.p50 <= r.p75 && r.p75 <= r.p95 && r.p95 <= r.p99 && r.p99 <= r.max);
+    }
+
+    #[test]
+    fn boxplot_helpers_run() {
+        let cat = catalogue();
+        let outs: Vec<CallOutcome> = (0..50)
+            .map(|i| outcome(FuncId(0), i, 1.0 + (i % 7) as f64))
+            .collect();
+        let refs: Vec<&CallOutcome> = outs.iter().collect();
+        let rb = response_boxplot(&refs);
+        assert!(rb.p25 <= rb.median && rb.median <= rb.p75);
+        let sb = stretch_boxplot(&refs, &cat);
+        assert!(sb.whisker_lo <= sb.whisker_hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero calls")]
+    fn empty_summary_panics() {
+        let cat = catalogue();
+        RunSummary::from_outcomes(&[], &cat, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,38 @@
+//! # faas-simcore
+//!
+//! Deterministic discrete-event simulation kernel shared by every other crate
+//! in the workspace.
+//!
+//! The crate provides four building blocks:
+//!
+//! * [`time`] — integer-nanosecond simulated time ([`SimTime`], [`SimDuration`])
+//!   with saturating arithmetic, so a simulation can never observe negative
+//!   time or silently wrap.
+//! * [`rng`] — a self-contained xoshiro256++ PRNG ([`rng::Xoshiro256`]) seeded
+//!   via SplitMix64. Every random draw in the workspace flows through this
+//!   generator, which makes every experiment bit-for-bit reproducible from a
+//!   single `u64` seed.
+//! * [`dist`] — the distributions used to model FaaS service times:
+//!   log-normal (fitted from the 5th/50th/95th percentiles published in the
+//!   paper's Table I), uniform, exponential and deterministic.
+//! * [`events`] — a monotonic event queue ([`events::EventQueue`]) with a
+//!   stable tie-break, plus cancellable event handles.
+//! * [`stats`] — percentile / box-plot / summary statistics used to aggregate
+//!   response times and stretch exactly the way the paper reports them.
+//!
+//! The kernel is intentionally free of threads: a single simulation run is a
+//! sequential event loop. Parallelism lives one level up (the experiment
+//! harness runs independent seeds/configurations on a rayon pool), which keeps
+//! the hot loop allocation-free and the results deterministic.
+
+pub mod dist;
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::{Distribution, LogNormal, Sampler};
+pub use events::EventQueue;
+pub use rng::Xoshiro256;
+pub use stats::{Percentiles, Summary};
+pub use time::{SimDuration, SimTime};

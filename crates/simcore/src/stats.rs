@@ -1,0 +1,374 @@
+//! Summary statistics matching the paper's reporting conventions.
+//!
+//! The paper reports, per configuration: the average, the 50th/75th/95th/99th
+//! percentiles, and the maximum completion time; box plots use the
+//! 25th/50th/75th percentiles with 1.5·IQR whiskers and the mean marked
+//! separately. This module implements exactly those aggregations.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear-interpolation percentile on a pre-sorted slice (the same estimator
+/// NumPy uses by default, which is what the paper's plotting stack used).
+///
+/// `q` is in `[0, 1]`. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Sort a copy of the data and return it; NaNs are rejected with a panic
+/// because they always indicate an upstream modelling bug.
+pub fn sorted_copy(data: &[f64]) -> Vec<f64> {
+    let mut v = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("statistics input contained NaN"));
+    v
+}
+
+/// The percentile set the paper's tables report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// 25th percentile (box-plot lower hinge).
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile (box-plot upper hinge).
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Full summary of one metric over one experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Percentile set.
+    pub percentiles: Percentiles,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary from unsorted data. Panics on empty input or NaNs.
+    pub fn from_data(data: &[f64]) -> Summary {
+        let sorted = sorted_copy(data);
+        Summary::from_sorted(&sorted)
+    }
+
+    /// Compute a summary from data already sorted ascending.
+    pub fn from_sorted(sorted: &[f64]) -> Summary {
+        assert!(!sorted.is_empty(), "summary of empty data");
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Summary {
+            count: sorted.len(),
+            mean,
+            percentiles: Percentiles {
+                p25: percentile_sorted(sorted, 0.25),
+                p50: percentile_sorted(sorted, 0.50),
+                p75: percentile_sorted(sorted, 0.75),
+                p95: percentile_sorted(sorted, 0.95),
+                p99: percentile_sorted(sorted, 0.99),
+            },
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// Median shorthand.
+    pub fn median(&self) -> f64 {
+        self.percentiles.p50
+    }
+}
+
+/// The five-number box-plot summary used by the paper's figures:
+/// hinges at the quartiles, whiskers at the most extreme data point within
+/// 1.5 × IQR of the hinges, mean marked separately.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// Lower whisker: smallest observation ≥ `p25 - 1.5*IQR`.
+    pub whisker_lo: f64,
+    /// Lower hinge (25th percentile).
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper hinge (75th percentile).
+    pub p75: f64,
+    /// Upper whisker: largest observation ≤ `p75 + 1.5*IQR`.
+    pub whisker_hi: f64,
+    /// Arithmetic mean (the green triangle in the paper's plots).
+    pub mean: f64,
+    /// Number of observations outside the whiskers.
+    pub outliers: usize,
+}
+
+impl BoxPlot {
+    /// Compute box-plot statistics from unsorted data.
+    pub fn from_data(data: &[f64]) -> BoxPlot {
+        let sorted = sorted_copy(data);
+        BoxPlot::from_sorted(&sorted)
+    }
+
+    /// Compute box-plot statistics from data sorted ascending.
+    pub fn from_sorted(sorted: &[f64]) -> BoxPlot {
+        assert!(!sorted.is_empty(), "boxplot of empty data");
+        let p25 = percentile_sorted(sorted, 0.25);
+        let p75 = percentile_sorted(sorted, 0.75);
+        let iqr = p75 - p25;
+        let lo_fence = p25 - 1.5 * iqr;
+        let hi_fence = p75 + 1.5 * iqr;
+        // Most extreme data points within the fences, clamped to the hinges
+        // (with sparse data no observation may fall between fence and the
+        // interpolated hinge; the whisker then collapses onto the hinge).
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0])
+            .min(p25);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(*sorted.last().unwrap())
+            .max(p75);
+        let outliers = sorted
+            .iter()
+            .filter(|&&x| x < whisker_lo || x > whisker_hi)
+            .count();
+        BoxPlot {
+            whisker_lo,
+            p25,
+            median: percentile_sorted(sorted, 0.50),
+            p75,
+            whisker_hi,
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            outliers,
+        }
+    }
+}
+
+/// Incremental mean/variance accumulator (Welford's algorithm) for streaming
+/// contexts where storing all observations is wasteful.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (zero when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_endpoints() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&data, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&data, 1.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [0.0, 10.0];
+        assert!((percentile_sorted(&data, 0.25) - 2.5).abs() < 1e-12);
+        assert!((percentile_sorted(&data, 0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile_sorted(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile_sorted(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_input_panics() {
+        sorted_copy(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_data(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.percentiles.p25, 2.0);
+        assert_eq!(s.percentiles.p75, 4.0);
+    }
+
+    #[test]
+    fn summary_percentiles_monotone() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let s = Summary::from_data(&data);
+        let p = s.percentiles;
+        assert!(p.p25 <= p.p50 && p.p50 <= p.p75 && p.p75 <= p.p95 && p.p95 <= p.p99);
+        assert!(s.min <= p.p25 && p.p99 <= s.max);
+    }
+
+    #[test]
+    fn boxplot_no_outliers_on_uniform_data() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = BoxPlot::from_data(&data);
+        assert_eq!(b.outliers, 0);
+        assert_eq!(b.whisker_lo, 0.0);
+        assert_eq!(b.whisker_hi, 99.0);
+        assert!((b.mean - 49.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxplot_detects_outlier() {
+        let mut data: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        data.push(1000.0);
+        let b = BoxPlot::from_data(&data);
+        assert_eq!(b.outliers, 1);
+        assert!(b.whisker_hi < 1000.0);
+    }
+
+    #[test]
+    fn boxplot_constant_data() {
+        let b = BoxPlot::from_data(&[5.0; 10]);
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.whisker_lo, 5.0);
+        assert_eq!(b.whisker_hi, 5.0);
+        assert_eq!(b.outliers, 0);
+    }
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i * i) as f64 * 0.1).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&Welford::new());
+        assert_eq!(a, before);
+        let mut empty = Welford::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn welford_empty_defaults() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests of the simulation kernel.
+
+use faas_simcore::dist::{LogNormal, Sampler};
+use faas_simcore::events::EventQueue;
+use faas_simcore::rng::Xoshiro256;
+use faas_simcore::stats::Welford;
+use faas_simcore::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops in exact (time, insertion) order whatever the
+    /// schedule order, including cancellations.
+    #[test]
+    fn event_queue_total_order(
+        events in prop::collection::vec((0u64..10_000, any::<bool>()), 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        let mut handles = Vec::new();
+        for (i, &(t, keep)) in events.iter().enumerate() {
+            let h = q.schedule(SimTime::from_millis(t), i);
+            handles.push(h);
+            if keep {
+                expected.push((t, i));
+            } else {
+                q.cancel(h);
+            }
+        }
+        expected.sort_by_key(|&(t, i)| (t, i));
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, i)| (t.as_nanos() / 1_000_000, i)))
+                .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Clock monotonicity: pops never go back in time.
+    #[test]
+    fn event_queue_clock_is_monotone(
+        times in prop::collection::vec(0u64..1_000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_millis(t), ());
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = q.pop() {
+            prop_assert!(t >= last);
+            prop_assert_eq!(q.now(), t);
+            last = t;
+        }
+    }
+
+    /// Log-normal sample quantiles converge to the analytic quantiles.
+    #[test]
+    fn lognormal_samples_match_quantile_function(
+        median_ms in 10.0f64..10_000.0,
+        spread in 1.0f64..3.0,
+        seed in any::<u64>()
+    ) {
+        let ln = LogNormal::from_median_p95(median_ms, median_ms * spread);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut samples: Vec<f64> = (0..4000).map(|_| ln.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let emp_median = samples[2000];
+        prop_assert!((emp_median / median_ms - 1.0).abs() < 0.15,
+            "median {emp_median} vs {median_ms}");
+        let emp_p95 = samples[3800];
+        prop_assert!((emp_p95 / ln.quantile(0.95) - 1.0).abs() < 0.25);
+    }
+
+    /// Welford merging is associative with sequential accumulation.
+    #[test]
+    fn welford_merge_any_split(
+        data in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in any::<prop::sample::Index>()
+    ) {
+        let cut = split.index(data.len());
+        let mut whole = Welford::new();
+        data.iter().for_each(|&x| whole.push(x));
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        data[..cut].iter().for_each(|&x| a.push(x));
+        data[cut..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+    }
+
+    /// Bounded integer generation is always in range.
+    #[test]
+    fn below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// Duration arithmetic never wraps.
+    #[test]
+    fn duration_arithmetic_saturates(a in any::<u64>(), b in any::<u64>()) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!(da.saturating_add(db).as_nanos(), a.saturating_add(b));
+        prop_assert_eq!(da.saturating_sub(db).as_nanos(), a.saturating_sub(b));
+        let t = SimTime::from_nanos(a);
+        prop_assert!(t + db >= t);
+    }
+}

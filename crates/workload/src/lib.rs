@@ -1,0 +1,23 @@
+//! # faas-workload
+//!
+//! The workload substrate: the SeBS function catalogue and the Gatling-style
+//! load scenarios the paper evaluates with.
+//!
+//! * [`sebs`] — the eleven SeBS benchmark functions the paper measures
+//!   (Table I), each with its published idle-system latency quantiles, an
+//!   I/O-vs-CPU intensity class, and a fitted log-normal service-time
+//!   distribution.
+//! * [`scenario`] — experiment scenarios: the uniform 60-second burst
+//!   parameterised by *intensity* (§V-B: `1.1 · cores · intensity` requests),
+//!   the warm-up phase (§V-A: `cores` parallel calls per function), and the
+//!   skewed fairness mix of Fig. 5.
+//! * [`trace`] — call/outcome record types shared by the node and cluster
+//!   simulations.
+
+pub mod scenario;
+pub mod sebs;
+pub mod trace;
+
+pub use scenario::{BurstScenario, FairnessScenario, Scenario};
+pub use sebs::{Catalogue, FuncId, FunctionSpec, IntensityClass};
+pub use trace::{Call, CallKind, CallOutcome, ColdStartKind};

@@ -1,0 +1,417 @@
+//! Experiment scenarios.
+//!
+//! §V-A/§V-B of the paper define the load shape precisely:
+//!
+//! * **Warm-up**: `c` parallel calls per function (where `c` is the number of
+//!   action cores), so each function ends up with up to `c` warm containers.
+//!   Warm-up calls are not measured.
+//! * **Burst**: all measured requests are issued uniformly at random inside a
+//!   60-second window; after the window no new requests arrive and the
+//!   client waits for all responses.
+//! * **Intensity** `v`: with `c` cores and 11 functions the burst holds
+//!   exactly `1.1 · c · v` requests, split equally across functions
+//!   (`c·v/10` calls each).
+//! * **Fairness mix** (Fig. 5): 10 CPUs, intensity 90, *exactly 10*
+//!   dna-visualisation calls; every other call picks uniformly at random
+//!   among the remaining ten functions.
+
+use crate::sebs::{Catalogue, FuncId};
+use crate::trace::{Call, CallId, CallKind};
+use faas_simcore::rng::Xoshiro256;
+use faas_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A generated scenario: warm-up calls followed by a measured burst.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Warm-up calls, grouped in per-function waves of `c` parallel calls.
+    pub warmup: Vec<Call>,
+    /// Measured calls, sorted by release time.
+    pub burst: Vec<Call>,
+    /// Start of the measured burst window.
+    pub burst_start: SimTime,
+    /// Length of the burst window.
+    pub burst_window: SimDuration,
+}
+
+impl Scenario {
+    /// All calls (warm-up first, then burst) in release order.
+    pub fn all_calls(&self) -> Vec<Call> {
+        let mut calls = self.warmup.clone();
+        calls.extend(self.burst.iter().copied());
+        calls
+    }
+
+    /// Number of measured calls.
+    pub fn measured_len(&self) -> usize {
+        self.burst.len()
+    }
+}
+
+/// Parameters of the uniform-burst scenario (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurstScenario {
+    /// Number of CPU cores available to action containers (`c`).
+    pub cores: u32,
+    /// Load intensity (`v`); the paper uses multiples of 10.
+    pub intensity: u32,
+    /// Length of the burst window; the paper fixes 60 s.
+    pub window: SimDuration,
+    /// Gap between the end of warm-up and the burst start, giving the node
+    /// time to settle.
+    pub warmup_gap: SimDuration,
+}
+
+impl BurstScenario {
+    /// The paper's standard configuration: 60-second window, 5-second gap.
+    pub fn standard(cores: u32, intensity: u32) -> Self {
+        BurstScenario {
+            cores,
+            intensity,
+            window: SimDuration::from_secs(60),
+            warmup_gap: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Total number of measured requests: `n_f · c · v / 10` — for the
+    /// 11-function SeBS set this is the paper's `1.1 · c · v`.
+    pub fn total_requests(&self, catalogue: &Catalogue) -> usize {
+        catalogue.len() * self.per_function_requests()
+    }
+
+    /// Measured requests per function: `c · v / 10`.
+    pub fn per_function_requests(&self) -> usize {
+        (self.cores as usize) * (self.intensity as usize) / 10
+    }
+
+    /// Generate the scenario with a given seed.
+    ///
+    /// The warm-up phase issues `cores` parallel calls per function, one
+    /// function at a time (matching §V-A), at one-second wave spacing; the
+    /// node processes them before the burst because the burst only starts
+    /// after `warmup_gap`. Burst arrival times are i.i.d. uniform over the
+    /// window, function assignment is an exact equal split, and the pairing
+    /// of times with functions is a seeded shuffle — five seeds give the
+    /// paper's "5 different random sequences of calls".
+    pub fn generate(&self, catalogue: &Catalogue, seed: u64) -> Scenario {
+        let mut root = Xoshiro256::seed_from_u64(seed);
+        let mut rng_times = root.derive_stream(0x7131);
+        let mut rng_assign = root.derive_stream(0x7132);
+
+        let mut next_id = 0u32;
+        let alloc_id = |ids: &mut u32| {
+            let id = CallId(*ids);
+            *ids += 1;
+            id
+        };
+
+        // Warm-up: one wave per function, `cores` simultaneous calls.
+        let mut warmup = Vec::with_capacity(catalogue.len() * self.cores as usize);
+        let mut wave_start = SimTime::ZERO;
+        for func in catalogue.ids() {
+            for _ in 0..self.cores {
+                warmup.push(Call {
+                    id: alloc_id(&mut next_id),
+                    func,
+                    release: wave_start,
+                    kind: CallKind::Warmup,
+                });
+            }
+            // Waves are spaced widely enough that even the slowest function
+            // (dna-visualisation, ~8.6 s) plus a cold start finishes before
+            // the burst, because the burst start is computed from the last
+            // wave plus the warm-up gap below.
+            wave_start += SimDuration::from_secs(12);
+        }
+        let burst_start = wave_start + self.warmup_gap;
+
+        // Burst: equal per-function counts, uniform times, shuffled pairing.
+        let per_func = self.per_function_requests();
+        let total = per_func * catalogue.len();
+        let mut funcs: Vec<FuncId> = Vec::with_capacity(total);
+        for func in catalogue.ids() {
+            funcs.extend(std::iter::repeat_n(func, per_func));
+        }
+        rng_assign.shuffle(&mut funcs);
+
+        let mut times: Vec<SimTime> = (0..total)
+            .map(|_| {
+                burst_start
+                    + SimDuration::from_secs_f64(
+                        rng_times.uniform_f64(0.0, self.window.as_secs_f64()),
+                    )
+            })
+            .collect();
+        times.sort_unstable();
+
+        let burst: Vec<Call> = times
+            .into_iter()
+            .zip(funcs)
+            .map(|(release, func)| Call {
+                id: alloc_id(&mut next_id),
+                func,
+                release,
+                kind: CallKind::Measured,
+            })
+            .collect();
+
+        Scenario {
+            warmup,
+            burst,
+            burst_start,
+            burst_window: self.window,
+        }
+    }
+}
+
+/// Parameters of the fairness scenario of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FairnessScenario {
+    /// Number of CPU cores (`c`); the paper uses 10.
+    pub cores: u32,
+    /// Load intensity; the paper uses 90.
+    pub intensity: u32,
+    /// Exact number of calls of the rare long function; the paper uses 10.
+    pub rare_calls: usize,
+    /// Name of the rare long function; the paper uses dna-visualisation.
+    pub rare_function: &'static str,
+    /// Burst window.
+    pub window: SimDuration,
+    /// Warm-up gap, as in [`BurstScenario`].
+    pub warmup_gap: SimDuration,
+}
+
+impl FairnessScenario {
+    /// The configuration of Fig. 5.
+    pub fn paper() -> Self {
+        FairnessScenario {
+            cores: 10,
+            intensity: 90,
+            rare_calls: 10,
+            rare_function: "dna-visualisation",
+            window: SimDuration::from_secs(60),
+            warmup_gap: SimDuration::from_secs(5),
+        }
+    }
+
+    /// Generate the scenario. Exactly `rare_calls` calls of the rare
+    /// function; all other calls pick uniformly at random among the
+    /// remaining functions (no partial-uniformity guarantee, matching
+    /// §VII-D).
+    pub fn generate(&self, catalogue: &Catalogue, seed: u64) -> Scenario {
+        let rare = catalogue
+            .by_name(self.rare_function)
+            .expect("rare function must exist in the catalogue");
+        let others: Vec<FuncId> = catalogue.ids().filter(|&f| f != rare).collect();
+        assert!(
+            !others.is_empty(),
+            "fairness scenario needs at least two functions"
+        );
+
+        let mut root = Xoshiro256::seed_from_u64(seed);
+        let mut rng_times = root.derive_stream(0x7A01);
+        let mut rng_assign = root.derive_stream(0x7A02);
+
+        let mut next_id = 0u32;
+
+        // Warm-up identical in shape to the burst scenario.
+        let mut warmup = Vec::new();
+        let mut wave_start = SimTime::ZERO;
+        for func in catalogue.ids() {
+            for _ in 0..self.cores {
+                warmup.push(Call {
+                    id: CallId(next_id),
+                    func,
+                    release: wave_start,
+                    kind: CallKind::Warmup,
+                });
+                next_id += 1;
+            }
+            wave_start += SimDuration::from_secs(12);
+        }
+        let burst_start = wave_start + self.warmup_gap;
+
+        let total = catalogue.len() * (self.cores as usize) * (self.intensity as usize) / 10;
+        assert!(
+            total >= self.rare_calls,
+            "total calls {total} cannot fit {} rare calls",
+            self.rare_calls
+        );
+
+        let mut funcs: Vec<FuncId> = Vec::with_capacity(total);
+        funcs.extend(std::iter::repeat_n(rare, self.rare_calls));
+        for _ in self.rare_calls..total {
+            funcs.push(*rng_assign.choose(&others));
+        }
+        rng_assign.shuffle(&mut funcs);
+
+        let mut times: Vec<SimTime> = (0..total)
+            .map(|_| {
+                burst_start
+                    + SimDuration::from_secs_f64(
+                        rng_times.uniform_f64(0.0, self.window.as_secs_f64()),
+                    )
+            })
+            .collect();
+        times.sort_unstable();
+
+        let burst: Vec<Call> = times
+            .into_iter()
+            .zip(funcs)
+            .map(|(release, func)| Call {
+                id: {
+                    let id = CallId(next_id);
+                    next_id += 1;
+                    id
+                },
+                func,
+                release,
+                kind: CallKind::Measured,
+            })
+            .collect();
+
+        Scenario {
+            warmup,
+            burst,
+            burst_start,
+            burst_window: self.window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalogue() -> Catalogue {
+        Catalogue::sebs()
+    }
+
+    #[test]
+    fn request_count_matches_paper_formula() {
+        // §V-B example: 20 cores, intensity 30 -> 660 requests.
+        let s = BurstScenario::standard(20, 30);
+        assert_eq!(s.total_requests(&catalogue()), 660);
+        assert_eq!(s.per_function_requests(), 60);
+        // 10 cores, intensity 120 -> 1320 (Fig. 2 discussion).
+        let s = BurstScenario::standard(10, 120);
+        assert_eq!(s.total_requests(&catalogue()), 1320);
+    }
+
+    #[test]
+    fn generated_burst_has_equal_function_split() {
+        let cat = catalogue();
+        let sc = BurstScenario::standard(10, 30).generate(&cat, 1);
+        assert_eq!(sc.burst.len(), 330);
+        for func in cat.ids() {
+            let n = sc.burst.iter().filter(|c| c.func == func).count();
+            assert_eq!(n, 30, "function {func:?} call count");
+        }
+    }
+
+    #[test]
+    fn burst_times_inside_window_and_sorted() {
+        let sc = BurstScenario::standard(10, 40).generate(&catalogue(), 2);
+        let end = sc.burst_start + sc.burst_window;
+        let mut prev = SimTime::ZERO;
+        for call in &sc.burst {
+            assert!(call.release >= sc.burst_start && call.release < end);
+            assert!(call.release >= prev, "burst must be sorted");
+            prev = call.release;
+        }
+    }
+
+    #[test]
+    fn warmup_has_cores_calls_per_function() {
+        let cat = catalogue();
+        let sc = BurstScenario::standard(8, 30).generate(&cat, 3);
+        assert_eq!(sc.warmup.len(), 8 * cat.len());
+        for func in cat.ids() {
+            let calls: Vec<_> = sc.warmup.iter().filter(|c| c.func == func).collect();
+            assert_eq!(calls.len(), 8);
+            // Calls of one wave are simultaneous (parallel warm-up).
+            assert!(calls.windows(2).all(|w| w[0].release == w[1].release));
+        }
+    }
+
+    #[test]
+    fn warmup_strictly_precedes_burst() {
+        let sc = BurstScenario::standard(10, 60).generate(&catalogue(), 4);
+        let last_warm = sc.warmup.iter().map(|c| c.release).max().unwrap();
+        assert!(last_warm < sc.burst_start);
+        assert!(sc.burst.first().unwrap().release >= sc.burst_start);
+    }
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let cat = catalogue();
+        let a = BurstScenario::standard(10, 30).generate(&cat, 42);
+        let b = BurstScenario::standard(10, 30).generate(&cat, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cat = catalogue();
+        let a = BurstScenario::standard(10, 30).generate(&cat, 1);
+        let b = BurstScenario::standard(10, 30).generate(&cat, 2);
+        assert_ne!(a.burst, b.burst);
+    }
+
+    #[test]
+    fn call_ids_are_unique_and_dense() {
+        let sc = BurstScenario::standard(5, 30).generate(&catalogue(), 5);
+        let mut ids: Vec<u32> = sc.all_calls().iter().map(|c| c.id.0).collect();
+        ids.sort_unstable();
+        let expected: Vec<u32> = (0..ids.len() as u32).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn fairness_has_exact_rare_count() {
+        let cat = catalogue();
+        let f = FairnessScenario::paper();
+        let sc = f.generate(&cat, 7);
+        let rare = cat.by_name("dna-visualisation").unwrap();
+        let rare_count = sc.burst.iter().filter(|c| c.func == rare).count();
+        assert_eq!(rare_count, 10);
+        // Total is still 1.1 * c * v = 990.
+        assert_eq!(sc.burst.len(), 990);
+    }
+
+    #[test]
+    fn fairness_other_functions_roughly_uniform() {
+        let cat = catalogue();
+        let sc = FairnessScenario::paper().generate(&cat, 11);
+        let rare = cat.by_name("dna-visualisation").unwrap();
+        for func in cat.ids().filter(|&f| f != rare) {
+            let n = sc.burst.iter().filter(|c| c.func == func).count();
+            // 980 calls over 10 functions: expect 98, allow wide multinomial
+            // slack.
+            assert!((58..=138).contains(&n), "{func:?} got {n} calls");
+        }
+    }
+
+    #[test]
+    fn fairness_graph_bfs_share_matches_figure_caption() {
+        // Fig. 5 caption: graph-bfs is 9.9% of all calls (98/990 expected).
+        let cat = catalogue();
+        let bfs = cat.by_name("graph-bfs").unwrap();
+        let mut total_share = 0.0;
+        let seeds = 20;
+        for seed in 0..seeds {
+            let sc = FairnessScenario::paper().generate(&cat, seed);
+            let n = sc.burst.iter().filter(|c| c.func == bfs).count();
+            total_share += n as f64 / sc.burst.len() as f64;
+        }
+        let share = total_share / seeds as f64;
+        assert!((share - 0.099).abs() < 0.01, "share {share}");
+    }
+
+    #[test]
+    fn measured_len_counts_burst_only() {
+        let sc = BurstScenario::standard(5, 30).generate(&catalogue(), 1);
+        assert_eq!(sc.measured_len(), sc.burst.len());
+        assert!(sc.all_calls().len() > sc.measured_len());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests of the workload generators.
+
+use faas_simcore::time::SimDuration;
+use faas_workload::scenario::{BurstScenario, FairnessScenario};
+use faas_workload::sebs::Catalogue;
+use proptest::prelude::*;
+
+proptest! {
+    /// Fairness scenarios keep the exact rare-call count and the total
+    /// formula for any seed and rare-call budget.
+    #[test]
+    fn fairness_counts_hold(
+        seed in any::<u64>(),
+        rare in 1usize..40
+    ) {
+        let catalogue = Catalogue::sebs();
+        let mut cfg = FairnessScenario::paper();
+        cfg.rare_calls = rare;
+        let scenario = cfg.generate(&catalogue, seed);
+        let dna = catalogue.by_name("dna-visualisation").unwrap();
+        let n = scenario.burst.iter().filter(|c| c.func == dna).count();
+        prop_assert_eq!(n, rare);
+        prop_assert_eq!(scenario.burst.len(), 990);
+    }
+
+    /// Burst arrival times are sorted and ids unique for any seed.
+    #[test]
+    fn burst_sorted_unique_ids(seed in any::<u64>(), cores in 1u32..16) {
+        let catalogue = Catalogue::sebs();
+        let s = BurstScenario::standard(cores, 30).generate(&catalogue, seed);
+        let mut last = None;
+        let mut ids = std::collections::BTreeSet::new();
+        for c in s.all_calls() {
+            prop_assert!(ids.insert(c.id), "duplicate id {:?}", c.id);
+            if c.kind == faas_workload::trace::CallKind::Measured {
+                if let Some(prev) = last {
+                    prop_assert!(c.release >= prev);
+                }
+                last = Some(c.release);
+            }
+        }
+    }
+
+    /// The mean inter-arrival time over the burst matches the uniform
+    /// window: total window / n.
+    #[test]
+    fn burst_density_is_uniformish(seed in any::<u64>()) {
+        let catalogue = Catalogue::sebs();
+        let s = BurstScenario::standard(10, 60).generate(&catalogue, seed);
+        // Chunk the window into quarters; each holds 25% of the 660 calls
+        // with a standard deviation of ~1.7%, so +-9% is a ~5.3 sigma band
+        // (safe across the 256 proptest cases).
+        let q = SimDuration::from_secs(15);
+        for k in 0..4u64 {
+            let lo = s.burst_start + SimDuration::from_nanos(k * q.as_nanos());
+            let hi = lo + q;
+            let n = s
+                .burst
+                .iter()
+                .filter(|c| c.release >= lo && c.release < hi)
+                .count();
+            let frac = n as f64 / s.burst.len() as f64;
+            prop_assert!((frac - 0.25).abs() < 0.09, "quarter {k} holds {frac}");
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Cold-start budgeting: how much memory does a worker actually need?
+//!
+//! Reproduces the paper's Fig. 2 methodology as a capacity-planning tool:
+//! sweep the memory pool of a 10-core worker and watch the measured-phase
+//! cold starts under the paper's container management (FIFO variant) and
+//! under stock OpenWhisk. The paper uses exactly this sweep to pick the
+//! 32 GiB pool used everywhere else (§VI).
+//!
+//! ```text
+//! cargo run --release --example coldstart_budget
+//! ```
+
+use faas_scheduling::metrics::table::TextTable;
+use faas_scheduling::prelude::*;
+
+fn main() {
+    let catalogue = Catalogue::sebs();
+    let cores = 10;
+    let intensity = 60;
+    let seed = 5;
+    let scenario = BurstScenario::standard(cores, intensity).generate(&catalogue, seed);
+
+    println!(
+        "memory sweep on a {cores}-core node, intensity {intensity} ({} calls)\n",
+        scenario.measured_len()
+    );
+
+    let mut table = TextTable::new([
+        "memory",
+        "ours: cold starts",
+        "ours: evictions",
+        "baseline: cold starts",
+        "baseline: evictions",
+    ]);
+    for memory_gb in [2u64, 4, 8, 16, 32, 64, 128] {
+        let cfg = NodeConfig::paper(cores).with_memory_mb(memory_gb * 1024);
+        let ours = simulate_scenario(
+            &catalogue,
+            &scenario,
+            &NodeMode::Scheduled(SchedulerConfig::paper(Policy::Fifo)),
+            &cfg,
+            seed,
+        );
+        let base = simulate_scenario(&catalogue, &scenario, &NodeMode::Baseline, &cfg, seed);
+        table.row([
+            format!("{memory_gb} GiB"),
+            ours.measured_cold_starts().to_string(),
+            ours.measured_pool_stats.evictions.to_string(),
+            base.measured_cold_starts().to_string(),
+            base.measured_pool_stats.evictions.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "reading: under the paper's container management the pool stabilises once\n\
+         every (function x core) container fits — 11 x 10 x 256 MiB = 27.5 GiB, hence\n\
+         the paper's 32 GiB choice. Stock OpenWhisk keeps cold-starting at any size\n\
+         because greedy creation churns the pool (Fig. 2a vs 2b)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Fairness under a skewed mix: why Fair-Choice exists.
+//!
+//! Reproduces the paper's Fig. 5 experiment: 10 CPU cores, intensity 90,
+//! exactly ten calls of the long dna-visualisation function (~1% of
+//! traffic) against a flood of short calls. SEPT always prioritises short
+//! expected processing times, so the rare long function starves; FC
+//! prioritises by *recent concluded work*, so a function that has consumed
+//! nothing recently runs almost immediately.
+//!
+//! ```text
+//! cargo run --release --example fairness
+//! ```
+
+use faas_scheduling::metrics::summary::stretches;
+use faas_scheduling::metrics::table::{fmt_secs, TextTable};
+use faas_scheduling::prelude::*;
+use faas_scheduling::simcore::stats::Summary;
+
+fn main() {
+    let catalogue = Catalogue::sebs();
+    let scenario_cfg = FairnessScenario::paper();
+    let seed = 3;
+    let scenario = scenario_cfg.generate(&catalogue, seed);
+    let dna = catalogue.by_name("dna-visualisation").unwrap();
+    let bfs = catalogue.by_name("graph-bfs").unwrap();
+    let node = NodeConfig::paper(scenario_cfg.cores);
+
+    println!(
+        "skewed mix: {} calls in 60 s, only {} of them dna-visualisation (8.5 s)\n",
+        scenario.measured_len(),
+        scenario.burst.iter().filter(|c| c.func == dna).count()
+    );
+
+    let mut table = TextTable::new([
+        "strategy",
+        "dna stretch avg",
+        "dna stretch p50",
+        "bfs stretch avg",
+        "all stretch avg",
+    ]);
+    for policy in [Policy::Sept, Policy::FairChoice, Policy::Fifo] {
+        let mode = NodeMode::Scheduled(SchedulerConfig::paper(policy));
+        let result = simulate_scenario(&catalogue, &scenario, &mode, &node, seed);
+        let outcomes: Vec<&CallOutcome> = result.measured().collect();
+        let per_func = |f: FuncId| -> Summary {
+            let filtered: Vec<&CallOutcome> =
+                outcomes.iter().copied().filter(|o| o.func == f).collect();
+            Summary::from_data(&stretches(&filtered, &catalogue))
+        };
+        let dna_s = per_func(dna);
+        let bfs_s = per_func(bfs);
+        let all_s = Summary::from_data(&stretches(&outcomes, &catalogue));
+        table.row([
+            policy.name().to_string(),
+            fmt_secs(dna_s.mean),
+            fmt_secs(dna_s.median()),
+            fmt_secs(bfs_s.mean),
+            fmt_secs(all_s.mean),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper (Fig. 5): SEPT dna stretch avg 5.3 / median 5.2; FC cuts it to 2.1 / 1.6\n\
+         while graph-bfs only degrades from 22.2 to 25.8. The long rare function is\n\
+         rescued at a mild cost to the short frequent one."
+    );
+}

@@ -1,0 +1,66 @@
+//! Peak-load survival: how each strategy rides out a traffic spike.
+//!
+//! The paper's motivation (§I) is the short traffic peak: a service
+//! provisioned for steady load suddenly receives a 60-second burst several
+//! times its capacity, and horizontal autoscaling is too slow to help. This
+//! example sweeps the burst intensity on a fixed 10-core node and reports
+//! how the 95th-percentile response time degrades for the baseline, FIFO
+//! and Fair-Choice — the reproduction of the paper's "handle the peak
+//! without adding nodes" argument.
+//!
+//! ```text
+//! cargo run --release --example peak_load
+//! ```
+
+use faas_scheduling::metrics::summary::RunSummary;
+use faas_scheduling::metrics::table::{fmt_secs, TextTable};
+use faas_scheduling::prelude::*;
+
+fn main() {
+    let catalogue = Catalogue::sebs();
+    let cores = 10;
+    let node = NodeConfig::paper(cores);
+    let seed = 7;
+
+    let mut table = TextTable::new([
+        "intensity",
+        "baseline p95",
+        "FIFO p95",
+        "FC p95",
+        "baseline avg",
+        "FIFO avg",
+        "FC avg",
+    ]);
+
+    for intensity in [30u32, 40, 60, 90, 120] {
+        let scenario = BurstScenario::standard(cores, intensity).generate(&catalogue, seed);
+        let run = |mode: &NodeMode| -> RunSummary {
+            let result = simulate_scenario(&catalogue, &scenario, mode, &node, seed);
+            let outcomes: Vec<&CallOutcome> = result.measured().collect();
+            RunSummary::from_outcomes(&outcomes, &catalogue, scenario.burst_start)
+        };
+        let base = run(&NodeMode::Baseline);
+        let fifo = run(&NodeMode::Scheduled(SchedulerConfig::paper(Policy::Fifo)));
+        let fc = run(&NodeMode::Scheduled(SchedulerConfig::paper(
+            Policy::FairChoice,
+        )));
+        table.row([
+            intensity.to_string(),
+            fmt_secs(base.response.p95),
+            fmt_secs(fifo.response.p95),
+            fmt_secs(fc.response.p95),
+            fmt_secs(base.response.mean),
+            fmt_secs(fifo.response.mean),
+            fmt_secs(fc.response.mean),
+        ]);
+    }
+
+    println!("peak-load sweep on a single {cores}-core node (60 s burst)\n");
+    println!("{}", table.render());
+    println!(
+        "reading: intensity 30 is ~50% nominal CPU utilization (SSV-B); at 120 the node\n\
+         receives four times that. Fair-Choice keeps the average response roughly an\n\
+         order of magnitude below the baseline at every overload level, which is why\n\
+         the paper argues the CPU buffer for peaks can shrink."
+    );
+}

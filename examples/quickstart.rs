@@ -1,0 +1,79 @@
+//! Quickstart: compare all six scheduling strategies on one overloaded node.
+//!
+//! Reproduces one panel of the paper's Fig. 3/4 (10 CPU cores, intensity 60)
+//! and prints the average/median response time and stretch per strategy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use faas_scheduling::metrics::summary::RunSummary;
+use faas_scheduling::metrics::table::{fmt_secs, TextTable};
+use faas_scheduling::prelude::*;
+
+fn main() {
+    let catalogue = Catalogue::sebs();
+    let cores = 10;
+    let intensity = 60;
+    let seed = 42;
+
+    // One 60-second burst (SSV-B of the paper): 1.1 * cores * intensity
+    // requests, equal per-function counts, preceded by a warm-up phase.
+    let scenario = BurstScenario::standard(cores, intensity).generate(&catalogue, seed);
+    println!(
+        "node: {cores} cores, 32 GiB | burst: {} calls over 60 s (intensity {intensity})\n",
+        scenario.measured_len()
+    );
+
+    let node = NodeConfig::paper(cores);
+    let modes: Vec<(&str, NodeMode)> = vec![
+        ("baseline", NodeMode::Baseline),
+        (
+            "FIFO",
+            NodeMode::Scheduled(SchedulerConfig::paper(Policy::Fifo)),
+        ),
+        (
+            "SEPT",
+            NodeMode::Scheduled(SchedulerConfig::paper(Policy::Sept)),
+        ),
+        (
+            "EECT",
+            NodeMode::Scheduled(SchedulerConfig::paper(Policy::Eect)),
+        ),
+        (
+            "RECT",
+            NodeMode::Scheduled(SchedulerConfig::paper(Policy::Rect)),
+        ),
+        (
+            "FC",
+            NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice)),
+        ),
+    ];
+
+    let mut table = TextTable::new([
+        "strategy",
+        "R avg",
+        "R p50",
+        "R p95",
+        "S avg",
+        "S p50",
+        "cold starts",
+    ]);
+    for (name, mode) in &modes {
+        let result = simulate_scenario(&catalogue, &scenario, mode, &node, seed);
+        let outcomes: Vec<&CallOutcome> = result.measured().collect();
+        let summary = RunSummary::from_outcomes(&outcomes, &catalogue, scenario.burst_start);
+        table.row([
+            name.to_string(),
+            fmt_secs(summary.response.mean),
+            fmt_secs(summary.response.p50),
+            fmt_secs(summary.response.p95),
+            fmt_secs(summary.stretch.mean),
+            fmt_secs(summary.stretch.p50),
+            result.measured_cold_starts().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper (Table III, 10 CPUs / intensity 60):");
+    println!("  baseline R avg 123.4, FIFO 101.8, SEPT 25.1, EECT 40.9, RECT 40.4, FC 22.7");
+}

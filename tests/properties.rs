@@ -1,0 +1,239 @@
+//! Property-based tests (proptest) on the core data structures and
+//! cross-crate invariants.
+
+use faas_scheduling::core::{PendingQueue, Policy, SchedulerConfig, SchedulerState};
+use faas_scheduling::cpu::{GpsCpu, GpsParams};
+use faas_scheduling::simcore::stats::{percentile_sorted, sorted_copy, BoxPlot, Summary};
+use faas_scheduling::simcore::time::{SimDuration, SimTime};
+use faas_scheduling::workload::scenario::BurstScenario;
+use faas_scheduling::workload::sebs::{Catalogue, FuncId};
+use proptest::prelude::*;
+
+proptest! {
+    /// The pending queue is an exact min-priority queue with FIFO ties.
+    #[test]
+    fn queue_pops_in_sorted_stable_order(
+        priorities in prop::collection::vec(0u32..50, 1..200)
+    ) {
+        let mut q = PendingQueue::new();
+        for (i, &p) in priorities.iter().enumerate() {
+            q.push(p as f64, (p, i));
+        }
+        let mut expected: Vec<(u32, usize)> =
+            priorities.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        // Stable sort by priority reproduces the FIFO tie-break contract.
+        expected.sort_by_key(|&(p, _)| p);
+        let got: Vec<(u32, usize)> = std::iter::from_fn(|| q.pop()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Interleaved pushes and pops never violate the heap property.
+    #[test]
+    fn queue_interleaved_ops_never_pop_out_of_order(
+        ops in prop::collection::vec((any::<bool>(), 0u32..1000), 1..300)
+    ) {
+        let mut q = PendingQueue::new();
+        let mut last_popped: Option<f64> = None;
+        for (push, val) in ops {
+            if push {
+                let p = val as f64 / 10.0;
+                // A push of a priority below the last popped value is legal;
+                // it resets the monotonicity watermark.
+                if let Some(lp) = last_popped {
+                    if p < lp {
+                        last_popped = None;
+                    }
+                }
+                q.push(p, p);
+            } else if let Some(p) = q.pop() {
+                if let Some(lp) = last_popped {
+                    prop_assert!(p >= lp, "popped {p} after {lp}");
+                }
+                last_popped = Some(p);
+            }
+        }
+    }
+
+    /// The estimator equals a brute-force mean of the last k observations.
+    #[test]
+    fn estimator_matches_reference_model(
+        window in 1usize..20,
+        observations in prop::collection::vec(0u64..10_000, 0..100)
+    ) {
+        let mut state = SchedulerState::new(
+            1,
+            SchedulerConfig {
+                estimate_window: window,
+                ..SchedulerConfig::paper(Policy::Sept)
+            },
+        );
+        for (i, &ms) in observations.iter().enumerate() {
+            state.on_complete(
+                FuncId(0),
+                SimDuration::from_millis(ms),
+                SimTime::from_millis(i as u64),
+            );
+        }
+        let tail: Vec<f64> = observations
+            .iter()
+            .rev()
+            .take(window)
+            .map(|&ms| ms as f64 / 1000.0)
+            .collect();
+        let expected = if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        };
+        prop_assert!((state.estimate_secs(FuncId(0)) - expected).abs() < 1e-9);
+    }
+
+    /// GPS conserves work under arbitrary churn: injected = done + residual.
+    #[test]
+    fn gps_conserves_work(
+        kappa in 0.0f64..1.0,
+        cores in 1u32..16,
+        tasks in prop::collection::vec((1u64..5_000, 1u64..2_000), 1..60)
+    ) {
+        let mut cpu = GpsCpu::new(GpsParams {
+            cores: cores as f64,
+            ctx_switch_penalty: kappa,
+            penalty_cap: 3.0,
+        });
+        let mut t = SimTime::ZERO;
+        let mut injected = 0.0;
+        let mut live = Vec::new();
+        for (i, &(work_ms, gap_ms)) in tasks.iter().enumerate() {
+            t += SimDuration::from_millis(gap_ms);
+            let work = work_ms as f64 / 1000.0;
+            injected += work;
+            live.push(cpu.add_task(t, work, 1.0, 1.0));
+            if i % 4 == 3 {
+                let id = live.remove(0);
+                injected -= cpu.remove_task(t, id);
+            }
+        }
+        let end = t + SimDuration::from_secs(100_000);
+        cpu.advance(end);
+        let mut residual = 0.0;
+        for id in live {
+            residual += cpu.remove_task(end, id);
+        }
+        prop_assert!(
+            (cpu.work_done() + residual - injected).abs() < 1e-5,
+            "done={} residual={} injected={}",
+            cpu.work_done(), residual, injected
+        );
+    }
+
+    /// GPS rates never exceed the per-task cap or the total capacity.
+    #[test]
+    fn gps_rates_respect_caps(
+        cores in 1u32..8,
+        n_tasks in 1usize..40,
+        kappa in 0.0f64..0.5
+    ) {
+        let mut cpu = GpsCpu::new(GpsParams {
+            cores: cores as f64,
+            ctx_switch_penalty: kappa,
+            penalty_cap: 3.0,
+        });
+        let ids: Vec<_> = (0..n_tasks)
+            .map(|_| cpu.add_task(SimTime::ZERO, 10.0, 1.0, 1.0))
+            .collect();
+        let mut total = 0.0;
+        for id in ids {
+            let rate = cpu.current_rate(id);
+            prop_assert!(rate <= 1.0 + 1e-12, "per-task cap");
+            prop_assert!(rate > 0.0, "work-conserving");
+            total += rate;
+        }
+        prop_assert!(total <= cores as f64 + 1e-9, "capacity cap");
+    }
+
+    /// Percentile estimates are bounded by the data and monotone in q.
+    #[test]
+    fn percentiles_bounded_and_monotone(
+        data in prop::collection::vec(-1e6f64..1e6, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0
+    ) {
+        let sorted = sorted_copy(&data);
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let p_lo = percentile_sorted(&sorted, lo);
+        let p_hi = percentile_sorted(&sorted, hi);
+        prop_assert!(p_lo <= p_hi + 1e-9);
+        prop_assert!(p_lo >= sorted[0] - 1e-9);
+        prop_assert!(p_hi <= sorted[sorted.len() - 1] + 1e-9);
+    }
+
+    /// Box-plot invariants: fences ordered, whiskers inside data range.
+    #[test]
+    fn boxplot_invariants(
+        data in prop::collection::vec(0f64..1e4, 1..200)
+    ) {
+        let b = BoxPlot::from_data(&data);
+        prop_assert!(b.whisker_lo <= b.p25 + 1e-9);
+        prop_assert!(b.p25 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.p75 + 1e-9);
+        prop_assert!(b.p75 <= b.whisker_hi + 1e-9);
+        let s = Summary::from_data(&data);
+        prop_assert!(b.whisker_lo >= s.min - 1e-9);
+        prop_assert!(b.whisker_hi <= s.max + 1e-9);
+        prop_assert!(b.outliers < data.len());
+    }
+
+    /// Scenario generation: the request-count formula and window bounds
+    /// hold for arbitrary (cores, intensity).
+    #[test]
+    fn scenario_counts_and_bounds(
+        cores in 1u32..24,
+        intensity in prop::sample::select(vec![10u32, 20, 30, 40, 60, 90, 120]),
+        seed in any::<u64>()
+    ) {
+        let catalogue = Catalogue::sebs();
+        let spec = BurstScenario::standard(cores, intensity);
+        let scenario = spec.generate(&catalogue, seed);
+        prop_assert_eq!(
+            scenario.burst.len(),
+            11 * (cores as usize) * (intensity as usize) / 10
+        );
+        let end = scenario.burst_start + scenario.burst_window;
+        for call in &scenario.burst {
+            prop_assert!(call.release >= scenario.burst_start);
+            prop_assert!(call.release < end);
+        }
+        // Warm-up: cores calls per function, all before the burst.
+        prop_assert_eq!(scenario.warmup.len(), 11 * cores as usize);
+        for call in &scenario.warmup {
+            prop_assert!(call.release < scenario.burst_start);
+        }
+    }
+
+    /// Priorities computed by the scheduler are finite for every policy and
+    /// any (bounded) history.
+    #[test]
+    fn priorities_are_always_finite(
+        policy_idx in 0usize..5,
+        events in prop::collection::vec((0u16..11, 1u64..100_000), 1..200)
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let catalogue = Catalogue::sebs();
+        let mut state = SchedulerState::new(
+            catalogue.len(),
+            SchedulerConfig::paper(policy),
+        );
+        let mut t = SimTime::ZERO;
+        for (i, &(func, dt_ms)) in events.iter().enumerate() {
+            t += SimDuration::from_millis(dt_ms);
+            let func = FuncId(func);
+            if i % 3 == 2 {
+                state.on_complete(func, SimDuration::from_millis(dt_ms), t);
+            } else {
+                let p = state.on_receive(func, t);
+                prop_assert!(p.is_finite(), "{policy:?} produced {p}");
+                prop_assert!(p >= 0.0, "{policy:?} produced negative {p}");
+            }
+        }
+    }
+}
