@@ -1,8 +1,12 @@
 //! Micro-benchmarks of the scheduling primitives: the per-call work the
-//! paper's invoker modification adds to OpenWhisk's hot path.
+//! paper's invoker modification adds to OpenWhisk's hot path, plus the GPS
+//! kernel under baseline-mode oversubscription (virtual-time kernel vs the
+//! seed reference integrator).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use faas_core::{PendingQueue, Policy, SchedulerConfig, SchedulerState};
+use faas_cpu::bench_support::{churn_params, run_churn};
+use faas_cpu::{GpsCpu, ReferenceGpsCpu};
 use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::sebs::{Catalogue, FuncId};
 use std::hint::black_box;
@@ -67,10 +71,42 @@ fn bench_estimator_updates(c: &mut Criterion) {
     });
 }
 
+fn bench_gps_oversubscription(c: &mut Criterion) {
+    // The paper's stressed regime: hundreds of runnable containers on 10
+    // cores (n >> cores). The virtual-time kernel's per-event cost is
+    // O(log n); the reference integrator's is O(n).
+    let mut group = c.benchmark_group("gps_high_oversubscription");
+    group.sample_size(20);
+    for tasks in [64usize, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("virtual_time", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    let mut kernel = GpsCpu::new(churn_params(10.0));
+                    black_box(run_churn(&mut kernel, tasks, 2_000))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", tasks),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    let mut kernel = ReferenceGpsCpu::new(churn_params(10.0));
+                    black_box(run_churn(&mut kernel, tasks, 2_000))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     micro,
     bench_priority_computation,
     bench_queue_ops,
-    bench_estimator_updates
+    bench_estimator_updates,
+    bench_gps_oversubscription
 );
 criterion_main!(micro);

@@ -8,6 +8,7 @@
 use crate::lb::LoadBalancer;
 use faas_invoker::{simulate_calls, NodeConfig, NodeMode, NodeResult};
 use faas_simcore::rng::Xoshiro256;
+use rayon::prelude::*;
 use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::sebs::{Catalogue, FuncId};
 use faas_workload::trace::{Call, CallId, CallKind};
@@ -118,7 +119,13 @@ impl ClusterScenario {
     }
 }
 
-/// Run a cluster experiment: assign the burst, simulate every worker, merge.
+/// Run a cluster experiment: assign the burst, simulate every worker in
+/// parallel, merge.
+///
+/// Each worker is an independent seeded discrete-event simulation, so the
+/// node loop fans out on a rayon pool. Determinism is preserved: the
+/// per-node call lists and seeds are derived sequentially up front (fixing
+/// the RNG stream order), and the results are merged in node order.
 pub fn run_cluster(
     catalogue: &Catalogue,
     scenario: &ClusterScenario,
@@ -128,27 +135,34 @@ pub fn run_cluster(
 ) -> NodeResult {
     let assignment = cfg.lb.assign(&scenario.burst, cfg.nodes);
     let mut root = Xoshiro256::seed_from_u64(seed ^ 0xC1u64.rotate_left(32));
-    let mut results = Vec::with_capacity(cfg.nodes as usize);
     // Warm-up ids start above the burst ids so each node's call list has
     // unique ids.
     let id_base = scenario.burst.len() as u32;
 
-    for node in 0..cfg.nodes {
-        let mut calls = scenario.node_warmup(cfg.node.cores, id_base);
-        calls.extend(
-            scenario
-                .burst
-                .iter()
-                .zip(&assignment)
-                .filter(|(_, &n)| n == node)
-                .map(|(c, _)| *c),
-        );
-        calls.sort_by_key(|c| (c.release, c.id));
-        let node_seed = root.derive_stream(node as u64).next_u64();
-        results.push(simulate_calls(
-            catalogue, &calls, mode, &cfg.node, node_seed, node,
-        ));
-    }
+    // Only the seed derivation must run sequentially (it consumes the root
+    // RNG stream in node order); the per-node call lists are deterministic
+    // functions of the scenario, so they are built inside the parallel
+    // closure — one node's list is alive per worker, not all at once.
+    let seeds: Vec<(u16, u64)> = (0..cfg.nodes)
+        .map(|node| (node, root.derive_stream(node as u64).next_u64()))
+        .collect();
+
+    let results: Vec<NodeResult> = seeds
+        .par_iter()
+        .map(|&(node, node_seed)| {
+            let mut calls = scenario.node_warmup(cfg.node.cores, id_base);
+            calls.extend(
+                scenario
+                    .burst
+                    .iter()
+                    .zip(&assignment)
+                    .filter(|(_, &n)| n == node)
+                    .map(|(c, _)| *c),
+            );
+            calls.sort_by_key(|c| (c.release, c.id));
+            simulate_calls(catalogue, &calls, mode, &cfg.node, node_seed, node)
+        })
+        .collect();
     NodeResult::merge(results)
 }
 

@@ -1,0 +1,120 @@
+//! Shared driver for the GPS kernel benchmarks and differential harnesses.
+//!
+//! The interesting regime is the paper's baseline node under load: hundreds
+//! of concurrent tasks on a handful of cores, with completion-driven churn
+//! (every event queries the next completion, collects finishers, removes
+//! them, and admits replacements). [`run_churn`] reproduces that access
+//! pattern against any [`GpsKernel`], so the virtual-time kernel and the
+//! reference integrator can be timed on identical work.
+
+use crate::gps::{GpsCpu, GpsParams, TaskId};
+use crate::gps_reference::ReferenceGpsCpu;
+use faas_simcore::time::SimTime;
+
+/// The kernel operations the churn driver needs; implemented by both the
+/// production and the reference GPS banks.
+pub trait GpsKernel {
+    /// See [`GpsCpu::add_task`].
+    fn add_task(&mut self, now: SimTime, work: f64, weight: f64, max_rate: f64) -> TaskId;
+    /// See [`GpsCpu::remove_task`].
+    fn remove_task(&mut self, now: SimTime, id: TaskId) -> f64;
+    /// See [`GpsCpu::next_completion`].
+    fn next_completion(&mut self, now: SimTime) -> Option<(TaskId, SimTime)>;
+    /// See [`GpsCpu::finished_tasks`].
+    fn finished_tasks(&mut self, now: SimTime) -> Vec<TaskId>;
+    /// See [`GpsCpu::work_done`].
+    fn work_done(&self) -> f64;
+}
+
+impl GpsKernel for GpsCpu {
+    fn add_task(&mut self, now: SimTime, work: f64, weight: f64, max_rate: f64) -> TaskId {
+        GpsCpu::add_task(self, now, work, weight, max_rate)
+    }
+    fn remove_task(&mut self, now: SimTime, id: TaskId) -> f64 {
+        GpsCpu::remove_task(self, now, id)
+    }
+    fn next_completion(&mut self, now: SimTime) -> Option<(TaskId, SimTime)> {
+        GpsCpu::next_completion(self, now)
+    }
+    fn finished_tasks(&mut self, now: SimTime) -> Vec<TaskId> {
+        GpsCpu::finished_tasks(self, now)
+    }
+    fn work_done(&self) -> f64 {
+        GpsCpu::work_done(self)
+    }
+}
+
+impl GpsKernel for ReferenceGpsCpu {
+    fn add_task(&mut self, now: SimTime, work: f64, weight: f64, max_rate: f64) -> TaskId {
+        ReferenceGpsCpu::add_task(self, now, work, weight, max_rate)
+    }
+    fn remove_task(&mut self, now: SimTime, id: TaskId) -> f64 {
+        ReferenceGpsCpu::remove_task(self, now, id)
+    }
+    fn next_completion(&mut self, now: SimTime) -> Option<(TaskId, SimTime)> {
+        ReferenceGpsCpu::next_completion(self, now)
+    }
+    fn finished_tasks(&mut self, now: SimTime) -> Vec<TaskId> {
+        ReferenceGpsCpu::finished_tasks(self, now)
+    }
+    fn work_done(&self) -> f64 {
+        ReferenceGpsCpu::work_done(self)
+    }
+}
+
+/// The paper's baseline-node shape: `cores` physical cores with the
+/// calibrated context-switch penalty.
+pub fn churn_params(cores: f64) -> GpsParams {
+    GpsParams {
+        cores,
+        ctx_switch_penalty: 0.5,
+        penalty_cap: 100.0,
+    }
+}
+
+/// Completion-driven churn: keep `tasks` uniform tasks runnable for
+/// `completions` completion events. Every event performs the same kernel
+/// calls the baseline invoker's GPS tick performs (`next_completion`,
+/// `finished_tasks`, `remove_task`, `add_task` for the replacement), so the
+/// measured cost is the kernel's per-event cost at concurrency `tasks`.
+///
+/// Returns `work_done` as a checksum so callers can black-box it (and so
+/// differential callers can compare the two kernels).
+pub fn run_churn<K: GpsKernel>(kernel: &mut K, tasks: usize, completions: usize) -> f64 {
+    let mut now = SimTime::ZERO;
+    // Deterministic work pattern: spread out so completions rarely tie.
+    let work = |k: usize| 0.5 + (k % 97) as f64 * 0.013;
+    for k in 0..tasks {
+        kernel.add_task(now, work(k), 1.0, 1.0);
+    }
+    let mut spawned = tasks;
+    for _ in 0..completions {
+        let Some((_, at)) = kernel.next_completion(now) else {
+            break;
+        };
+        now = now.max(at);
+        for id in kernel.finished_tasks(now) {
+            kernel.remove_task(now, id);
+            kernel.add_task(now, work(spawned), 1.0, 1.0);
+            spawned += 1;
+        }
+    }
+    kernel.work_done()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_matches_between_kernels() {
+        let mut optimized = GpsCpu::new(churn_params(10.0));
+        let mut reference = ReferenceGpsCpu::new(churn_params(10.0));
+        let a = run_churn(&mut optimized, 64, 200);
+        let b = run_churn(&mut reference, 64, 200);
+        assert!(
+            (a - b).abs() < 1e-6,
+            "churn checksum diverged: optimized={a} reference={b}"
+        );
+    }
+}

@@ -1,5 +1,7 @@
 //! Generalized processor sharing with context-switch overhead: the baseline
-//! OpenWhisk CPU regime.
+//! OpenWhisk CPU regime, implemented as a **virtual-time kernel**.
+//!
+//! # Model
 //!
 //! Default OpenWhisk gives each container a CPU share proportional to its
 //! memory limit (soft limits) and lets the Linux scheduler time-slice the
@@ -30,6 +32,50 @@
 //! context-switch penalty. With `n <= C` there is no penalty and GPS
 //! degenerates to "every task runs at full speed", matching an idle node.
 //!
+//! # Virtual-time formulation
+//!
+//! The interface is driven once per simulation event, and the baseline node
+//! oversubscribes hundreds of containers onto a handful of cores — exactly
+//! the regime where the naive integrator (deplete every slot on every
+//! `advance`, rescan every slot on every `next_completion`) costs
+//! O(events × tasks). That integrator survives as
+//! [`crate::gps_reference::ReferenceGpsCpu`], the executable specification
+//! this kernel is differentially tested against.
+//!
+//! The production kernel exploits a structural property of GPS: *between
+//! membership changes the rate vector is constant*, and in the common
+//! uniform case (all tasks share one `(weight, max_rate)` signature — the
+//! invoker always uses `(1.0, 1.0)`) every task receives the **same** rate
+//! `r = min(C_eff / n, max_rate)`. Define the *virtual time*
+//!
+//! ```text
+//! V(t) = ∫₀ᵗ r(s) ds      (cumulative service per task)
+//! ```
+//!
+//! Then a task that joins at virtual time `V₀` with `w` core-seconds of work
+//! finishes exactly when `V` reaches `V₀ + w`, **independently of any later
+//! membership changes** — later arrivals merely slow the growth of `V`
+//! itself. This turns the kernel into three O(1)/O(log n) pieces:
+//!
+//! * [`GpsCpu::advance`] is one multiply-add on `V` (plus an amortized
+//!   heap drain of tasks whose finish virtual-time was passed);
+//! * the per-task rate is memoized on the membership [`GpsCpu::generation`]
+//!   and recomputed only when the task set actually changes;
+//! * completions live in a min-heap keyed by `(finish_V, slot)`, so
+//!   [`GpsCpu::next_completion`] is a heap peek and
+//!   [`GpsCpu::finished_tasks`] pops only the tasks that actually finished.
+//!   The `(finish_V, slot)` key also preserves the deterministic
+//!   lowest-slot tie-break of the reference integrator, because heap order
+//!   is membership-invariant in virtual time.
+//!
+//! Heterogeneous weights or rate caps (used by experiments, never by the
+//! invoker hot path) break the single-virtual-clock property, so the kernel
+//! falls back to settled per-slot accounting with the reference
+//! water-filling — still cheaper than the seed thanks to the generation
+//! memo. Membership changes switch representations in O(n), which is
+//! amortized free since a membership change already costs a rate
+//! recomputation.
+//!
 //! The structure is a pure state machine over simulated time. The owner
 //! drives it with [`GpsCpu::advance`] and re-queries
 //! [`GpsCpu::next_completion`] after every membership change; stale
@@ -37,6 +83,8 @@
 
 use faas_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Identifier of a task inside a [`GpsCpu`]. Slots are recycled; a `TaskId`
 /// is only meaningful until the task completes or is removed.
@@ -47,6 +95,12 @@ impl TaskId {
     /// Raw slot index (for diagnostics).
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    /// Construct from a raw slot index (crate-internal: the reference
+    /// kernel mints ids the same way).
+    pub(crate) fn from_index(index: u32) -> Self {
+        TaskId(index)
     }
 }
 
@@ -78,34 +132,127 @@ impl GpsParams {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Task {
-    /// Remaining CPU work in core-seconds.
-    remaining: f64,
-    /// GPS weight (OpenWhisk: proportional to the container memory limit).
-    weight: f64,
-    /// Upper bound on the task's service rate in cores.
-    max_rate: f64,
-}
-
 /// Work below this many core-seconds counts as complete; guards against
 /// floating-point residue keeping a task alive forever.
-const WORK_EPSILON: f64 = 1e-9;
+pub(crate) const WORK_EPSILON: f64 = 1e-9;
+
+/// Rebase the virtual clock once it exceeds this magnitude (2^14
+/// core-seconds of per-task service). The epsilon-finish machinery needs
+/// `ulp(vt) << WORK_EPSILON`; left unbounded, a never-idle bank would erode
+/// that headroom (`ulp(1e7) ≈ 2e-9`). Rebasing is O(live tasks) and fires
+/// at most once per 16384 core-seconds of service, so it is amortized
+/// free; as a bonus it discards all stale heap entries.
+const VT_REBASE_THRESHOLD: f64 = 16384.0;
+
+/// `(weight, max_rate)` signature used to detect the uniform fast path.
+/// Bit-level equality matches the reference integrator's `!=` comparison
+/// (weights are asserted positive and finite, so `-0.0`/NaN cannot occur).
+type Signature = (u64, u64);
+
+fn signature(weight: f64, max_rate: f64) -> Signature {
+    (weight.to_bits(), max_rate.to_bits())
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Body {
+    /// Uniform-mode unfinished task: completes when the virtual clock
+    /// reaches `finish_vt`.
+    Virtual {
+        /// Virtual time at which the task's work is exhausted.
+        finish_vt: f64,
+    },
+    /// Explicit remaining work: all tasks in general mode, and tasks in
+    /// uniform mode whose work is (numerically) exhausted.
+    Settled {
+        /// Remaining CPU work in core-seconds.
+        remaining: f64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    weight: f64,
+    max_rate: f64,
+    /// Distinguishes reincarnations of a recycled slot in stale heap keys.
+    epoch: u64,
+    body: Body,
+}
+
+/// Min-heap key ordering completions by `(finish_vt, slot)`; the slot
+/// component reproduces the reference kernel's lowest-slot tie-break.
+#[derive(Debug, Clone, Copy)]
+struct HeapKey {
+    finish_vt: f64,
+    slot: u32,
+    epoch: u64,
+}
+
+impl PartialEq for HeapKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want the earliest
+        // (finish_vt, slot) on top.
+        other
+            .finish_vt
+            .total_cmp(&self.finish_vt)
+            .then_with(|| other.slot.cmp(&self.slot))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Single `(weight, max_rate)` signature: O(1) virtual-time advance.
+    Uniform,
+    /// Heterogeneous signatures: settled per-slot water-filling.
+    General,
+}
 
 /// The GPS processor bank.
 #[derive(Debug, Clone)]
 pub struct GpsCpu {
     params: GpsParams,
-    slots: Vec<Option<Task>>,
+    slots: Vec<Option<Slot>>,
     free_slots: Vec<u32>,
     runnable: usize,
     last_advance: SimTime,
     /// Incremented on every membership change; lets the owner discard stale
-    /// completion events.
+    /// completion events, and keys the rate memo.
     generation: u64,
     /// Total core-seconds of work completed, for conservation checks.
     work_done: f64,
-    /// Scratch buffer for rate computation (avoids per-event allocation).
+    /// Next slot epoch (bumped on every add, never reused).
+    next_epoch: u64,
+    /// Live-task count per `(weight, max_rate)` signature; a single entry
+    /// enables the uniform virtual-time representation.
+    sig_counts: HashMap<Signature, usize>,
+    mode: Mode,
+
+    // ---- Uniform-mode state ----
+    /// The virtual clock: cumulative per-task service since the last rebase.
+    vt: f64,
+    /// Completion heap over unfinished uniform tasks.
+    heap: BinaryHeap<HeapKey>,
+    /// Number of live unfinished (`Body::Virtual`) tasks.
+    unfinished: usize,
+    /// Slots whose work is exhausted but which still occupy the bank until
+    /// the owner removes them (unsorted; sorted on query).
+    finished_pending: Vec<u32>,
+
+    // ---- Rate memo (valid while `rates_generation == Some(generation)`) ----
+    rates_generation: Option<u64>,
+    /// Uniform mode: the common task rate.
+    uniform_rate: f64,
+    /// General mode: per-slot water-filling rates.
     rates_scratch: Vec<f64>,
 }
 
@@ -125,6 +272,15 @@ impl GpsCpu {
             last_advance: SimTime::ZERO,
             generation: 0,
             work_done: 0.0,
+            next_epoch: 0,
+            sig_counts: HashMap::new(),
+            mode: Mode::Uniform,
+            vt: 0.0,
+            heap: BinaryHeap::new(),
+            unfinished: 0,
+            finished_pending: Vec::new(),
+            rates_generation: None,
+            uniform_rate: 0.0,
             rates_scratch: Vec::new(),
         }
     }
@@ -156,33 +312,65 @@ impl GpsCpu {
 
     /// Instantaneous service rate of `id` under the current task set.
     pub fn current_rate(&mut self, id: TaskId) -> f64 {
-        self.compute_rates();
-        self.rates_scratch[id.0 as usize]
+        match self.mode {
+            Mode::Uniform => {
+                if self.slots[id.0 as usize].is_some() {
+                    self.refresh_uniform_rate()
+                } else {
+                    0.0
+                }
+            }
+            Mode::General => {
+                self.refresh_general_rates();
+                self.rates_scratch[id.0 as usize]
+            }
+        }
     }
 
     /// Remaining work of a task (after the last `advance`).
     pub fn remaining(&self, id: TaskId) -> f64 {
-        self.slots[id.0 as usize]
+        let slot = self.slots[id.0 as usize]
             .as_ref()
-            .expect("remaining() on dead task")
-            .remaining
+            .expect("remaining() on dead task");
+        match slot.body {
+            Body::Virtual { finish_vt } => (finish_vt - self.vt).max(0.0),
+            Body::Settled { remaining } => remaining,
+        }
     }
 
-    /// Advance the clock to `now`, depleting every task's remaining work by
-    /// the service it received. Must be called with monotone timestamps.
+    /// Advance the clock to `now`. In uniform mode this is O(1) arithmetic
+    /// on the virtual clock plus an amortized drain of tasks whose finish
+    /// virtual-time was passed. Must be called with monotone timestamps.
     pub fn advance(&mut self, now: SimTime) {
         let dt = now.saturating_since(self.last_advance).as_secs_f64();
         self.last_advance = self.last_advance.max(now);
         if dt <= 0.0 || self.runnable == 0 {
             return;
         }
-        self.compute_rates();
-        for (i, slot) in self.slots.iter_mut().enumerate() {
-            if let Some(task) = slot {
-                let served = self.rates_scratch[i] * dt;
-                let consumed = served.min(task.remaining);
-                task.remaining -= consumed;
-                self.work_done += consumed;
+        match self.mode {
+            Mode::Uniform => {
+                let rate = self.refresh_uniform_rate();
+                self.vt += rate * dt;
+                // Every unfinished task consumed `rate * dt`... except the
+                // ones that exhausted mid-interval, corrected in the drain.
+                self.work_done += self.unfinished as f64 * rate * dt;
+                self.drain_exhausted();
+                if self.vt >= VT_REBASE_THRESHOLD {
+                    self.rebase_vt();
+                }
+            }
+            Mode::General => {
+                self.refresh_general_rates();
+                for (i, slot) in self.slots.iter_mut().enumerate() {
+                    if let Some(slot) = slot {
+                        let Body::Settled { remaining } = &mut slot.body else {
+                            unreachable!("general mode keeps all tasks settled");
+                        };
+                        let consumed = (self.rates_scratch[i] * dt).min(*remaining);
+                        *remaining -= consumed;
+                        self.work_done += consumed;
+                    }
+                }
             }
         }
     }
@@ -195,31 +383,89 @@ impl GpsCpu {
         assert!(max_rate > 0.0, "max_rate must be positive");
         self.advance(now);
         self.generation += 1;
-        let task = Task {
-            remaining: work,
-            weight,
-            max_rate,
-        };
+        *self.sig_counts.entry(signature(weight, max_rate)).or_insert(0) += 1;
         self.runnable += 1;
-        if let Some(slot) = self.free_slots.pop() {
-            self.slots[slot as usize] = Some(task);
-            TaskId(slot)
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+
+        let index = match self.free_slots.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        if self.sig_counts.len() > 1 {
+            // Heterogeneous signatures: leave (or put) the bank in general
+            // mode and store the task settled.
+            self.enter_general_mode();
+            self.slots[index as usize] = Some(Slot {
+                weight,
+                max_rate,
+                epoch,
+                body: Body::Settled { remaining: work },
+            });
         } else {
-            self.slots.push(Some(task));
-            TaskId((self.slots.len() - 1) as u32)
+            // Single signature implies the bank was already uniform (adds
+            // cannot shrink the signature set).
+            debug_assert_eq!(self.mode, Mode::Uniform);
+            let finish_vt = self.vt + work;
+            self.slots[index as usize] = Some(Slot {
+                weight,
+                max_rate,
+                epoch,
+                body: Body::Virtual { finish_vt },
+            });
+            self.unfinished += 1;
+            self.heap.push(HeapKey {
+                finish_vt,
+                slot: index,
+                epoch,
+            });
         }
+        TaskId(index)
     }
 
     /// Remove a task (completed or aborted), returning its residual work.
     pub fn remove_task(&mut self, now: SimTime, id: TaskId) -> f64 {
         self.advance(now);
         self.generation += 1;
-        let task = self.slots[id.0 as usize]
+        let slot = self.slots[id.0 as usize]
             .take()
             .expect("remove_task on dead task");
         self.free_slots.push(id.0);
         self.runnable -= 1;
-        task.remaining
+        let sig = signature(slot.weight, slot.max_rate);
+        let count = self
+            .sig_counts
+            .get_mut(&sig)
+            .expect("live task must have a signature count");
+        *count -= 1;
+        if *count == 0 {
+            self.sig_counts.remove(&sig);
+        }
+        let residual = match slot.body {
+            Body::Virtual { finish_vt } => {
+                self.unfinished -= 1;
+                // The heap entry goes stale and is discarded lazily.
+                (finish_vt - self.vt).max(0.0)
+            }
+            Body::Settled { remaining } => {
+                if self.mode == Mode::Uniform {
+                    self.finished_pending.retain(|&s| s != id.0);
+                }
+                remaining
+            }
+        };
+        if self.runnable == 0 {
+            // Rebase the virtual clock while idle: bounds its magnitude and
+            // discards stale heap entries wholesale.
+            self.reset_uniform_state();
+            self.mode = Mode::Uniform;
+        } else if self.mode == Mode::General && self.sig_counts.len() == 1 {
+            self.enter_uniform_mode();
+        }
+        residual
     }
 
     /// The earliest task completion strictly after `now`, as
@@ -230,79 +476,113 @@ impl GpsCpu {
         if self.runnable == 0 {
             return None;
         }
-        self.compute_rates();
-        let mut best: Option<(usize, f64)> = None;
-        for (i, slot) in self.slots.iter().enumerate() {
-            if let Some(task) = slot {
-                let rate = self.rates_scratch[i];
-                if rate <= 0.0 {
-                    continue;
+        match self.mode {
+            Mode::Uniform => {
+                self.freeze_numerically_finished();
+                if let Some(&slot) = self.finished_pending.iter().min() {
+                    // Exhausted tasks complete "now"; lowest slot wins ties,
+                    // exactly like the reference scan's strict-minimum rule.
+                    return Some((TaskId(slot), now));
                 }
-                let eta = if task.remaining <= WORK_EPSILON {
-                    0.0
-                } else {
-                    task.remaining / rate
-                };
-                match best {
-                    Some((_, b)) if eta >= b => {}
-                    _ => best = Some((i, eta)),
+                let top = self.peek_live_top()?;
+                let rate = self.refresh_uniform_rate();
+                let eta = (top.finish_vt - self.vt) / rate;
+                Some((TaskId(top.slot), now + SimDuration::from_secs_f64(eta)))
+            }
+            Mode::General => {
+                self.refresh_general_rates();
+                let mut best: Option<(usize, f64)> = None;
+                for (i, slot) in self.slots.iter().enumerate() {
+                    if let Some(slot) = slot {
+                        let rate = self.rates_scratch[i];
+                        if rate <= 0.0 {
+                            continue;
+                        }
+                        let Body::Settled { remaining } = slot.body else {
+                            unreachable!("general mode keeps all tasks settled");
+                        };
+                        let eta = if remaining <= WORK_EPSILON {
+                            0.0
+                        } else {
+                            remaining / rate
+                        };
+                        match best {
+                            Some((_, b)) if eta >= b => {}
+                            _ => best = Some((i, eta)),
+                        }
+                    }
                 }
+                best.map(|(i, eta)| (TaskId(i as u32), now + SimDuration::from_secs_f64(eta)))
             }
         }
-        best.map(|(i, eta)| (TaskId(i as u32), now + SimDuration::from_secs_f64(eta)))
     }
 
     /// All tasks whose remaining work is (numerically) exhausted at `now`,
     /// in slot order. The owner removes them with [`GpsCpu::remove_task`].
     pub fn finished_tasks(&mut self, now: SimTime) -> Vec<TaskId> {
-        self.advance(now);
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| match s {
-                Some(task) if task.remaining <= WORK_EPSILON => Some(TaskId(i as u32)),
-                _ => None,
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.finished_tasks_into(now, &mut out);
+        out
     }
 
-    /// Water-filling rate computation into `rates_scratch`.
-    fn compute_rates(&mut self) {
+    /// Allocation-free variant of [`GpsCpu::finished_tasks`]: clears `out`
+    /// and fills it with the finished tasks in slot order. Event loops call
+    /// this once per completion event; reusing the buffer keeps the hot
+    /// path allocation-free.
+    pub fn finished_tasks_into(&mut self, now: SimTime, out: &mut Vec<TaskId>) {
+        out.clear();
+        self.advance(now);
+        match self.mode {
+            Mode::Uniform => {
+                self.freeze_numerically_finished();
+                self.finished_pending.sort_unstable();
+                out.extend(self.finished_pending.iter().map(|&s| TaskId(s)));
+            }
+            Mode::General => {
+                for (i, slot) in self.slots.iter().enumerate() {
+                    if let Some(slot) = slot {
+                        let Body::Settled { remaining } = slot.body else {
+                            unreachable!("general mode keeps all tasks settled");
+                        };
+                        if remaining <= WORK_EPSILON {
+                            out.push(TaskId(i as u32));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The memoized uniform task rate, recomputed only when the membership
+    /// generation moved.
+    fn refresh_uniform_rate(&mut self) -> f64 {
+        if self.rates_generation != Some(self.generation) {
+            let (_, max_rate_bits) = *self
+                .sig_counts
+                .keys()
+                .next()
+                .expect("uniform rate queried on a non-empty bank");
+            let max_rate = f64::from_bits(max_rate_bits);
+            let cap = self.params.effective_capacity(self.runnable);
+            self.uniform_rate = (cap / self.runnable as f64).min(max_rate);
+            self.rates_generation = Some(self.generation);
+        }
+        self.uniform_rate
+    }
+
+    /// Memoized general-mode water-filling (the reference algorithm),
+    /// recomputed only when the membership generation moved.
+    fn refresh_general_rates(&mut self) {
+        if self.rates_generation == Some(self.generation) {
+            return;
+        }
+        self.rates_generation = Some(self.generation);
         self.rates_scratch.clear();
         self.rates_scratch.resize(self.slots.len(), 0.0);
         if self.runnable == 0 {
             return;
         }
         let cap = self.params.effective_capacity(self.runnable);
-
-        // Fast path: uniform weights and max_rates (the overwhelmingly common
-        // case — OpenWhisk assigns SeBS functions identical memory limits).
-        let mut uniform = true;
-        let mut first: Option<Task> = None;
-        for slot in self.slots.iter().flatten() {
-            match first {
-                None => first = Some(*slot),
-                Some(f) => {
-                    if f.weight != slot.weight || f.max_rate != slot.max_rate {
-                        uniform = false;
-                        break;
-                    }
-                }
-            }
-        }
-        if uniform {
-            let f = first.expect("runnable > 0 implies a task exists");
-            let rate = (cap / self.runnable as f64).min(f.max_rate);
-            for (i, slot) in self.slots.iter().enumerate() {
-                if slot.is_some() {
-                    self.rates_scratch[i] = rate;
-                }
-            }
-            return;
-        }
-
-        // General water-filling: tasks whose fair share exceeds their cap are
-        // pinned at the cap and the surplus redistributed.
         let mut active: Vec<usize> = self
             .slots
             .iter()
@@ -318,10 +598,10 @@ impl GpsCpu {
             let per_weight = remaining_cap / total_weight;
             let mut pinned_any = false;
             active.retain(|&i| {
-                let task = self.slots[i].as_ref().unwrap();
-                if task.weight * per_weight >= task.max_rate {
-                    self.rates_scratch[i] = task.max_rate;
-                    remaining_cap -= task.max_rate;
+                let slot = self.slots[i].as_ref().unwrap();
+                if slot.weight * per_weight >= slot.max_rate {
+                    self.rates_scratch[i] = slot.max_rate;
+                    remaining_cap -= slot.max_rate;
                     pinned_any = true;
                     false
                 } else {
@@ -330,10 +610,142 @@ impl GpsCpu {
             });
             if !pinned_any {
                 for &i in &active {
-                    let task = self.slots[i].as_ref().unwrap();
-                    self.rates_scratch[i] = task.weight * per_weight;
+                    let slot = self.slots[i].as_ref().unwrap();
+                    self.rates_scratch[i] = slot.weight * per_weight;
                 }
                 break;
+            }
+        }
+    }
+
+    /// Discard stale heap keys and return the earliest live unfinished one.
+    fn peek_live_top(&mut self) -> Option<HeapKey> {
+        while let Some(top) = self.heap.peek() {
+            let live = matches!(
+                self.slots[top.slot as usize],
+                Some(Slot {
+                    epoch,
+                    body: Body::Virtual { .. },
+                    ..
+                }) if epoch == top.epoch
+            );
+            if live {
+                return Some(*top);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Settle every task whose finish virtual-time was strictly passed:
+    /// remaining drops to exactly zero, and the blanket `rate * dt` service
+    /// charged in `advance` is corrected by the overshoot.
+    fn drain_exhausted(&mut self) {
+        while let Some(top) = self.peek_live_top() {
+            if top.finish_vt > self.vt {
+                break;
+            }
+            self.heap.pop();
+            self.work_done -= self.vt - top.finish_vt;
+            self.settle_finished(top.slot, 0.0);
+        }
+    }
+
+    /// Settle tasks within `WORK_EPSILON` of their finish virtual-time:
+    /// they report as finished (the reference treats `remaining <= ε` as
+    /// complete) but keep their true sub-epsilon residual.
+    fn freeze_numerically_finished(&mut self) {
+        while let Some(top) = self.peek_live_top() {
+            if top.finish_vt > self.vt + WORK_EPSILON {
+                break;
+            }
+            self.heap.pop();
+            self.settle_finished(top.slot, (top.finish_vt - self.vt).max(0.0));
+        }
+    }
+
+    fn settle_finished(&mut self, slot: u32, remaining: f64) {
+        self.unfinished -= 1;
+        self.finished_pending.push(slot);
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("settling a dead slot")
+            .body = Body::Settled { remaining };
+    }
+
+    /// Switch to settled per-slot accounting (heterogeneous signatures).
+    fn enter_general_mode(&mut self) {
+        if self.mode == Mode::General {
+            return;
+        }
+        for slot in self.slots.iter_mut().flatten() {
+            if let Body::Virtual { finish_vt } = slot.body {
+                slot.body = Body::Settled {
+                    remaining: (finish_vt - self.vt).max(0.0),
+                };
+            }
+        }
+        self.reset_uniform_state();
+        self.mode = Mode::General;
+    }
+
+    /// Re-enter the uniform virtual-time representation (single signature
+    /// left). Rebases the virtual clock to zero.
+    fn enter_uniform_mode(&mut self) {
+        debug_assert_eq!(self.mode, Mode::General);
+        self.reset_uniform_state();
+        self.mode = Mode::Uniform;
+        for i in 0..self.slots.len() {
+            let Some(slot) = &mut self.slots[i] else {
+                continue;
+            };
+            let Body::Settled { remaining } = slot.body else {
+                unreachable!("general mode keeps all tasks settled");
+            };
+            if remaining <= WORK_EPSILON {
+                self.finished_pending.push(i as u32);
+            } else {
+                let finish_vt = self.vt + remaining;
+                let epoch = slot.epoch;
+                slot.body = Body::Virtual { finish_vt };
+                self.unfinished += 1;
+                self.heap.push(HeapKey {
+                    finish_vt,
+                    slot: i as u32,
+                    epoch,
+                });
+            }
+        }
+    }
+
+    fn reset_uniform_state(&mut self) {
+        self.vt = 0.0;
+        self.heap.clear();
+        self.unfinished = 0;
+        self.finished_pending.clear();
+    }
+
+    /// Shift the virtual clock back to zero, subtracting the old `vt` from
+    /// every in-flight finish virtual-time. Differences (`finish_vt - vt`,
+    /// i.e. remaining work) are preserved to within one rounding each, and
+    /// future accumulation happens at small-magnitude ulps again. The heap
+    /// is rebuilt from the live tasks, dropping stale keys wholesale.
+    fn rebase_vt(&mut self) {
+        let delta = self.vt;
+        self.vt = 0.0;
+        self.heap.clear();
+        for i in 0..self.slots.len() {
+            let Some(slot) = &mut self.slots[i] else {
+                continue;
+            };
+            if let Body::Virtual { finish_vt } = &mut slot.body {
+                *finish_vt = (*finish_vt - delta).max(0.0);
+                let key = HeapKey {
+                    finish_vt: *finish_vt,
+                    slot: i as u32,
+                    epoch: slot.epoch,
+                };
+                self.heap.push(key);
             }
         }
     }
@@ -520,6 +932,41 @@ mod tests {
     }
 
     #[test]
+    fn work_conservation_with_heterogeneous_weights() {
+        // Same churn but with varying weights/caps, exercising the general
+        // mode and both representation switches.
+        let mut cpu = GpsCpu::new(params(4.0, 0.2));
+        let mut t = SimTime::ZERO;
+        let mut injected = 0.0;
+        let mut residual = 0.0;
+        let mut live: Vec<TaskId> = Vec::new();
+        for step in 0..60 {
+            t += SimDuration::from_millis(80);
+            let work = 0.05 + (step % 5) as f64 * 0.04;
+            let weight = 1.0 + (step % 3) as f64;
+            let max_rate = if step % 4 == 0 { 0.5 } else { 1.0 };
+            injected += work;
+            live.push(cpu.add_task(t, work, weight, max_rate));
+            if step % 2 == 1 {
+                let id = live.remove(0);
+                residual += cpu.remove_task(t, id);
+            }
+        }
+        let end = t + SimDuration::from_secs(100);
+        cpu.advance(end);
+        for id in live {
+            residual += cpu.remove_task(end, id);
+        }
+        assert!(
+            (cpu.work_done() + residual - injected).abs() < 1e-6,
+            "work not conserved: done={} residual={} injected={}",
+            cpu.work_done(),
+            residual,
+            injected
+        );
+    }
+
+    #[test]
     fn zero_work_task_completes_immediately() {
         let mut cpu = GpsCpu::new(params(1.0, 0.0));
         let id = cpu.add_task(SimTime::from_secs(1), 0.0, 1.0, 1.0);
@@ -542,5 +989,72 @@ mod tests {
         let id = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
         cpu.remove_task(SimTime::ZERO, id);
         cpu.remove_task(SimTime::ZERO, id);
+    }
+
+    #[test]
+    fn mode_switches_preserve_remaining_work() {
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let t0 = SimTime::ZERO;
+        // Uniform phase: two equal tasks at 1 core each... capped to 1.0.
+        let a = cpu.add_task(t0, 4.0, 1.0, 1.0);
+        let b = cpu.add_task(t0, 4.0, 1.0, 1.0);
+        let t1 = SimTime::from_secs(1);
+        cpu.advance(t1);
+        assert!((cpu.remaining(a) - 3.0).abs() < 1e-9);
+        // Heterogeneous task forces general mode.
+        let c = cpu.add_task(t1, 1.0, 5.0, 1.0);
+        assert!((cpu.remaining(a) - 3.0).abs() < 1e-9, "settling is lossless");
+        // Removing it re-enters uniform mode.
+        let t2 = SimTime::from_secs(2);
+        let res = cpu.remove_task(t2, c);
+        assert!(res >= 0.0);
+        cpu.advance(SimTime::from_secs(3));
+        let ra = cpu.remaining(a);
+        let rb = cpu.remaining(b);
+        assert!((ra - rb).abs() < 1e-9, "equal tasks stay in lockstep");
+        assert!(ra < 3.0, "work continues depleting after the switch back");
+    }
+
+    #[test]
+    fn long_running_bank_stays_precise_across_vt_rebase() {
+        // Drive the virtual clock far past VT_REBASE_THRESHOLD without the
+        // bank ever going idle: a long-lived background task pins
+        // `runnable > 0` while short tasks churn through. Conservation and
+        // completion correctness must survive the rebases.
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let mut t = SimTime::ZERO;
+        let background = cpu.add_task(t, 1e9, 1.0, 1.0);
+        let mut injected = 1e9;
+        let mut completed = 0.0;
+        for k in 0..400 {
+            let work = 90.0 + (k % 7) as f64;
+            injected += work;
+            let id = cpu.add_task(t, work, 1.0, 1.0);
+            let (done, at) = cpu.next_completion(t).expect("two tasks runnable");
+            assert_eq!(done, id, "short task finishes before the background");
+            // Two equal-weight tasks on 2 cores: both run at 1 core.
+            assert!((at.saturating_since(t).as_secs_f64() - work).abs() < 1e-6);
+            t = at;
+            completed += work - cpu.remove_task(t, id);
+        }
+        // 400 completions x ~93 s of per-task service ≈ 37_000 core-seconds
+        // of virtual time: the threshold (16384) was crossed repeatedly.
+        let residual = cpu.remove_task(t, background);
+        assert!(
+            (cpu.work_done() + residual - injected).abs() < 1e-4,
+            "conservation across rebases: done={} residual={residual} injected={injected}",
+            cpu.work_done()
+        );
+        assert!((cpu.work_done() - 2.0 * completed).abs() < 1e-4);
+    }
+
+    #[test]
+    fn finished_tasks_into_reuses_buffer() {
+        let mut cpu = GpsCpu::new(params(1.0, 0.0));
+        let a = cpu.add_task(SimTime::ZERO, 0.5, 1.0, 1.0);
+        let b = cpu.add_task(SimTime::ZERO, 0.5, 1.0, 1.0);
+        let mut buf = vec![TaskId(99)];
+        cpu.finished_tasks_into(SimTime::from_secs(1), &mut buf);
+        assert_eq!(buf, vec![a, b], "both finished, slot order, buffer cleared");
     }
 }

@@ -19,8 +19,11 @@
 //! Both models are pure state machines over simulated time; the node
 //! simulation in `faas-invoker` owns the event queue and drives them.
 
+pub mod bench_support;
 pub mod dedicated;
 pub mod gps;
+pub mod gps_reference;
 
 pub use dedicated::CorePool;
 pub use gps::{GpsCpu, GpsParams, TaskId};
+pub use gps_reference::ReferenceGpsCpu;

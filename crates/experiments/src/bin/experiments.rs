@@ -18,6 +18,8 @@
 //!            appendix 37-38)
 //!   ablations  Hyper-parameter sweeps beyond the paper
 //!   functions  Per-function fairness breakdown (SSII's view)
+//!   bench      GPS-kernel micro-benchmarks (virtual-time vs reference);
+//!              writes BENCH_gps.json for the perf trajectory
 //!   run        Custom single configuration with per-call CSV trace:
 //!              run --cores C --intensity V --policy P [--seed S]
 //!   all      Everything above
@@ -25,7 +27,9 @@
 //!
 //! Results are also written as JSON under `--out` (default `results/`).
 
-use faas_experiments::{ablations, custom, fig2, fig5, fig6, functions, grid, table1, Effort};
+use faas_experiments::{
+    ablations, bench_gps, custom, fig2, fig5, fig6, functions, grid, table1, Effort,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -37,7 +41,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|run|all> \
+        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|bench|run|all> \
          [--quick] [--seeds N] [--out DIR] [--per-seed]"
     );
     std::process::exit(2);
@@ -90,6 +94,7 @@ fn main() {
         "fig6" => run_fig6(&opts),
         "ablations" => run_ablations(&opts),
         "functions" => run_functions(&opts),
+        "bench" => run_bench(&opts),
         "all" => {
             run_table1(&opts);
             run_fig2(&opts);
@@ -98,6 +103,7 @@ fn main() {
             run_fig6(&opts);
             run_ablations(&opts);
             run_functions(&opts);
+            run_bench(&opts);
         }
         _ => usage(),
     }
@@ -139,6 +145,12 @@ fn run_grid(which: &str, opts: &Opts) {
         }
     }
     save(opts, "grid.json", &result);
+}
+
+fn run_bench(opts: &Opts) {
+    let entries = bench_gps::run();
+    println!("{}", bench_gps::render(&entries));
+    save(opts, "BENCH_gps.json", &entries);
 }
 
 fn run_fig5(opts: &Opts) {

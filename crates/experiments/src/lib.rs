@@ -22,6 +22,7 @@
 //! bit-for-bit reproducible from the seed set.
 
 pub mod ablations;
+pub mod bench_gps;
 pub mod custom;
 pub mod fig2;
 pub mod fig5;

@@ -101,6 +101,9 @@ struct Sim<'a> {
     peak_leased: usize,
     measured_snapshot: Option<crate::pool::PoolStats>,
     last_completion: SimTime,
+    /// Reused buffer for completion collection: the GPS tick is the hottest
+    /// event, and `finished_tasks_into` keeps it allocation-free.
+    finished_scratch: Vec<TaskId>,
 }
 
 /// Run the baseline node over `calls` (sorted by release time).
@@ -147,6 +150,7 @@ pub fn simulate(
         peak_leased: 0,
         measured_snapshot: None,
         last_completion: SimTime::ZERO,
+        finished_scratch: Vec::new(),
     };
 
     for (idx, call) in calls.iter().enumerate() {
@@ -281,9 +285,12 @@ impl<'a> Sim<'a> {
         if generation != self.cpu.generation() {
             return; // stale tick
         }
-        // Collect every task that finished by now (several can tie).
-        let finished = self.cpu.finished_tasks(now);
-        for tid in finished {
+        // Collect every task that finished by now (several can tie) into the
+        // reused scratch buffer, snapshotting the set before membership
+        // changes below can alter it.
+        let mut finished = std::mem::take(&mut self.finished_scratch);
+        self.cpu.finished_tasks_into(now, &mut finished);
+        for &tid in &finished {
             let owner = *self
                 .owners
                 .get(&tid)
@@ -299,6 +306,7 @@ impl<'a> Sim<'a> {
                 }
             }
         }
+        self.finished_scratch = finished;
         self.reschedule_tick(now);
     }
 

@@ -62,6 +62,31 @@ impl CallRuntime {
     }
 }
 
+/// The node simulation state, mirroring `baseline::Sim` so both invoker
+/// paths share one structure.
+struct Sim<'a> {
+    catalogue: &'a Catalogue,
+    calls: &'a [Call],
+    cfg: &'a NodeConfig,
+    node_index: u16,
+    events: EventQueue<Ev>,
+    pending: PendingQueue<u32>,
+    sched: SchedulerState,
+    pool: ContainerPool,
+    cores: CorePool,
+    /// Summed CPU fraction of currently executing calls, for the
+    /// oversubscription slowdown (zero-cost at the default busy limit).
+    cpu_load: f64,
+    runtime: Vec<CallRuntime>,
+    outcomes: Vec<Option<CallOutcome>>,
+    rng_service: Xoshiro256,
+    rng_cold: Xoshiro256,
+    // Pool statistics are snapshotted when the first measured call arrives,
+    // so the reported counters cover only the measured phase (Fig. 2).
+    measured_snapshot: Option<crate::pool::PoolStats>,
+    last_completion: SimTime,
+}
+
 /// Run the paper's node over `calls` (must be sorted by release time).
 pub fn simulate(
     catalogue: &Catalogue,
@@ -72,220 +97,190 @@ pub fn simulate(
     node_index: u16,
 ) -> NodeResult {
     let mut root = Xoshiro256::seed_from_u64(seed);
-    let mut rng_service = root.derive_stream(0xA001);
-    let mut rng_cold = root.derive_stream(0xA002);
+    let rng_service = root.derive_stream(0xA001);
+    let rng_cold = root.derive_stream(0xA002);
 
-    let mut events: EventQueue<Ev> = EventQueue::new();
-    let mut pending: PendingQueue<u32> = PendingQueue::new();
-    let mut sched = SchedulerState::new(catalogue.len(), sched_cfg);
-    let mut pool = ContainerPool::new(
-        cfg.memory_mb,
-        catalogue.len(),
-        cfg.prewarm_count,
-        prewarm_mem_mb(catalogue),
-    );
-    let mut cores = CorePool::new(cfg.busy_limit());
-    let calib = cfg.calibration;
-    // Summed CPU fraction of currently executing calls, for the
-    // oversubscription slowdown (zero-cost at the default busy limit).
-    let mut cpu_load = 0.0f64;
-
-    let mut runtime: Vec<CallRuntime> = vec![CallRuntime::empty(); calls.len()];
-    let mut outcomes: Vec<Option<CallOutcome>> = vec![None; calls.len()];
+    let mut sim = Sim {
+        catalogue,
+        calls,
+        cfg,
+        node_index,
+        events: EventQueue::new(),
+        pending: PendingQueue::new(),
+        sched: SchedulerState::new(catalogue.len(), sched_cfg),
+        pool: ContainerPool::new(
+            cfg.memory_mb,
+            catalogue.len(),
+            cfg.prewarm_count,
+            prewarm_mem_mb(catalogue),
+        ),
+        cores: CorePool::new(cfg.busy_limit()),
+        cpu_load: 0.0,
+        runtime: vec![CallRuntime::empty(); calls.len()],
+        outcomes: vec![None; calls.len()],
+        rng_service,
+        rng_cold,
+        measured_snapshot: None,
+        last_completion: SimTime::ZERO,
+    };
 
     for (idx, call) in calls.iter().enumerate() {
         debug_assert!(
             idx == 0 || calls[idx - 1].release <= call.release,
             "calls must be sorted by release"
         );
-        events.schedule(call.release + calib.hop_request, Ev::Arrive(idx as u32));
+        sim.events.schedule(
+            call.release + cfg.calibration.hop_request,
+            Ev::Arrive(idx as u32),
+        );
     }
 
-    // Pool statistics are snapshotted when the first measured call arrives,
-    // so the reported counters cover only the measured phase (Fig. 2).
-    let mut measured_snapshot = None;
-    let mut last_completion = SimTime::ZERO;
-
-    while let Some((now, ev)) = events.pop() {
-        match ev {
-            Ev::Arrive(i) => {
-                let idx = i as usize;
-                if measured_snapshot.is_none() && calls[idx].kind == CallKind::Measured {
-                    // Arrivals preserve release order (constant hop), so this
-                    // is the first measured arrival.
-                    measured_snapshot = Some(pool.stats());
-                }
-                let func = calls[idx].func;
-                let prio = sched.on_receive(func, now);
-                runtime[idx].priority = prio;
-                runtime[idx].invoker_receive = now;
-                pending.push(prio, i);
-                dispatch(
-                    now,
-                    catalogue,
-                    calls,
-                    cfg,
-                    &mut pending,
-                    &mut cores,
-                    &mut pool,
-                    &mut runtime,
-                    &mut events,
-                    &mut rng_service,
-                    &mut rng_cold,
-                    &mut cpu_load,
-                );
-            }
-            Ev::ExecDone(i) => {
-                let idx = i as usize;
-                let call = &calls[idx];
-                let rt = runtime[idx];
-                cpu_load -= catalogue.spec(call.func).cpu_fraction;
-                let completion = now + calib.hop_response;
-                let processing = SimDuration::from_secs_f64(rt.processing);
-                outcomes[idx] = Some(CallOutcome {
-                    id: call.id,
-                    func: call.func,
-                    kind: call.kind,
-                    release: call.release,
-                    invoker_receive: rt.invoker_receive,
-                    exec_start: rt.exec_start,
-                    exec_end: now,
-                    completion,
-                    processing,
-                    start_kind: rt.start_kind,
-                    node: node_index,
-                });
-                if call.kind == CallKind::Measured {
-                    last_completion = last_completion.max(completion);
-                }
-                let container = rt.container.expect("executed call must hold a container");
-                let mgmt = SimDuration::from_secs_f64(calib.mgmt_secs(cfg.cores, rt.processing));
-                // The paper's invoker stores "the processing time" measured
-                // around the whole container interaction (SSIV-B); on a
-                // loaded node that window includes the per-call container
-                // management, so the stored estimate is the held interval,
-                // not the bare execution time.
-                sched.on_complete(call.func, processing + mgmt, now);
-                events.schedule(now + mgmt, Ev::CleanupDone(container));
-            }
-            Ev::CleanupDone(container) => {
-                pool.release_idle(container, now);
-                cores.release();
-                if pool.prewarm_deficit() > 0 {
-                    events.schedule(now + calib.prewarm_replacement_delay, Ev::PrewarmReady);
-                }
-                dispatch(
-                    now,
-                    catalogue,
-                    calls,
-                    cfg,
-                    &mut pending,
-                    &mut cores,
-                    &mut pool,
-                    &mut runtime,
-                    &mut events,
-                    &mut rng_service,
-                    &mut rng_cold,
-                    &mut cpu_load,
-                );
-            }
-            Ev::PrewarmReady => {
-                pool.replenish_prewarm();
-                dispatch(
-                    now,
-                    catalogue,
-                    calls,
-                    cfg,
-                    &mut pending,
-                    &mut cores,
-                    &mut pool,
-                    &mut runtime,
-                    &mut events,
-                    &mut rng_service,
-                    &mut rng_cold,
-                    &mut cpu_load,
-                );
-            }
-        }
-    }
+    sim.run();
 
     assert!(
-        pending.is_empty(),
+        sim.pending.is_empty(),
         "simulation ended with {} stuck calls (memory smaller than one container?)",
-        pending.len()
+        sim.pending.len()
     );
-    let total_stats = pool.stats();
-    let measured_stats = diff_stats(total_stats, measured_snapshot.unwrap_or(total_stats));
+    let total_stats = sim.pool.stats();
+    let measured_stats = diff_stats(total_stats, sim.measured_snapshot.unwrap_or(total_stats));
 
     NodeResult {
-        outcomes: outcomes
+        outcomes: sim
+            .outcomes
             .into_iter()
             .map(|o| o.expect("every call must produce an outcome"))
             .collect(),
         measured_pool_stats: measured_stats,
         total_pool_stats: total_stats,
-        peak_queue: pending.peak_len(),
-        peak_concurrency: cores.peak_busy() as usize,
-        last_completion,
+        peak_queue: sim.pending.peak_len(),
+        peak_concurrency: sim.cores.peak_busy() as usize,
+        last_completion: sim.last_completion,
     }
 }
 
-/// Start as many pending calls as free cores and memory allow, in priority
-/// order with head-of-line blocking (the queue is strict).
-#[allow(clippy::too_many_arguments)]
-fn dispatch(
-    now: SimTime,
-    catalogue: &Catalogue,
-    calls: &[Call],
-    cfg: &NodeConfig,
-    pending: &mut PendingQueue<u32>,
-    cores: &mut CorePool,
-    pool: &mut ContainerPool,
-    runtime: &mut [CallRuntime],
-    events: &mut EventQueue<Ev>,
-    rng_service: &mut Xoshiro256,
-    rng_cold: &mut Xoshiro256,
-    cpu_load: &mut f64,
-) {
-    while cores.has_free() && !pending.is_empty() {
-        let i = pending.pop().expect("non-empty queue pops");
-        let idx = i as usize;
-        let func = calls[idx].func;
-        let spec = catalogue.spec(func);
-        match pool.place(func, spec.memory_mb as u64, now) {
-            Some(placement) => {
-                assert!(cores.try_acquire(), "free core checked above");
-                // Cold-start initialisation runs on the call's core at full
-                // speed (dedicated core: work in core-seconds == seconds).
-                let init_secs = match placement.kind {
-                    ColdStartKind::Warm => 0.0,
-                    ColdStartKind::Prewarm => {
-                        cfg.calibration.coldstart_work.sample(rng_cold)
-                            * cfg.calibration.prewarm_init_fraction
-                    }
-                    ColdStartKind::Cold => cfg.calibration.coldstart_work.sample(rng_cold),
-                };
-                let p = spec.service_dist().sample(rng_service);
-                // Oversubscription slowdown, frozen at dispatch (see the
-                // module docs); exactly 1 at the paper's busy limit.
-                *cpu_load += spec.cpu_fraction;
-                let slowdown = (*cpu_load / cfg.cores as f64).max(1.0);
-                let exec_secs = p * (spec.cpu_fraction * slowdown + (1.0 - spec.cpu_fraction));
-                let exec_start = now + SimDuration::from_secs_f64(init_secs);
-                runtime[idx].exec_start = exec_start;
-                runtime[idx].processing = p;
-                runtime[idx].start_kind = placement.kind;
-                runtime[idx].container = Some(placement.container);
-                events.schedule(
-                    exec_start + SimDuration::from_secs_f64(exec_secs),
-                    Ev::ExecDone(i),
-                );
+impl<'a> Sim<'a> {
+    fn run(&mut self) {
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                Ev::Arrive(i) => self.on_arrive(now, i),
+                Ev::ExecDone(i) => self.on_exec_done(now, i),
+                Ev::CleanupDone(container) => self.on_cleanup_done(now, container),
+                Ev::PrewarmReady => {
+                    self.pool.replenish_prewarm();
+                    self.dispatch(now);
+                }
             }
-            None => {
-                // No memory even after eviction: requeue at the same
-                // priority and wait for a container release.
-                pending.push(runtime[idx].priority, i);
-                break;
+        }
+    }
+
+    fn on_arrive(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        if self.measured_snapshot.is_none() && self.calls[idx].kind == CallKind::Measured {
+            // Arrivals preserve release order (constant hop), so this is
+            // the first measured arrival.
+            self.measured_snapshot = Some(self.pool.stats());
+        }
+        let func = self.calls[idx].func;
+        let prio = self.sched.on_receive(func, now);
+        self.runtime[idx].priority = prio;
+        self.runtime[idx].invoker_receive = now;
+        self.pending.push(prio, i);
+        self.dispatch(now);
+    }
+
+    fn on_exec_done(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        let call = &self.calls[idx];
+        let rt = self.runtime[idx];
+        self.cpu_load -= self.catalogue.spec(call.func).cpu_fraction;
+        let calib = self.cfg.calibration;
+        let completion = now + calib.hop_response;
+        let processing = SimDuration::from_secs_f64(rt.processing);
+        self.outcomes[idx] = Some(CallOutcome {
+            id: call.id,
+            func: call.func,
+            kind: call.kind,
+            release: call.release,
+            invoker_receive: rt.invoker_receive,
+            exec_start: rt.exec_start,
+            exec_end: now,
+            completion,
+            processing,
+            start_kind: rt.start_kind,
+            node: self.node_index,
+        });
+        if call.kind == CallKind::Measured {
+            self.last_completion = self.last_completion.max(completion);
+        }
+        let container = rt.container.expect("executed call must hold a container");
+        let mgmt = SimDuration::from_secs_f64(calib.mgmt_secs(self.cfg.cores, rt.processing));
+        // The paper's invoker stores "the processing time" measured around
+        // the whole container interaction (SSIV-B); on a loaded node that
+        // window includes the per-call container management, so the stored
+        // estimate is the held interval, not the bare execution time.
+        self.sched.on_complete(call.func, processing + mgmt, now);
+        self.events.schedule(now + mgmt, Ev::CleanupDone(container));
+    }
+
+    fn on_cleanup_done(&mut self, now: SimTime, container: ContainerId) {
+        self.pool.release_idle(container, now);
+        self.cores.release();
+        if self.pool.prewarm_deficit() > 0 {
+            self.events.schedule(
+                now + self.cfg.calibration.prewarm_replacement_delay,
+                Ev::PrewarmReady,
+            );
+        }
+        self.dispatch(now);
+    }
+
+    /// Start as many pending calls as free cores and memory allow, in
+    /// priority order with head-of-line blocking (the queue is strict).
+    fn dispatch(&mut self, now: SimTime) {
+        while self.cores.has_free() && !self.pending.is_empty() {
+            let i = self.pending.pop().expect("non-empty queue pops");
+            let idx = i as usize;
+            let func = self.calls[idx].func;
+            let spec = self.catalogue.spec(func);
+            match self.pool.place(func, spec.memory_mb as u64, now) {
+                Some(placement) => {
+                    assert!(self.cores.try_acquire(), "free core checked above");
+                    // Cold-start initialisation runs on the call's core at
+                    // full speed (dedicated core: work in core-seconds ==
+                    // seconds).
+                    let calib = self.cfg.calibration;
+                    let init_secs = match placement.kind {
+                        ColdStartKind::Warm => 0.0,
+                        ColdStartKind::Prewarm => {
+                            calib.coldstart_work.sample(&mut self.rng_cold)
+                                * calib.prewarm_init_fraction
+                        }
+                        ColdStartKind::Cold => calib.coldstart_work.sample(&mut self.rng_cold),
+                    };
+                    let p = spec.service_dist().sample(&mut self.rng_service);
+                    // Oversubscription slowdown, frozen at dispatch (see the
+                    // module docs); exactly 1 at the paper's busy limit.
+                    self.cpu_load += spec.cpu_fraction;
+                    let slowdown = (self.cpu_load / self.cfg.cores as f64).max(1.0);
+                    let exec_secs =
+                        p * (spec.cpu_fraction * slowdown + (1.0 - spec.cpu_fraction));
+                    let exec_start = now + SimDuration::from_secs_f64(init_secs);
+                    self.runtime[idx].exec_start = exec_start;
+                    self.runtime[idx].processing = p;
+                    self.runtime[idx].start_kind = placement.kind;
+                    self.runtime[idx].container = Some(placement.container);
+                    self.events.schedule(
+                        exec_start + SimDuration::from_secs_f64(exec_secs),
+                        Ev::ExecDone(i),
+                    );
+                }
+                None => {
+                    // No memory even after eviction: requeue at the same
+                    // priority and wait for a container release.
+                    self.pending.push(self.runtime[idx].priority, i);
+                    break;
+                }
             }
         }
     }

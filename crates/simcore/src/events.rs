@@ -12,6 +12,28 @@
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hasher for sequence numbers. Sequence numbers are dense consecutive
+/// integers, so a multiplicative mix is a perfect hash here and avoids
+/// paying SipHash on the schedule/pop hot path (every simulation event
+/// passes through the `queued` map).
+#[derive(Default)]
+struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("SeqHasher only hashes u64 sequence numbers");
+    }
+    fn write_u64(&mut self, seq: u64) {
+        // Fibonacci hashing: spreads consecutive integers across buckets.
+        self.0 = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
 
 /// Identifies a scheduled event so it can be cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,7 +72,14 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    /// Sequence numbers still in the heap, mapped to their cancellation
+    /// state. Tracking queued-ness makes `cancel` of an already-popped
+    /// event a true no-op — without it, a stale entry would make `len()`
+    /// undercount (and underflow in debug builds).
+    queued: HashMap<u64, bool, BuildHasherDefault<SeqHasher>>,
+    /// Number of entries in the heap that are cancelled but not yet lazily
+    /// discarded.
+    cancelled_in_heap: usize,
     now: SimTime,
 }
 
@@ -66,7 +95,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            queued: HashMap::default(),
+            cancelled_in_heap: 0,
             now: SimTime::ZERO,
         }
     }
@@ -79,7 +109,7 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.cancelled_in_heap
     }
 
     /// True if no live events remain.
@@ -102,19 +132,26 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
+        self.queued.insert(seq, false);
         EventHandle(seq)
     }
 
     /// Cancel a previously scheduled event. Idempotent; cancelling an
     /// already-popped event has no effect.
     pub fn cancel(&mut self, handle: EventHandle) {
-        self.cancelled.insert(handle.0);
+        if let Some(cancelled) = self.queued.get_mut(&handle.0) {
+            if !*cancelled {
+                *cancelled = true;
+                self.cancelled_in_heap += 1;
+            }
+        }
     }
 
     /// Pop the earliest live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if self.queued.remove(&entry.seq) == Some(true) {
+                self.cancelled_in_heap -= 1;
                 continue;
             }
             self.now = entry.time;
@@ -127,10 +164,11 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Discard cancelled heads so peek reflects the next live event.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
+            if self.queued.get(&entry.seq) == Some(&true) {
                 let seq = entry.seq;
                 self.heap.pop();
-                self.cancelled.remove(&seq);
+                self.queued.remove(&seq);
+                self.cancelled_in_heap -= 1;
             } else {
                 return Some(entry.time);
             }
@@ -225,6 +263,41 @@ mod tests {
         q.cancel(a);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_pop_does_not_underflow_len() {
+        // Regression: cancelling an already-popped event used to leave a
+        // stale entry in the cancelled set, so `heap.len() - cancelled.len()`
+        // underflowed (panicking in debug builds) once the queue drained.
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+        q.cancel(a); // already popped: must be a true no-op
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        // The queue keeps working normally afterwards.
+        q.schedule(SimTime::from_millis(2), "b");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), "b")));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancel_popped_then_cancel_queued_keeps_len_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_millis(1), ());
+        let b = q.schedule(SimTime::from_millis(2), ());
+        let c = q.schedule(SimTime::from_millis(3), ());
+        q.pop();
+        q.cancel(a); // popped: no-op
+        q.cancel(b); // queued: counts
+        q.cancel(b); // idempotent
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        q.cancel(c);
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -1,0 +1,505 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, integer and float range
+//! strategies, tuple strategies, `prop::collection::vec`,
+//! `prop::sample::{select, Index}`, `any` for primitives, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case number and the
+//!   per-test RNG seed; re-running reproduces it exactly (generation is
+//!   deterministic per test name).
+//! * Case count defaults to 256 and can be overridden globally with the
+//!   `PROPTEST_CASES` environment variable (smaller of the two wins so
+//!   heavy suites can be capped in CI).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic split-mix-based RNG driving all generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded directly.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test's name so every run
+    /// of the suite generates identical cases.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift rejection-free mapping; bias is irrelevant here.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let x = self.start as f64
+                    + rng.unit_f64() * (self.end as f64 - self.start as f64);
+                x as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+}
+
+/// String strategies are written as regexes in proptest; the stand-in
+/// supports the subset `[class]{m,n}` / `[class]` / literal characters,
+/// where a class contains literal characters and `a-z` style ranges.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let options: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated character class in strategy regex")
+                    + i;
+                let mut opts = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        for c in chars[j]..=chars[j + 2] {
+                            opts.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        opts.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                opts
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (lo, hi) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition in strategy regex")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                    None => {
+                        let n: usize = body.parse().unwrap();
+                        (n, n)
+                    }
+                };
+                i = close + 1;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..len {
+                out.push(options[rng.below(options.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specification accepted by [`vec`].
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// An index into a collection of yet-unknown length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a concrete collection length.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+
+    /// Strategy choosing uniformly among fixed options.
+    pub struct Select<T>(Vec<T>);
+
+    /// `prop::sample::select(options)`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Runner configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Effective case count: the configured count, capped by `PROPTEST_CASES`
+/// when that environment variable is set.
+pub fn effective_cases(cfg: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        Some(env_cases) => cfg.cases.min(env_cases.max(1)),
+        None => cfg.cases,
+    }
+}
+
+/// The `proptest::prelude` namespace, mirroring the real crate.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestRng,
+    };
+
+    /// Mirror of the real prelude's `prop` module path.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Assert inside a property; panics (no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discard the current case when its inputs don't satisfy a precondition.
+/// Expands to a plain `continue` of the case loop generated by
+/// [`proptest!`], so it must be used at the top level of the test body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Define property tests. Supports the optional
+/// `#![proptest_config(expr)]` header and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = $crate::effective_cases(&config);
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let guard = $crate::CaseGuard::new(stringify!($name), case);
+                $body
+                guard.disarm();
+            }
+        }
+    )*};
+}
+
+/// Panic-context helper: reports which generated case failed, since the
+/// stand-in does not shrink.
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arm a guard for one case.
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CaseGuard {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    /// The case completed; do not report on drop.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest stand-in: property `{}` failed on case {} \
+                 (deterministic per test name; rerun reproduces it)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 5u32..17, y in -2.0f64..3.5) {
+            prop_assert!((5..17).contains(&x));
+            prop_assert!((-2.0..3.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn select_picks_an_option(x in prop::sample::select(vec![3u32, 5, 9])) {
+            prop_assert!([3u32, 5, 9].contains(&x));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = 0u64..1_000_000;
+        let mut a = TestRng::for_test("det");
+        let mut b = TestRng::for_test("det");
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

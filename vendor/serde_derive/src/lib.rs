@@ -1,0 +1,382 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` available
+//! offline). Supports the shapes this workspace uses: non-generic structs
+//! with named fields, tuple structs, and enums whose variants are unit,
+//! tuple, or struct-like. Generated code targets the `Value` data model of
+//! the local `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip leading `#[...]` attribute groups starting at `i`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split the tokens of a field/variant list on top-level commas, tracking
+/// angle-bracket depth so generic arguments don't split.
+fn split_top_level(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// Field names of a named-field list (the brace-group contents).
+fn named_fields(group: &[TokenTree]) -> Vec<String> {
+    split_top_level(group)
+        .iter()
+        .filter_map(|part| {
+            let i = skip_vis(part, skip_attrs(part, 0));
+            match part.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_shape_after_name(toks: &[TokenTree], i: usize) -> Shape {
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Tuple(split_top_level(&inner).len())
+        }
+        _ => Shape::Unit,
+    }
+}
+
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    split_top_level(group)
+        .iter()
+        .filter_map(|part| {
+            let i = skip_attrs(part, 0);
+            let TokenTree::Ident(id) = part.get(i)? else {
+                return None;
+            };
+            Some(Variant {
+                name: id.to_string(),
+                shape: parse_shape_after_name(part, i + 1),
+            })
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&toks, skip_attrs(&toks, 0));
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "the offline serde derive does not support generic types"
+        );
+    }
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            shape: parse_shape_after_name(&toks, i),
+        },
+        "enum" => {
+            let TokenTree::Group(g) = &toks[i] else {
+                panic!("expected enum body");
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(&g.stream().into_iter().collect::<Vec<_>>()),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn field_entries(fields: &[String], prefix: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&{prefix}{f}))"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// `impl Serialize` body for one shape given an expression prefix
+/// (`self.` for structs, bound names for enum variants).
+fn serialize_impl(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Map(::std::vec::Vec::new())".to_string(),
+                Shape::Named(fields) => format!(
+                    "::serde::Value::Map(::std::vec![{}])",
+                    field_entries(fields, "self.")
+                ),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let elems = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("::serde::Value::Seq(::std::vec![{elems}])")
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![(\
+                               ::std::string::String::from(\"{vn}\"), \
+                               ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|k| format!("f{k}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let elems = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![(\
+                                   ::std::string::String::from(\"{vn}\"), \
+                                   ::serde::Value::Seq(::std::vec![{elems}]))]),"
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = field_entries(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                                   ::std::string::String::from(\"{vn}\"), \
+                                   ::serde::Value::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} \
+                 }}"
+            )
+        }
+    }
+}
+
+fn named_from_map(type_path: &str, fields: &[String]) -> String {
+    let inits = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::get_field(map, \"{f}\")?)?")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{type_path} {{ {inits} }}")
+}
+
+fn tuple_from_seq(type_path: &str, n: usize) -> String {
+    let elems = (0..n)
+        .map(|k| {
+            format!(
+                "::serde::Deserialize::from_value(seq.get({k}).ok_or_else(|| \
+                 ::serde::Error::custom(\"sequence too short\"))?)?"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{type_path}({elems})")
+}
+
+fn deserialize_impl(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Named(fields) => format!(
+                    "let map = v.as_map().ok_or_else(|| \
+                       ::serde::Error::custom(\"expected map for {name}\"))?; \
+                     ::std::result::Result::Ok({})",
+                    named_from_map(name, fields)
+                ),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => format!(
+                    "let seq = v.as_seq().ok_or_else(|| \
+                       ::serde::Error::custom(\"expected sequence for {name}\"))?; \
+                     ::std::result::Result::Ok({})",
+                    tuple_from_seq(name, *n)
+                ),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    let path = format!("{name}::{vn}");
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({path}(\
+                               ::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        Shape::Tuple(n) => Some(format!(
+                            "\"{vn}\" => {{ let seq = payload.as_seq().ok_or_else(|| \
+                               ::serde::Error::custom(\"expected sequence\"))?; \
+                               ::std::result::Result::Ok({}) }},",
+                            tuple_from_seq(&path, *n)
+                        )),
+                        Shape::Named(fields) => Some(format!(
+                            "\"{vn}\" => {{ let map = payload.as_map().ok_or_else(|| \
+                               ::serde::Error::custom(\"expected map\"))?; \
+                               ::std::result::Result::Ok({}) }},",
+                            named_from_map(&path, fields)
+                        )),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::Error> {{ \
+                     match v {{ \
+                       ::serde::Value::Str(s) => match s.as_str() {{ \
+                         {unit_arms} \
+                         other => ::std::result::Result::Err(::serde::Error::custom( \
+                           ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                       }}, \
+                       ::serde::Value::Map(m) if m.len() == 1 => {{ \
+                         let (tag, payload) = &m[0]; \
+                         match tag.as_str() {{ \
+                           {data_arms} \
+                           other => ::std::result::Result::Err(::serde::Error::custom( \
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                         }} \
+                       }}, \
+                       _ => ::std::result::Result::Err(::serde::Error::custom( \
+                         \"expected string or single-entry map for {name}\")), \
+                     }} \
+                   }} \
+                 }}"
+            )
+        }
+    }
+}
+
+/// Derive the `Serialize` half of the offline serde data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    serialize_impl(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive the `Deserialize` half of the offline serde data model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    deserialize_impl(&parsed)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
