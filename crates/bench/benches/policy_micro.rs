@@ -88,16 +88,12 @@ fn bench_gps_oversubscription(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("reference", tasks),
-            &tasks,
-            |b, &tasks| {
-                b.iter(|| {
-                    let mut kernel = ReferenceGpsCpu::new(churn_params(10.0));
-                    black_box(run_churn(&mut kernel, tasks, 2_000))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("reference", tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let mut kernel = ReferenceGpsCpu::new(churn_params(10.0));
+                black_box(run_churn(&mut kernel, tasks, 2_000))
+            })
+        });
     }
     group.finish();
 }

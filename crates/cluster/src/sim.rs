@@ -8,10 +8,10 @@
 use crate::lb::LoadBalancer;
 use faas_invoker::{simulate_calls, NodeConfig, NodeMode, NodeResult};
 use faas_simcore::rng::Xoshiro256;
-use rayon::prelude::*;
 use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::sebs::{Catalogue, FuncId};
 use faas_workload::trace::{Call, CallId, CallKind};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of one cluster run.

@@ -383,7 +383,10 @@ impl GpsCpu {
         assert!(max_rate > 0.0, "max_rate must be positive");
         self.advance(now);
         self.generation += 1;
-        *self.sig_counts.entry(signature(weight, max_rate)).or_insert(0) += 1;
+        *self
+            .sig_counts
+            .entry(signature(weight, max_rate))
+            .or_insert(0) += 1;
         self.runnable += 1;
         let epoch = self.next_epoch;
         self.next_epoch += 1;
@@ -1003,7 +1006,10 @@ mod tests {
         assert!((cpu.remaining(a) - 3.0).abs() < 1e-9);
         // Heterogeneous task forces general mode.
         let c = cpu.add_task(t1, 1.0, 5.0, 1.0);
-        assert!((cpu.remaining(a) - 3.0).abs() < 1e-9, "settling is lossless");
+        assert!(
+            (cpu.remaining(a) - 3.0).abs() < 1e-9,
+            "settling is lossless"
+        );
         // Removing it re-enters uniform mode.
         let t2 = SimTime::from_secs(2);
         let res = cpu.remove_task(t2, c);

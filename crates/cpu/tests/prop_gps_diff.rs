@@ -97,8 +97,7 @@ impl Pair {
                     // finished-set comparison after the completion keeps the
                     // kernels in lockstep because tied tasks finish
                     // together.
-                    let tie = (self.reference.remaining(ida) - self.reference.remaining(idb))
-                        .abs()
+                    let tie = (self.reference.remaining(ida) - self.reference.remaining(idb)).abs()
                         < WORK_TOL;
                     assert!(
                         tie,

@@ -18,8 +18,10 @@
 //!            appendix 37-38)
 //!   ablations  Hyper-parameter sweeps beyond the paper
 //!   functions  Per-function fairness breakdown (SSII's view)
-//!   bench      GPS-kernel micro-benchmarks (virtual-time vs reference);
-//!              writes BENCH_gps.json for the perf trajectory
+//!   bench      GPS-kernel and event-queue micro-benchmarks (virtual-time
+//!              vs reference, indexed heap vs lazy queue); writes
+//!              BENCH_gps.json and BENCH_events.json for the perf
+//!              trajectory
 //!   run        Custom single configuration with per-call CSV trace:
 //!              run --cores C --intensity V --policy P [--seed S]
 //!   all      Everything above
@@ -28,7 +30,7 @@
 //! Results are also written as JSON under `--out` (default `results/`).
 
 use faas_experiments::{
-    ablations, bench_gps, custom, fig2, fig5, fig6, functions, grid, table1, Effort,
+    ablations, bench_events, bench_gps, custom, fig2, fig5, fig6, functions, grid, table1, Effort,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -151,6 +153,9 @@ fn run_bench(opts: &Opts) {
     let entries = bench_gps::run();
     println!("{}", bench_gps::render(&entries));
     save(opts, "BENCH_gps.json", &entries);
+    let events = bench_events::run();
+    println!("{}", bench_events::render(&events));
+    save(opts, "BENCH_events.json", &events);
 }
 
 fn run_fig5(opts: &Opts) {

@@ -22,6 +22,7 @@
 //! bit-for-bit reproducible from the seed set.
 
 pub mod ablations;
+pub mod bench_events;
 pub mod bench_gps;
 pub mod custom;
 pub mod fig2;

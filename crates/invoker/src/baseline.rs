@@ -26,7 +26,7 @@ use crate::pool::{ContainerId, ContainerPool};
 use crate::result::NodeResult;
 use faas_cpu::{GpsCpu, GpsParams, TaskId};
 use faas_simcore::dist::Sampler;
-use faas_simcore::events::EventQueue;
+use faas_simcore::events::{EventHandle, EventQueue};
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::sebs::Catalogue;
@@ -38,9 +38,10 @@ use std::collections::VecDeque;
 enum Ev {
     /// A call reaches the invoker.
     Arrive(u32),
-    /// Some GPS task may have completed; valid only for the stored
-    /// generation.
-    GpsTick(u64),
+    /// The earliest GPS task completion is due. There is at most one live
+    /// tick at any time: membership changes move it in place via
+    /// [`EventQueue::reschedule`].
+    GpsTick,
     /// A call's I/O phase finishes.
     IoDone(u32),
     /// A call's container finishes post-response cleanup.
@@ -101,6 +102,10 @@ struct Sim<'a> {
     peak_leased: usize,
     measured_snapshot: Option<crate::pool::PoolStats>,
     last_completion: SimTime,
+    peak_events: usize,
+    /// The one pending [`Ev::GpsTick`], rescheduled in place on every GPS
+    /// membership change instead of abandoning stale copies in the queue.
+    tick: Option<EventHandle>,
     /// Reused buffer for completion collection: the GPS tick is the hottest
     /// event, and `finished_tasks_into` keeps it allocation-free.
     finished_scratch: Vec<TaskId>,
@@ -150,6 +155,8 @@ pub fn simulate(
         peak_leased: 0,
         measured_snapshot: None,
         last_completion: SimTime::ZERO,
+        peak_events: 0,
+        tick: None,
         finished_scratch: Vec::new(),
     };
 
@@ -184,16 +191,21 @@ pub fn simulate(
         total_pool_stats: total_stats,
         peak_queue: sim.peak_queue,
         peak_concurrency: sim.peak_leased,
+        peak_events: sim.peak_events,
         last_completion: sim.last_completion,
     }
 }
 
 impl<'a> Sim<'a> {
     fn run(&mut self) {
-        while let Some((now, ev)) = self.events.pop() {
+        loop {
+            self.peak_events = self.peak_events.max(self.events.len());
+            let Some((now, ev)) = self.events.pop() else {
+                break;
+            };
             match ev {
                 Ev::Arrive(i) => self.on_arrive(now, i),
-                Ev::GpsTick(generation) => self.on_gps_tick(now, generation),
+                Ev::GpsTick => self.on_gps_tick(now),
                 Ev::IoDone(i) => self.on_io_done(now, i),
                 Ev::CleanupDone(i) => self.on_cleanup_done(now, i),
                 Ev::PrewarmReady => {
@@ -281,10 +293,9 @@ impl<'a> Sim<'a> {
         self.owners.insert(tid, Owner::Exec(i));
     }
 
-    fn on_gps_tick(&mut self, now: SimTime, generation: u64) {
-        if generation != self.cpu.generation() {
-            return; // stale tick
-        }
+    fn on_gps_tick(&mut self, now: SimTime) {
+        // The tick just fired; its handle is dead until rescheduled below.
+        self.tick = None;
         // Collect every task that finished by now (several can tie) into the
         // reused scratch buffer, snapshotting the set before membership
         // changes below can alter it.
@@ -364,12 +375,23 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// Schedule a tick at the next GPS completion for the current
-    /// generation. Earlier ticks for older generations become no-ops.
+    /// Keep the single tick event aligned with the next GPS completion:
+    /// moved in place when the completion time shifts, cancelled when the
+    /// bank drains. The queue never holds stale ticks.
     fn reschedule_tick(&mut self, now: SimTime) {
-        if let Some((_, at)) = self.cpu.next_completion(now) {
-            let generation = self.cpu.generation();
-            self.events.schedule(at.max(now), Ev::GpsTick(generation));
+        match self.cpu.next_completion(now) {
+            Some((_, at)) => {
+                let at = at.max(now);
+                match self.tick {
+                    Some(handle) => self.events.reschedule(handle, at),
+                    None => self.tick = Some(self.events.schedule(at, Ev::GpsTick)),
+                }
+            }
+            None => {
+                if let Some(handle) = self.tick.take() {
+                    self.events.cancel(handle);
+                }
+            }
         }
     }
 }

@@ -85,6 +85,7 @@ struct Sim<'a> {
     // so the reported counters cover only the measured phase (Fig. 2).
     measured_snapshot: Option<crate::pool::PoolStats>,
     last_completion: SimTime,
+    peak_events: usize,
 }
 
 /// Run the paper's node over `calls` (must be sorted by release time).
@@ -122,6 +123,7 @@ pub fn simulate(
         rng_cold,
         measured_snapshot: None,
         last_completion: SimTime::ZERO,
+        peak_events: 0,
     };
 
     for (idx, call) in calls.iter().enumerate() {
@@ -155,13 +157,18 @@ pub fn simulate(
         total_pool_stats: total_stats,
         peak_queue: sim.pending.peak_len(),
         peak_concurrency: sim.cores.peak_busy() as usize,
+        peak_events: sim.peak_events,
         last_completion: sim.last_completion,
     }
 }
 
 impl<'a> Sim<'a> {
     fn run(&mut self) {
-        while let Some((now, ev)) = self.events.pop() {
+        loop {
+            self.peak_events = self.peak_events.max(self.events.len());
+            let Some((now, ev)) = self.events.pop() else {
+                break;
+            };
             match ev {
                 Ev::Arrive(i) => self.on_arrive(now, i),
                 Ev::ExecDone(i) => self.on_exec_done(now, i),
@@ -263,8 +270,7 @@ impl<'a> Sim<'a> {
                     // module docs); exactly 1 at the paper's busy limit.
                     self.cpu_load += spec.cpu_fraction;
                     let slowdown = (self.cpu_load / self.cfg.cores as f64).max(1.0);
-                    let exec_secs =
-                        p * (spec.cpu_fraction * slowdown + (1.0 - spec.cpu_fraction));
+                    let exec_secs = p * (spec.cpu_fraction * slowdown + (1.0 - spec.cpu_fraction));
                     let exec_start = now + SimDuration::from_secs_f64(init_secs);
                     self.runtime[idx].exec_start = exec_start;
                     self.runtime[idx].processing = p;

@@ -19,6 +19,10 @@ pub struct NodeResult {
     pub peak_queue: usize,
     /// Largest number of simultaneously leased containers observed.
     pub peak_concurrency: usize,
+    /// Largest number of live entries in the simulator's event queue. This
+    /// is a simulator-health metric, not a modelled quantity: it bounds the
+    /// event heap's memory and guards against stale-event buildup.
+    pub peak_events: usize,
     /// Completion time of the last measured call.
     pub last_completion: SimTime,
 }
@@ -47,6 +51,7 @@ impl NodeResult {
         let mut total_pool_stats = PoolStats::default();
         let mut peak_queue = 0;
         let mut peak_concurrency = 0;
+        let mut peak_events = 0;
         let mut last_completion = SimTime::ZERO;
         for r in results {
             outcomes.extend(r.outcomes);
@@ -54,6 +59,7 @@ impl NodeResult {
             total_pool_stats = add_stats(total_pool_stats, r.total_pool_stats);
             peak_queue = peak_queue.max(r.peak_queue);
             peak_concurrency = peak_concurrency.max(r.peak_concurrency);
+            peak_events = peak_events.max(r.peak_events);
             last_completion = last_completion.max(r.last_completion);
         }
         outcomes.sort_by_key(|o| (o.release, o.id));
@@ -63,6 +69,7 @@ impl NodeResult {
             total_pool_stats,
             peak_queue,
             peak_concurrency,
+            peak_events,
             last_completion,
         }
     }
@@ -114,6 +121,7 @@ mod tests {
             total_pool_stats: PoolStats::default(),
             peak_queue: 3,
             peak_concurrency: 2,
+            peak_events: 5,
             last_completion: last,
         }
     }

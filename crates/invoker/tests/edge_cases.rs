@@ -218,3 +218,35 @@ fn empty_measured_phase_is_not_a_crash() {
     assert_eq!(r.measured_len(), 0);
     assert_eq!(r.measured_cold_starts(), 0);
 }
+
+#[test]
+fn event_queue_stays_bounded_by_live_tasks() {
+    // Regression for the stale-GpsTick pattern: the baseline invoker used
+    // to schedule a fresh generation-stamped tick on every arrival/IO/
+    // completion without cancelling the previous one, so every simulated
+    // event pushed a dead entry through the heap (plus hash-map traffic on
+    // the pop path). With the tick rescheduled in place, the queue can
+    // never hold more than the live events: the pre-scheduled arrivals,
+    // at most one IoDone/CleanupDone per leased container, at most one
+    // tick, and a handful of in-flight PrewarmReady events.
+    // (See also `reschedule_burst_keeps_len_bounded_by_live_events` in
+    // faas-simcore, which pins the thousands-of-dead-entries case at the
+    // queue level.)
+    let cat = catalogue();
+    let scenario = BurstScenario::standard(10, 90).generate(&cat, 42);
+    let calls = scenario.all_calls();
+    for mode in [
+        NodeMode::Baseline,
+        NodeMode::Scheduled(SchedulerConfig::paper(Policy::Fifo)),
+    ] {
+        let r = simulate_calls(&cat, &calls, &mode, &NodeConfig::paper(10), 42, 0);
+        let bound = calls.len() + 16;
+        assert!(
+            r.peak_events <= bound,
+            "event queue must stay O(live tasks) under {mode:?}: peak {} > bound {} (calls {})",
+            r.peak_events,
+            bound,
+            calls.len()
+        );
+    }
+}

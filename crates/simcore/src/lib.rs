@@ -16,7 +16,10 @@
 //!   log-normal (fitted from the 5th/50th/95th percentiles published in the
 //!   paper's Table I), uniform, exponential and deterministic.
 //! * [`events`] — a monotonic event queue ([`events::EventQueue`]) with a
-//!   stable tie-break, plus cancellable event handles.
+//!   stable tie-break, built on a slot-indexed binary heap: handles support
+//!   true O(log n) cancellation (entries are removed, not tombstoned) and
+//!   in-place reschedule, so queue memory is bounded by the live event
+//!   count even under cancellation-heavy workloads.
 //! * [`stats`] — percentile / box-plot / summary statistics used to aggregate
 //!   response times and stretch exactly the way the paper reports them.
 //!
@@ -32,7 +35,7 @@ pub mod stats;
 pub mod time;
 
 pub use dist::{Distribution, LogNormal, Sampler};
-pub use events::EventQueue;
+pub use events::{EventHandle, EventQueue};
 pub use rng::Xoshiro256;
 pub use stats::{Percentiles, Summary};
 pub use time::{SimDuration, SimTime};

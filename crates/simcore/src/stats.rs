@@ -36,6 +36,33 @@ pub fn sorted_copy(data: &[f64]) -> Vec<f64> {
     v
 }
 
+/// Compensated (Neumaier) summation: the running error of each addition is
+/// tracked and folded back in at the end, so the result is correct to one
+/// rounding of the true sum regardless of length or magnitude mix. The
+/// grid experiments average hundreds of thousands of response times; naive
+/// left-to-right summation loses small addends against the accumulated
+/// total.
+pub fn compensated_sum(data: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut compensation = 0.0;
+    for &x in data {
+        let t = sum + x;
+        compensation += if sum.abs() >= x.abs() {
+            (sum - t) + x
+        } else {
+            (x - t) + sum
+        };
+        sum = t;
+    }
+    sum + compensation
+}
+
+/// Arithmetic mean via [`compensated_sum`]. Panics on empty input.
+pub fn mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "mean of empty data");
+    compensated_sum(data) / data.len() as f64
+}
+
 /// The percentile set the paper's tables report.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Percentiles {
@@ -76,10 +103,9 @@ impl Summary {
     /// Compute a summary from data already sorted ascending.
     pub fn from_sorted(sorted: &[f64]) -> Summary {
         assert!(!sorted.is_empty(), "summary of empty data");
-        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         Summary {
             count: sorted.len(),
-            mean,
+            mean: mean(sorted),
             percentiles: Percentiles {
                 p25: percentile_sorted(sorted, 0.25),
                 p50: percentile_sorted(sorted, 0.50),
@@ -160,7 +186,7 @@ impl BoxPlot {
             median: percentile_sorted(sorted, 0.50),
             p75,
             whisker_hi,
-            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            mean: mean(sorted),
             outliers,
         }
     }
@@ -310,11 +336,67 @@ mod tests {
 
     #[test]
     fn boxplot_constant_data() {
+        // All-equal data: IQR is zero, both fences coincide with the value,
+        // whiskers collapse onto the hinges, nothing is an outlier.
         let b = BoxPlot::from_data(&[5.0; 10]);
         assert_eq!(b.median, 5.0);
+        assert_eq!(b.p25, 5.0);
+        assert_eq!(b.p75, 5.0);
         assert_eq!(b.whisker_lo, 5.0);
         assert_eq!(b.whisker_hi, 5.0);
+        assert_eq!(b.mean, 5.0);
         assert_eq!(b.outliers, 0);
+    }
+
+    #[test]
+    fn boxplot_single_element() {
+        // Degenerate but legal (a grid cell with one observation): every
+        // statistic collapses onto that observation.
+        let b = BoxPlot::from_sorted(&[7.25]);
+        assert_eq!(b.whisker_lo, 7.25);
+        assert_eq!(b.p25, 7.25);
+        assert_eq!(b.median, 7.25);
+        assert_eq!(b.p75, 7.25);
+        assert_eq!(b.whisker_hi, 7.25);
+        assert_eq!(b.mean, 7.25);
+        assert_eq!(b.outliers, 0);
+    }
+
+    #[test]
+    fn mean_survives_catastrophic_cancellation() {
+        // Regression: the naive left-to-right sum of the sorted data
+        // [-1e16, 1.0, 1e16] loses the 1.0 entirely (-1e16 + 1.0 == -1e16
+        // in f64) and reports a mean of 0. Compensated summation recovers
+        // the exact sum of 1.0.
+        let s = Summary::from_data(&[1e16, 1.0, -1e16]);
+        assert_eq!(s.mean, 1.0 / 3.0);
+        let b = BoxPlot::from_data(&[1e16, 1.0, -1e16]);
+        assert_eq!(b.mean, 1.0 / 3.0);
+    }
+
+    #[test]
+    fn mean_of_many_small_values_is_exact() {
+        // Regression: summing 1e6 copies of 0.1 naively accumulates ~1e-11
+        // of rounding drift against ulp-of-100000-sized addend steps; the
+        // compensated sum keeps the mean within one rounding of 0.1.
+        let data = vec![0.1; 1_000_000];
+        let s = Summary::from_sorted(&data);
+        assert!(
+            (s.mean - 0.1).abs() < 1e-15,
+            "mean drifted to {:.17}",
+            s.mean
+        );
+        assert_eq!(s.count, 1_000_000);
+        assert_eq!(s.min, 0.1);
+        assert_eq!(s.max, 0.1);
+    }
+
+    #[test]
+    fn compensated_sum_matches_naive_on_benign_data() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 0.25).collect();
+        let naive: f64 = data.iter().sum();
+        assert!((compensated_sum(&data) - naive).abs() < 1e-9);
+        assert_eq!(compensated_sum(&[]), 0.0);
     }
 
     #[test]

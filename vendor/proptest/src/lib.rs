@@ -68,6 +68,67 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (mirrors proptest's `prop_map`;
+    /// the stand-in maps eagerly since it never shrinks).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy yielding one fixed value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`]. Arms
+/// are unweighted — repeat an arm to bias the draw.
+pub struct Union<T>(Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Union<T> {
+    /// A union of the given options (at least one).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len() as u64) as usize].generate(rng)
+    }
+}
+
+/// Box a strategy for [`Union`] (helper for the `prop_oneof!` expansion).
+pub fn boxed_strategy<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
 }
 
 macro_rules! int_range_strategy {
@@ -353,14 +414,23 @@ pub fn effective_cases(cfg: &ProptestConfig) -> u32 {
 /// The `proptest::prelude` namespace, mirroring the real crate.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        ProptestConfig, Strategy, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestRng,
     };
 
     /// Mirror of the real prelude's `prop` module path.
     pub mod prop {
         pub use crate::{collection, sample};
     }
+}
+
+/// Uniform choice among strategies producing one value type. Supports the
+/// unweighted arm form only; repeat arms to approximate weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($strategy)),+])
+    };
 }
 
 /// Assert inside a property; panics (no shrinking in the stand-in).
@@ -490,6 +560,16 @@ mod tests {
         #[test]
         fn select_picks_an_option(x in prop::sample::select(vec![3u32, 5, 9])) {
             prop_assert!([3u32, 5, 9].contains(&x));
+        }
+
+        #[test]
+        fn map_just_and_oneof_compose(
+            x in prop_oneof![
+                (0u32..10).prop_map(|n| n * 2),
+                Just(99u32),
+            ]
+        ) {
+            prop_assert!(x == 99 || (x % 2 == 0 && x < 20));
         }
     }
 

@@ -20,8 +20,14 @@ struct Variant {
 }
 
 enum Input {
-    Struct { name: String, shape: Shape },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Skip leading `#[...]` attribute groups starting at `i`.

@@ -151,7 +151,10 @@ impl<'a> Parser<'a> {
             self.pos += kw.len();
             Ok(())
         } else {
-            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
         }
     }
 
