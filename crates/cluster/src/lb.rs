@@ -140,4 +140,82 @@ mod tests {
             "11 functions should cover most of 4 nodes"
         );
     }
+
+    #[test]
+    fn function_hash_is_deterministic_across_runs() {
+        let cs = calls(257);
+        for nodes in [2u16, 3, 8] {
+            let a = LoadBalancer::FunctionHash.assign(&cs, nodes);
+            let b = LoadBalancer::FunctionHash.assign(&cs, nodes);
+            assert_eq!(a, b, "{nodes} nodes");
+        }
+    }
+
+    #[test]
+    fn home_node_load_is_balanced_over_many_functions() {
+        // With many functions no node should be the home of more than ~2x
+        // the mean share (the SplitMix scramble spreads consecutive ids).
+        for nodes in [4u16, 8, 16] {
+            let functions = 512u16;
+            let mut counts = vec![0usize; nodes as usize];
+            for f in 0..functions {
+                counts[home_node(FuncId(f), nodes) as usize] += 1;
+            }
+            let mean = functions as usize / nodes as usize;
+            for (node, &c) in counts.iter().enumerate() {
+                assert!(
+                    c <= 2 * mean,
+                    "{nodes} nodes: node {node} is home to {c} functions (mean {mean})"
+                );
+                assert!(c > 0, "{nodes} nodes: node {node} is home to nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_rotates_in_order_from_home() {
+        // Successive calls of one function must visit home, home+1, ...,
+        // wrapping around the ring — the sharding balancer's overflow order.
+        let func = FuncId(3);
+        let nodes = 5u16;
+        let cs: Vec<Call> = (0..12)
+            .map(|i| Call {
+                id: CallId(i as u32),
+                func,
+                release: SimTime::from_millis(i as u64),
+                kind: CallKind::Measured,
+            })
+            .collect();
+        let assign = LoadBalancer::FunctionHash.assign(&cs, nodes);
+        let home = home_node(func, nodes);
+        let expected: Vec<u16> = (0..12).map(|k| (home + k as u16) % nodes).collect();
+        assert_eq!(assign, expected);
+    }
+
+    #[test]
+    fn interleaved_functions_keep_independent_rotations() {
+        // Two functions interleaved in arrival order: each one's rotation
+        // advances only on its own calls.
+        let nodes = 4u16;
+        let cs: Vec<Call> = (0..8)
+            .map(|i| Call {
+                id: CallId(i as u32),
+                func: FuncId((i % 2) as u16),
+                release: SimTime::from_millis(i as u64),
+                kind: CallKind::Measured,
+            })
+            .collect();
+        let assign = LoadBalancer::FunctionHash.assign(&cs, nodes);
+        for f in 0..2u16 {
+            let seq: Vec<u16> = cs
+                .iter()
+                .zip(&assign)
+                .filter(|(c, _)| c.func == FuncId(f))
+                .map(|(_, &n)| n)
+                .collect();
+            let home = home_node(FuncId(f), nodes);
+            let expected: Vec<u16> = (0..seq.len() as u16).map(|k| (home + k) % nodes).collect();
+            assert_eq!(seq, expected, "function {f}");
+        }
+    }
 }

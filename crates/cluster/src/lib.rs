@@ -10,9 +10,15 @@
 //! exactly: (1) assign every measured call to a node with the load-balancer
 //! policy; (2) run one single-node simulation per worker (with its own
 //! warm-up, as the paper warms all workers); (3) merge the outcomes.
+//!
+//! Two scenario paths feed the engine: [`sim::run_cluster`] replays a
+//! materialized [`sim::ClusterScenario`] (the paper's fixed shared burst),
+//! and [`sim::run_cluster_streamed`] lets every node stream its own slice
+//! of a [`faas_workload::WorkloadSpec`] straight from the sharded
+//! generator — no shared call vector, no serialized assignment.
 
 pub mod lb;
 pub mod sim;
 
 pub use lb::LoadBalancer;
-pub use sim::{run_cluster, ClusterConfig, ClusterScenario};
+pub use sim::{run_cluster, run_cluster_streamed, ClusterConfig, ClusterScenario};

@@ -9,8 +9,12 @@ use crate::lb::LoadBalancer;
 use faas_invoker::{simulate_calls, NodeConfig, NodeMode, NodeResult};
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
+use faas_workload::arrival::ArrivalSpec;
+use faas_workload::generate::{ShardedGenerator, WorkloadSpec};
+use faas_workload::mix::MixSpec;
+use faas_workload::scenario::{warmup_calls_for_waves, warmup_waves as warmup_waves_for};
 use faas_workload::sebs::{Catalogue, FuncId};
-use faas_workload::trace::{Call, CallId, CallKind};
+use faas_workload::trace::Call;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -39,10 +43,24 @@ pub struct ClusterScenario {
     warmup_waves: Vec<(FuncId, SimTime)>,
 }
 
+/// Per-node simulation seeds, derived sequentially in node order so the
+/// RNG stream order is fixed regardless of how the node loop is scheduled.
+fn node_seeds(seed: u64, nodes: u16) -> Vec<(u16, u64)> {
+    let mut root = Xoshiro256::seed_from_u64(seed ^ 0xC1u64.rotate_left(32));
+    (0..nodes)
+        .map(|node| (node, root.derive_stream(node as u64).next_u64()))
+        .collect()
+}
+
 impl ClusterScenario {
     /// Generate the paper's fixed-total-load burst: `per_function` calls of
     /// each function, uniform over `window`, preceded by per-node warm-up
     /// waves of `cores` parallel calls per function.
+    ///
+    /// A thin adapter over the workload subsystem
+    /// ([`WorkloadSpec::generate_sorted`] with uniform arrivals and the
+    /// equal split), bit-for-bit identical to the pre-subsystem generator
+    /// (pinned below).
     pub fn generate(
         catalogue: &Catalogue,
         per_function: usize,
@@ -54,42 +72,17 @@ impl ClusterScenario {
         let mut rng_times = root.derive_stream(0xC101);
         let mut rng_assign = root.derive_stream(0xC102);
 
-        // Warm-up waves: the wave *times* are shared; each node issues its
-        // own `cores` parallel calls at each wave.
-        let mut warmup_waves = Vec::with_capacity(catalogue.len());
-        let mut wave_start = SimTime::ZERO;
-        for func in catalogue.ids() {
-            warmup_waves.push((func, wave_start));
-            wave_start += SimDuration::from_secs(12);
-        }
-        let burst_start = wave_start + SimDuration::from_secs(5);
-
-        let total = per_function * catalogue.len();
-        let mut funcs: Vec<FuncId> = Vec::with_capacity(total);
-        for func in catalogue.ids() {
-            funcs.extend(std::iter::repeat_n(func, per_function));
-        }
-        rng_assign.shuffle(&mut funcs);
-        let mut times: Vec<SimTime> = (0..total)
-            .map(|_| {
-                burst_start
-                    + SimDuration::from_secs_f64(rng_times.uniform_f64(0.0, window.as_secs_f64()))
-            })
-            .collect();
-        times.sort_unstable();
-
-        let burst: Vec<Call> = times
-            .into_iter()
-            .zip(funcs)
-            .enumerate()
-            .map(|(i, (release, func))| Call {
-                id: CallId(i as u32),
-                func,
-                release,
-                kind: CallKind::Measured,
-            })
-            .collect();
-        let _ = cores; // cores shapes only the per-node warm-up, added below.
+        let (warmup_waves, burst_start) = warmup_waves_for(catalogue);
+        let spec = WorkloadSpec {
+            arrival: ArrivalSpec::Uniform {
+                count: per_function * catalogue.len(),
+            },
+            mix: MixSpec::Equal,
+            window,
+        };
+        let burst =
+            spec.generate_sorted(catalogue, burst_start, &mut rng_times, &mut rng_assign, 0);
+        let _ = cores; // cores shapes only the per-node warm-up.
 
         ClusterScenario {
             burst,
@@ -102,20 +95,7 @@ impl ClusterScenario {
     /// The warm-up calls one node issues (with ids offset to stay unique
     /// within that node's simulation).
     fn node_warmup(&self, cores: u32, id_base: u32) -> Vec<Call> {
-        let mut calls = Vec::with_capacity(self.warmup_waves.len() * cores as usize);
-        let mut next = id_base;
-        for &(func, at) in &self.warmup_waves {
-            for _ in 0..cores {
-                calls.push(Call {
-                    id: CallId(next),
-                    func,
-                    release: at,
-                    kind: CallKind::Warmup,
-                });
-                next += 1;
-            }
-        }
-        calls
+        warmup_calls_for_waves(&self.warmup_waves, cores, id_base)
     }
 }
 
@@ -134,7 +114,6 @@ pub fn run_cluster(
     seed: u64,
 ) -> NodeResult {
     let assignment = cfg.lb.assign(&scenario.burst, cfg.nodes);
-    let mut root = Xoshiro256::seed_from_u64(seed ^ 0xC1u64.rotate_left(32));
     // Warm-up ids start above the burst ids so each node's call list has
     // unique ids.
     let id_base = scenario.burst.len() as u32;
@@ -143,9 +122,7 @@ pub fn run_cluster(
     // RNG stream in node order); the per-node call lists are deterministic
     // functions of the scenario, so they are built inside the parallel
     // closure — one node's list is alive per worker, not all at once.
-    let seeds: Vec<(u16, u64)> = (0..cfg.nodes)
-        .map(|node| (node, root.derive_stream(node as u64).next_u64()))
-        .collect();
+    let seeds = node_seeds(seed, cfg.nodes);
 
     let results: Vec<NodeResult> = seeds
         .par_iter()
@@ -164,6 +141,63 @@ pub fn run_cluster(
         })
         .collect();
     NodeResult::merge(results)
+}
+
+/// Run a cluster experiment with *streamed* scenario generation: each node
+/// generates its own slice of the burst directly from the sharded
+/// generator, so no shared `Vec<Call>` is materialized and scenario
+/// assignment never serializes — the path that keeps clusters with
+/// hundreds of nodes busy.
+///
+/// Under [`LoadBalancer::RoundRobin`] node `k` takes every `nodes`-th call
+/// by generation index (a stride of the counter-based index space — the
+/// streamed equivalent of rotation in arrival order). Per-function
+/// rotation ([`LoadBalancer::FunctionHash`]) needs the global arrival
+/// order, so that policy falls back to materializing the burst (still
+/// generated in parallel chunks) and running the assignment path of
+/// [`run_cluster`].
+///
+/// `scenario_seed` fixes the generated workload, `sim_seed` the per-node
+/// service/cold-start draws — mirroring the `(scenario, seed)` split of
+/// [`run_cluster`]. Fully deterministic in both.
+pub fn run_cluster_streamed(
+    catalogue: &Catalogue,
+    spec: &WorkloadSpec,
+    mode: &NodeMode,
+    cfg: &ClusterConfig,
+    scenario_seed: u64,
+    sim_seed: u64,
+) -> NodeResult {
+    let (warmup_waves, burst_start) = warmup_waves_for(catalogue);
+    let generator = ShardedGenerator::new(spec, catalogue, burst_start, scenario_seed);
+
+    match cfg.lb {
+        LoadBalancer::RoundRobin => {
+            let id_base = generator.len() as u32;
+            let seeds = node_seeds(sim_seed, cfg.nodes);
+            let results: Vec<NodeResult> = seeds
+                .par_iter()
+                .map(|&(node, node_seed)| {
+                    let mut calls = warmup_calls_for_waves(&warmup_waves, cfg.node.cores, id_base);
+                    calls.extend(generator.iter_stride(node as u64, cfg.nodes as u64));
+                    calls.sort_by_key(|c| (c.release, c.id));
+                    simulate_calls(catalogue, &calls, mode, &cfg.node, node_seed, node)
+                })
+                .collect();
+            NodeResult::merge(results)
+        }
+        LoadBalancer::FunctionHash => {
+            let mut burst = generator.generate_parallel();
+            burst.sort_by_key(|c| (c.release, c.id));
+            let scenario = ClusterScenario {
+                burst,
+                burst_start,
+                burst_window: spec.window,
+                warmup_waves,
+            };
+            run_cluster(catalogue, &scenario, mode, cfg, sim_seed)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +325,142 @@ mod tests {
         let a = run_cluster(&cat, &sc, &NodeMode::Baseline, &cfg, 10);
         let b = run_cluster(&cat, &sc, &NodeMode::Baseline, &cfg, 10);
         assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    /// FNV-1a over little-endian u64 words (regression pinning).
+    fn fnv1a(acc: &mut u64, x: u64) {
+        for b in x.to_le_bytes() {
+            *acc = (*acc ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[test]
+    fn cluster_scenarios_are_bit_identical_to_pre_subsystem_generator() {
+        // Digests computed from the pre-`faas-workload`-subsystem generator;
+        // `ClusterScenario::generate` is now an adapter and must reproduce
+        // the original burst, warm-up waves and window bit for bit.
+        let cat = catalogue();
+        let digests: Vec<u64> = [101u64, 202, 303, 404, 505]
+            .iter()
+            .map(|&seed| {
+                let sc = ClusterScenario::generate(&cat, 120, 10, SimDuration::from_secs(60), seed);
+                let mut acc = 0xcbf2_9ce4_8422_2325u64;
+                fnv1a(&mut acc, sc.burst_start.as_nanos());
+                fnv1a(&mut acc, sc.burst_window.as_nanos());
+                for &(func, at) in &sc.warmup_waves {
+                    fnv1a(&mut acc, func.0 as u64);
+                    fnv1a(&mut acc, at.as_nanos());
+                }
+                for call in &sc.burst {
+                    fnv1a(&mut acc, call.id.0 as u64);
+                    fnv1a(&mut acc, call.func.0 as u64);
+                    fnv1a(&mut acc, call.release.as_nanos());
+                }
+                acc
+            })
+            .collect();
+        let pinned: Vec<u64> = vec![
+            17028776068084473943,
+            17273010920469456298,
+            16964004179114674755,
+            12243102530036631855,
+            5828814471167295050,
+        ];
+        assert_eq!(digests, pinned, "pinned cluster digests");
+    }
+
+    fn streamed_spec(count: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            arrival: ArrivalSpec::Uniform { count },
+            mix: MixSpec::Equal,
+            window: SimDuration::from_secs(60),
+        }
+    }
+
+    #[test]
+    fn streamed_round_robin_serves_every_call_once() {
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 3,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::RoundRobin,
+        };
+        let r = run_cluster_streamed(&cat, &streamed_spec(132), &NodeMode::Baseline, &cfg, 1, 2);
+        let measured: Vec<_> = r.outcomes.iter().filter(|o| o.is_measured()).collect();
+        assert_eq!(measured.len(), 132);
+        let mut ids: Vec<u32> = measured.iter().map(|o| o.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 132, "no duplicates");
+        // Stride assignment balances nodes exactly (132 = 3 x 44).
+        for node in 0..3u16 {
+            let n = measured.iter().filter(|o| o.node == node).count();
+            assert_eq!(n, 44, "node {node}");
+        }
+    }
+
+    #[test]
+    fn streamed_is_deterministic() {
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::RoundRobin,
+        };
+        let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice));
+        let a = run_cluster_streamed(&cat, &streamed_spec(66), &mode, &cfg, 3, 4);
+        let b = run_cluster_streamed(&cat, &streamed_spec(66), &mode, &cfg, 3, 4);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn streamed_function_hash_falls_back_to_materialized_assignment() {
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::FunctionHash,
+        };
+        let r = run_cluster_streamed(&cat, &streamed_spec(66), &NodeMode::Baseline, &cfg, 5, 6);
+        let measured = r.outcomes.iter().filter(|o| o.is_measured()).count();
+        assert_eq!(measured, 66);
+        let nodes: std::collections::BTreeSet<u16> = r
+            .outcomes
+            .iter()
+            .filter(|o| o.is_measured())
+            .map(|o| o.node)
+            .collect();
+        assert_eq!(nodes.len(), 2, "both nodes serve traffic");
+    }
+
+    #[test]
+    fn streamed_scenario_seed_changes_workload_sim_seed_does_not() {
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::RoundRobin,
+        };
+        let releases = |scen: u64, sim: u64| -> Vec<u64> {
+            let r = run_cluster_streamed(
+                &cat,
+                &streamed_spec(66),
+                &NodeMode::Baseline,
+                &cfg,
+                scen,
+                sim,
+            );
+            let mut v: Vec<u64> = r
+                .outcomes
+                .iter()
+                .filter(|o| o.is_measured())
+                .map(|o| o.release.as_nanos())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(releases(1, 2), releases(1, 3), "sim seed leaves workload");
+        assert_ne!(releases(1, 2), releases(9, 2), "scenario seed changes it");
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //!            appendix 37-38)
 //!   ablations  Hyper-parameter sweeps beyond the paper
 //!   functions  Per-function fairness breakdown (SSII's view)
-//!   bench      GPS-kernel and event-queue micro-benchmarks (virtual-time
-//!              vs reference, indexed heap vs lazy queue); writes
-//!              BENCH_gps.json and BENCH_events.json for the perf
+//!   sweep      Workload sweep: arrival process x function mix x strategy
+//!              (uniform/Poisson/MMPP/diurnal x equal/fairness/Zipf), with
+//!              per-combination sim-health columns
+//!   bench      GPS-kernel, event-queue and workload-generation
+//!              micro-benchmarks; writes BENCH_gps.json,
+//!              BENCH_events.json and BENCH_workload.json for the perf
 //!              trajectory
 //!   run        Custom single configuration with per-call CSV trace:
 //!              run --cores C --intensity V --policy P [--seed S]
@@ -30,7 +33,8 @@
 //! Results are also written as JSON under `--out` (default `results/`).
 
 use faas_experiments::{
-    ablations, bench_events, bench_gps, custom, fig2, fig5, fig6, functions, grid, table1, Effort,
+    ablations, bench_events, bench_gps, bench_workload, custom, fig2, fig5, fig6, functions, grid,
+    sweep, table1, Effort,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -43,7 +47,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|bench|run|all> \
+        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|sweep|bench|run|all> \
          [--quick] [--seeds N] [--out DIR] [--per-seed]"
     );
     std::process::exit(2);
@@ -96,6 +100,7 @@ fn main() {
         "fig6" => run_fig6(&opts),
         "ablations" => run_ablations(&opts),
         "functions" => run_functions(&opts),
+        "sweep" => run_sweep(&opts),
         "bench" => run_bench(&opts),
         "all" => {
             run_table1(&opts);
@@ -105,6 +110,7 @@ fn main() {
             run_fig6(&opts);
             run_ablations(&opts);
             run_functions(&opts);
+            run_sweep(&opts);
             run_bench(&opts);
         }
         _ => usage(),
@@ -156,6 +162,15 @@ fn run_bench(opts: &Opts) {
     let events = bench_events::run();
     println!("{}", bench_events::render(&events));
     save(opts, "BENCH_events.json", &events);
+    let workload = bench_workload::run();
+    println!("{}", bench_workload::render(&workload));
+    save(opts, "BENCH_workload.json", &workload);
+}
+
+fn run_sweep(opts: &Opts) {
+    let result = sweep::run(opts.effort);
+    println!("{}", sweep::render(&result));
+    save(opts, "sweep.json", &result);
 }
 
 fn run_fig5(opts: &Opts) {

@@ -35,6 +35,10 @@ pub struct Fig6Row {
     pub max_completion: f64,
     /// Per-seed average response times (Table VI granularity).
     pub per_seed_avg: Vec<f64>,
+    /// Sim health: largest pending-queue length over all nodes and seeds.
+    pub peak_queue: usize,
+    /// Sim health: largest live event-heap size over all nodes and seeds.
+    pub peak_events: usize,
 }
 
 /// The multi-node result set.
@@ -93,6 +97,8 @@ pub fn run(effort: Effort) -> Fig6Result {
             let mut pooled: Vec<f64> = Vec::new();
             let mut per_seed_avg = Vec::new();
             let mut max_completion: f64 = 0.0;
+            let mut peak_queue = 0usize;
+            let mut peak_events = 0usize;
             for &seed in seeds {
                 let scenario = ClusterScenario::generate(
                     &catalogue,
@@ -115,6 +121,8 @@ pub fn run(effort: Effort) -> Fig6Result {
                         .saturating_since(scenario.burst_start)
                         .as_secs_f64(),
                 );
+                peak_queue = peak_queue.max(result.peak_queue);
+                peak_events = peak_events.max(result.peak_events);
                 pooled.extend(resp);
             }
             // The per-core intensity the paper quotes: the 4-node setup is
@@ -128,6 +136,8 @@ pub fn run(effort: Effort) -> Fig6Result {
                 response: MetricSummary::from_values(&pooled),
                 max_completion,
                 per_seed_avg,
+                peak_queue,
+                peak_events,
             }
         })
         .collect();
@@ -151,6 +161,8 @@ pub fn render(result: &Fig6Result) -> String {
         "paper",
         "max c",
         "paper",
+        "peakQ",
+        "peakEv",
     ]);
     for r in &result.rows {
         let paper = compare::table5(r.nodes as u32, r.cpus_per_node, r.strategy);
@@ -171,6 +183,8 @@ pub fn render(result: &Fig6Result) -> String {
             pick(|p| p.r_p99),
             fmt_secs(r.max_completion),
             pick(|p| p.max_c),
+            r.peak_queue.to_string(),
+            r.peak_events.to_string(),
         ]);
     }
     let mut out = format!(

@@ -18,7 +18,7 @@ use crate::Effort;
 use faas_core::{Policy, SchedulerConfig};
 use faas_invoker::{simulate_scenario, NodeConfig, NodeMode};
 use faas_metrics::compare::{self, Strategy};
-use faas_metrics::summary::{response_times, stretches, MetricSummary, RunSummary};
+use faas_metrics::summary::{response_times_into, stretches_into, MetricSummary, RunSummary};
 use faas_metrics::table::{fmt_ratio, fmt_secs, TextTable};
 use faas_simcore::stats::BoxPlot;
 use faas_workload::scenario::BurstScenario;
@@ -62,6 +62,12 @@ pub struct SeedRun {
     pub stretch_box: BoxPlot,
     /// Measured-phase cold starts.
     pub cold_starts: usize,
+    /// Measured calls generated for this repetition.
+    pub calls: usize,
+    /// Sim health: largest pending-queue length observed.
+    pub peak_queue: usize,
+    /// Sim health: largest live event-heap size observed.
+    pub peak_events: usize,
 }
 
 /// All runs of one (cores, intensity, strategy) cell.
@@ -141,12 +147,20 @@ pub fn run(effort: Effort) -> GridResult {
         })
         .collect();
 
+    struct StrategyRun {
+        strategy: Strategy,
+        outcomes: Vec<CallOutcome>,
+        cold_starts: usize,
+        peak_queue: usize,
+        peak_events: usize,
+    }
+
     struct TaskOut {
         cpus: u32,
         intensity: u32,
         seed: u64,
-        // Outcomes per strategy, plus burst start for completion anchoring.
-        runs: Vec<(Strategy, Vec<CallOutcome>, usize)>,
+        // One run per strategy, plus burst start for completion anchoring.
+        runs: Vec<StrategyRun>,
         burst_start: faas_simcore::time::SimTime,
     }
 
@@ -160,9 +174,13 @@ pub fn run(effort: Effort) -> GridResult {
                 .map(|&strategy| {
                     let result =
                         simulate_scenario(&catalogue, &scenario, &mode_for(strategy), &cfg, seed);
-                    let cold = result.measured_cold_starts();
-                    let outcomes: Vec<CallOutcome> = result.measured().copied().collect();
-                    (strategy, outcomes, cold)
+                    StrategyRun {
+                        strategy,
+                        cold_starts: result.measured_cold_starts(),
+                        peak_queue: result.peak_queue,
+                        peak_events: result.peak_events,
+                        outcomes: result.measured().copied().collect(),
+                    }
                 })
                 .collect();
             TaskOut {
@@ -175,8 +193,12 @@ pub fn run(effort: Effort) -> GridResult {
         })
         .collect();
 
-    // Reduce into cells.
+    // Reduce into cells. The scratch buffers are reused across every run
+    // (zero steady-state allocation; the grid reduces thousands of runs).
     let mut cells = Vec::new();
+    let mut refs: Vec<&CallOutcome> = Vec::new();
+    let mut resp: Vec<f64> = Vec::new();
+    let mut stretch: Vec<f64> = Vec::new();
     for &cpus in &cpu_axis {
         for &intensity in &intensity_axis {
             for &strategy in &STRATEGIES {
@@ -188,25 +210,29 @@ pub fn run(effort: Effort) -> GridResult {
                     .iter()
                     .filter(|o| o.cpus == cpus && o.intensity == intensity)
                 {
-                    let (_, outcomes, cold) = out
+                    let run = out
                         .runs
                         .iter()
-                        .find(|(s, _, _)| *s == strategy)
+                        .find(|r| r.strategy == strategy)
                         .expect("every strategy runs");
-                    let refs: Vec<&CallOutcome> = outcomes.iter().collect();
+                    refs.clear();
+                    refs.extend(run.outcomes.iter());
                     let summary = RunSummary::from_outcomes(&refs, &catalogue, out.burst_start);
-                    let resp = response_times(&refs);
-                    let stretch = stretches(&refs, &catalogue);
+                    response_times_into(&refs, &mut resp);
+                    stretches_into(&refs, &catalogue, &mut stretch);
                     per_seed.push(SeedRun {
                         seed: out.seed,
                         summary,
                         response_box: BoxPlot::from_data(&resp),
                         stretch_box: BoxPlot::from_data(&stretch),
-                        cold_starts: *cold,
+                        cold_starts: run.cold_starts,
+                        calls: run.outcomes.len(),
+                        peak_queue: run.peak_queue,
+                        peak_events: run.peak_events,
                     });
                     pooled_max_c = pooled_max_c.max(summary.max_completion);
-                    pooled_resp.extend(resp);
-                    pooled_stretch.extend(stretch);
+                    pooled_resp.extend_from_slice(&resp);
+                    pooled_stretch.extend_from_slice(&stretch);
                 }
                 let pooled = RunSummary {
                     response: MetricSummary::from_values(&pooled_resp),
@@ -268,7 +294,8 @@ pub fn render_table3(grid: &GridResult) -> String {
     )
 }
 
-/// Render Table IV (per-seed statistics).
+/// Render Table IV (per-seed statistics, with a per-run sim-health view:
+/// calls generated, peak pending queue, peak live event-heap size).
 pub fn render_table4(grid: &GridResult) -> String {
     let mut t = TextTable::new([
         "CPUs/int/strategy/seed",
@@ -280,6 +307,9 @@ pub fn render_table4(grid: &GridResult) -> String {
         "S avg",
         "S p50",
         "max c",
+        "calls",
+        "peakQ",
+        "peakEv",
     ]);
     for cell in &grid.cells {
         for run in &cell.per_seed {
@@ -299,6 +329,9 @@ pub fn render_table4(grid: &GridResult) -> String {
                 fmt_secs(run.summary.stretch.mean),
                 fmt_secs(run.summary.stretch.p50),
                 fmt_secs(run.summary.max_completion),
+                run.calls.to_string(),
+                run.peak_queue.to_string(),
+                run.peak_events.to_string(),
             ]);
         }
     }
@@ -434,10 +467,22 @@ mod tests {
         assert!(t2.contains("10/30"));
         let t4 = render_table4(&g);
         assert!(t4.contains("/101")); // seed column
+        assert!(t4.contains("peakQ") && t4.contains("peakEv")); // sim health
         let f3 = render_boxplots(&g, false);
         assert!(f3.contains("Fig. 3"));
         let f4 = render_boxplots(&g, true);
         assert!(f4.contains("Fig. 4"));
+    }
+
+    #[test]
+    fn per_seed_carries_sim_health() {
+        let g = quick_grid();
+        let cell = g.cell(10, 60, Strategy::Baseline).unwrap();
+        for run in &cell.per_seed {
+            assert_eq!(run.calls, 660, "1.1 * 10 * 60 measured calls");
+            assert!(run.peak_events > 0, "event-heap peak is tracked");
+            assert!(run.peak_queue > 0, "queue peak is tracked under load");
+        }
     }
 
     #[test]

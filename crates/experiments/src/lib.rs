@@ -16,7 +16,9 @@
 //!
 //! [`ablations`] goes beyond the paper: hyper-parameter sweeps for the
 //! design choices the paper fixes by fiat. [`functions`] renders §II's
-//! per-function fairness view for one grid configuration.
+//! per-function fairness view for one grid configuration. [`sweep`]
+//! crosses the workload subsystem's arrival × mix axes with the scheduling
+//! strategies — scenario diversity the paper never measured.
 //!
 //! All experiments run the 5-seed repetitions in parallel (rayon) and are
 //! bit-for-bit reproducible from the seed set.
@@ -24,12 +26,14 @@
 pub mod ablations;
 pub mod bench_events;
 pub mod bench_gps;
+pub mod bench_workload;
 pub mod custom;
 pub mod fig2;
 pub mod fig5;
 pub mod fig6;
 pub mod functions;
 pub mod grid;
+pub mod sweep;
 pub mod table1;
 
 /// The seeds of the paper's "5 different random sequences of calls".

@@ -1,0 +1,355 @@
+//! `experiments sweep`: cross arrival process × function mix × scheduling
+//! policy — the scenario-diversity experiment the workload subsystem
+//! unlocks.
+//!
+//! The paper evaluates its policies under exactly one load shape (uniform
+//! burst, equal split). The sweep replays the *same* mean load through
+//! every combination of the subsystem's axes — uniform / Poisson / MMPP /
+//! diurnal arrivals against equal / fairness / Zipf popularity — under each
+//! strategy, and reports response-time and stretch statistics next to a
+//! per-combination sim-health view (calls generated, peak pending queue,
+//! peak live event-heap size).
+
+use crate::grid::mode_for;
+use crate::Effort;
+use faas_invoker::{simulate_calls, NodeConfig};
+use faas_metrics::compare::Strategy;
+use faas_metrics::summary::{response_times_into, stretches_into, MetricSummary};
+use faas_metrics::table::{fmt_secs, TextTable};
+use faas_simcore::rng::Xoshiro256;
+use faas_simcore::time::SimDuration;
+use faas_workload::arrival::ArrivalSpec;
+use faas_workload::generate::WorkloadSpec;
+use faas_workload::mix::MixSpec;
+use faas_workload::scenario::warmup_for_spec;
+use faas_workload::sebs::Catalogue;
+use faas_workload::trace::CallOutcome;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Stream tag for sweep release times.
+const STREAM_TIMES: u64 = 0x5EE1;
+/// Stream tag for sweep function assignment.
+const STREAM_ASSIGN: u64 = 0x5EE2;
+
+/// One (arrival, mix, strategy) combination, pooled over seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Arrival-process label.
+    pub arrival: String,
+    /// Function-mix label.
+    pub mix: String,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Measured calls pooled over all seeds.
+    pub calls: usize,
+    /// Response-time statistics, seconds.
+    pub response: MetricSummary,
+    /// Stretch statistics.
+    pub stretch: MetricSummary,
+    /// Measured-phase cold starts, summed over seeds.
+    pub cold_starts: usize,
+    /// Sim health: largest pending-queue length over the seeds.
+    pub peak_queue: usize,
+    /// Sim health: largest live event-heap size over the seeds.
+    pub peak_events: usize,
+}
+
+/// The sweep result set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Cores per node used by every run.
+    pub cores: u32,
+    /// Intensity-equivalent load (the mean call count matches the paper's
+    /// `1.1 · cores · intensity` burst).
+    pub intensity: u32,
+    /// All rows, ordered by (arrival, mix, strategy order).
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepResult {
+    /// Look up one row.
+    pub fn row(&self, arrival: &str, mix: &str, strategy: Strategy) -> Option<&SweepRow> {
+        self.rows
+            .iter()
+            .find(|r| r.arrival == arrival && r.mix == mix && r.strategy == strategy)
+    }
+}
+
+/// The arrival axis: same mean load (`count` calls over `window`), four
+/// shapes.
+fn arrival_axis(count: usize, window: SimDuration, quick: bool) -> Vec<ArrivalSpec> {
+    let rate = count as f64 / window.as_secs_f64();
+    let mut axis = vec![
+        ArrivalSpec::Uniform { count },
+        ArrivalSpec::Poisson { rate },
+    ];
+    if !quick {
+        axis.push(ArrivalSpec::Mmpp {
+            // On-off bursts averaging `rate`: 1.8x/0.2x with equal 8 s
+            // sojourns.
+            rate_on: 1.8 * rate,
+            rate_off: 0.2 * rate,
+            mean_on_secs: 8.0,
+            mean_off_secs: 8.0,
+        });
+        axis.push(ArrivalSpec::Diurnal {
+            mean_rate: rate,
+            weights: vec![0.25, 0.5, 1.0, 1.75, 1.75, 1.25, 0.75, 0.75],
+        });
+    }
+    axis
+}
+
+/// The mix axis.
+fn mix_axis(quick: bool) -> Vec<MixSpec> {
+    let mut axis = vec![MixSpec::Equal, MixSpec::Zipf { s: 1.2 }];
+    if !quick {
+        axis.push(MixSpec::Fairness {
+            rare_function: "dna-visualisation".into(),
+            rare_calls: 10,
+        });
+    }
+    axis
+}
+
+/// The strategy axis: the paper's headline comparison plus the strongest
+/// size-based policy.
+fn strategy_axis(quick: bool) -> Vec<Strategy> {
+    if quick {
+        vec![Strategy::Baseline, Strategy::Fc]
+    } else {
+        vec![
+            Strategy::Baseline,
+            Strategy::Fifo,
+            Strategy::Sept,
+            Strategy::Fc,
+        ]
+    }
+}
+
+/// Run the sweep.
+pub fn run(effort: Effort) -> SweepResult {
+    let catalogue = Catalogue::sebs();
+    // Both modes keep the paper's 10-core node at an intensity where
+    // scheduling matters; the full sweep runs the stressed regime.
+    let (cores, intensity) = if effort.quick { (10, 60) } else { (10, 90) };
+    let window = SimDuration::from_secs(60);
+    let count = catalogue.len() * cores as usize * intensity as usize / 10;
+    let seeds = effort.seed_set();
+
+    let arrivals = arrival_axis(count, window, effort.quick);
+    let mixes = mix_axis(effort.quick);
+    let strategies = strategy_axis(effort.quick);
+
+    let tasks: Vec<(&ArrivalSpec, &MixSpec, Strategy, u64)> = arrivals
+        .iter()
+        .flat_map(|a| {
+            mixes.iter().flat_map({
+                let strategies = &strategies;
+                move |m| {
+                    strategies
+                        .iter()
+                        .flat_map(move |&s| seeds.iter().map(move |&seed| (a, m, s, seed)))
+                }
+            })
+        })
+        .collect();
+
+    struct TaskOut {
+        arrival: String,
+        mix: String,
+        strategy: Strategy,
+        outcomes: Vec<CallOutcome>,
+        cold_starts: usize,
+        peak_queue: usize,
+        peak_events: usize,
+    }
+
+    let outputs: Vec<TaskOut> = tasks
+        .par_iter()
+        .map(|&(arrival, mix, strategy, seed)| {
+            let spec = WorkloadSpec {
+                arrival: arrival.clone(),
+                mix: mix.clone(),
+                window,
+            };
+            let mut root = Xoshiro256::seed_from_u64(seed);
+            let mut rng_times = root.derive_stream(STREAM_TIMES);
+            let mut rng_assign = root.derive_stream(STREAM_ASSIGN);
+            let (mut calls, burst_start) = warmup_for_spec(&catalogue, cores);
+            calls.extend(spec.generate_sorted(
+                &catalogue,
+                burst_start,
+                &mut rng_times,
+                &mut rng_assign,
+                calls.len() as u32,
+            ));
+            let result = simulate_calls(
+                &catalogue,
+                &calls,
+                &mode_for(strategy),
+                &NodeConfig::paper(cores),
+                seed,
+                0,
+            );
+            TaskOut {
+                arrival: spec.arrival.label(),
+                mix: spec.mix.label(&catalogue),
+                strategy,
+                cold_starts: result.measured_cold_starts(),
+                peak_queue: result.peak_queue,
+                peak_events: result.peak_events,
+                outcomes: result.measured().copied().collect(),
+            }
+        })
+        .collect();
+
+    // Reduce over seeds with reused scratch buffers.
+    let mut rows = Vec::new();
+    let mut refs: Vec<&CallOutcome> = Vec::new();
+    let mut resp_scratch: Vec<f64> = Vec::new();
+    let mut stretch_scratch: Vec<f64> = Vec::new();
+    for arrival in &arrivals {
+        for mix in &mixes {
+            for &strategy in &strategies {
+                let a_label = arrival.label();
+                let m_label = mix.label(&catalogue);
+                let mut pooled_resp: Vec<f64> = Vec::new();
+                let mut pooled_stretch: Vec<f64> = Vec::new();
+                let mut cold_starts = 0;
+                let mut peak_queue = 0;
+                let mut peak_events = 0;
+                for out in outputs
+                    .iter()
+                    .filter(|o| o.arrival == a_label && o.mix == m_label && o.strategy == strategy)
+                {
+                    refs.clear();
+                    refs.extend(out.outcomes.iter());
+                    response_times_into(&refs, &mut resp_scratch);
+                    stretches_into(&refs, &catalogue, &mut stretch_scratch);
+                    pooled_resp.extend_from_slice(&resp_scratch);
+                    pooled_stretch.extend_from_slice(&stretch_scratch);
+                    cold_starts += out.cold_starts;
+                    peak_queue = peak_queue.max(out.peak_queue);
+                    peak_events = peak_events.max(out.peak_events);
+                }
+                rows.push(SweepRow {
+                    arrival: a_label,
+                    mix: m_label,
+                    strategy,
+                    calls: pooled_resp.len(),
+                    response: MetricSummary::from_values(&pooled_resp),
+                    stretch: MetricSummary::from_values(&pooled_stretch),
+                    cold_starts,
+                    peak_queue,
+                    peak_events,
+                });
+            }
+        }
+    }
+    SweepResult {
+        cores,
+        intensity,
+        rows,
+    }
+}
+
+/// Render the sweep comparison table.
+pub fn render(result: &SweepResult) -> String {
+    let mut t = TextTable::new([
+        "arrival/mix/strategy",
+        "calls",
+        "R avg",
+        "R p50",
+        "R p95",
+        "S avg",
+        "cold",
+        "peakQ",
+        "peakEv",
+    ]);
+    for r in &result.rows {
+        t.row([
+            format!("{}/{}/{}", r.arrival, r.mix, r.strategy.name()),
+            r.calls.to_string(),
+            fmt_secs(r.response.mean),
+            fmt_secs(r.response.p50),
+            fmt_secs(r.response.p95),
+            fmt_secs(r.stretch.mean),
+            r.cold_starts.to_string(),
+            r.peak_queue.to_string(),
+            r.peak_events.to_string(),
+        ]);
+    }
+    format!(
+        "Workload sweep: arrival x mix x strategy at {} cores, intensity-equivalent {}\n{}",
+        result.cores,
+        result.intensity,
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SweepResult {
+        run(Effort {
+            seeds: 1,
+            quick: true,
+        })
+    }
+
+    #[test]
+    fn quick_sweep_covers_the_reduced_axes() {
+        let r = quick();
+        // 2 arrivals x 2 mixes x 2 strategies.
+        assert_eq!(r.rows.len(), 8);
+        assert!(r.row("uniform", "equal", Strategy::Baseline).is_some());
+        assert!(r.row("poisson", "zipf1.2", Strategy::Fc).is_some());
+    }
+
+    #[test]
+    fn uniform_equal_count_matches_paper_formula() {
+        let r = quick();
+        let row = r.row("uniform", "equal", Strategy::Fc).unwrap();
+        // 10 cores, intensity 60: 1.1 * 10 * 60 = 660 calls, 1 seed.
+        assert_eq!(row.calls, 660);
+    }
+
+    #[test]
+    fn fc_beats_baseline_across_shapes() {
+        let r = quick();
+        for arrival in ["uniform", "poisson"] {
+            let fc = r.row(arrival, "equal", Strategy::Fc).unwrap();
+            let base = r.row(arrival, "equal", Strategy::Baseline).unwrap();
+            assert!(
+                fc.response.mean <= base.response.mean,
+                "{arrival}: FC {} vs baseline {}",
+                fc.response.mean,
+                base.response.mean
+            );
+        }
+    }
+
+    #[test]
+    fn sim_health_is_populated() {
+        let r = quick();
+        for row in &r.rows {
+            assert!(
+                row.peak_events > 0,
+                "{}/{} peak_events",
+                row.arrival,
+                row.mix
+            );
+            assert!(row.calls > 0);
+        }
+    }
+
+    #[test]
+    fn render_contains_health_columns() {
+        let s = render(&quick());
+        assert!(s.contains("peakQ") && s.contains("peakEv"));
+        assert!(s.contains("uniform/equal/"));
+    }
+}

@@ -94,7 +94,9 @@ struct Sim<'a> {
     pool: ContainerPool,
     owners: HashMap<TaskId, Owner>,
     runtime: Vec<CallRuntime>,
-    outcomes: Vec<Option<CallOutcome>>,
+    outcomes: Vec<CallOutcome>,
+    /// Slots of `outcomes` already overwritten with a real completion.
+    outcomes_filled: usize,
     rng_service: Xoshiro256,
     rng_cold: Xoshiro256,
     peak_queue: usize,
@@ -147,7 +149,11 @@ pub fn simulate(
         ),
         owners: HashMap::new(),
         runtime: vec![CallRuntime::empty(); calls.len()],
-        outcomes: vec![None; calls.len()],
+        outcomes: calls
+            .iter()
+            .map(|c| CallOutcome::pending(c, node_index))
+            .collect(),
+        outcomes_filled: 0,
         rng_service,
         rng_cold,
         peak_queue: 0,
@@ -172,15 +178,16 @@ pub fn simulate(
     }
 
     sim.run();
+    assert_eq!(
+        sim.outcomes_filled,
+        calls.len(),
+        "every call must produce an outcome"
+    );
 
     let total_stats = sim.pool.stats();
     let snapshot = sim.measured_snapshot.unwrap_or(total_stats);
     NodeResult {
-        outcomes: sim
-            .outcomes
-            .into_iter()
-            .map(|o| o.expect("every call must produce an outcome"))
-            .collect(),
+        outcomes: sim.outcomes,
         measured_pool_stats: crate::pool::PoolStats {
             warm_hits: total_stats.warm_hits - snapshot.warm_hits,
             prewarm_hits: total_stats.prewarm_hits - snapshot.prewarm_hits,
@@ -327,7 +334,16 @@ impl<'a> Sim<'a> {
         let rt = self.runtime[idx];
         let completion = now + self.cfg.calibration.hop_response;
         let processing = now.saturating_since(rt.exec_start);
-        self.outcomes[idx] = Some(CallOutcome {
+        // A hard assert (one branch per call, negligible next to the event
+        // loop): together with the final filled-count check it guarantees
+        // every slot is written exactly once, in release builds too.
+        assert_eq!(
+            self.outcomes[idx].completion,
+            SimTime::ZERO,
+            "outcome written twice"
+        );
+        self.outcomes_filled += 1;
+        self.outcomes[idx] = CallOutcome {
             id: call.id,
             func: call.func,
             kind: call.kind,
@@ -339,7 +355,7 @@ impl<'a> Sim<'a> {
             processing,
             start_kind: rt.start_kind,
             node: self.node_index,
-        });
+        };
         if call.kind == CallKind::Measured {
             self.last_completion = self.last_completion.max(completion);
         }

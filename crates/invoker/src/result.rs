@@ -43,35 +43,43 @@ impl NodeResult {
         self.measured().filter(|o| o.start_kind.is_cold()).count()
     }
 
+    /// Fold `other` into `self` without allocating: outcome vectors are
+    /// appended in place, pool stats summed, peaks and the last completion
+    /// maxed. The accumulated outcome order is unspecified until
+    /// [`NodeResult::sort_outcomes`] is called.
+    pub fn merge_from(&mut self, other: NodeResult) {
+        self.outcomes.extend(other.outcomes);
+        self.measured_pool_stats = add_stats(self.measured_pool_stats, other.measured_pool_stats);
+        self.total_pool_stats = add_stats(self.total_pool_stats, other.total_pool_stats);
+        self.peak_queue = self.peak_queue.max(other.peak_queue);
+        self.peak_concurrency = self.peak_concurrency.max(other.peak_concurrency);
+        self.peak_events = self.peak_events.max(other.peak_events);
+        self.last_completion = self.last_completion.max(other.last_completion);
+    }
+
+    /// Restore the canonical `(release, id)` outcome order after one or
+    /// more [`NodeResult::merge_from`] calls.
+    pub fn sort_outcomes(&mut self) {
+        self.outcomes.sort_unstable_by_key(|o| (o.release, o.id));
+    }
+
     /// Merge outcomes of several nodes (multi-node experiments).
+    ///
+    /// Merges in place into the first result — the only allocation is the
+    /// one `reserve_exact` growing its outcome vector to the merged size,
+    /// so grid/sweep experiments with thousands of runs do not reallocate
+    /// per node.
     pub fn merge(results: Vec<NodeResult>) -> NodeResult {
         assert!(!results.is_empty(), "merge of zero results");
-        let mut outcomes = Vec::new();
-        let mut measured_pool_stats = PoolStats::default();
-        let mut total_pool_stats = PoolStats::default();
-        let mut peak_queue = 0;
-        let mut peak_concurrency = 0;
-        let mut peak_events = 0;
-        let mut last_completion = SimTime::ZERO;
-        for r in results {
-            outcomes.extend(r.outcomes);
-            measured_pool_stats = add_stats(measured_pool_stats, r.measured_pool_stats);
-            total_pool_stats = add_stats(total_pool_stats, r.total_pool_stats);
-            peak_queue = peak_queue.max(r.peak_queue);
-            peak_concurrency = peak_concurrency.max(r.peak_concurrency);
-            peak_events = peak_events.max(r.peak_events);
-            last_completion = last_completion.max(r.last_completion);
+        let total: usize = results.iter().map(|r| r.outcomes.len()).sum();
+        let mut iter = results.into_iter();
+        let mut acc = iter.next().expect("non-empty");
+        acc.outcomes.reserve_exact(total - acc.outcomes.len());
+        for r in iter {
+            acc.merge_from(r);
         }
-        outcomes.sort_by_key(|o| (o.release, o.id));
-        NodeResult {
-            outcomes,
-            measured_pool_stats,
-            total_pool_stats,
-            peak_queue,
-            peak_concurrency,
-            peak_events,
-            last_completion,
-        }
+        acc.sort_outcomes();
+        acc
     }
 }
 
@@ -152,5 +160,28 @@ mod tests {
     #[should_panic(expected = "zero results")]
     fn merge_empty_panics() {
         NodeResult::merge(vec![]);
+    }
+
+    #[test]
+    fn merge_from_accumulates_in_place() {
+        let mut acc = result(vec![outcome(2, CallKind::Measured, ColdStartKind::Warm, 0)]);
+        let extra = result(vec![outcome(1, CallKind::Measured, ColdStartKind::Cold, 1)]);
+        acc.merge_from(extra);
+        acc.sort_outcomes();
+        assert_eq!(acc.outcomes.len(), 2);
+        assert_eq!(acc.outcomes[0].id, CallId(1), "sorted after merge_from");
+        assert_eq!(acc.last_completion, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn merge_matches_pairwise_merge_from() {
+        let a = result(vec![outcome(5, CallKind::Measured, ColdStartKind::Warm, 0)]);
+        let b = result(vec![outcome(4, CallKind::Warmup, ColdStartKind::Cold, 1)]);
+        let merged = NodeResult::merge(vec![a.clone(), b.clone()]);
+        let mut manual = a;
+        manual.merge_from(b);
+        manual.sort_outcomes();
+        assert_eq!(merged.outcomes, manual.outcomes);
+        assert_eq!(merged.peak_events, manual.peak_events);
     }
 }

@@ -63,18 +63,35 @@ pub struct RunSummary {
 
 /// Response times (seconds) of the measured calls.
 pub fn response_times(outcomes: &[&CallOutcome]) -> Vec<f64> {
-    outcomes
-        .iter()
-        .map(|o| o.response_time().as_secs_f64())
-        .collect()
+    let mut out = Vec::new();
+    response_times_into(outcomes, &mut out);
+    out
+}
+
+/// Fill `out` (cleared first) with the response times of the measured
+/// calls. Grid/sweep loops pass a reused scratch buffer so thousands of
+/// runs stop allocating per run.
+pub fn response_times_into(outcomes: &[&CallOutcome], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(outcomes.iter().map(|o| o.response_time().as_secs_f64()));
 }
 
 /// Stretch values of the measured calls, using Table I medians.
 pub fn stretches(outcomes: &[&CallOutcome], catalogue: &Catalogue) -> Vec<f64> {
-    outcomes
-        .iter()
-        .map(|o| o.stretch(catalogue.spec(o.func).stretch_reference()))
-        .collect()
+    let mut out = Vec::new();
+    stretches_into(outcomes, catalogue, &mut out);
+    out
+}
+
+/// Fill `out` (cleared first) with the stretch values of the measured
+/// calls; the buffer-reusing twin of [`stretches`].
+pub fn stretches_into(outcomes: &[&CallOutcome], catalogue: &Catalogue, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(
+        outcomes
+            .iter()
+            .map(|o| o.stretch(catalogue.spec(o.func).stretch_reference())),
+    );
 }
 
 impl RunSummary {

@@ -1,0 +1,548 @@
+//! Pluggable arrival processes.
+//!
+//! The paper evaluates with exactly one arrival shape: a fixed number of
+//! requests i.i.d.-uniform over a 60-second window (§V-B). Real FaaS traffic
+//! is Poisson at short scales, bursty (on-off) at medium scales and diurnal
+//! at long scales, so the generator subsystem makes the arrival shape a
+//! pluggable axis.
+//!
+//! Every process reduces to the same two-step scheme:
+//!
+//! 1. [`ArrivalProcess::realize`] samples the scenario's **intensity
+//!    profile** — a piecewise-constant arrival-rate curve over the window.
+//!    Processes with hidden state (the MMPP's on/off chain) sample their
+//!    state path here; memoryless processes return a deterministic profile.
+//! 2. Given the profile, arrivals are conditionally i.i.d.: the call count
+//!    is either fixed (the paper's burst) or Poisson with the profile's
+//!    total mass, and each release offset is an independent draw from the
+//!    normalized intensity density ([`IntensityProfile::inv_cdf`]).
+//!
+//! Step 2 is what makes generation *shardable*: once the profile is
+//! realized (cheap — O(state switches), not O(calls)), every call can be
+//! produced independently from its own derived RNG stream, in any order,
+//! on any worker. See [`crate::generate::ShardedGenerator`].
+
+use faas_simcore::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// A realized, piecewise-constant arrival-intensity curve over a window.
+///
+/// Produced by [`ArrivalProcess::realize`]; consumed by the generators to
+/// draw call counts and i.i.d. release offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntensityProfile {
+    /// Segment boundaries in seconds: `bounds[0] == 0`, `bounds[last]` is
+    /// the window length. `bounds.len() == rates.len() + 1`.
+    bounds: Vec<f64>,
+    /// Arrival rate (calls/second) of each segment.
+    rates: Vec<f64>,
+    /// Cumulative expected arrivals at each boundary (`cum[0] == 0`).
+    cum: Vec<f64>,
+    /// How the call count is drawn.
+    count: CountModel,
+}
+
+/// How many calls a realized profile emits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CountModel {
+    /// Exactly this many calls (the paper's closed workload).
+    Fixed(usize),
+    /// Poisson with mean equal to the profile's total mass (open workload).
+    Poisson,
+}
+
+impl IntensityProfile {
+    /// A flat profile emitting exactly `count` calls (the paper's burst).
+    pub fn uniform_fixed(window_secs: f64, count: usize) -> IntensityProfile {
+        assert!(window_secs > 0.0, "window must be positive");
+        let rate = count as f64 / window_secs;
+        IntensityProfile {
+            bounds: vec![0.0, window_secs],
+            rates: vec![rate],
+            cum: vec![0.0, count as f64],
+            count: CountModel::Fixed(count),
+        }
+    }
+
+    /// A piecewise-constant profile from `(length_secs, rate)` segments.
+    ///
+    /// Zero-length segments are dropped; the segments must cover a positive
+    /// total length.
+    pub fn piecewise(segments: &[(f64, f64)], count: CountModel) -> IntensityProfile {
+        let mut bounds = vec![0.0];
+        let mut rates = Vec::with_capacity(segments.len());
+        let mut cum = vec![0.0];
+        let mut t = 0.0;
+        let mut mass = 0.0;
+        for &(len, rate) in segments {
+            assert!(len >= 0.0 && rate >= 0.0, "negative segment");
+            if len == 0.0 {
+                continue;
+            }
+            t += len;
+            mass += len * rate;
+            bounds.push(t);
+            rates.push(rate);
+            cum.push(mass);
+        }
+        assert!(t > 0.0, "profile must cover a positive window");
+        IntensityProfile {
+            bounds,
+            rates,
+            cum,
+            count,
+        }
+    }
+
+    /// Window length in seconds.
+    pub fn window_secs(&self) -> f64 {
+        *self.bounds.last().expect("profile has bounds")
+    }
+
+    /// Total expected arrivals (the integral of the rate curve).
+    pub fn mass(&self) -> f64 {
+        *self.cum.last().expect("profile has bounds")
+    }
+
+    /// Draw the number of calls this scenario emits.
+    ///
+    /// Fixed counts consume no randomness. Poisson counts use an exact
+    /// exponential-race sampler below mean 256 and the normal approximation
+    /// (with continuity correction) above — at such means the approximation
+    /// error is far below the run-to-run variance of any experiment, and it
+    /// keeps scenario setup O(1) so huge sharded generations are not
+    /// bottlenecked on a serial count draw.
+    pub fn sample_count(&self, rng: &mut Xoshiro256) -> usize {
+        match self.count {
+            CountModel::Fixed(n) => n,
+            CountModel::Poisson => sample_poisson(self.mass(), rng),
+        }
+    }
+
+    /// Invert the normalized arrival-time CDF: map `u ∈ [0, 1)` to a
+    /// release offset in `[0, window)` seconds.
+    ///
+    /// The flat single-segment case computes `u * window` exactly — the
+    /// same arithmetic as the pre-subsystem generators' `uniform_f64(0,
+    /// window)` — which is what keeps the paper-scenario adapters
+    /// bit-for-bit identical.
+    pub fn inv_cdf(&self, u: f64) -> f64 {
+        let window = self.window_secs();
+        if self.rates.len() == 1 {
+            return u * window;
+        }
+        let target = u * self.mass();
+        // Find the segment whose cumulative range contains `target`.
+        let seg = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&target).expect("cum is finite"))
+        {
+            Ok(i) => i.min(self.rates.len() - 1),
+            Err(i) => i.saturating_sub(1).min(self.rates.len() - 1),
+        };
+        let rate = self.rates[seg];
+        let offset = if rate > 0.0 {
+            self.bounds[seg] + (target - self.cum[seg]) / rate
+        } else {
+            // Zero-rate segment can only be hit at its exact boundary mass.
+            self.bounds[seg]
+        };
+        // Guard the half-open invariant against floating-point creep.
+        if offset >= window {
+            window * (1.0 - f64::EPSILON)
+        } else {
+            offset.max(0.0)
+        }
+    }
+}
+
+/// Poisson sample: exact exponential race below mean 256, normal
+/// approximation with continuity correction above.
+fn sample_poisson(mean: f64, rng: &mut Xoshiro256) -> usize {
+    assert!(
+        mean >= 0.0 && mean.is_finite(),
+        "Poisson mean must be finite"
+    );
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 256.0 {
+        // Count standard exponentials fitting in `mean`.
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        loop {
+            acc += -(1.0 - rng.next_f64()).ln();
+            if acc > mean {
+                return n;
+            }
+            n += 1;
+        }
+    }
+    let draw = mean + mean.sqrt() * rng.standard_normal();
+    draw.round().max(0.0) as usize
+}
+
+/// An arrival process: everything needed to realize one scenario's
+/// intensity profile from a seeded RNG stream.
+pub trait ArrivalProcess: Send + Sync {
+    /// Short label for report tables (`uniform`, `poisson`, ...).
+    fn label(&self) -> String;
+
+    /// Realize the scenario's intensity profile over `window_secs`.
+    ///
+    /// Deterministic given the RNG state; hidden-state processes consume
+    /// randomness here, memoryless ones consume none.
+    fn realize(&self, window_secs: f64, rng: &mut Xoshiro256) -> IntensityProfile;
+}
+
+/// The paper's §V-B burst: exactly `count` calls i.i.d.-uniform over the
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformBurst {
+    /// Exact number of calls.
+    pub count: usize,
+}
+
+impl ArrivalProcess for UniformBurst {
+    fn label(&self) -> String {
+        "uniform".into()
+    }
+
+    fn realize(&self, window_secs: f64, _rng: &mut Xoshiro256) -> IntensityProfile {
+        IntensityProfile::uniform_fixed(window_secs, self.count)
+    }
+}
+
+/// Homogeneous Poisson arrivals at a constant rate; the call count is
+/// itself Poisson (open workload).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonArrivals {
+    /// Arrival rate, calls per second.
+    pub rate: f64,
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn label(&self) -> String {
+        "poisson".into()
+    }
+
+    fn realize(&self, window_secs: f64, _rng: &mut Xoshiro256) -> IntensityProfile {
+        assert!(self.rate >= 0.0, "rate must be non-negative");
+        IntensityProfile::piecewise(&[(window_secs, self.rate)], CountModel::Poisson)
+    }
+}
+
+/// Two-state Markov-modulated Poisson process (on-off bursts).
+///
+/// The hidden chain alternates exponentially-distributed sojourns in an
+/// *on* state (rate `rate_on`) and an *off* state (rate `rate_off`); the
+/// initial state is drawn from the stationary distribution. Conditional on
+/// the realized state path the arrivals are an inhomogeneous Poisson
+/// process, which is exactly what [`IntensityProfile`] represents — so MMPP
+/// generation shards without approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmppArrivals {
+    /// Arrival rate while the chain is on, calls/second.
+    pub rate_on: f64,
+    /// Arrival rate while the chain is off, calls/second.
+    pub rate_off: f64,
+    /// Mean sojourn in the on state, seconds.
+    pub mean_on_secs: f64,
+    /// Mean sojourn in the off state, seconds.
+    pub mean_off_secs: f64,
+}
+
+impl MmppArrivals {
+    /// Long-run mean arrival rate (stationary mixture of the two rates).
+    pub fn mean_rate(&self) -> f64 {
+        let p_on = self.mean_on_secs / (self.mean_on_secs + self.mean_off_secs);
+        p_on * self.rate_on + (1.0 - p_on) * self.rate_off
+    }
+}
+
+impl ArrivalProcess for MmppArrivals {
+    fn label(&self) -> String {
+        "mmpp".into()
+    }
+
+    fn realize(&self, window_secs: f64, rng: &mut Xoshiro256) -> IntensityProfile {
+        assert!(
+            self.mean_on_secs > 0.0 && self.mean_off_secs > 0.0,
+            "MMPP sojourn means must be positive"
+        );
+        assert!(
+            self.rate_on >= 0.0 && self.rate_off >= 0.0,
+            "MMPP rates must be non-negative"
+        );
+        let p_on = self.mean_on_secs / (self.mean_on_secs + self.mean_off_secs);
+        let mut on = rng.next_f64() < p_on;
+        let mut segments: Vec<(f64, f64)> = Vec::new();
+        let mut t = 0.0;
+        while t < window_secs {
+            let mean = if on {
+                self.mean_on_secs
+            } else {
+                self.mean_off_secs
+            };
+            let sojourn = -mean * (1.0 - rng.next_f64()).ln();
+            let len = sojourn.min(window_secs - t);
+            if len > 0.0 {
+                segments.push((len, if on { self.rate_on } else { self.rate_off }));
+                t += len;
+            }
+            on = !on;
+        }
+        IntensityProfile::piecewise(&segments, CountModel::Poisson)
+    }
+}
+
+/// Piecewise-constant diurnal rate curve.
+///
+/// The window is split into `weights.len()` equal-length segments whose
+/// rates follow the relative weights, normalized so the window-average rate
+/// is `mean_rate`. The profile is deterministic (no hidden state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalArrivals {
+    /// Window-average arrival rate, calls/second.
+    pub mean_rate: f64,
+    /// Relative rate of each equal-length segment (any positive scale).
+    pub weights: Vec<f64>,
+}
+
+impl DiurnalArrivals {
+    /// A day-shaped default: quiet night, morning ramp, midday peak,
+    /// evening tail.
+    pub fn day_shape(mean_rate: f64) -> DiurnalArrivals {
+        DiurnalArrivals {
+            mean_rate,
+            weights: vec![0.25, 0.5, 1.0, 1.75, 1.75, 1.25, 0.75, 0.75],
+        }
+    }
+}
+
+impl ArrivalProcess for DiurnalArrivals {
+    fn label(&self) -> String {
+        "diurnal".into()
+    }
+
+    fn realize(&self, window_secs: f64, _rng: &mut Xoshiro256) -> IntensityProfile {
+        assert!(!self.weights.is_empty(), "diurnal curve needs segments");
+        assert!(
+            self.weights.iter().all(|&w| w >= 0.0),
+            "diurnal weights must be non-negative"
+        );
+        let sum: f64 = self.weights.iter().sum();
+        assert!(sum > 0.0, "diurnal curve must have positive mass");
+        let k = self.weights.len() as f64;
+        let seg_len = window_secs / k;
+        let segments: Vec<(f64, f64)> = self
+            .weights
+            .iter()
+            .map(|&w| (seg_len, self.mean_rate * w * k / sum))
+            .collect();
+        IntensityProfile::piecewise(&segments, CountModel::Poisson)
+    }
+}
+
+/// Serializable description of an arrival process (sweep configs, JSON
+/// results).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// Exactly `count` i.i.d.-uniform calls (the paper's burst).
+    Uniform {
+        /// Exact call count.
+        count: usize,
+    },
+    /// Homogeneous Poisson at `rate` calls/second.
+    Poisson {
+        /// Arrival rate, calls/second.
+        rate: f64,
+    },
+    /// Two-state on-off MMPP.
+    Mmpp {
+        /// On-state rate, calls/second.
+        rate_on: f64,
+        /// Off-state rate, calls/second.
+        rate_off: f64,
+        /// Mean on sojourn, seconds.
+        mean_on_secs: f64,
+        /// Mean off sojourn, seconds.
+        mean_off_secs: f64,
+    },
+    /// Piecewise diurnal curve averaging `mean_rate` calls/second.
+    Diurnal {
+        /// Window-average rate, calls/second.
+        mean_rate: f64,
+        /// Relative per-segment rates.
+        weights: Vec<f64>,
+    },
+}
+
+impl ArrivalSpec {
+    /// Instantiate the process this spec describes.
+    pub fn process(&self) -> Box<dyn ArrivalProcess> {
+        match self {
+            ArrivalSpec::Uniform { count } => Box::new(UniformBurst { count: *count }),
+            ArrivalSpec::Poisson { rate } => Box::new(PoissonArrivals { rate: *rate }),
+            ArrivalSpec::Mmpp {
+                rate_on,
+                rate_off,
+                mean_on_secs,
+                mean_off_secs,
+            } => Box::new(MmppArrivals {
+                rate_on: *rate_on,
+                rate_off: *rate_off,
+                mean_on_secs: *mean_on_secs,
+                mean_off_secs: *mean_off_secs,
+            }),
+            ArrivalSpec::Diurnal { mean_rate, weights } => Box::new(DiurnalArrivals {
+                mean_rate: *mean_rate,
+                weights: weights.clone(),
+            }),
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        self.process().label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_profile_is_flat_and_fixed() {
+        let p = UniformBurst { count: 660 }.realize(60.0, &mut Xoshiro256::seed_from_u64(1));
+        assert_eq!(p.window_secs(), 60.0);
+        assert!((p.mass() - 660.0).abs() < 1e-9);
+        assert_eq!(p.sample_count(&mut Xoshiro256::seed_from_u64(2)), 660);
+    }
+
+    #[test]
+    fn flat_inv_cdf_matches_legacy_arithmetic() {
+        // Bit-for-bit contract with the pre-subsystem generators:
+        // inv_cdf(u) == u * window exactly.
+        let p = UniformBurst { count: 10 }.realize(60.0, &mut Xoshiro256::seed_from_u64(1));
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..1000 {
+            let u = rng.next_f64();
+            assert_eq!(p.inv_cdf(u).to_bits(), (u * 60.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn poisson_count_tracks_mean() {
+        let p = PoissonArrivals { rate: 11.0 }.realize(60.0, &mut Xoshiro256::seed_from_u64(1));
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let samples = 400;
+        let mean: f64 = (0..samples)
+            .map(|_| p.sample_count(&mut rng) as f64)
+            .sum::<f64>()
+            / samples as f64;
+        // mean 660, sd ~25.7; the sample mean has sd ~1.3 — 5 sigma slack.
+        assert!((mean - 660.0).abs() < 7.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_tail_sanely() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let mean = 1_000_000.0;
+        for _ in 0..50 {
+            let n = sample_poisson(mean, &mut rng) as f64;
+            assert!((n - mean).abs() < 6.0 * mean.sqrt(), "sample {n}");
+        }
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn mmpp_profile_covers_window_with_both_rates() {
+        let mmpp = MmppArrivals {
+            rate_on: 20.0,
+            rate_off: 2.0,
+            mean_on_secs: 5.0,
+            mean_off_secs: 5.0,
+        };
+        let p = mmpp.realize(600.0, &mut Xoshiro256::seed_from_u64(7));
+        assert_eq!(p.window_secs(), 600.0);
+        // Long window: realized mass should be near the stationary mean.
+        let expected = mmpp.mean_rate() * 600.0;
+        assert!(
+            (p.mass() - expected).abs() / expected < 0.5,
+            "mass {} vs {}",
+            p.mass(),
+            expected
+        );
+    }
+
+    #[test]
+    fn mmpp_is_deterministic_given_stream() {
+        let mmpp = MmppArrivals {
+            rate_on: 10.0,
+            rate_off: 1.0,
+            mean_on_secs: 3.0,
+            mean_off_secs: 9.0,
+        };
+        let a = mmpp.realize(60.0, &mut Xoshiro256::seed_from_u64(8));
+        let b = mmpp.realize(60.0, &mut Xoshiro256::seed_from_u64(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diurnal_mass_matches_mean_rate() {
+        let d = DiurnalArrivals::day_shape(11.0);
+        let p = d.realize(60.0, &mut Xoshiro256::seed_from_u64(9));
+        assert!((p.mass() - 11.0 * 60.0).abs() < 1e-6, "mass {}", p.mass());
+    }
+
+    #[test]
+    fn inv_cdf_is_monotone_and_in_window() {
+        let d = DiurnalArrivals::day_shape(5.0);
+        let p = d.realize(60.0, &mut Xoshiro256::seed_from_u64(10));
+        let mut prev = -1.0;
+        for i in 0..=1000 {
+            let u = i as f64 / 1001.0;
+            let x = p.inv_cdf(u);
+            assert!((0.0..60.0).contains(&x), "offset {x}");
+            assert!(x >= prev, "monotone inversion");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn inv_cdf_respects_segment_density() {
+        // Two segments, all mass in the second half.
+        let p = IntensityProfile::piecewise(&[(30.0, 0.0), (30.0, 10.0)], CountModel::Poisson);
+        assert!(
+            p.inv_cdf(0.01) >= 30.0,
+            "low quantile lands in live segment"
+        );
+        assert!(p.inv_cdf(0.99) < 60.0);
+    }
+
+    #[test]
+    fn spec_round_trips_to_process_labels() {
+        let specs = [
+            ArrivalSpec::Uniform { count: 5 },
+            ArrivalSpec::Poisson { rate: 1.0 },
+            ArrivalSpec::Mmpp {
+                rate_on: 2.0,
+                rate_off: 0.5,
+                mean_on_secs: 1.0,
+                mean_off_secs: 1.0,
+            },
+            ArrivalSpec::Diurnal {
+                mean_rate: 1.0,
+                weights: vec![1.0, 2.0],
+            },
+        ];
+        let labels: Vec<String> = specs.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["uniform", "poisson", "mmpp", "diurnal"]);
+    }
+}

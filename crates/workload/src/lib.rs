@@ -1,23 +1,57 @@
 //! # faas-workload
 //!
-//! The workload substrate: the SeBS function catalogue and the Gatling-style
-//! load scenarios the paper evaluates with.
+//! The workload substrate: the SeBS function catalogue, the pluggable
+//! workload-generation subsystem, and the Gatling-style paper scenarios
+//! expressed on top of it.
+//!
+//! ## Modules
 //!
 //! * [`sebs`] — the eleven SeBS benchmark functions the paper measures
 //!   (Table I), each with its published idle-system latency quantiles, an
 //!   I/O-vs-CPU intensity class, and a fitted log-normal service-time
 //!   distribution.
-//! * [`scenario`] — experiment scenarios: the uniform 60-second burst
-//!   parameterised by *intensity* (§V-B: `1.1 · cores · intensity` requests),
-//!   the warm-up phase (§V-A: `cores` parallel calls per function), and the
-//!   skewed fairness mix of Fig. 5.
+//! * [`arrival`] — pluggable arrival processes: the paper's uniform-window
+//!   burst, homogeneous Poisson, a two-state MMPP (on-off bursts) and a
+//!   piecewise diurnal curve. Every process realizes a piecewise-constant
+//!   [`arrival::IntensityProfile`], after which calls are conditionally
+//!   i.i.d. — the property that makes generation shardable.
+//! * [`mix`] — pluggable function-popularity mixes: the paper's exact
+//!   equal split, the Fig. 5 fairness mix (exactly `rare_calls` of one
+//!   long function) and Zipf popularity over the catalogue.
+//! * [`generate`] — the two generation schemes over a
+//!   [`generate::WorkloadSpec`] (arrival × mix × window): the serial
+//!   sorted path the paper adapters use, and the counter-based
+//!   [`generate::ShardedGenerator`] whose calls are pure functions of
+//!   `(seed, index)` so hundreds of nodes can generate their own call
+//!   streams in parallel.
+//! * [`scenario`] — the paper's experiment scenarios as thin adapters over
+//!   the subsystem: the uniform 60-second burst parameterised by
+//!   *intensity* (§V-B: `1.1 · cores · intensity` requests), the warm-up
+//!   phase (§V-A: `cores` parallel calls per function), and the skewed
+//!   fairness mix of Fig. 5. Output is bit-for-bit identical to the
+//!   pre-subsystem generators (pinned by `tests/regression_scenarios.rs`).
 //! * [`trace`] — call/outcome record types shared by the node and cluster
 //!   simulations.
+//!
+//! ## How the paper's §V scenarios map onto the axes
+//!
+//! | Paper scenario | Arrival | Mix |
+//! |----------------|---------|-----|
+//! | §V-B burst (Tables II–IV, Figs. 3–4) | [`arrival::UniformBurst`] with `1.1·c·v` calls | [`mix::EqualSplit`] |
+//! | Fig. 5 fairness | [`arrival::UniformBurst`] | [`mix::FairnessMix`] (10 × dna-visualisation) |
+//! | §VIII cluster (Fig. 6, Tables V–VI) | [`arrival::UniformBurst`] with the fixed total load | [`mix::EqualSplit`] |
+//! | beyond the paper | [`arrival::PoissonArrivals`], [`arrival::MmppArrivals`], [`arrival::DiurnalArrivals`] | [`mix::ZipfMix`] |
 
+pub mod arrival;
+pub mod generate;
+pub mod mix;
 pub mod scenario;
 pub mod sebs;
 pub mod trace;
 
+pub use arrival::{ArrivalProcess, ArrivalSpec, IntensityProfile};
+pub use generate::{IndexPermutation, ShardedGenerator, WorkloadSpec};
+pub use mix::{FunctionMix, MixSpec};
 pub use scenario::{BurstScenario, FairnessScenario, Scenario};
 pub use sebs::{Catalogue, FuncId, FunctionSpec, IntensityClass};
 pub use trace::{Call, CallKind, CallOutcome, ColdStartKind};

@@ -15,11 +15,79 @@
 //!   dna-visualisation calls; every other call picks uniformly at random
 //!   among the remaining ten functions.
 
+use crate::arrival::ArrivalSpec;
+use crate::generate::WorkloadSpec;
+use crate::mix::MixSpec;
 use crate::sebs::{Catalogue, FuncId};
 use crate::trace::{Call, CallId, CallKind};
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// Spacing between per-function warm-up waves. Waves are spaced widely
+/// enough that even the slowest function (dna-visualisation, ~8.6 s) plus a
+/// cold start finishes before the burst, because the burst start is
+/// computed from the last wave plus the warm-up gap.
+pub const WARMUP_WAVE_SPACING: SimDuration = SimDuration::from_secs(12);
+
+/// The settle gap between the last warm-up wave and the burst start.
+pub const WARMUP_SETTLE_GAP: SimDuration = SimDuration::from_secs(5);
+
+/// The shared per-function warm-up wave times and the burst start after
+/// [`WARMUP_SETTLE_GAP`] — multi-node scenarios share the wave *times*
+/// while each node replays every wave locally with its own `cores`
+/// parallel calls.
+pub fn warmup_waves(catalogue: &Catalogue) -> (Vec<(FuncId, SimTime)>, SimTime) {
+    let mut waves = Vec::with_capacity(catalogue.len());
+    let mut wave_start = SimTime::ZERO;
+    for func in catalogue.ids() {
+        waves.push((func, wave_start));
+        wave_start += WARMUP_WAVE_SPACING;
+    }
+    (waves, wave_start + WARMUP_SETTLE_GAP)
+}
+
+/// The warm-up calls one node issues for the given wave times: `cores`
+/// simultaneous calls per wave, ids `id_base..` in wave order. The single
+/// place the §V-A warm-up layout is encoded — single-node scenarios and
+/// the cluster engine both build from it.
+pub fn warmup_calls_for_waves(waves: &[(FuncId, SimTime)], cores: u32, id_base: u32) -> Vec<Call> {
+    let mut calls = Vec::with_capacity(waves.len() * cores as usize);
+    let mut next_id = id_base;
+    for &(func, at) in waves {
+        for _ in 0..cores {
+            calls.push(Call {
+                id: CallId(next_id),
+                func,
+                release: at,
+                kind: CallKind::Warmup,
+            });
+            next_id += 1;
+        }
+    }
+    calls
+}
+
+/// The §V-A warm-up phase: one wave per function, `cores` simultaneous
+/// calls each, ids `0..`. Returns the calls and the end of the last wave.
+pub(crate) fn warmup_calls(catalogue: &Catalogue, cores: u32) -> (Vec<Call>, SimTime) {
+    let (waves, _) = warmup_waves(catalogue);
+    let warmup = warmup_calls_for_waves(&waves, cores, 0);
+    let last_wave_end = waves
+        .last()
+        .map(|&(_, at)| at + WARMUP_WAVE_SPACING)
+        .unwrap_or(SimTime::ZERO);
+    (warmup, last_wave_end)
+}
+
+/// The §V-A warm-up plus the burst start after the paper's standard
+/// 5-second settle gap — the preamble every scenario built from a
+/// [`WorkloadSpec`] uses (ids `0..`, so pass `warmup.len()` as the burst's
+/// id base).
+pub fn warmup_for_spec(catalogue: &Catalogue, cores: u32) -> (Vec<Call>, SimTime) {
+    let (warmup, last_wave) = warmup_calls(catalogue, cores);
+    (warmup, last_wave + WARMUP_SETTLE_GAP)
+}
 
 /// A generated scenario: warm-up calls followed by a measured burst.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -84,76 +152,40 @@ impl BurstScenario {
         (self.cores as usize) * (self.intensity as usize) / 10
     }
 
+    /// The equivalent [`WorkloadSpec`] for the measured burst.
+    pub fn workload_spec(&self, catalogue: &Catalogue) -> WorkloadSpec {
+        WorkloadSpec {
+            arrival: ArrivalSpec::Uniform {
+                count: self.total_requests(catalogue),
+            },
+            mix: MixSpec::Equal,
+            window: self.window,
+        }
+    }
+
     /// Generate the scenario with a given seed.
     ///
-    /// The warm-up phase issues `cores` parallel calls per function, one
-    /// function at a time (matching §V-A), at one-second wave spacing; the
-    /// node processes them before the burst because the burst only starts
-    /// after `warmup_gap`. Burst arrival times are i.i.d. uniform over the
-    /// window, function assignment is an exact equal split, and the pairing
-    /// of times with functions is a seeded shuffle — five seeds give the
-    /// paper's "5 different random sequences of calls".
+    /// A thin adapter over the workload subsystem: the warm-up phase issues
+    /// `cores` parallel calls per function, one function at a time
+    /// (matching §V-A); the burst is the uniform-arrival/equal-split
+    /// [`WorkloadSpec`] on the same seeded streams the pre-subsystem
+    /// generator used, so the output is bit-for-bit identical (pinned by
+    /// `tests/regression_scenarios.rs`). Five seeds give the paper's "5
+    /// different random sequences of calls".
     pub fn generate(&self, catalogue: &Catalogue, seed: u64) -> Scenario {
         let mut root = Xoshiro256::seed_from_u64(seed);
         let mut rng_times = root.derive_stream(0x7131);
         let mut rng_assign = root.derive_stream(0x7132);
 
-        let mut next_id = 0u32;
-        let alloc_id = |ids: &mut u32| {
-            let id = CallId(*ids);
-            *ids += 1;
-            id
-        };
-
-        // Warm-up: one wave per function, `cores` simultaneous calls.
-        let mut warmup = Vec::with_capacity(catalogue.len() * self.cores as usize);
-        let mut wave_start = SimTime::ZERO;
-        for func in catalogue.ids() {
-            for _ in 0..self.cores {
-                warmup.push(Call {
-                    id: alloc_id(&mut next_id),
-                    func,
-                    release: wave_start,
-                    kind: CallKind::Warmup,
-                });
-            }
-            // Waves are spaced widely enough that even the slowest function
-            // (dna-visualisation, ~8.6 s) plus a cold start finishes before
-            // the burst, because the burst start is computed from the last
-            // wave plus the warm-up gap below.
-            wave_start += SimDuration::from_secs(12);
-        }
-        let burst_start = wave_start + self.warmup_gap;
-
-        // Burst: equal per-function counts, uniform times, shuffled pairing.
-        let per_func = self.per_function_requests();
-        let total = per_func * catalogue.len();
-        let mut funcs: Vec<FuncId> = Vec::with_capacity(total);
-        for func in catalogue.ids() {
-            funcs.extend(std::iter::repeat_n(func, per_func));
-        }
-        rng_assign.shuffle(&mut funcs);
-
-        let mut times: Vec<SimTime> = (0..total)
-            .map(|_| {
-                burst_start
-                    + SimDuration::from_secs_f64(
-                        rng_times.uniform_f64(0.0, self.window.as_secs_f64()),
-                    )
-            })
-            .collect();
-        times.sort_unstable();
-
-        let burst: Vec<Call> = times
-            .into_iter()
-            .zip(funcs)
-            .map(|(release, func)| Call {
-                id: alloc_id(&mut next_id),
-                func,
-                release,
-                kind: CallKind::Measured,
-            })
-            .collect();
+        let (warmup, last_wave) = warmup_calls(catalogue, self.cores);
+        let burst_start = last_wave + self.warmup_gap;
+        let burst = self.workload_spec(catalogue).generate_sorted(
+            catalogue,
+            burst_start,
+            &mut rng_times,
+            &mut rng_assign,
+            warmup.len() as u32,
+        );
 
         Scenario {
             warmup,
@@ -194,81 +226,38 @@ impl FairnessScenario {
         }
     }
 
+    /// The equivalent [`WorkloadSpec`] for the measured burst.
+    pub fn workload_spec(&self, catalogue: &Catalogue) -> WorkloadSpec {
+        let total = catalogue.len() * (self.cores as usize) * (self.intensity as usize) / 10;
+        WorkloadSpec {
+            arrival: ArrivalSpec::Uniform { count: total },
+            mix: MixSpec::Fairness {
+                rare_function: self.rare_function.into(),
+                rare_calls: self.rare_calls,
+            },
+            window: self.window,
+        }
+    }
+
     /// Generate the scenario. Exactly `rare_calls` calls of the rare
     /// function; all other calls pick uniformly at random among the
     /// remaining functions (no partial-uniformity guarantee, matching
-    /// §VII-D).
+    /// §VII-D). A thin adapter over the workload subsystem, bit-for-bit
+    /// identical to the pre-subsystem generator.
     pub fn generate(&self, catalogue: &Catalogue, seed: u64) -> Scenario {
-        let rare = catalogue
-            .by_name(self.rare_function)
-            .expect("rare function must exist in the catalogue");
-        let others: Vec<FuncId> = catalogue.ids().filter(|&f| f != rare).collect();
-        assert!(
-            !others.is_empty(),
-            "fairness scenario needs at least two functions"
-        );
-
         let mut root = Xoshiro256::seed_from_u64(seed);
         let mut rng_times = root.derive_stream(0x7A01);
         let mut rng_assign = root.derive_stream(0x7A02);
 
-        let mut next_id = 0u32;
-
-        // Warm-up identical in shape to the burst scenario.
-        let mut warmup = Vec::new();
-        let mut wave_start = SimTime::ZERO;
-        for func in catalogue.ids() {
-            for _ in 0..self.cores {
-                warmup.push(Call {
-                    id: CallId(next_id),
-                    func,
-                    release: wave_start,
-                    kind: CallKind::Warmup,
-                });
-                next_id += 1;
-            }
-            wave_start += SimDuration::from_secs(12);
-        }
-        let burst_start = wave_start + self.warmup_gap;
-
-        let total = catalogue.len() * (self.cores as usize) * (self.intensity as usize) / 10;
-        assert!(
-            total >= self.rare_calls,
-            "total calls {total} cannot fit {} rare calls",
-            self.rare_calls
+        let (warmup, last_wave) = warmup_calls(catalogue, self.cores);
+        let burst_start = last_wave + self.warmup_gap;
+        let burst = self.workload_spec(catalogue).generate_sorted(
+            catalogue,
+            burst_start,
+            &mut rng_times,
+            &mut rng_assign,
+            warmup.len() as u32,
         );
-
-        let mut funcs: Vec<FuncId> = Vec::with_capacity(total);
-        funcs.extend(std::iter::repeat_n(rare, self.rare_calls));
-        for _ in self.rare_calls..total {
-            funcs.push(*rng_assign.choose(&others));
-        }
-        rng_assign.shuffle(&mut funcs);
-
-        let mut times: Vec<SimTime> = (0..total)
-            .map(|_| {
-                burst_start
-                    + SimDuration::from_secs_f64(
-                        rng_times.uniform_f64(0.0, self.window.as_secs_f64()),
-                    )
-            })
-            .collect();
-        times.sort_unstable();
-
-        let burst: Vec<Call> = times
-            .into_iter()
-            .zip(funcs)
-            .map(|(release, func)| Call {
-                id: {
-                    let id = CallId(next_id);
-                    next_id += 1;
-                    id
-                },
-                func,
-                release,
-                kind: CallKind::Measured,
-            })
-            .collect();
 
         Scenario {
             warmup,

@@ -1,0 +1,86 @@
+//! Bit-for-bit regression pins for the paper scenarios.
+//!
+//! The digests below were computed from the pre-subsystem generators (the
+//! hand-rolled loops in `scenario.rs` before the `arrival`/`mix`/`generate`
+//! refactor). `Scenario::generate` is now a thin adapter over the workload
+//! subsystem; these tests guarantee the adapter reproduces the original
+//! output exactly — same RNG stream consumption, same sort order, same ids —
+//! for every experiment seed, so every table and figure of the paper is
+//! unchanged by the refactor.
+
+use faas_workload::scenario::{BurstScenario, FairnessScenario, Scenario};
+use faas_workload::sebs::Catalogue;
+use faas_workload::trace::CallKind;
+
+/// FNV-1a over little-endian u64 words.
+fn fnv1a(acc: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *acc = (*acc ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn digest_scenario(s: &Scenario) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    fnv1a(&mut acc, s.burst_start.as_nanos());
+    fnv1a(&mut acc, s.burst_window.as_nanos());
+    for call in s.warmup.iter().chain(s.burst.iter()) {
+        fnv1a(&mut acc, call.id.0 as u64);
+        fnv1a(&mut acc, call.func.0 as u64);
+        fnv1a(&mut acc, call.release.as_nanos());
+        fnv1a(&mut acc, matches!(call.kind, CallKind::Measured) as u64);
+    }
+    acc
+}
+
+/// The experiment seed set (mirrors `faas_experiments::SEEDS`).
+const SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
+
+#[test]
+fn burst_scenarios_are_bit_identical_to_pre_subsystem_generator() {
+    let cat = Catalogue::sebs();
+    let digests: Vec<u64> = SEEDS
+        .iter()
+        .flat_map(|&seed| {
+            [
+                digest_scenario(&BurstScenario::standard(10, 60).generate(&cat, seed)),
+                digest_scenario(&BurstScenario::standard(20, 30).generate(&cat, seed)),
+                digest_scenario(&BurstScenario::standard(5, 120).generate(&cat, seed)),
+            ]
+        })
+        .collect();
+    let pinned: Vec<u64> = vec![
+        15433644271738547663,
+        5605882224232257738,
+        10294407032144314560,
+        675264102207453323,
+        15676862211735525326,
+        8330334769139181652,
+        4769258682218423518,
+        9767098034686029627,
+        16741365082484437541,
+        14129757797303357894,
+        6856421688545439451,
+        15129448703504823449,
+        11752528825526654300,
+        6811328877387885333,
+        3319726213383573019,
+    ];
+    assert_eq!(digests, pinned, "pinned burst digests");
+}
+
+#[test]
+fn fairness_scenarios_are_bit_identical_to_pre_subsystem_generator() {
+    let cat = Catalogue::sebs();
+    let digests: Vec<u64> = SEEDS
+        .iter()
+        .map(|&seed| digest_scenario(&FairnessScenario::paper().generate(&cat, seed)))
+        .collect();
+    let pinned: Vec<u64> = vec![
+        4814119737389369116,
+        6154720862216730113,
+        10315898115445749992,
+        11726004884504603257,
+        2506754047970438912,
+    ];
+    assert_eq!(digests, pinned, "pinned fairness digests");
+}
