@@ -21,4 +21,6 @@ pub mod lb;
 pub mod sim;
 
 pub use lb::LoadBalancer;
-pub use sim::{run_cluster, run_cluster_streamed, ClusterConfig, ClusterScenario};
+pub use sim::{
+    run_cluster, run_cluster_streamed, run_cluster_weighted, ClusterConfig, ClusterScenario,
+};

@@ -6,7 +6,7 @@
 //! intensity `120/k`. Every worker is warmed up before the burst.
 
 use crate::lb::LoadBalancer;
-use faas_invoker::{simulate_calls, NodeConfig, NodeMode, NodeResult};
+use faas_invoker::{simulate_calls_weighted, NodeConfig, NodeMode, NodeResult};
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::arrival::ArrivalSpec;
@@ -15,6 +15,7 @@ use faas_workload::mix::MixSpec;
 use faas_workload::scenario::{warmup_calls_for_waves, warmup_waves as warmup_waves_for};
 use faas_workload::sebs::{Catalogue, FuncId};
 use faas_workload::trace::Call;
+use faas_workload::weight::{WeightSpec, WeightTable};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -78,6 +79,7 @@ impl ClusterScenario {
                 count: per_function * catalogue.len(),
             },
             mix: MixSpec::Equal,
+            weights: WeightSpec::Uniform,
             window,
         };
         let burst =
@@ -113,6 +115,21 @@ pub fn run_cluster(
     cfg: &ClusterConfig,
     seed: u64,
 ) -> NodeResult {
+    let weights = WeightTable::uniform(catalogue.len());
+    run_cluster_weighted(catalogue, scenario, mode, cfg, &weights, seed)
+}
+
+/// [`run_cluster`] with per-function container weights/caps on every
+/// worker (the weighted-container axis; see
+/// [`faas_invoker::simulate_calls_weighted`]).
+pub fn run_cluster_weighted(
+    catalogue: &Catalogue,
+    scenario: &ClusterScenario,
+    mode: &NodeMode,
+    cfg: &ClusterConfig,
+    weights: &WeightTable,
+    seed: u64,
+) -> NodeResult {
     let assignment = cfg.lb.assign(&scenario.burst, cfg.nodes);
     // Warm-up ids start above the burst ids so each node's call list has
     // unique ids.
@@ -137,7 +154,7 @@ pub fn run_cluster(
                     .map(|(c, _)| *c),
             );
             calls.sort_by_key(|c| (c.release, c.id));
-            simulate_calls(catalogue, &calls, mode, &cfg.node, node_seed, node)
+            simulate_calls_weighted(catalogue, &calls, mode, &cfg.node, weights, node_seed, node)
         })
         .collect();
     NodeResult::merge(results)
@@ -159,7 +176,9 @@ pub fn run_cluster(
 ///
 /// `scenario_seed` fixes the generated workload, `sim_seed` the per-node
 /// service/cold-start draws — mirroring the `(scenario, seed)` split of
-/// [`run_cluster`]. Fully deterministic in both.
+/// [`run_cluster`]. Fully deterministic in both. The spec's weight axis
+/// ([`WorkloadSpec::weights`]) is realized once against the catalogue and
+/// applied on every worker.
 pub fn run_cluster_streamed(
     catalogue: &Catalogue,
     spec: &WorkloadSpec,
@@ -170,6 +189,7 @@ pub fn run_cluster_streamed(
 ) -> NodeResult {
     let (warmup_waves, burst_start) = warmup_waves_for(catalogue);
     let generator = ShardedGenerator::new(spec, catalogue, burst_start, scenario_seed);
+    let weights = spec.weights.table(catalogue);
 
     match cfg.lb {
         LoadBalancer::RoundRobin => {
@@ -181,7 +201,9 @@ pub fn run_cluster_streamed(
                     let mut calls = warmup_calls_for_waves(&warmup_waves, cfg.node.cores, id_base);
                     calls.extend(generator.iter_stride(node as u64, cfg.nodes as u64));
                     calls.sort_by_key(|c| (c.release, c.id));
-                    simulate_calls(catalogue, &calls, mode, &cfg.node, node_seed, node)
+                    simulate_calls_weighted(
+                        catalogue, &calls, mode, &cfg.node, &weights, node_seed, node,
+                    )
                 })
                 .collect();
             NodeResult::merge(results)
@@ -195,7 +217,7 @@ pub fn run_cluster_streamed(
                 burst_window: spec.window,
                 warmup_waves,
             };
-            run_cluster(catalogue, &scenario, mode, cfg, sim_seed)
+            run_cluster_weighted(catalogue, &scenario, mode, cfg, &weights, sim_seed)
         }
     }
 }
@@ -373,6 +395,7 @@ mod tests {
         WorkloadSpec {
             arrival: ArrivalSpec::Uniform { count },
             mix: MixSpec::Equal,
+            weights: WeightSpec::Uniform,
             window: SimDuration::from_secs(60),
         }
     }
@@ -461,6 +484,68 @@ mod tests {
         };
         assert_eq!(releases(1, 2), releases(1, 3), "sim seed leaves workload");
         assert_ne!(releases(1, 2), releases(9, 2), "scenario seed changes it");
+    }
+
+    #[test]
+    fn streamed_weighted_spec_reaches_every_node() {
+        // The weight axis plumbs through the streamed path: a tiered spec
+        // still serves every call exactly once on every node, and changes
+        // the baseline outcomes relative to uniform weights.
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::RoundRobin,
+        };
+        let mut spec = streamed_spec(132);
+        spec.weights = WeightSpec::paper_tiers();
+        let weighted = run_cluster_streamed(&cat, &spec, &NodeMode::Baseline, &cfg, 7, 8);
+        let uniform =
+            run_cluster_streamed(&cat, &streamed_spec(132), &NodeMode::Baseline, &cfg, 7, 8);
+        let measured = weighted.outcomes.iter().filter(|o| o.is_measured()).count();
+        assert_eq!(measured, 132);
+        assert_ne!(
+            weighted.outcomes, uniform.outcomes,
+            "tiered weights must shift baseline completions"
+        );
+        // Same calls, same releases: only the service schedule moved.
+        let ids = |r: &NodeResult| {
+            let mut v: Vec<u32> = r
+                .outcomes
+                .iter()
+                .filter(|o| o.is_measured())
+                .map(|o| o.id.0)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&weighted), ids(&uniform));
+    }
+
+    #[test]
+    fn streamed_weighted_function_hash_fallback_applies_weights() {
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 2,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::FunctionHash,
+        };
+        // The tiered model includes a 0.5-core cap, which binds even on an
+        // uncontended node (Zipf weights with unit caps only matter once
+        // the run-queue oversubscribes the cores).
+        let mut spec = streamed_spec(66);
+        spec.weights = WeightSpec::paper_tiers();
+        let weighted = run_cluster_streamed(&cat, &spec, &NodeMode::Baseline, &cfg, 9, 10);
+        let uniform =
+            run_cluster_streamed(&cat, &streamed_spec(66), &NodeMode::Baseline, &cfg, 9, 10);
+        assert_eq!(
+            weighted.outcomes.iter().filter(|o| o.is_measured()).count(),
+            66
+        );
+        assert_ne!(
+            weighted.outcomes, uniform.outcomes,
+            "weights must reach the materialized fallback path"
+        );
     }
 
     #[test]

@@ -81,11 +81,25 @@ pub fn churn_params(cores: f64) -> GpsParams {
 /// Returns `work_done` as a checksum so callers can black-box it (and so
 /// differential callers can compare the two kernels).
 pub fn run_churn<K: GpsKernel>(kernel: &mut K, tasks: usize, completions: usize) -> f64 {
+    run_churn_with(kernel, tasks, completions, |_| (1.0, 1.0))
+}
+
+/// The churn loop shared by the uniform and weighted benchmarks: identical
+/// access pattern, with the `k`-th spawned task's `(weight, max_rate)`
+/// supplied by `sig`. Keeping one loop is what makes the two BENCH
+/// trajectories comparable.
+pub fn run_churn_with<K: GpsKernel>(
+    kernel: &mut K,
+    tasks: usize,
+    completions: usize,
+    sig: impl Fn(usize) -> (f64, f64),
+) -> f64 {
     let mut now = SimTime::ZERO;
     // Deterministic work pattern: spread out so completions rarely tie.
     let work = |k: usize| 0.5 + (k % 97) as f64 * 0.013;
     for k in 0..tasks {
-        kernel.add_task(now, work(k), 1.0, 1.0);
+        let (weight, max_rate) = sig(k);
+        kernel.add_task(now, work(k), weight, max_rate);
     }
     let mut spawned = tasks;
     for _ in 0..completions {
@@ -95,11 +109,48 @@ pub fn run_churn<K: GpsKernel>(kernel: &mut K, tasks: usize, completions: usize)
         now = now.max(at);
         for id in kernel.finished_tasks(now) {
             kernel.remove_task(now, id);
-            kernel.add_task(now, work(spawned), 1.0, 1.0);
+            let (weight, max_rate) = sig(spawned);
+            kernel.add_task(now, work(spawned), weight, max_rate);
             spawned += 1;
         }
     }
     kernel.work_done()
+}
+
+/// Weighted-container churn tiers: weight tiers crossed with rate caps,
+/// spanning four distinct pin ratios (`max_rate / weight` from 0.125 to
+/// 1.0) so the capped/uncapped boundary is populated on both sides and the
+/// seed water-filling runs multiple pinning rounds per refresh.
+pub const WEIGHTED_CHURN_SIGNATURES: [(f64, f64); 6] = [
+    (1.0, 1.0),
+    (2.0, 1.0),
+    (4.0, 1.0),
+    (1.0, 0.5),
+    (2.0, 0.25),
+    (8.0, 2.0),
+];
+
+/// The shape the weighted churn benchmarks run at: enough cores relative
+/// to the task count that a sizeable fraction of the tiers is rate-capped
+/// (the regime where water-filling actually iterates), with the same
+/// context-switch penalty as [`churn_params`].
+pub fn weighted_churn_params(tasks: usize) -> GpsParams {
+    GpsParams {
+        cores: (tasks as f64 * 0.75).max(1.0),
+        ctx_switch_penalty: 0.5,
+        penalty_cap: 100.0,
+    }
+}
+
+/// Completion-driven churn over the weighted tiers: identical access
+/// pattern to [`run_churn`], but every task cycles through
+/// [`WEIGHTED_CHURN_SIGNATURES`], keeping the bank permanently in general
+/// (heterogeneous) mode. This is the workload `BENCH_weighted_gps.json`
+/// times the incremental partition against the O(n) reference refresh on.
+pub fn run_weighted_churn<K: GpsKernel>(kernel: &mut K, tasks: usize, completions: usize) -> f64 {
+    run_churn_with(kernel, tasks, completions, |k| {
+        WEIGHTED_CHURN_SIGNATURES[k % WEIGHTED_CHURN_SIGNATURES.len()]
+    })
 }
 
 #[cfg(test)]
@@ -116,5 +167,32 @@ mod tests {
             (a - b).abs() < 1e-6,
             "churn checksum diverged: optimized={a} reference={b}"
         );
+    }
+
+    #[test]
+    fn weighted_churn_matches_between_kernels() {
+        let params = weighted_churn_params(64);
+        let mut optimized = GpsCpu::new(params);
+        let mut reference = ReferenceGpsCpu::new(params);
+        let a = run_weighted_churn(&mut optimized, 64, 200);
+        let b = run_weighted_churn(&mut reference, 64, 200);
+        assert!(
+            (a - b).abs() < 1e-4,
+            "weighted churn checksum diverged: optimized={a} reference={b}"
+        );
+    }
+
+    #[test]
+    fn weighted_churn_populates_both_partition_sides() {
+        // The benchmark shape must actually exercise the boundary: after
+        // the initial fill, both sides of the partition are non-empty.
+        let tasks = 120;
+        let mut kernel = GpsCpu::new(weighted_churn_params(tasks));
+        for k in 0..tasks {
+            let (w, c) = WEIGHTED_CHURN_SIGNATURES[k % WEIGHTED_CHURN_SIGNATURES.len()];
+            kernel.add_task(SimTime::ZERO, 1.0, w, c);
+        }
+        let (uncapped, capped) = kernel.partition_sizes();
+        assert!(uncapped > 0 && capped > 0, "({uncapped}, {capped})");
     }
 }

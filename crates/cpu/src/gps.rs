@@ -68,13 +68,39 @@
 //!   lowest-slot tie-break of the reference integrator, because heap order
 //!   is membership-invariant in virtual time.
 //!
-//! Heterogeneous weights or rate caps (used by experiments, never by the
-//! invoker hot path) break the single-virtual-clock property, so the kernel
-//! falls back to settled per-slot accounting with the reference
-//! water-filling — still cheaper than the seed thanks to the generation
-//! memo. Membership changes switch representations in O(n), which is
-//! amortized free since a membership change already costs a rate
-//! recomputation.
+//! # Weighted (general) mode: the incremental capped/uncapped partition
+//!
+//! Heterogeneous weights or rate caps (weighted containers) break the
+//! single-virtual-clock property, so the kernel falls back to settled
+//! per-slot accounting. The water-filling fixed point has a threshold
+//! structure: for the current capacity `C_eff` there is a *water level*
+//! `λ` (service per unit weight) such that
+//!
+//! ```text
+//! rate_i = min(max_rate_i, weight_i * λ)
+//! ```
+//!
+//! and a task is **capped** (pinned at its `max_rate`) exactly when its
+//! *pin ratio* `r_i = max_rate_i / weight_i` satisfies `r_i <= λ`. The
+//! kernel maintains that partition incrementally instead of re-deriving it
+//! from scratch on every membership change: two ordered sets keyed by the
+//! pin ratio, plus running sums `W = Σ weight` over the uncapped set and
+//! `K = Σ max_rate` over the capped set (compensated, so incremental
+//! updates do not drift), from which `λ = (C_eff − K) / W`.
+//!
+//! **Water-level monotonicity.** Moving a boundary task in the direction
+//! its ratio demands can only *raise* the level: pinning a task with
+//! `r_i <= λ` yields `λ' = (C−K−cap_i)/(W−w_i)` with
+//! `λ' − λ ∝ w_i (λ − r_i) >= 0`, and unpinning a task with `r_i > λ`
+//! yields `λ' − λ ∝ w_i (r_i − λ) > 0`. Rebalancing after a membership
+//! change is therefore two sweeps — unpin from the top of the capped
+//! order while `r > λ`, then pin from the bottom of the uncapped order
+//! while `r <= λ` — each move `O(log n)`, and neither sweep can
+//! re-enable the other because both only raise `λ`. The boundary
+//! typically crosses O(1) tasks per event, so the rate refresh is
+//! O(log n) amortized where the seed re-ran the full O(n·rounds)
+//! water-filling; the O(n log n) partition build happens only on the
+//! uniform→general representation switch, which already costs O(n).
 //!
 //! The structure is a pure state machine over simulated time. The owner
 //! drives it with [`GpsCpu::advance`] and re-queries
@@ -84,7 +110,7 @@
 use faas_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 /// Identifier of a task inside a [`GpsCpu`]. Slots are recycled; a `TaskId`
 /// is only meaningful until the task completes or is removed.
@@ -153,6 +179,46 @@ fn signature(weight: f64, max_rate: f64) -> Signature {
     (weight.to_bits(), max_rate.to_bits())
 }
 
+/// Partition-order key: `(pin ratio bits, slot)`. Weights and caps are
+/// positive, so the IEEE bit pattern of `max_rate / weight` orders exactly
+/// like the ratio itself; the slot index makes ties deterministic.
+type PartKey = (u64, u32);
+
+fn pin_ratio_bits(weight: f64, max_rate: f64) -> u64 {
+    (max_rate / weight).to_bits()
+}
+
+/// Neumaier-compensated running sum: the partition sums see a long stream
+/// of incremental `+weight`/`-weight` updates, and plain f64 accumulation
+/// would slowly drift away from the freshly-summed value the reference
+/// integrator computes.
+#[derive(Debug, Clone, Copy, Default)]
+struct CompensatedSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl CompensatedSum {
+    const ZERO: CompensatedSum = CompensatedSum {
+        sum: 0.0,
+        comp: 0.0,
+    };
+
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Body {
     /// Uniform-mode unfinished task: completes when the virtual clock
@@ -175,6 +241,10 @@ struct Slot {
     max_rate: f64,
     /// Distinguishes reincarnations of a recycled slot in stale heap keys.
     epoch: u64,
+    /// General mode: true while the task sits in the capped side of the
+    /// water-filling partition (rate pinned at `max_rate`). Meaningless in
+    /// uniform mode.
+    capped: bool,
     body: Body,
 }
 
@@ -248,12 +318,26 @@ pub struct GpsCpu {
     /// the owner removes them (unsorted; sorted on query).
     finished_pending: Vec<u32>,
 
-    // ---- Rate memo (valid while `rates_generation == Some(generation)`) ----
+    // ---- Uniform-rate memo (valid while `rates_generation ==
+    // Some(generation)`; general mode keeps its rates implicit in the
+    // partition instead) ----
     rates_generation: Option<u64>,
     /// Uniform mode: the common task rate.
     uniform_rate: f64,
-    /// General mode: per-slot water-filling rates.
-    rates_scratch: Vec<f64>,
+
+    // ---- General-mode partition state ----
+    /// Uncapped tasks ordered by pin ratio ascending: the head is the next
+    /// task to pin as the water level rises.
+    part_uncapped: BTreeSet<PartKey>,
+    /// Capped tasks in the same order: the tail is the next task to unpin
+    /// as the water level falls.
+    part_capped: BTreeSet<PartKey>,
+    /// `W`: Σ weight over the uncapped set.
+    uncapped_weight: CompensatedSum,
+    /// `K`: Σ max_rate over the capped set.
+    capped_capacity: CompensatedSum,
+    /// The water level `λ` for the current membership (general mode).
+    water_level: f64,
 }
 
 impl GpsCpu {
@@ -281,7 +365,11 @@ impl GpsCpu {
             finished_pending: Vec::new(),
             rates_generation: None,
             uniform_rate: 0.0,
-            rates_scratch: Vec::new(),
+            part_uncapped: BTreeSet::new(),
+            part_capped: BTreeSet::new(),
+            uncapped_weight: CompensatedSum::ZERO,
+            capped_capacity: CompensatedSum::ZERO,
+            water_level: 0.0,
         }
     }
 
@@ -310,6 +398,26 @@ impl GpsCpu {
         self.work_done
     }
 
+    /// True while the bank runs the uniform virtual-time representation
+    /// (single `(weight, max_rate)` signature — the invoker's hot path).
+    /// Test/introspection hook: homogeneous workloads must never leave it.
+    pub fn is_uniform_mode(&self) -> bool {
+        self.mode == Mode::Uniform
+    }
+
+    /// `(uncapped, capped)` sizes of the general-mode water-filling
+    /// partition; both zero in uniform mode, whose fast path never touches
+    /// the partition structure.
+    pub fn partition_sizes(&self) -> (usize, usize) {
+        (self.part_uncapped.len(), self.part_capped.len())
+    }
+
+    /// The general-mode water level `λ` (service rate per unit weight);
+    /// `None` in uniform mode.
+    pub fn water_level(&self) -> Option<f64> {
+        (self.mode == Mode::General).then_some(self.water_level)
+    }
+
     /// Instantaneous service rate of `id` under the current task set.
     pub fn current_rate(&mut self, id: TaskId) -> f64 {
         match self.mode {
@@ -320,10 +428,10 @@ impl GpsCpu {
                     0.0
                 }
             }
-            Mode::General => {
-                self.refresh_general_rates();
-                self.rates_scratch[id.0 as usize]
-            }
+            Mode::General => match &self.slots[id.0 as usize] {
+                Some(slot) => Self::general_rate(slot, self.water_level),
+                None => 0.0,
+            },
         }
     }
 
@@ -360,16 +468,17 @@ impl GpsCpu {
                 }
             }
             Mode::General => {
-                self.refresh_general_rates();
-                for (i, slot) in self.slots.iter_mut().enumerate() {
-                    if let Some(slot) = slot {
-                        let Body::Settled { remaining } = &mut slot.body else {
-                            unreachable!("general mode keeps all tasks settled");
-                        };
-                        let consumed = (self.rates_scratch[i] * dt).min(*remaining);
-                        *remaining -= consumed;
-                        self.work_done += consumed;
-                    }
+                // The partition (and hence every rate) is kept current by
+                // the membership operations themselves.
+                let level = self.water_level;
+                for slot in self.slots.iter_mut().flatten() {
+                    let rate = Self::general_rate(slot, level);
+                    let Body::Settled { remaining } = &mut slot.body else {
+                        unreachable!("general mode keeps all tasks settled");
+                    };
+                    let consumed = (rate * dt).min(*remaining);
+                    *remaining -= consumed;
+                    self.work_done += consumed;
                 }
             }
         }
@@ -400,14 +509,18 @@ impl GpsCpu {
         };
         if self.sig_counts.len() > 1 {
             // Heterogeneous signatures: leave (or put) the bank in general
-            // mode and store the task settled.
+            // mode, store the task settled, and splice it into the
+            // water-filling partition.
             self.enter_general_mode();
             self.slots[index as usize] = Some(Slot {
                 weight,
                 max_rate,
                 epoch,
+                capped: false,
                 body: Body::Settled { remaining: work },
             });
+            self.partition_insert(index);
+            self.rebalance_partition();
         } else {
             // Single signature implies the bank was already uniform (adds
             // cannot shrink the signature set).
@@ -417,6 +530,7 @@ impl GpsCpu {
                 weight,
                 max_rate,
                 epoch,
+                capped: false,
                 body: Body::Virtual { finish_vt },
             });
             self.unfinished += 1;
@@ -436,6 +550,9 @@ impl GpsCpu {
         let slot = self.slots[id.0 as usize]
             .take()
             .expect("remove_task on dead task");
+        if self.mode == Mode::General {
+            self.partition_remove(id.0, &slot);
+        }
         self.free_slots.push(id.0);
         self.runnable -= 1;
         let sig = signature(slot.weight, slot.max_rate);
@@ -464,9 +581,14 @@ impl GpsCpu {
             // Rebase the virtual clock while idle: bounds its magnitude and
             // discards stale heap entries wholesale.
             self.reset_uniform_state();
+            self.clear_partition();
             self.mode = Mode::Uniform;
-        } else if self.mode == Mode::General && self.sig_counts.len() == 1 {
-            self.enter_uniform_mode();
+        } else if self.mode == Mode::General {
+            if self.sig_counts.len() == 1 {
+                self.enter_uniform_mode();
+            } else {
+                self.rebalance_partition();
+            }
         }
         residual
     }
@@ -493,11 +615,11 @@ impl GpsCpu {
                 Some((TaskId(top.slot), now + SimDuration::from_secs_f64(eta)))
             }
             Mode::General => {
-                self.refresh_general_rates();
+                let level = self.water_level;
                 let mut best: Option<(usize, f64)> = None;
                 for (i, slot) in self.slots.iter().enumerate() {
                     if let Some(slot) = slot {
-                        let rate = self.rates_scratch[i];
+                        let rate = Self::general_rate(slot, level);
                         if rate <= 0.0 {
                             continue;
                         }
@@ -573,52 +695,157 @@ impl GpsCpu {
         self.uniform_rate
     }
 
-    /// Memoized general-mode water-filling (the reference algorithm),
-    /// recomputed only when the membership generation moved.
-    fn refresh_general_rates(&mut self) {
-        if self.rates_generation == Some(self.generation) {
-            return;
+    /// The general-mode rate of one slot given the water level.
+    #[inline]
+    fn general_rate(slot: &Slot, level: f64) -> f64 {
+        if slot.capped {
+            slot.max_rate
+        } else {
+            slot.weight * level
         }
-        self.rates_generation = Some(self.generation);
-        self.rates_scratch.clear();
-        self.rates_scratch.resize(self.slots.len(), 0.0);
-        if self.runnable == 0 {
-            return;
+    }
+
+    /// Insert a live slot into the partition as uncapped (the following
+    /// [`GpsCpu::rebalance_partition`] pins it if its ratio sits below the
+    /// water level).
+    fn partition_insert(&mut self, index: u32) {
+        let slot = self.slots[index as usize]
+            .as_mut()
+            .expect("partition insert of a dead slot");
+        slot.capped = false;
+        let (weight, max_rate) = (slot.weight, slot.max_rate);
+        self.uncapped_weight.add(weight);
+        self.part_uncapped
+            .insert((pin_ratio_bits(weight, max_rate), index));
+    }
+
+    /// Remove a (just-taken) slot from whichever side of the partition it
+    /// occupied.
+    fn partition_remove(&mut self, index: u32, slot: &Slot) {
+        let key = (pin_ratio_bits(slot.weight, slot.max_rate), index);
+        if slot.capped {
+            let removed = self.part_capped.remove(&key);
+            debug_assert!(removed, "capped task missing from partition");
+            self.capped_capacity.add(-slot.max_rate);
+        } else {
+            let removed = self.part_uncapped.remove(&key);
+            debug_assert!(removed, "uncapped task missing from partition");
+            self.uncapped_weight.add(-slot.weight);
         }
+    }
+
+    /// The water level implied by the current sums: `(C_eff − K) / W`.
+    /// With no uncapped weight the level is `+∞` while the caps fit the
+    /// capacity (nothing to unpin) and `−∞` once they exceed it (forcing
+    /// the rebalance to unpin from the top).
+    fn current_level(&self, cap: f64) -> f64 {
+        let w = self.uncapped_weight.value();
+        if w > 0.0 {
+            (cap - self.capped_capacity.value()) / w
+        } else if self.capped_capacity.value() <= cap {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Restore the capped/uncapped invariant after a membership change.
+    /// Two sweeps suffice (see the module docs): every move — unpinning a
+    /// capped task whose ratio exceeds the level, or pinning an uncapped
+    /// task whose ratio is at or below it — raises the water level, so
+    /// unpins cannot re-enable unpins and pins cannot re-enable either.
+    fn rebalance_partition(&mut self) {
+        debug_assert_eq!(self.mode, Mode::General);
         let cap = self.params.effective_capacity(self.runnable);
-        let mut active: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| i))
-            .collect();
-        let mut remaining_cap = cap;
-        while !active.is_empty() {
-            let total_weight: f64 = active
-                .iter()
-                .map(|&i| self.slots[i].as_ref().unwrap().weight)
-                .sum();
-            let per_weight = remaining_cap / total_weight;
-            let mut pinned_any = false;
-            active.retain(|&i| {
-                let slot = self.slots[i].as_ref().unwrap();
-                if slot.weight * per_weight >= slot.max_rate {
-                    self.rates_scratch[i] = slot.max_rate;
-                    remaining_cap -= slot.max_rate;
-                    pinned_any = true;
-                    false
-                } else {
-                    true
-                }
-            });
-            if !pinned_any {
-                for &i in &active {
-                    let slot = self.slots[i].as_ref().unwrap();
-                    self.rates_scratch[i] = slot.weight * per_weight;
-                }
+        // Sweep 1: unpin from the top of the capped order.
+        while let Some(&(rb, index)) = self.part_capped.last() {
+            if f64::from_bits(rb) <= self.current_level(cap) {
                 break;
             }
+            self.part_capped.remove(&(rb, index));
+            let slot = self.slots[index as usize]
+                .as_mut()
+                .expect("partition holds only live slots");
+            slot.capped = false;
+            let (weight, max_rate) = (slot.weight, slot.max_rate);
+            self.capped_capacity.add(-max_rate);
+            self.uncapped_weight.add(weight);
+            self.part_uncapped.insert((rb, index));
         }
+        // Sweep 2: pin from the bottom of the uncapped order.
+        while let Some(&(rb, index)) = self.part_uncapped.first() {
+            if f64::from_bits(rb) > self.current_level(cap) {
+                break;
+            }
+            self.part_uncapped.remove(&(rb, index));
+            let slot = self.slots[index as usize]
+                .as_mut()
+                .expect("partition holds only live slots");
+            slot.capped = true;
+            let (weight, max_rate) = (slot.weight, slot.max_rate);
+            self.uncapped_weight.add(-weight);
+            self.capped_capacity.add(max_rate);
+            self.part_capped.insert((rb, index));
+        }
+        // Pin the sums back to exact zero whenever a side empties, so
+        // residual compensation cannot accumulate across mode episodes.
+        if self.part_uncapped.is_empty() {
+            self.uncapped_weight = CompensatedSum::ZERO;
+        }
+        if self.part_capped.is_empty() {
+            self.capped_capacity = CompensatedSum::ZERO;
+        }
+        self.water_level = self.current_level(cap);
+        #[cfg(debug_assertions)]
+        self.debug_validate_partition();
+    }
+
+    /// Debug-build invariant check: partition membership matches the
+    /// per-slot flags, the running sums match fresh summation, and no task
+    /// sits more than a rounding margin on the wrong side of the level.
+    #[cfg(debug_assertions)]
+    fn debug_validate_partition(&self) {
+        let mut w = 0.0;
+        let mut k = 0.0;
+        let mut live = 0usize;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(slot) = slot else { continue };
+            live += 1;
+            let key = (pin_ratio_bits(slot.weight, slot.max_rate), i as u32);
+            if slot.capped {
+                debug_assert!(self.part_capped.contains(&key));
+                k += slot.max_rate;
+            } else {
+                debug_assert!(self.part_uncapped.contains(&key));
+                w += slot.weight;
+            }
+            let ratio = slot.max_rate / slot.weight;
+            let margin = 1e-9 * (1.0 + ratio.abs() + self.water_level.abs());
+            if slot.capped {
+                debug_assert!(
+                    ratio <= self.water_level + margin,
+                    "capped task {i} above the water level: r={ratio} λ={}",
+                    self.water_level
+                );
+            } else {
+                debug_assert!(
+                    ratio >= self.water_level - margin,
+                    "uncapped task {i} below the water level: r={ratio} λ={}",
+                    self.water_level
+                );
+            }
+        }
+        debug_assert_eq!(live, self.part_uncapped.len() + self.part_capped.len());
+        debug_assert!((w - self.uncapped_weight.value()).abs() <= 1e-9 * (1.0 + w.abs()));
+        debug_assert!((k - self.capped_capacity.value()).abs() <= 1e-9 * (1.0 + k.abs()));
+    }
+
+    fn clear_partition(&mut self) {
+        self.part_uncapped.clear();
+        self.part_capped.clear();
+        self.uncapped_weight = CompensatedSum::ZERO;
+        self.capped_capacity = CompensatedSum::ZERO;
+        self.water_level = 0.0;
     }
 
     /// Discard stale heap keys and return the earliest live unfinished one.
@@ -676,7 +903,10 @@ impl GpsCpu {
             .body = Body::Settled { remaining };
     }
 
-    /// Switch to settled per-slot accounting (heterogeneous signatures).
+    /// Switch to settled per-slot accounting (heterogeneous signatures)
+    /// and build the water-filling partition from the live tasks. O(n log
+    /// n), amortized free: the switch only happens on a membership change
+    /// that already settles every slot in O(n).
     fn enter_general_mode(&mut self) {
         if self.mode == Mode::General {
             return;
@@ -690,13 +920,21 @@ impl GpsCpu {
         }
         self.reset_uniform_state();
         self.mode = Mode::General;
+        debug_assert!(self.part_uncapped.is_empty() && self.part_capped.is_empty());
+        for i in 0..self.slots.len() as u32 {
+            if self.slots[i as usize].is_some() {
+                self.partition_insert(i);
+            }
+        }
+        // The caller (add_task) rebalances after inserting the new task.
     }
 
     /// Re-enter the uniform virtual-time representation (single signature
-    /// left). Rebases the virtual clock to zero.
+    /// left). Rebases the virtual clock to zero and drops the partition.
     fn enter_uniform_mode(&mut self) {
         debug_assert_eq!(self.mode, Mode::General);
         self.reset_uniform_state();
+        self.clear_partition();
         self.mode = Mode::Uniform;
         for i in 0..self.slots.len() {
             let Some(slot) = &mut self.slots[i] else {
@@ -1052,6 +1290,98 @@ mod tests {
             cpu.work_done()
         );
         assert!((cpu.work_done() - 2.0 * completed).abs() < 1e-4);
+    }
+
+    #[test]
+    fn all_tasks_capped_leaves_surplus_unused() {
+        // 8 cores, three tasks whose caps sum to 1.5: every task is pinned
+        // at its cap (fair shares far exceed the caps) and the remaining
+        // 6.5 cores stay idle, exactly like the reference.
+        let mut cpu = GpsCpu::new(params(8.0, 0.0));
+        let a = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 0.5);
+        let b = cpu.add_task(SimTime::ZERO, 1.0, 2.0, 0.5);
+        let c = cpu.add_task(SimTime::ZERO, 1.0, 4.0, 0.5);
+        for id in [a, b, c] {
+            assert!((cpu.current_rate(id) - 0.5).abs() < 1e-12);
+        }
+        let (uncapped, capped) = cpu.partition_sizes();
+        assert_eq!((uncapped, capped), (0, 3), "all tasks on the capped side");
+        assert_eq!(cpu.water_level(), Some(f64::INFINITY));
+        // 1 core-second each at 0.5 cores: all three finish at t=2.
+        let (_, at) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert!((at.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_exactly_at_fair_share_is_a_boundary_tie() {
+        // 2 cores, two weight-1 tasks, one capped at exactly its 1.0 fair
+        // share. Whether the tied task sits on the capped or uncapped side
+        // of the partition, both rates must be exactly 1.0 (the reference
+        // pins on `>=`, so it treats the tie as capped).
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let tied = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        let free = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 2.0);
+        assert!(!cpu.is_uniform_mode(), "two signatures force general mode");
+        assert!((cpu.current_rate(tied) - 1.0).abs() < 1e-12);
+        assert!((cpu.current_rate(free) - 1.0).abs() < 1e-12);
+        let level = cpu.water_level().unwrap();
+        assert!((level - 1.0).abs() < 1e-12, "water level sits on the tie");
+    }
+
+    #[test]
+    fn single_uncapped_task_absorbs_all_surplus() {
+        // 4 cores: three tasks pinned at 0.25 leave 3.25 cores for the one
+        // uncapped task (its own 10.0 cap never binds).
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        let mut pinned = Vec::new();
+        for _ in 0..3 {
+            pinned.push(cpu.add_task(SimTime::ZERO, 1.0, 1.0, 0.25));
+        }
+        let big = cpu.add_task(SimTime::ZERO, 1.0, 1.0, 10.0);
+        for &id in &pinned {
+            assert!((cpu.current_rate(id) - 0.25).abs() < 1e-12);
+        }
+        assert!((cpu.current_rate(big) - 3.25).abs() < 1e-12);
+        assert_eq!(cpu.partition_sizes(), (1, 3));
+    }
+
+    #[test]
+    fn mode_flips_keep_partition_and_remaining_consistent() {
+        // Repeated uniform -> general -> uniform flips: remaining work is
+        // preserved across every representation switch, and the partition
+        // structure drains completely on each return to uniform.
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let t0 = SimTime::ZERO;
+        let a = cpu.add_task(t0, 10.0, 1.0, 1.0);
+        let mut t = t0;
+        for round in 0..4 {
+            cpu.advance(t);
+            let before = cpu.remaining(a);
+            let hetero = cpu.add_task(t, 0.5, 3.0, 0.5 + round as f64 * 0.25);
+            assert!(!cpu.is_uniform_mode());
+            assert_ne!(cpu.partition_sizes(), (0, 0));
+            assert!(
+                (cpu.remaining(a) - before).abs() < 1e-9,
+                "settling is lossless (round {round})"
+            );
+            t += SimDuration::from_millis(250);
+            let before = {
+                cpu.advance(t);
+                cpu.remaining(a)
+            };
+            cpu.remove_task(t, hetero);
+            assert!(cpu.is_uniform_mode(), "single signature re-enters uniform");
+            assert_eq!(cpu.partition_sizes(), (0, 0), "partition fully drained");
+            assert_eq!(cpu.water_level(), None);
+            assert!(
+                (cpu.remaining(a) - before).abs() < 1e-9,
+                "un-settling is lossless (round {round})"
+            );
+            t += SimDuration::from_millis(250);
+        }
+        // The long task kept depleting through all four flips.
+        cpu.advance(t);
+        assert!(cpu.remaining(a) < 10.0);
     }
 
     #[test]

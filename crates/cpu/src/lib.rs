@@ -23,7 +23,9 @@ pub mod bench_support;
 pub mod dedicated;
 pub mod gps;
 pub mod gps_reference;
+pub mod schedule;
 
 pub use dedicated::CorePool;
 pub use gps::{GpsCpu, GpsParams, TaskId};
 pub use gps_reference::ReferenceGpsCpu;
+pub use schedule::{ChurnOp, DifferentialPair, SignaturePool};

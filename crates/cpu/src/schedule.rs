@@ -1,0 +1,371 @@
+//! Reusable churn-schedule test support: random interleavings of
+//! add/remove/advance/next-completion over heterogeneous weights and rate
+//! caps, plus the differential driver that locks the production kernel to
+//! the seed integrator after every step.
+//!
+//! PR 1 pinned the virtual-time kernel with an inline harness in
+//! `tests/prop_gps_diff.rs`. This module is that harness extracted and
+//! generalized so the weighted-partition suites
+//! (`tests/prop_gps_weighted.rs`), the original differential tests and any
+//! future kernel rewrite share one schedule vocabulary:
+//!
+//! * [`ChurnOp`] — the four kernel operations a schedule interleaves;
+//! * [`SignaturePool`] — the `(weight, max_rate)` signatures a schedule
+//!   draws from, from the invoker's uniform `(1, 1)` through heavily
+//!   heterogeneous weighted-container pools;
+//! * [`random_schedule`] — seeded schedule generation;
+//! * [`DifferentialPair`] — drives [`GpsCpu`] and [`ReferenceGpsCpu`] in
+//!   lockstep, comparing every observable (live count, `work_done`,
+//!   per-task remaining, next completion, finished sets, residuals) after
+//!   every operation.
+
+use crate::gps::{GpsCpu, GpsParams, TaskId};
+use crate::gps_reference::ReferenceGpsCpu;
+use faas_simcore::rng::Xoshiro256;
+use faas_simcore::time::{SimDuration, SimTime};
+
+/// Tolerance on completion-time agreement, seconds.
+pub const TIME_TOL: f64 = 1e-6;
+/// Tolerance on remaining-work / `work_done` agreement, core-seconds.
+pub const WORK_TOL: f64 = 1e-6;
+
+/// One schedule step. Work and time are in milliseconds (of core-time and
+/// simulated time respectively) so schedules stay shrink-friendly integer
+/// tuples; `sig` indexes the [`SignaturePool`].
+#[derive(Debug, Clone, Copy)]
+pub enum ChurnOp {
+    /// Add a task with `work_ms` milliseconds of core-work and the pool
+    /// signature `sig`.
+    Add { work_ms: u64, sig: u8 },
+    /// Remove the `pick % live`-th live task (no-op when idle).
+    Remove { pick: u64 },
+    /// Advance simulated time by `dt_ms`.
+    Advance { dt_ms: u64 },
+    /// Jump to the next predicted completion and retire every finished
+    /// task.
+    CompleteNext,
+}
+
+/// A pool of `(weight, max_rate)` signatures a schedule draws from.
+#[derive(Debug, Clone)]
+pub struct SignaturePool {
+    sigs: Vec<(f64, f64)>,
+}
+
+impl SignaturePool {
+    /// Build a pool from explicit signatures.
+    pub fn new(sigs: Vec<(f64, f64)>) -> Self {
+        assert!(!sigs.is_empty(), "signature pool cannot be empty");
+        for &(w, c) in &sigs {
+            assert!(w > 0.0 && c > 0.0, "invalid signature ({w}, {c})");
+        }
+        SignaturePool { sigs }
+    }
+
+    /// The invoker's single `(1, 1)` signature: schedules stay on the
+    /// uniform fast path.
+    pub fn uniform() -> Self {
+        SignaturePool::new(vec![(1.0, 1.0)])
+    }
+
+    /// PR 1's four-signature mixed pool (uniform plus weighted/capped).
+    pub fn paper_mixed() -> Self {
+        SignaturePool::new(vec![(1.0, 1.0), (2.5, 1.0), (1.0, 0.5), (4.0, 0.25)])
+    }
+
+    /// A seeded heterogeneous weighted-container pool: 6–10 signatures
+    /// with weights spanning 0.25–8 and caps 0.125–2, plus one cap that
+    /// lands exactly on a unit fair share so boundary ties appear in
+    /// random schedules.
+    pub fn weighted(seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x5166_7001);
+        let weights = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+        let caps = [0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+        let n = 6 + (rng.next_u64() % 5) as usize;
+        let mut sigs: Vec<(f64, f64)> = (0..n)
+            .map(|_| (*rng.choose(&weights), *rng.choose(&caps)))
+            .collect();
+        // Always include the exact-tie signature and a plain uniform one:
+        // the interesting partition boundaries must be reachable from any
+        // seed.
+        sigs[0] = (1.0, 1.0);
+        sigs[1] = (2.0, 1.0);
+        SignaturePool::new(sigs)
+    }
+
+    /// The `sig`-th signature (wrapping).
+    pub fn get(&self, sig: u8) -> (f64, f64) {
+        self.sigs[sig as usize % self.sigs.len()]
+    }
+
+    /// Number of signatures in the pool.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Pools are never empty (asserted at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Generate a seeded random schedule of `steps` operations drawing
+/// signatures `0..sig_range`. Op mix follows the PR 1 harness: 40% adds,
+/// 20% advances, 10% removes, 30% completion-driven churn.
+pub fn random_schedule(
+    rng: &mut Xoshiro256,
+    steps: usize,
+    sig_range: u8,
+    max_work_ms: u64,
+    max_dt_ms: u64,
+) -> Vec<ChurnOp> {
+    assert!(sig_range > 0 && max_work_ms > 0 && max_dt_ms > 0);
+    (0..steps)
+        .map(|_| match rng.next_u64() % 10 {
+            0..=3 => ChurnOp::Add {
+                work_ms: 1 + rng.next_u64() % max_work_ms,
+                sig: (rng.next_u64() % sig_range as u64) as u8,
+            },
+            4..=5 => ChurnOp::Advance {
+                dt_ms: 1 + rng.next_u64() % max_dt_ms,
+            },
+            6 => ChurnOp::Remove {
+                pick: rng.next_u64(),
+            },
+            _ => ChurnOp::CompleteNext,
+        })
+        .collect()
+}
+
+/// The production kernel and the seed integrator driven in lockstep.
+pub struct DifferentialPair {
+    /// The kernel under test.
+    pub opt: GpsCpu,
+    /// The executable specification.
+    pub reference: ReferenceGpsCpu,
+    pool: SignaturePool,
+    live: Vec<TaskId>,
+    now: SimTime,
+}
+
+impl DifferentialPair {
+    /// Fresh pair over identical parameters.
+    pub fn new(cores: f64, kappa: f64, pool: SignaturePool) -> Self {
+        let params = GpsParams {
+            cores,
+            ctx_switch_penalty: kappa,
+            penalty_cap: 100.0,
+        };
+        DifferentialPair {
+            opt: GpsCpu::new(params),
+            reference: ReferenceGpsCpu::new(params),
+            pool,
+            live: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time of the pair.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live tasks.
+    pub fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Assert the production kernel sits on the uniform fast path: the
+    /// virtual-time representation, with the weighted partition untouched.
+    /// The uniform-regression suite calls this after every operation of a
+    /// signature-homogeneous schedule.
+    pub fn assert_uniform_fast_path(&self) {
+        assert!(
+            self.opt.is_uniform_mode(),
+            "homogeneous workload left the uniform fast path at {:?}",
+            self.now
+        );
+        assert_eq!(
+            self.opt.partition_sizes(),
+            (0, 0),
+            "homogeneous workload touched the partition structure"
+        );
+    }
+
+    fn check_state(&self) {
+        assert_eq!(self.opt.len(), self.reference.len(), "live-count mismatch");
+        assert!(
+            (self.opt.work_done() - self.reference.work_done()).abs() < WORK_TOL,
+            "work_done diverged: optimized={} reference={}",
+            self.opt.work_done(),
+            self.reference.work_done()
+        );
+        for &id in &self.live {
+            let a = self.opt.remaining(id);
+            let b = self.reference.remaining(id);
+            assert!(
+                (a - b).abs() < WORK_TOL,
+                "remaining diverged for {id:?}: optimized={a} reference={b}"
+            );
+        }
+    }
+
+    fn check_next_completion(&mut self) {
+        let a = self.opt.next_completion(self.now);
+        let b = self.reference.next_completion(self.now);
+        match (a, b) {
+            (None, None) => {}
+            (Some((ida, ta)), Some((idb, tb))) => {
+                assert!(
+                    (ta.as_secs_f64() - tb.as_secs_f64()).abs() < TIME_TOL,
+                    "completion time diverged: optimized=({ida:?}, {ta}) reference=({idb:?}, {tb})"
+                );
+                if ida != idb {
+                    // The kernels may only disagree on a genuine tie: two
+                    // tasks whose remaining work is equal in real
+                    // arithmetic (floating-point noise breaks the tie
+                    // differently in the two algebraic formulations).
+                    // Certify the tie; the finished-set comparison after
+                    // the completion keeps the kernels in lockstep because
+                    // tied tasks finish together.
+                    let tie = (self.reference.remaining(ida) - self.reference.remaining(idb)).abs()
+                        < WORK_TOL;
+                    assert!(
+                        tie,
+                        "completion order diverged beyond a tie at {:?}: \
+                         optimized={ida:?} reference={idb:?} (ref remainings {} vs {})",
+                        self.now,
+                        self.reference.remaining(ida),
+                        self.reference.remaining(idb)
+                    );
+                }
+            }
+            (a, b) => panic!("completion presence diverged: optimized={a:?} reference={b:?}"),
+        }
+    }
+
+    /// Apply one operation to both kernels and compare every observable.
+    pub fn apply(&mut self, op: ChurnOp) {
+        match op {
+            ChurnOp::Add { work_ms, sig } => {
+                let work = work_ms as f64 / 1000.0;
+                let (weight, max_rate) = self.pool.get(sig);
+                let ida = self.opt.add_task(self.now, work, weight, max_rate);
+                let idb = self.reference.add_task(self.now, work, weight, max_rate);
+                assert_eq!(ida, idb, "slot allocation diverged");
+                self.live.push(ida);
+            }
+            ChurnOp::Remove { pick } => {
+                if self.live.is_empty() {
+                    return;
+                }
+                let id = self.live.remove((pick % self.live.len() as u64) as usize);
+                let ra = self.opt.remove_task(self.now, id);
+                let rb = self.reference.remove_task(self.now, id);
+                assert!(
+                    (ra - rb).abs() < WORK_TOL,
+                    "residual diverged for {id:?}: optimized={ra} reference={rb}"
+                );
+            }
+            ChurnOp::Advance { dt_ms } => {
+                self.now += SimDuration::from_millis(dt_ms);
+                self.opt.advance(self.now);
+                self.reference.advance(self.now);
+            }
+            ChurnOp::CompleteNext => {
+                let Some((id, at)) = self.reference.next_completion(self.now) else {
+                    assert!(self.opt.next_completion(self.now).is_none());
+                    return;
+                };
+                self.check_next_completion();
+                self.now = self.now.max(at);
+                let fa = self.opt.finished_tasks(self.now);
+                let fb = self.reference.finished_tasks(self.now);
+                assert_eq!(fa, fb, "finished sets diverged at {:?}", self.now);
+                assert!(
+                    fb.contains(&id) || self.reference.remaining(id) > 0.0,
+                    "predicted completion {id:?} neither finished nor pending"
+                );
+                for done in fb {
+                    self.live.retain(|&l| l != done);
+                    let ra = self.opt.remove_task(self.now, done);
+                    let rb = self.reference.remove_task(self.now, done);
+                    assert!((ra - rb).abs() < WORK_TOL, "finished residual diverged");
+                }
+            }
+        }
+        self.check_state();
+        self.check_next_completion();
+    }
+
+    /// Drive every remaining task to completion, comparing the full
+    /// completion order.
+    pub fn drain(&mut self) {
+        let mut guard = 0usize;
+        while !self.reference.is_empty() {
+            self.apply(ChurnOp::CompleteNext);
+            guard += 1;
+            assert!(guard < 100_000, "drain did not converge");
+        }
+        assert!(self.opt.is_empty(), "optimized kernel retained tasks");
+    }
+}
+
+/// Drive one fully seeded random schedule end to end: node shape, schedule
+/// and pool choice all derive from `seed`. The volume sweeps call this in
+/// a loop; a failing seed reproduces exactly.
+pub fn run_differential_schedule(seed: u64, pool: &SignaturePool, max_steps: usize) {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xD1FF_5EED);
+    let cores = 1.0 + (rng.next_u64() % 12) as f64;
+    let kappa = (rng.next_u64() % 100) as f64 / 100.0;
+    let steps = max_steps / 4 + (rng.next_u64() % (3 * max_steps as u64 / 4).max(1)) as usize;
+    let ops = random_schedule(&mut rng, steps, pool.len() as u8, 4_000, 1_200);
+    let mut pair = DifferentialPair::new(cores, kappa, pool.clone());
+    for op in ops {
+        pair.apply(op);
+    }
+    pair.drain();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_lookup_wraps() {
+        let pool = SignaturePool::paper_mixed();
+        assert_eq!(pool.get(0), pool.get(4));
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn weighted_pools_are_seed_deterministic_and_diverse() {
+        let a = SignaturePool::weighted(7);
+        let b = SignaturePool::weighted(7);
+        assert_eq!(a.sigs, b.sigs, "same seed, same pool");
+        assert!(a.len() >= 6);
+        let distinct: std::collections::BTreeSet<(u64, u64)> = a
+            .sigs
+            .iter()
+            .map(|&(w, c)| (w.to_bits(), c.to_bits()))
+            .collect();
+        assert!(distinct.len() >= 2, "pool must be heterogeneous");
+    }
+
+    #[test]
+    fn random_schedules_are_seed_deterministic() {
+        let gen = |seed: u64| {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            random_schedule(&mut rng, 50, 4, 1_000, 500)
+        };
+        let fmt = |ops: &[ChurnOp]| format!("{ops:?}");
+        assert_eq!(fmt(&gen(3)), fmt(&gen(3)));
+        assert_ne!(fmt(&gen(3)), fmt(&gen(4)));
+    }
+
+    #[test]
+    fn differential_pair_smoke() {
+        run_differential_schedule(1, &SignaturePool::paper_mixed(), 60);
+        run_differential_schedule(2, &SignaturePool::weighted(2), 60);
+    }
+}

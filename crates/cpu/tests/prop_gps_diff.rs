@@ -4,180 +4,18 @@
 //! accounting — over random add/remove/advance/complete schedules, in both
 //! the uniform fast path and the heterogeneous water-filling path.
 //!
-//! Two harnesses share one driver:
+//! The schedule vocabulary and the lockstep driver live in
+//! `faas_cpu::schedule` (shared with the weighted-partition suite in
+//! `prop_gps_weighted.rs`). Two harnesses consume them here:
 //!
 //! * a proptest property over random op sequences (shrinking-friendly
 //!   op encoding);
-//! * a seeded sweep of 1000+ random schedules, providing the volume the
+//! * a seeded sweep of 1200 random schedules, providing the volume the
 //!   acceptance criteria ask for at a fixed, reproducible cost.
 
-use faas_cpu::gps_reference::ReferenceGpsCpu;
-use faas_cpu::{GpsCpu, GpsParams, TaskId};
+use faas_cpu::schedule::{random_schedule, ChurnOp, DifferentialPair, SignaturePool};
 use faas_simcore::rng::Xoshiro256;
-use faas_simcore::time::{SimDuration, SimTime};
 use proptest::prelude::*;
-
-const TIME_TOL: f64 = 1e-6;
-const WORK_TOL: f64 = 1e-6;
-
-/// One schedule step. Work is in milliseconds of core-time; `sig` selects a
-/// `(weight, max_rate)` signature (0 is the invoker's uniform signature).
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    Add { work_ms: u64, sig: u8 },
-    Remove { pick: u64 },
-    Advance { dt_ms: u64 },
-    CompleteNext,
-}
-
-fn signature(sig: u8) -> (f64, f64) {
-    match sig % 4 {
-        0 => (1.0, 1.0),
-        1 => (2.5, 1.0),
-        2 => (1.0, 0.5),
-        _ => (4.0, 0.25),
-    }
-}
-
-struct Pair {
-    opt: GpsCpu,
-    reference: ReferenceGpsCpu,
-    live: Vec<TaskId>,
-    now: SimTime,
-}
-
-impl Pair {
-    fn new(cores: f64, kappa: f64) -> Self {
-        let params = GpsParams {
-            cores,
-            ctx_switch_penalty: kappa,
-            penalty_cap: 100.0,
-        };
-        Pair {
-            opt: GpsCpu::new(params),
-            reference: ReferenceGpsCpu::new(params),
-            live: Vec::new(),
-            now: SimTime::ZERO,
-        }
-    }
-
-    fn check_state(&self) {
-        assert_eq!(self.opt.len(), self.reference.len(), "live-count mismatch");
-        assert!(
-            (self.opt.work_done() - self.reference.work_done()).abs() < WORK_TOL,
-            "work_done diverged: optimized={} reference={}",
-            self.opt.work_done(),
-            self.reference.work_done()
-        );
-        for &id in &self.live {
-            let a = self.opt.remaining(id);
-            let b = self.reference.remaining(id);
-            assert!(
-                (a - b).abs() < WORK_TOL,
-                "remaining diverged for {id:?}: optimized={a} reference={b}"
-            );
-        }
-    }
-
-    fn check_next_completion(&mut self) {
-        let a = self.opt.next_completion(self.now);
-        let b = self.reference.next_completion(self.now);
-        match (a, b) {
-            (None, None) => {}
-            (Some((ida, ta)), Some((idb, tb))) => {
-                assert!(
-                    (ta.as_secs_f64() - tb.as_secs_f64()).abs() < TIME_TOL,
-                    "completion time diverged: optimized=({ida:?}, {ta}) reference=({idb:?}, {tb})"
-                );
-                if ida != idb {
-                    // The kernels may only disagree on a genuine tie: two
-                    // tasks whose remaining work is equal in real arithmetic
-                    // (floating-point noise breaks the tie differently in
-                    // the two algebraic formulations). Certify the tie; the
-                    // finished-set comparison after the completion keeps the
-                    // kernels in lockstep because tied tasks finish
-                    // together.
-                    let tie = (self.reference.remaining(ida) - self.reference.remaining(idb)).abs()
-                        < WORK_TOL;
-                    assert!(
-                        tie,
-                        "completion order diverged beyond a tie at {:?}: \
-                         optimized={ida:?} reference={idb:?} (ref remainings {} vs {})",
-                        self.now,
-                        self.reference.remaining(ida),
-                        self.reference.remaining(idb)
-                    );
-                }
-            }
-            (a, b) => panic!("completion presence diverged: optimized={a:?} reference={b:?}"),
-        }
-    }
-
-    fn apply(&mut self, op: Op) {
-        match op {
-            Op::Add { work_ms, sig } => {
-                let work = work_ms as f64 / 1000.0;
-                let (weight, max_rate) = signature(sig);
-                let ida = self.opt.add_task(self.now, work, weight, max_rate);
-                let idb = self.reference.add_task(self.now, work, weight, max_rate);
-                assert_eq!(ida, idb, "slot allocation diverged");
-                self.live.push(ida);
-            }
-            Op::Remove { pick } => {
-                if self.live.is_empty() {
-                    return;
-                }
-                let id = self.live.remove((pick % self.live.len() as u64) as usize);
-                let ra = self.opt.remove_task(self.now, id);
-                let rb = self.reference.remove_task(self.now, id);
-                assert!(
-                    (ra - rb).abs() < WORK_TOL,
-                    "residual diverged for {id:?}: optimized={ra} reference={rb}"
-                );
-            }
-            Op::Advance { dt_ms } => {
-                self.now += SimDuration::from_millis(dt_ms);
-                self.opt.advance(self.now);
-                self.reference.advance(self.now);
-            }
-            Op::CompleteNext => {
-                let Some((id, at)) = self.reference.next_completion(self.now) else {
-                    assert!(self.opt.next_completion(self.now).is_none());
-                    return;
-                };
-                self.check_next_completion();
-                self.now = self.now.max(at);
-                let fa = self.opt.finished_tasks(self.now);
-                let fb = self.reference.finished_tasks(self.now);
-                assert_eq!(fa, fb, "finished sets diverged at {:?}", self.now);
-                assert!(
-                    fb.contains(&id) || self.reference.remaining(id) > 0.0,
-                    "predicted completion {id:?} neither finished nor pending"
-                );
-                for done in fb {
-                    self.live.retain(|&l| l != done);
-                    let ra = self.opt.remove_task(self.now, done);
-                    let rb = self.reference.remove_task(self.now, done);
-                    assert!((ra - rb).abs() < WORK_TOL, "finished residual diverged");
-                }
-            }
-        }
-        self.check_state();
-        self.check_next_completion();
-    }
-
-    /// Drive every remaining task to completion, comparing the full
-    /// completion order.
-    fn drain(&mut self) {
-        let mut guard = 0usize;
-        while !self.reference.is_empty() {
-            self.apply(Op::CompleteNext);
-            guard += 1;
-            assert!(guard < 100_000, "drain did not converge");
-        }
-        assert!(self.opt.is_empty(), "optimized kernel retained tasks");
-    }
-}
 
 proptest! {
     /// Uniform-signature schedules (the invoker's regime): every observable
@@ -188,15 +26,15 @@ proptest! {
         kappa in 0.0f64..1.0,
         ops in prop::collection::vec((0u8..4, 1u64..5_000, any::<u64>()), 1..60)
     ) {
-        let mut pair = Pair::new(cores as f64, kappa);
+        let mut pair = DifferentialPair::new(cores as f64, kappa, SignaturePool::uniform());
         for (kind, magnitude, pick) in ops {
             let op = match kind {
-                0 | 1 => Op::Add { work_ms: magnitude, sig: 0 },
-                2 => Op::Advance { dt_ms: magnitude % 1_500 + 1 },
+                0 | 1 => ChurnOp::Add { work_ms: magnitude, sig: 0 },
+                2 => ChurnOp::Advance { dt_ms: magnitude % 1_500 + 1 },
                 _ => if pick % 3 == 0 {
-                    Op::Remove { pick }
+                    ChurnOp::Remove { pick }
                 } else {
-                    Op::CompleteNext
+                    ChurnOp::CompleteNext
                 },
             };
             pair.apply(op);
@@ -204,22 +42,22 @@ proptest! {
         pair.drain();
     }
 
-    /// Heterogeneous schedules exercise the water-filling fallback and both
-    /// representation switches.
+    /// Heterogeneous schedules exercise the water-filling partition and
+    /// both representation switches.
     #[test]
     fn heterogeneous_schedules_match_reference(
         cores in 1u32..8,
         ops in prop::collection::vec((0u8..4, 1u64..3_000, any::<u64>()), 1..50)
     ) {
-        let mut pair = Pair::new(cores as f64, 0.3);
+        let mut pair = DifferentialPair::new(cores as f64, 0.3, SignaturePool::paper_mixed());
         for (kind, magnitude, pick) in ops {
             let op = match kind {
-                0 | 1 => Op::Add { work_ms: magnitude, sig: (pick % 4) as u8 },
-                2 => Op::Advance { dt_ms: magnitude % 1_000 + 1 },
+                0 | 1 => ChurnOp::Add { work_ms: magnitude, sig: (pick % 4) as u8 },
+                2 => ChurnOp::Advance { dt_ms: magnitude % 1_000 + 1 },
                 _ => if pick % 3 == 0 {
-                    Op::Remove { pick }
+                    ChurnOp::Remove { pick }
                 } else {
-                    Op::CompleteNext
+                    ChurnOp::CompleteNext
                 },
             };
             pair.apply(op);
@@ -236,26 +74,15 @@ fn run_schedule(seed: u64) {
     let cores = 1.0 + (rng.next_u64() % 12) as f64;
     let kappa = (rng.next_u64() % 100) as f64 / 100.0;
     let uniform_only = !seed.is_multiple_of(3);
-    let mut pair = Pair::new(cores, kappa);
+    let pool = if uniform_only {
+        SignaturePool::uniform()
+    } else {
+        SignaturePool::paper_mixed()
+    };
     let steps = 20 + (rng.next_u64() % 60) as usize;
-    for _ in 0..steps {
-        let op = match rng.next_u64() % 10 {
-            0..=3 => Op::Add {
-                work_ms: 1 + rng.next_u64() % 4_000,
-                sig: if uniform_only {
-                    0
-                } else {
-                    (rng.next_u64() % 4) as u8
-                },
-            },
-            4..=5 => Op::Advance {
-                dt_ms: 1 + rng.next_u64() % 1_200,
-            },
-            6 => Op::Remove {
-                pick: rng.next_u64(),
-            },
-            _ => Op::CompleteNext,
-        };
+    let ops = random_schedule(&mut rng, steps, pool.len() as u8, 4_000, 1_200);
+    let mut pair = DifferentialPair::new(cores, kappa, pool);
+    for op in ops {
         pair.apply(op);
     }
     pair.drain();

@@ -1,0 +1,185 @@
+//! Weighted-partition differential tests: the incremental capped/uncapped
+//! water-filling in `GpsCpu` pinned to the seed integrator
+//! (`gps_reference`) over randomized *weighted* churn schedules —
+//! heterogeneous weights and rate caps, the regime PR 4's partition
+//! rewrite targets. Built on the reusable harness in `faas_cpu::schedule`.
+//!
+//! Three suites:
+//!
+//! * a proptest property over random weighted op sequences (shrinking
+//!   encoding, seeded signature pools);
+//! * a seeded sweep of 600 weighted churn schedules — the ≥500-schedule
+//!   volume the acceptance criteria require, at fixed reproducible cost;
+//! * the uniform fast-path regression: signature-homogeneous schedules
+//!   must never leave the virtual-time representation or touch the
+//!   partition structure, keeping the invoker's O(1) path O(1).
+
+use faas_cpu::schedule::{random_schedule, ChurnOp, DifferentialPair, SignaturePool};
+use faas_cpu::{GpsCpu, GpsParams};
+use faas_simcore::rng::Xoshiro256;
+use faas_simcore::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Weighted churn schedules over seeded heterogeneous pools: every
+    /// observable matches the reference after every operation.
+    #[test]
+    fn weighted_schedules_match_reference(
+        cores in 1u32..10,
+        pool_seed in 0u64..64,
+        ops in prop::collection::vec((0u8..4, 1u64..3_000, any::<u64>()), 1..50)
+    ) {
+        let pool = SignaturePool::weighted(pool_seed);
+        let mut pair = DifferentialPair::new(cores as f64, 0.4, pool.clone());
+        for (kind, magnitude, pick) in ops {
+            let op = match kind {
+                0 | 1 => ChurnOp::Add {
+                    work_ms: magnitude,
+                    sig: (pick % pool.len() as u64) as u8,
+                },
+                2 => ChurnOp::Advance { dt_ms: magnitude % 1_000 + 1 },
+                _ => if pick % 3 == 0 {
+                    ChurnOp::Remove { pick }
+                } else {
+                    ChurnOp::CompleteNext
+                },
+            };
+            pair.apply(op);
+        }
+        pair.drain();
+    }
+}
+
+/// The acceptance-criteria volume: 600 seeded weighted churn schedules,
+/// each with its own heterogeneous signature pool and node shape, driven
+/// to completion under the full per-step observable comparison.
+#[test]
+fn differential_600_weighted_schedules() {
+    for seed in 0..600u64 {
+        let pool = SignaturePool::weighted(seed);
+        if let Err(e) = std::panic::catch_unwind(|| {
+            faas_cpu::schedule::run_differential_schedule(seed, &pool, 80)
+        }) {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".into());
+            panic!("weighted schedule seed {seed} diverged: {msg}");
+        }
+    }
+}
+
+/// The weighted sweep must actually exercise the partition: across the
+/// seeds, schedules reach general mode with tasks on both sides of the
+/// capped/uncapped boundary.
+#[test]
+fn weighted_schedules_populate_the_partition() {
+    let mut saw_general = false;
+    let mut saw_both_sides = false;
+    for seed in 0..40u64 {
+        let pool = SignaturePool::weighted(seed);
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xBEEF);
+        let ops = random_schedule(&mut rng, 60, pool.len() as u8, 2_000, 800);
+        let mut cpu = GpsCpu::new(GpsParams {
+            cores: 4.0,
+            ctx_switch_penalty: 0.2,
+            penalty_cap: 100.0,
+        });
+        let mut live = Vec::new();
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                ChurnOp::Add { work_ms, sig } => {
+                    let (w, c) = pool.get(sig);
+                    live.push(cpu.add_task(now, work_ms as f64 / 1000.0, w, c));
+                }
+                ChurnOp::Remove { pick } => {
+                    if !live.is_empty() {
+                        let id = live.remove((pick % live.len() as u64) as usize);
+                        cpu.remove_task(now, id);
+                    }
+                }
+                ChurnOp::Advance { dt_ms } => {
+                    now += faas_simcore::time::SimDuration::from_millis(dt_ms);
+                    cpu.advance(now);
+                }
+                ChurnOp::CompleteNext => {
+                    if let Some((_, at)) = cpu.next_completion(now) {
+                        now = now.max(at);
+                        for id in cpu.finished_tasks(now) {
+                            live.retain(|&l| l != id);
+                            cpu.remove_task(now, id);
+                        }
+                    }
+                }
+            }
+            if !cpu.is_uniform_mode() {
+                saw_general = true;
+                let (uncapped, capped) = cpu.partition_sizes();
+                if uncapped > 0 && capped > 0 {
+                    saw_both_sides = true;
+                }
+            }
+        }
+    }
+    assert!(saw_general, "weighted schedules never reached general mode");
+    assert!(
+        saw_both_sides,
+        "weighted schedules never split the partition across the boundary"
+    );
+}
+
+/// Uniform fast-path regression: a signature-homogeneous workload must
+/// never enter the partition structure — the bank stays in the
+/// virtual-time representation after every single operation, so the
+/// invoker's O(1) advance stays O(1).
+#[test]
+fn homogeneous_schedules_never_touch_the_partition() {
+    for seed in 0..50u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x0511_F0A5);
+        let cores = 1.0 + (rng.next_u64() % 12) as f64;
+        let kappa = (rng.next_u64() % 100) as f64 / 100.0;
+        let ops = random_schedule(&mut rng, 80, 1, 4_000, 1_200);
+        let mut pair = DifferentialPair::new(cores, kappa, SignaturePool::uniform());
+        for op in ops {
+            pair.apply(op);
+            pair.assert_uniform_fast_path();
+        }
+        pair.drain();
+        pair.assert_uniform_fast_path();
+    }
+}
+
+/// Mode flips under churn: generation moves on every membership change and
+/// the partition drains exactly when the signature set collapses back to
+/// one — the introspection surface the fast-path regression relies on.
+#[test]
+fn generation_and_mode_introspection_track_membership() {
+    let mut cpu = GpsCpu::new(GpsParams {
+        cores: 2.0,
+        ctx_switch_penalty: 0.0,
+        penalty_cap: 100.0,
+    });
+    let t = SimTime::ZERO;
+    let g0 = cpu.generation();
+    let a = cpu.add_task(t, 5.0, 1.0, 1.0);
+    assert!(cpu.generation() > g0);
+    assert!(cpu.is_uniform_mode());
+    let b = cpu.add_task(t, 5.0, 2.0, 0.5);
+    assert!(!cpu.is_uniform_mode());
+    assert_eq!(
+        {
+            let (u, c) = cpu.partition_sizes();
+            u + c
+        },
+        2,
+        "both live tasks sit in the partition"
+    );
+    cpu.remove_task(t, b);
+    assert!(cpu.is_uniform_mode(), "single signature re-enters uniform");
+    assert_eq!(cpu.partition_sizes(), (0, 0));
+    cpu.remove_task(t, a);
+    assert!(cpu.is_empty());
+    assert!(cpu.is_uniform_mode());
+}

@@ -28,7 +28,6 @@ use faas_simcore::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::time::Instant;
 
 /// The predecessor queue's sequence-number hasher (Fibonacci mix), kept so
 /// the lazy baseline pays exactly the hash cost the real pre-PR queue paid
@@ -133,19 +132,6 @@ impl Gaps {
         self.0 ^= self.0 << 17;
         1 + self.0 % 200
     }
-}
-
-/// Median wall-clock nanoseconds of `f` over [`SAMPLES`] runs.
-fn median_ns<F: FnMut() -> u64>(mut f: F) -> f64 {
-    let mut times: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            start.elapsed().as_nanos() as f64
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
-    times[times.len() / 2]
 }
 
 /// Tick-storm on the indexed queue: the tick is one handle, rescheduled
@@ -255,8 +241,8 @@ fn hold_lazy() -> u64 {
 /// Run the event-queue benchmarks.
 pub fn run() -> Vec<BenchEntry> {
     let mut entries = Vec::new();
-    let storm_indexed = median_ns(tick_storm_indexed) / OPS as f64;
-    let storm_lazy = median_ns(tick_storm_lazy) / OPS as f64;
+    let storm_indexed = crate::median_ns(SAMPLES, tick_storm_indexed) / OPS as f64;
+    let storm_lazy = crate::median_ns(SAMPLES, tick_storm_lazy) / OPS as f64;
     entries.push(BenchEntry {
         name: format!("event_queue_tick_storm_n{POPULATION}_indexed"),
         value: storm_indexed,
@@ -272,8 +258,8 @@ pub fn run() -> Vec<BenchEntry> {
         value: storm_lazy / storm_indexed,
         unit: "x".into(),
     });
-    let hold_idx = median_ns(hold_indexed) / OPS as f64;
-    let hold_lzy = median_ns(hold_lazy) / OPS as f64;
+    let hold_idx = crate::median_ns(SAMPLES, hold_indexed) / OPS as f64;
+    let hold_lzy = crate::median_ns(SAMPLES, hold_lazy) / OPS as f64;
     entries.push(BenchEntry {
         name: format!("event_queue_hold_n{POPULATION}_indexed"),
         value: hold_idx,

@@ -14,7 +14,6 @@ use faas_invoker::{simulate_scenario, NodeConfig, NodeMode};
 use faas_workload::scenario::BurstScenario;
 use faas_workload::sebs::Catalogue;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// One dashboard data point.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,28 +32,15 @@ const CHURN_TASKS: [usize; 3] = [16, 64, 512];
 const CHURN_COMPLETIONS: usize = 2_000;
 const SAMPLES: usize = 7;
 
-/// Median wall-clock nanoseconds of `f` over [`SAMPLES`] runs.
-fn median_ns<F: FnMut() -> f64>(mut f: F) -> f64 {
-    let mut times: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            start.elapsed().as_nanos() as f64
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
-    times[times.len() / 2]
-}
-
 /// Run the GPS micro-benchmarks and the end-to-end baseline-node benchmark.
 pub fn run() -> Vec<BenchEntry> {
     let mut entries = Vec::new();
     for tasks in CHURN_TASKS {
-        let optimized = median_ns(|| {
+        let optimized = crate::median_ns(SAMPLES, || {
             let mut kernel = GpsCpu::new(churn_params(10.0));
             run_churn(&mut kernel, tasks, CHURN_COMPLETIONS)
         });
-        let reference = median_ns(|| {
+        let reference = crate::median_ns(SAMPLES, || {
             let mut kernel = ReferenceGpsCpu::new(churn_params(10.0));
             run_churn(&mut kernel, tasks, CHURN_COMPLETIONS)
         });
@@ -80,7 +66,7 @@ pub fn run() -> Vec<BenchEntry> {
     let catalogue = Catalogue::sebs();
     let scenario = BurstScenario::standard(10, 90).generate(&catalogue, 42);
     let node = NodeConfig::paper(10);
-    let wall = median_ns(|| {
+    let wall = crate::median_ns(SAMPLES, || {
         let result = simulate_scenario(&catalogue, &scenario, &NodeMode::Baseline, &node, 42);
         result.outcomes.len() as f64
     });

@@ -28,8 +28,8 @@ use faas_workload::generate::{ShardedGenerator, WorkloadSpec};
 use faas_workload::mix::MixSpec;
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::Call;
+use faas_workload::weight::WeightSpec;
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Target call count for the bulk-generation benchmark.
 const BULK_CALLS: usize = 1_000_000;
@@ -38,19 +38,6 @@ const NODES: u64 = 256;
 /// Calls for the assignment benchmark.
 const ASSIGN_CALLS: usize = 1_000_000;
 const SAMPLES: usize = 3;
-
-/// Median wall-clock nanoseconds of `f` over [`SAMPLES`] runs.
-fn median_ns<F: FnMut() -> u64>(mut f: F) -> f64 {
-    let mut times: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            start.elapsed().as_nanos() as f64
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
-    times[times.len() / 2]
-}
 
 fn bulk_generator(catalogue: &Catalogue, calls: usize) -> ShardedGenerator {
     let window = SimDuration::from_secs(60);
@@ -63,6 +50,7 @@ fn bulk_generator(catalogue: &Catalogue, calls: usize) -> ShardedGenerator {
             mean_off_secs: 8.0,
         },
         mix: MixSpec::Zipf { s: 1.2 },
+        weights: WeightSpec::Uniform,
         window,
     };
     ShardedGenerator::new(&spec, catalogue, SimTime::ZERO, 0xBE7C)
@@ -127,8 +115,8 @@ pub fn run() -> Vec<BenchEntry> {
         unit: "threads".into(),
     });
 
-    let serial = median_ns(|| checksum(&generator.generate_serial()));
-    let sharded = median_ns(|| checksum(&generator.generate_parallel()));
+    let serial = crate::median_ns(SAMPLES, || checksum(&generator.generate_serial()));
+    let sharded = crate::median_ns(SAMPLES, || checksum(&generator.generate_parallel()));
     entries.push(BenchEntry {
         name: "workload_gen_bulk_serial_wall".into(),
         value: serial / 1e6,
@@ -148,8 +136,8 @@ pub fn run() -> Vec<BenchEntry> {
     let assign_gen = bulk_generator(&catalogue, ASSIGN_CALLS);
     let mut burst = assign_gen.generate_parallel();
     burst.sort_by_key(|c| (c.release, c.id));
-    let filter = median_ns(|| assign_filter(&burst, NODES));
-    let stream = median_ns(|| assign_stream(&assign_gen, NODES));
+    let filter = crate::median_ns(SAMPLES, || assign_filter(&burst, NODES));
+    let stream = crate::median_ns(SAMPLES, || assign_stream(&assign_gen, NODES));
     entries.push(BenchEntry {
         name: format!("cluster_assign_n{NODES}_filter_wall"),
         value: filter / 1e6,

@@ -18,11 +18,14 @@
 //!            appendix 37-38)
 //!   ablations  Hyper-parameter sweeps beyond the paper
 //!   functions  Per-function fairness breakdown (SSII's view)
-//!   sweep      Workload sweep: arrival process x function mix x strategy
-//!              (uniform/Poisson/MMPP/diurnal x equal/fairness/Zipf), with
-//!              per-combination sim-health columns
-//!   bench      GPS-kernel, event-queue and workload-generation
-//!              micro-benchmarks; writes BENCH_gps.json,
+//!   sweep      Workload sweep: arrival process x function mix x container
+//!              weights x strategy (uniform/Poisson/MMPP/diurnal x
+//!              equal/fairness/Zipf x uniform/tiered/Zipf-correlated),
+//!              with per-combination sim-health columns, plus a
+//!              cluster-size sweep through the streamed multi-node engine
+//!   bench      GPS-kernel (uniform and weighted), event-queue and
+//!              workload-generation micro-benchmarks; writes
+//!              BENCH_gps.json, BENCH_weighted_gps.json,
 //!              BENCH_events.json and BENCH_workload.json for the perf
 //!              trajectory
 //!   run        Custom single configuration with per-call CSV trace:
@@ -33,8 +36,8 @@
 //! Results are also written as JSON under `--out` (default `results/`).
 
 use faas_experiments::{
-    ablations, bench_events, bench_gps, bench_workload, custom, fig2, fig5, fig6, functions, grid,
-    sweep, table1, Effort,
+    ablations, bench_events, bench_gps, bench_weighted_gps, bench_workload, custom, fig2, fig5,
+    fig6, functions, grid, sweep, table1, Effort,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -159,6 +162,9 @@ fn run_bench(opts: &Opts) {
     let entries = bench_gps::run();
     println!("{}", bench_gps::render(&entries));
     save(opts, "BENCH_gps.json", &entries);
+    let weighted = bench_weighted_gps::run();
+    println!("{}", bench_weighted_gps::render(&weighted));
+    save(opts, "BENCH_weighted_gps.json", &weighted);
     let events = bench_events::run();
     println!("{}", bench_events::render(&events));
     save(opts, "BENCH_events.json", &events);

@@ -17,8 +17,10 @@
 //! [`ablations`] goes beyond the paper: hyper-parameter sweeps for the
 //! design choices the paper fixes by fiat. [`functions`] renders §II's
 //! per-function fairness view for one grid configuration. [`sweep`]
-//! crosses the workload subsystem's arrival × mix axes with the scheduling
-//! strategies — scenario diversity the paper never measured.
+//! crosses the workload subsystem's arrival × mix × container-weight axes
+//! with the scheduling strategies — scenario diversity the paper never
+//! measured — and sweeps cluster sizes through the streamed multi-node
+//! engine.
 //!
 //! All experiments run the 5-seed repetitions in parallel (rayon) and are
 //! bit-for-bit reproducible from the seed set.
@@ -26,6 +28,7 @@
 pub mod ablations;
 pub mod bench_events;
 pub mod bench_gps;
+pub mod bench_weighted_gps;
 pub mod bench_workload;
 pub mod custom;
 pub mod fig2;
@@ -35,6 +38,21 @@ pub mod functions;
 pub mod grid;
 pub mod sweep;
 pub mod table1;
+
+/// Median wall-clock nanoseconds of `f` over `samples` runs. One shared
+/// timing method for every `bench_*` module, so the `BENCH_*.json`
+/// trajectory points stay methodologically comparable across benchmarks.
+pub(crate) fn median_ns<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    times[times.len() / 2]
+}
 
 /// The seeds of the paper's "5 different random sequences of calls".
 pub const SEEDS: [u64; 5] = [101, 202, 303, 404, 505];

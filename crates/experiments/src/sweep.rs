@@ -1,18 +1,26 @@
-//! `experiments sweep`: cross arrival process × function mix × scheduling
-//! policy — the scenario-diversity experiment the workload subsystem
-//! unlocks.
+//! `experiments sweep`: cross arrival process × function mix × container
+//! weights × scheduling policy — the scenario-diversity experiment the
+//! workload subsystem unlocks — plus a cluster-size sweep through the
+//! streamed multi-node engine.
 //!
 //! The paper evaluates its policies under exactly one load shape (uniform
-//! burst, equal split). The sweep replays the *same* mean load through
-//! every combination of the subsystem's axes — uniform / Poisson / MMPP /
-//! diurnal arrivals against equal / fairness / Zipf popularity — under each
-//! strategy, and reports response-time and stretch statistics next to a
-//! per-combination sim-health view (calls generated, peak pending queue,
-//! peak live event-heap size).
+//! burst, equal split, uniform containers). The sweep replays the *same*
+//! mean load through every combination of the subsystem's axes — uniform /
+//! Poisson / MMPP / diurnal arrivals against equal / fairness / Zipf
+//! popularity against uniform / tiered / Zipf-correlated container weights
+//! — under each strategy, and reports response-time and stretch statistics
+//! next to a per-combination sim-health view (calls generated, peak
+//! pending queue, peak live event-heap size).
+//!
+//! The second table fixes the paper's §VIII total load and sweeps the
+//! worker count through [`faas_cluster::run_cluster_streamed`] (each node
+//! generating its own stride of the burst — the PR 3 follow-on), crossed
+//! with the weighted-container axis.
 
 use crate::grid::mode_for;
 use crate::Effort;
-use faas_invoker::{simulate_calls, NodeConfig};
+use faas_cluster::{run_cluster_streamed, ClusterConfig, LoadBalancer};
+use faas_invoker::{simulate_calls_weighted, NodeConfig};
 use faas_metrics::compare::Strategy;
 use faas_metrics::summary::{response_times_into, stretches_into, MetricSummary};
 use faas_metrics::table::{fmt_secs, TextTable};
@@ -24,6 +32,7 @@ use faas_workload::mix::MixSpec;
 use faas_workload::scenario::warmup_for_spec;
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::CallOutcome;
+use faas_workload::weight::WeightSpec;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -32,13 +41,15 @@ const STREAM_TIMES: u64 = 0x5EE1;
 /// Stream tag for sweep function assignment.
 const STREAM_ASSIGN: u64 = 0x5EE2;
 
-/// One (arrival, mix, strategy) combination, pooled over seeds.
+/// One (arrival, mix, weights, strategy) combination, pooled over seeds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepRow {
     /// Arrival-process label.
     pub arrival: String,
     /// Function-mix label.
     pub mix: String,
+    /// Container-weight-model label.
+    pub weights: String,
     /// Scheduling strategy.
     pub strategy: Strategy,
     /// Measured calls pooled over all seeds.
@@ -55,6 +66,26 @@ pub struct SweepRow {
     pub peak_events: usize,
 }
 
+/// One (nodes, weights, strategy) cluster combination at the fixed §VIII
+/// total load, pooled over seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSweepRow {
+    /// Worker count.
+    pub nodes: u16,
+    /// Container-weight-model label.
+    pub weights: String,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Measured calls pooled over all seeds.
+    pub calls: usize,
+    /// Response-time statistics, seconds.
+    pub response: MetricSummary,
+    /// Measured-phase cold starts, summed over seeds.
+    pub cold_starts: usize,
+    /// Sim health: largest live event-heap size over the seeds.
+    pub peak_events: usize,
+}
+
 /// The sweep result set.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepResult {
@@ -63,16 +94,36 @@ pub struct SweepResult {
     /// Intensity-equivalent load (the mean call count matches the paper's
     /// `1.1 · cores · intensity` burst).
     pub intensity: u32,
-    /// All rows, ordered by (arrival, mix, strategy order).
+    /// All single-node rows, ordered by (arrival, mix, weights, strategy).
     pub rows: Vec<SweepRow>,
+    /// Cluster-size rows (streamed generation, fixed total load).
+    pub cluster_rows: Vec<ClusterSweepRow>,
 }
 
 impl SweepResult {
-    /// Look up one row.
-    pub fn row(&self, arrival: &str, mix: &str, strategy: Strategy) -> Option<&SweepRow> {
-        self.rows
+    /// Look up one single-node row.
+    pub fn row(
+        &self,
+        arrival: &str,
+        mix: &str,
+        weights: &str,
+        strategy: Strategy,
+    ) -> Option<&SweepRow> {
+        self.rows.iter().find(|r| {
+            r.arrival == arrival && r.mix == mix && r.weights == weights && r.strategy == strategy
+        })
+    }
+
+    /// Look up one cluster row.
+    pub fn cluster_row(
+        &self,
+        nodes: u16,
+        weights: &str,
+        strategy: Strategy,
+    ) -> Option<&ClusterSweepRow> {
+        self.cluster_rows
             .iter()
-            .find(|r| r.arrival == arrival && r.mix == mix && r.strategy == strategy)
+            .find(|r| r.nodes == nodes && r.weights == weights && r.strategy == strategy)
     }
 }
 
@@ -113,6 +164,16 @@ fn mix_axis(quick: bool) -> Vec<MixSpec> {
     axis
 }
 
+/// The weighted-container axis. The tiered model rides along even in
+/// quick mode so the CI smoke run covers the weighted GPS path.
+fn weight_axis(quick: bool) -> Vec<WeightSpec> {
+    let mut axis = vec![WeightSpec::Uniform, WeightSpec::paper_tiers()];
+    if !quick {
+        axis.push(WeightSpec::ZipfCorrelated { s: 1.0 });
+    }
+    axis
+}
+
 /// The strategy axis: the paper's headline comparison plus the strongest
 /// size-based policy.
 fn strategy_axis(quick: bool) -> Vec<Strategy> {
@@ -128,6 +189,15 @@ fn strategy_axis(quick: bool) -> Vec<Strategy> {
     }
 }
 
+/// Worker counts of the cluster-size sweep.
+fn node_axis(quick: bool) -> Vec<u16> {
+    if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4]
+    }
+}
+
 /// Run the sweep.
 pub fn run(effort: Effort) -> SweepResult {
     let catalogue = Catalogue::sebs();
@@ -140,17 +210,21 @@ pub fn run(effort: Effort) -> SweepResult {
 
     let arrivals = arrival_axis(count, window, effort.quick);
     let mixes = mix_axis(effort.quick);
+    let weight_specs = weight_axis(effort.quick);
     let strategies = strategy_axis(effort.quick);
 
-    let tasks: Vec<(&ArrivalSpec, &MixSpec, Strategy, u64)> = arrivals
+    #[allow(clippy::type_complexity)]
+    let tasks: Vec<(&ArrivalSpec, &MixSpec, &WeightSpec, Strategy, u64)> = arrivals
         .iter()
         .flat_map(|a| {
             mixes.iter().flat_map({
-                let strategies = &strategies;
+                let (weight_specs, strategies, seeds) = (&weight_specs, &strategies, &seeds);
                 move |m| {
-                    strategies
-                        .iter()
-                        .flat_map(move |&s| seeds.iter().map(move |&seed| (a, m, s, seed)))
+                    weight_specs.iter().flat_map(move |w| {
+                        strategies
+                            .iter()
+                            .flat_map(move |&s| seeds.iter().map(move |&seed| (a, m, w, s, seed)))
+                    })
                 }
             })
         })
@@ -159,6 +233,7 @@ pub fn run(effort: Effort) -> SweepResult {
     struct TaskOut {
         arrival: String,
         mix: String,
+        weights: String,
         strategy: Strategy,
         outcomes: Vec<CallOutcome>,
         cold_starts: usize,
@@ -168,12 +243,14 @@ pub fn run(effort: Effort) -> SweepResult {
 
     let outputs: Vec<TaskOut> = tasks
         .par_iter()
-        .map(|&(arrival, mix, strategy, seed)| {
+        .map(|&(arrival, mix, weights, strategy, seed)| {
             let spec = WorkloadSpec {
                 arrival: arrival.clone(),
                 mix: mix.clone(),
+                weights: weights.clone(),
                 window,
             };
+            let weight_table = spec.weights.table(&catalogue);
             let mut root = Xoshiro256::seed_from_u64(seed);
             let mut rng_times = root.derive_stream(STREAM_TIMES);
             let mut rng_assign = root.derive_stream(STREAM_ASSIGN);
@@ -185,17 +262,19 @@ pub fn run(effort: Effort) -> SweepResult {
                 &mut rng_assign,
                 calls.len() as u32,
             ));
-            let result = simulate_calls(
+            let result = simulate_calls_weighted(
                 &catalogue,
                 &calls,
                 &mode_for(strategy),
                 &NodeConfig::paper(cores),
+                &weight_table,
                 seed,
                 0,
             );
             TaskOut {
                 arrival: spec.arrival.label(),
                 mix: spec.mix.label(&catalogue),
+                weights: spec.weights.label(),
                 strategy,
                 cold_starts: result.measured_cold_starts(),
                 peak_queue: result.peak_queue,
@@ -212,53 +291,172 @@ pub fn run(effort: Effort) -> SweepResult {
     let mut stretch_scratch: Vec<f64> = Vec::new();
     for arrival in &arrivals {
         for mix in &mixes {
+            for weights in &weight_specs {
+                for &strategy in &strategies {
+                    let a_label = arrival.label();
+                    let m_label = mix.label(&catalogue);
+                    let w_label = weights.label();
+                    let mut pooled_resp: Vec<f64> = Vec::new();
+                    let mut pooled_stretch: Vec<f64> = Vec::new();
+                    let mut cold_starts = 0;
+                    let mut peak_queue = 0;
+                    let mut peak_events = 0;
+                    for out in outputs.iter().filter(|o| {
+                        o.arrival == a_label
+                            && o.mix == m_label
+                            && o.weights == w_label
+                            && o.strategy == strategy
+                    }) {
+                        refs.clear();
+                        refs.extend(out.outcomes.iter());
+                        response_times_into(&refs, &mut resp_scratch);
+                        stretches_into(&refs, &catalogue, &mut stretch_scratch);
+                        pooled_resp.extend_from_slice(&resp_scratch);
+                        pooled_stretch.extend_from_slice(&stretch_scratch);
+                        cold_starts += out.cold_starts;
+                        peak_queue = peak_queue.max(out.peak_queue);
+                        peak_events = peak_events.max(out.peak_events);
+                    }
+                    rows.push(SweepRow {
+                        arrival: a_label,
+                        mix: m_label,
+                        weights: w_label,
+                        strategy,
+                        calls: pooled_resp.len(),
+                        response: MetricSummary::from_values(&pooled_resp),
+                        stretch: MetricSummary::from_values(&pooled_stretch),
+                        cold_starts,
+                        peak_queue,
+                        peak_events,
+                    });
+                }
+            }
+        }
+    }
+
+    let cluster_rows = run_cluster_sweep(&catalogue, cores, intensity, window, effort);
+    SweepResult {
+        cores,
+        intensity,
+        rows,
+        cluster_rows,
+    }
+}
+
+/// The cluster-size sweep: the paper's fixed-total-load design (§VIII)
+/// through the streamed engine — every node generates its own stride of
+/// the burst, no shared call vector — crossed with the weighted axis.
+fn run_cluster_sweep(
+    catalogue: &Catalogue,
+    cores: u32,
+    intensity: u32,
+    window: SimDuration,
+    effort: Effort,
+) -> Vec<ClusterSweepRow> {
+    let count = catalogue.len() * cores as usize * intensity as usize / 10;
+    let node_counts = node_axis(effort.quick);
+    let weight_specs = weight_axis(effort.quick);
+    // The cluster table is about scaling, not the policy grid: keep the
+    // paper's headline pair in both modes.
+    let strategies = vec![Strategy::Baseline, Strategy::Fc];
+    let seeds = effort.seed_set();
+
+    #[allow(clippy::type_complexity)]
+    let tasks: Vec<(u16, &WeightSpec, Strategy, u64)> = node_counts
+        .iter()
+        .flat_map(|&n| {
+            weight_specs.iter().flat_map({
+                let (strategies, seeds) = (&strategies, &seeds);
+                move |w| {
+                    strategies
+                        .iter()
+                        .flat_map(move |&s| seeds.iter().map(move |&seed| (n, w, s, seed)))
+                }
+            })
+        })
+        .collect();
+
+    struct ClusterOut {
+        nodes: u16,
+        weights: String,
+        strategy: Strategy,
+        outcomes: Vec<CallOutcome>,
+        cold_starts: usize,
+        peak_events: usize,
+    }
+
+    // The node loop inside run_cluster_streamed already fans out on rayon;
+    // run the configurations serially to keep peak memory flat.
+    let outputs: Vec<ClusterOut> = tasks
+        .iter()
+        .map(|&(nodes, weights, strategy, seed)| {
+            let spec = WorkloadSpec {
+                arrival: ArrivalSpec::Uniform { count },
+                mix: MixSpec::Equal,
+                weights: weights.clone(),
+                window,
+            };
+            let cfg = ClusterConfig {
+                nodes,
+                node: NodeConfig::paper(cores),
+                lb: LoadBalancer::RoundRobin,
+            };
+            let result = run_cluster_streamed(
+                catalogue,
+                &spec,
+                &mode_for(strategy),
+                &cfg,
+                seed,
+                seed ^ 0xC1u64,
+            );
+            ClusterOut {
+                nodes,
+                weights: spec.weights.label(),
+                strategy,
+                cold_starts: result.measured_cold_starts(),
+                peak_events: result.peak_events,
+                outcomes: result.measured().copied().collect(),
+            }
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for &nodes in &node_counts {
+        for weights in &weight_specs {
             for &strategy in &strategies {
-                let a_label = arrival.label();
-                let m_label = mix.label(&catalogue);
-                let mut pooled_resp: Vec<f64> = Vec::new();
-                let mut pooled_stretch: Vec<f64> = Vec::new();
+                let w_label = weights.label();
+                let mut pooled: Vec<f64> = Vec::new();
                 let mut cold_starts = 0;
-                let mut peak_queue = 0;
                 let mut peak_events = 0;
+                let mut calls = 0;
                 for out in outputs
                     .iter()
-                    .filter(|o| o.arrival == a_label && o.mix == m_label && o.strategy == strategy)
+                    .filter(|o| o.nodes == nodes && o.weights == w_label && o.strategy == strategy)
                 {
-                    refs.clear();
-                    refs.extend(out.outcomes.iter());
-                    response_times_into(&refs, &mut resp_scratch);
-                    stretches_into(&refs, &catalogue, &mut stretch_scratch);
-                    pooled_resp.extend_from_slice(&resp_scratch);
-                    pooled_stretch.extend_from_slice(&stretch_scratch);
+                    pooled.extend(out.outcomes.iter().map(|o| o.response_time().as_secs_f64()));
+                    calls += out.outcomes.len();
                     cold_starts += out.cold_starts;
-                    peak_queue = peak_queue.max(out.peak_queue);
                     peak_events = peak_events.max(out.peak_events);
                 }
-                rows.push(SweepRow {
-                    arrival: a_label,
-                    mix: m_label,
+                rows.push(ClusterSweepRow {
+                    nodes,
+                    weights: w_label,
                     strategy,
-                    calls: pooled_resp.len(),
-                    response: MetricSummary::from_values(&pooled_resp),
-                    stretch: MetricSummary::from_values(&pooled_stretch),
+                    calls,
+                    response: MetricSummary::from_values(&pooled),
                     cold_starts,
-                    peak_queue,
                     peak_events,
                 });
             }
         }
     }
-    SweepResult {
-        cores,
-        intensity,
-        rows,
-    }
+    rows
 }
 
-/// Render the sweep comparison table.
+/// Render the sweep comparison tables.
 pub fn render(result: &SweepResult) -> String {
     let mut t = TextTable::new([
-        "arrival/mix/strategy",
+        "arrival/mix/weights/strategy",
         "calls",
         "R avg",
         "R p50",
@@ -270,7 +468,13 @@ pub fn render(result: &SweepResult) -> String {
     ]);
     for r in &result.rows {
         t.row([
-            format!("{}/{}/{}", r.arrival, r.mix, r.strategy.name()),
+            format!(
+                "{}/{}/{}/{}",
+                r.arrival,
+                r.mix,
+                r.weights,
+                r.strategy.name()
+            ),
             r.calls.to_string(),
             fmt_secs(r.response.mean),
             fmt_secs(r.response.p50),
@@ -281,38 +485,73 @@ pub fn render(result: &SweepResult) -> String {
             r.peak_events.to_string(),
         ]);
     }
+    let mut c = TextTable::new([
+        "nodes/weights/strategy",
+        "calls",
+        "R avg",
+        "R p50",
+        "R p95",
+        "cold",
+        "peakEv",
+    ]);
+    for r in &result.cluster_rows {
+        c.row([
+            format!("{}/{}/{}", r.nodes, r.weights, r.strategy.name()),
+            r.calls.to_string(),
+            fmt_secs(r.response.mean),
+            fmt_secs(r.response.p50),
+            fmt_secs(r.response.p95),
+            r.cold_starts.to_string(),
+            r.peak_events.to_string(),
+        ]);
+    }
     format!(
-        "Workload sweep: arrival x mix x strategy at {} cores, intensity-equivalent {}\n{}",
+        "Workload sweep: arrival x mix x weights x strategy at {} cores, \
+         intensity-equivalent {}\n{}\n\
+         Cluster-size sweep (streamed generation, fixed total load)\n{}",
         result.cores,
         result.intensity,
-        t.render()
+        t.render(),
+        c.render()
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::OnceLock;
 
-    fn quick() -> SweepResult {
-        run(Effort {
-            seeds: 1,
-            quick: true,
+    /// The quick sweep is shared across tests: it runs 16 node sims plus 8
+    /// cluster sims, so compute it once.
+    fn quick() -> &'static SweepResult {
+        static QUICK: OnceLock<SweepResult> = OnceLock::new();
+        QUICK.get_or_init(|| {
+            run(Effort {
+                seeds: 1,
+                quick: true,
+            })
         })
     }
 
     #[test]
     fn quick_sweep_covers_the_reduced_axes() {
         let r = quick();
-        // 2 arrivals x 2 mixes x 2 strategies.
-        assert_eq!(r.rows.len(), 8);
-        assert!(r.row("uniform", "equal", Strategy::Baseline).is_some());
-        assert!(r.row("poisson", "zipf1.2", Strategy::Fc).is_some());
+        // 2 arrivals x 2 mixes x 2 weights x 2 strategies.
+        assert_eq!(r.rows.len(), 16);
+        assert!(r
+            .row("uniform", "equal", "w-uniform", Strategy::Baseline)
+            .is_some());
+        assert!(r
+            .row("poisson", "zipf1.2", "w-tiers3", Strategy::Fc)
+            .is_some());
     }
 
     #[test]
     fn uniform_equal_count_matches_paper_formula() {
         let r = quick();
-        let row = r.row("uniform", "equal", Strategy::Fc).unwrap();
+        let row = r
+            .row("uniform", "equal", "w-uniform", Strategy::Fc)
+            .unwrap();
         // 10 cores, intensity 60: 1.1 * 10 * 60 = 660 calls, 1 seed.
         assert_eq!(row.calls, 660);
     }
@@ -321,8 +560,10 @@ mod tests {
     fn fc_beats_baseline_across_shapes() {
         let r = quick();
         for arrival in ["uniform", "poisson"] {
-            let fc = r.row(arrival, "equal", Strategy::Fc).unwrap();
-            let base = r.row(arrival, "equal", Strategy::Baseline).unwrap();
+            let fc = r.row(arrival, "equal", "w-uniform", Strategy::Fc).unwrap();
+            let base = r
+                .row(arrival, "equal", "w-uniform", Strategy::Baseline)
+                .unwrap();
             assert!(
                 fc.response.mean <= base.response.mean,
                 "{arrival}: FC {} vs baseline {}",
@@ -330,6 +571,49 @@ mod tests {
                 base.response.mean
             );
         }
+    }
+
+    #[test]
+    fn weighted_column_changes_the_baseline_but_not_the_paper_mode() {
+        let r = quick();
+        // Weights shape the baseline's GPS bank...
+        let base_u = r
+            .row("uniform", "equal", "w-uniform", Strategy::Baseline)
+            .unwrap();
+        let base_w = r
+            .row("uniform", "equal", "w-tiers3", Strategy::Baseline)
+            .unwrap();
+        assert!(
+            (base_u.response.mean - base_w.response.mean).abs() > 1e-9,
+            "tiered weights must move the baseline means"
+        );
+        // ...and are inert under the paper's one-core-per-container regime.
+        let fc_u = r
+            .row("uniform", "equal", "w-uniform", Strategy::Fc)
+            .unwrap();
+        let fc_w = r.row("uniform", "equal", "w-tiers3", Strategy::Fc).unwrap();
+        assert_eq!(fc_u.response.mean, fc_w.response.mean);
+    }
+
+    #[test]
+    fn cluster_sweep_covers_nodes_and_weights() {
+        let r = quick();
+        // 2 node counts x 2 weights x 2 strategies.
+        assert_eq!(r.cluster_rows.len(), 8);
+        for row in &r.cluster_rows {
+            assert_eq!(row.calls, 660, "fixed total load on {} nodes", row.nodes);
+        }
+        let weighted = r.cluster_row(2, "w-tiers3", Strategy::Baseline).unwrap();
+        assert!(weighted.peak_events > 0);
+        // Fixed total load: two workers beat one for the same strategy.
+        let one = r.cluster_row(1, "w-uniform", Strategy::Fc).unwrap();
+        let two = r.cluster_row(2, "w-uniform", Strategy::Fc).unwrap();
+        assert!(
+            two.response.mean <= one.response.mean,
+            "2 nodes ({}) must not lose to 1 node ({})",
+            two.response.mean,
+            one.response.mean
+        );
     }
 
     #[test]
@@ -347,9 +631,11 @@ mod tests {
     }
 
     #[test]
-    fn render_contains_health_columns() {
-        let s = render(&quick());
+    fn render_contains_health_and_weight_columns() {
+        let s = render(quick());
         assert!(s.contains("peakQ") && s.contains("peakEv"));
-        assert!(s.contains("uniform/equal/"));
+        assert!(s.contains("uniform/equal/w-uniform/"));
+        assert!(s.contains("w-tiers3"), "weighted column rendered");
+        assert!(s.contains("Cluster-size sweep"));
     }
 }

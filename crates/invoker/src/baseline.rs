@@ -31,6 +31,7 @@ use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::{Call, CallKind, CallOutcome, ColdStartKind};
+use faas_workload::weight::WeightTable;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -87,6 +88,9 @@ struct Sim<'a> {
     catalogue: &'a Catalogue,
     calls: &'a [Call],
     cfg: &'a NodeConfig,
+    /// Per-function GPS weights/caps (weighted containers). The uniform
+    /// table keeps every task on the GPS fast path.
+    weights: &'a WeightTable,
     node_index: u16,
     events: EventQueue<Ev>,
     cpu: GpsCpu,
@@ -113,7 +117,9 @@ struct Sim<'a> {
     finished_scratch: Vec<TaskId>,
 }
 
-/// Run the baseline node over `calls` (sorted by release time).
+/// Run the baseline node over `calls` (sorted by release time) with the
+/// uniform `(1, 1)` container shares — the paper's regime and the GPS
+/// fast path.
 pub fn simulate(
     catalogue: &Catalogue,
     calls: &[Call],
@@ -121,6 +127,28 @@ pub fn simulate(
     seed: u64,
     node_index: u16,
 ) -> NodeResult {
+    let weights = WeightTable::uniform(catalogue.len());
+    simulate_weighted(catalogue, calls, cfg, &weights, seed, node_index)
+}
+
+/// Run the baseline node with per-function container weights and rate
+/// caps: each function's CPU phases (cold-start init and execution) enter
+/// the GPS bank with that function's [`faas_workload::weight::TaskShare`],
+/// modelling memory-proportional soft shares and cgroup rate caps. A
+/// uniform table reduces exactly to [`simulate`].
+pub fn simulate_weighted(
+    catalogue: &Catalogue,
+    calls: &[Call],
+    cfg: &NodeConfig,
+    weights: &WeightTable,
+    seed: u64,
+    node_index: u16,
+) -> NodeResult {
+    assert_eq!(
+        weights.len(),
+        catalogue.len(),
+        "weight table must cover the catalogue"
+    );
     let mut root = Xoshiro256::seed_from_u64(seed);
     let rng_service = root.derive_stream(0xB001);
     let rng_cold = root.derive_stream(0xB002);
@@ -129,6 +157,7 @@ pub fn simulate(
         catalogue,
         calls,
         cfg,
+        weights,
         node_index,
         events: EventQueue::new(),
         cpu: GpsCpu::new(GpsParams {
@@ -277,7 +306,10 @@ impl<'a> Sim<'a> {
                 .sample(&mut self.rng_cold),
         };
         if init_work > 0.0 {
-            let tid = self.cpu.add_task(now, init_work, 1.0, 1.0);
+            let share = self.weights.share(func);
+            let tid = self
+                .cpu
+                .add_task(now, init_work, share.weight, share.max_rate);
             self.owners.insert(tid, Owner::Init(i));
         } else {
             self.start_exec(now, i);
@@ -296,7 +328,10 @@ impl<'a> Sim<'a> {
         self.runtime[idx].exec_start = now;
         self.runtime[idx].io_secs = (1.0 - spec.cpu_fraction) * p;
         self.runtime[idx].p_intrinsic = p;
-        let tid = self.cpu.add_task(now, cpu_work, 1.0, 1.0);
+        let share = self.weights.share(func);
+        let tid = self
+            .cpu
+            .add_task(now, cpu_work, share.weight, share.max_rate);
         self.owners.insert(tid, Owner::Exec(i));
     }
 
@@ -523,6 +558,62 @@ mod tests {
             median < 3.0,
             "warm sleep executions should stay near 1s, got median {median}"
         );
+    }
+
+    #[test]
+    fn weighted_simulation_is_deterministic_and_complete() {
+        use faas_workload::weight::WeightSpec;
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 30).generate(&cat, 8);
+        let weights = WeightSpec::paper_tiers().table(&cat);
+        let run = || {
+            simulate_weighted(
+                &cat,
+                &scenario.all_calls(),
+                &NodeConfig::paper(10),
+                &weights,
+                8,
+                0,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcomes, b.outcomes, "weighted runs are deterministic");
+        assert_eq!(a.measured_len(), 330, "every call completes");
+    }
+
+    #[test]
+    fn uniform_weight_table_reproduces_the_unweighted_run() {
+        use faas_workload::weight::WeightTable;
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 30).generate(&cat, 9);
+        let calls = scenario.all_calls();
+        let plain = simulate(&cat, &calls, &NodeConfig::paper(10), 9, 0);
+        let uniform = simulate_weighted(
+            &cat,
+            &calls,
+            &NodeConfig::paper(10),
+            &WeightTable::uniform(cat.len()),
+            9,
+            0,
+        );
+        assert_eq!(plain.outcomes, uniform.outcomes);
+    }
+
+    #[test]
+    fn tiered_weights_change_the_contended_outcome() {
+        use faas_workload::weight::WeightSpec;
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 60).generate(&cat, 10);
+        let calls = scenario.all_calls();
+        let plain = simulate(&cat, &calls, &NodeConfig::paper(10), 10, 0);
+        let weights = WeightSpec::paper_tiers().table(&cat);
+        let tiered = simulate_weighted(&cat, &calls, &NodeConfig::paper(10), &weights, 10, 0);
+        assert_ne!(
+            plain.outcomes, tiered.outcomes,
+            "weighted shares must shift completions under contention"
+        );
+        assert_eq!(tiered.outcomes.len(), plain.outcomes.len());
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub use result::NodeResult;
 use faas_core::SchedulerConfig;
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::Call;
+use faas_workload::weight::WeightTable;
 use faas_workload::Scenario;
 
 /// Simulate one node serving `calls` (release-ordered) under the given mode.
@@ -49,6 +50,32 @@ pub fn simulate_calls(
 ) -> NodeResult {
     match mode {
         NodeMode::Baseline => baseline::simulate(catalogue, calls, cfg, seed, node_index),
+        NodeMode::Scheduled(sched) => {
+            ours::simulate(catalogue, calls, cfg, *sched, seed, node_index)
+        }
+    }
+}
+
+/// Simulate one node with per-function container weights and rate caps
+/// (the weighted-container axis of [`faas_workload::WorkloadSpec`]).
+///
+/// Weights shape the *baseline* node only: its soft CPU shares are
+/// memory-proportional, which is exactly what the GPS weight models. The
+/// paper's regime pins every busy container to one full core, so
+/// [`NodeMode::Scheduled`] is weight-invariant and runs unchanged.
+pub fn simulate_calls_weighted(
+    catalogue: &Catalogue,
+    calls: &[Call],
+    mode: &NodeMode,
+    cfg: &NodeConfig,
+    weights: &WeightTable,
+    seed: u64,
+    node_index: u16,
+) -> NodeResult {
+    match mode {
+        NodeMode::Baseline => {
+            baseline::simulate_weighted(catalogue, calls, cfg, weights, seed, node_index)
+        }
         NodeMode::Scheduled(sched) => {
             ours::simulate(catalogue, calls, cfg, *sched, seed, node_index)
         }

@@ -26,6 +26,7 @@ use crate::arrival::{ArrivalSpec, IntensityProfile};
 use crate::mix::{FunctionMix, MixSpec};
 use crate::sebs::Catalogue;
 use crate::trace::{Call, CallId, CallKind};
+use crate::weight::WeightSpec;
 use faas_simcore::rng::{splitmix64, Xoshiro256};
 use faas_simcore::time::{SimDuration, SimTime};
 use rayon::prelude::*;
@@ -38,13 +39,17 @@ const STREAM_PERM: u64 = 0x9E02;
 /// Stream tag for the per-call stream base.
 const STREAM_CALLS: u64 = 0x9E03;
 
-/// A fully-specified measured workload: arrival × mix × window.
+/// A fully-specified measured workload: arrival × mix × weights × window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
     /// The arrival process.
     pub arrival: ArrivalSpec,
     /// The function mix.
     pub mix: MixSpec,
+    /// Per-function container weights/caps ([`crate::weight`]). Purely a
+    /// *simulation* axis: weights never consume RNG streams, so the
+    /// generated call sequence is independent of this field.
+    pub weights: WeightSpec,
     /// Window length.
     pub window: SimDuration,
 }
@@ -294,6 +299,7 @@ mod tests {
         WorkloadSpec {
             arrival: ArrivalSpec::Uniform { count: 660 },
             mix: MixSpec::Equal,
+            weights: WeightSpec::Uniform,
             window: SimDuration::from_secs(60),
         }
     }
@@ -379,10 +385,32 @@ mod tests {
     }
 
     #[test]
+    fn weights_do_not_perturb_generation() {
+        // The weight axis is simulation-only: the same seed produces the
+        // same call sequence whatever the weight model says.
+        let mut weighted = spec();
+        weighted.weights = WeightSpec::paper_tiers();
+        let a = ShardedGenerator::new(&spec(), &catalogue(), SimTime::ZERO, 5).generate_serial();
+        let b = ShardedGenerator::new(&weighted, &catalogue(), SimTime::ZERO, 5).generate_serial();
+        assert_eq!(a, b);
+        let mut root = Xoshiro256::seed_from_u64(5);
+        let mut t1 = root.derive_stream(1);
+        let mut a1 = root.derive_stream(2);
+        let sorted_plain = spec().generate_sorted(&catalogue(), SimTime::ZERO, &mut t1, &mut a1, 0);
+        let mut root = Xoshiro256::seed_from_u64(5);
+        let mut t2 = root.derive_stream(1);
+        let mut a2 = root.derive_stream(2);
+        let sorted_weighted =
+            weighted.generate_sorted(&catalogue(), SimTime::ZERO, &mut t2, &mut a2, 0);
+        assert_eq!(sorted_plain, sorted_weighted);
+    }
+
+    #[test]
     fn zipf_sharded_generation_works() {
         let s = WorkloadSpec {
             arrival: ArrivalSpec::Poisson { rate: 11.0 },
             mix: MixSpec::Zipf { s: 1.2 },
+            weights: WeightSpec::ZipfCorrelated { s: 1.0 },
             window: SimDuration::from_secs(60),
         };
         let g = ShardedGenerator::new(&s, &catalogue(), SimTime::ZERO, 11);

@@ -18,9 +18,13 @@
 //! * [`mix`] — pluggable function-popularity mixes: the paper's exact
 //!   equal split, the Fig. 5 fairness mix (exactly `rare_calls` of one
 //!   long function) and Zipf popularity over the catalogue.
+//! * [`weight`] — per-function container weights and rate caps (the
+//!   weighted-container axis): uniform, round-robin memory tiers, and
+//!   Zipf-correlated shares. Weights never consume RNG streams — they
+//!   shape only the GPS simulation, not the generated calls.
 //! * [`generate`] — the two generation schemes over a
-//!   [`generate::WorkloadSpec`] (arrival × mix × window): the serial
-//!   sorted path the paper adapters use, and the counter-based
+//!   [`generate::WorkloadSpec`] (arrival × mix × weights × window): the
+//!   serial sorted path the paper adapters use, and the counter-based
 //!   [`generate::ShardedGenerator`] whose calls are pure functions of
 //!   `(seed, index)` so hundreds of nodes can generate their own call
 //!   streams in parallel.
@@ -48,6 +52,7 @@ pub mod mix;
 pub mod scenario;
 pub mod sebs;
 pub mod trace;
+pub mod weight;
 
 pub use arrival::{ArrivalProcess, ArrivalSpec, IntensityProfile};
 pub use generate::{IndexPermutation, ShardedGenerator, WorkloadSpec};
@@ -55,3 +60,4 @@ pub use mix::{FunctionMix, MixSpec};
 pub use scenario::{BurstScenario, FairnessScenario, Scenario};
 pub use sebs::{Catalogue, FuncId, FunctionSpec, IntensityClass};
 pub use trace::{Call, CallKind, CallOutcome, ColdStartKind};
+pub use weight::{TaskShare, TierSpec, WeightSpec, WeightTable};

@@ -20,6 +20,7 @@ use crate::generate::WorkloadSpec;
 use crate::mix::MixSpec;
 use crate::sebs::{Catalogue, FuncId};
 use crate::trace::{Call, CallId, CallKind};
+use crate::weight::WeightSpec;
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -159,6 +160,7 @@ impl BurstScenario {
                 count: self.total_requests(catalogue),
             },
             mix: MixSpec::Equal,
+            weights: WeightSpec::Uniform,
             window: self.window,
         }
     }
@@ -235,6 +237,7 @@ impl FairnessScenario {
                 rare_function: self.rare_function.into(),
                 rare_calls: self.rare_calls,
             },
+            weights: WeightSpec::Uniform,
             window: self.window,
         }
     }

@@ -1,0 +1,281 @@
+//! Per-function GPS weights and rate caps — the weighted-container axis.
+//!
+//! OpenWhisk gives every container a CPU share proportional to its memory
+//! limit (§III of the paper), and a single-threaded function cannot exceed
+//! one core however large its share. The GPS kernel in `faas-cpu` models
+//! both knobs per task (`weight`, `max_rate`); until PR 4 every simulation
+//! drove it with the uniform `(1.0, 1.0)` signature, leaving the weighted
+//! water-filling path exercised only by unit tests. A [`WeightSpec`] is
+//! the third workload axis alongside the arrival process and the function
+//! mix: it maps every catalogue function to a [`TaskShare`], which the
+//! invoker hands to the GPS bank for that function's CPU phases.
+//!
+//! Weights are a *deterministic* function of the catalogue — they never
+//! consume RNG streams, so adding the axis leaves the generated call
+//! sequences of every existing scenario bit-for-bit intact (the digest
+//! regressions in `tests/regression_scenarios.rs` still pin them).
+//!
+//! Three models:
+//!
+//! * [`WeightSpec::Uniform`] — the legacy `(1, 1)` signature; the invoker
+//!   detects it and stays on the GPS uniform fast path.
+//! * [`WeightSpec::Tiers`] — explicit weight/cap tiers assigned round-robin
+//!   over the catalogue order, the "memory tier" picture: big-memory
+//!   containers get proportionally larger shares, a throttled tier is
+//!   rate-capped below one core.
+//! * [`WeightSpec::ZipfCorrelated`] — weight correlated with catalogue
+//!   popularity rank (`(rank + 1)^{-s}`, normalized to mean 1): popular
+//!   functions, which under a Zipf mix also dominate the call volume, get
+//!   the larger shares. Caps stay at one core.
+
+use crate::sebs::{Catalogue, FuncId};
+use serde::{Deserialize, Serialize};
+
+/// The GPS share of one function's containers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskShare {
+    /// GPS weight (OpenWhisk: proportional to the container memory limit).
+    pub weight: f64,
+    /// Service-rate cap in cores (single-threaded functions cannot exceed
+    /// one core).
+    pub max_rate: f64,
+}
+
+impl TaskShare {
+    /// The legacy uniform signature.
+    pub const UNIFORM: TaskShare = TaskShare {
+        weight: 1.0,
+        max_rate: 1.0,
+    };
+
+    /// True iff this is bit-for-bit the uniform signature. Introspection
+    /// only — the GPS kernel detects uniformity itself from the live
+    /// signature set; nothing needs to pre-certify it.
+    pub fn is_uniform(&self) -> bool {
+        self.weight.to_bits() == 1.0f64.to_bits() && self.max_rate.to_bits() == 1.0f64.to_bits()
+    }
+}
+
+/// One explicit weight/cap tier of [`WeightSpec::Tiers`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// GPS weight of the tier.
+    pub weight: f64,
+    /// Rate cap of the tier, cores.
+    pub max_rate: f64,
+}
+
+/// Serializable description of the per-function weight model.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum WeightSpec {
+    /// Every container identical: weight 1, cap 1 core (the paper's
+    /// regime and the GPS uniform fast path).
+    #[default]
+    Uniform,
+    /// Explicit tiers assigned round-robin by catalogue index.
+    Tiers {
+        /// The tiers, cycled over the catalogue order.
+        tiers: Vec<TierSpec>,
+    },
+    /// Weight `(rank + 1)^{-s}` by catalogue popularity rank, normalized
+    /// to mean 1; caps fixed at one core.
+    ZipfCorrelated {
+        /// Skew exponent (matches [`crate::mix::ZipfMix`]'s rank order).
+        s: f64,
+    },
+}
+
+impl WeightSpec {
+    /// The standard three-tier memory picture used by the experiment
+    /// sweeps: a 4x big-memory tier, a baseline tier, and a throttled tier
+    /// capped at half a core.
+    pub fn paper_tiers() -> WeightSpec {
+        WeightSpec::Tiers {
+            tiers: vec![
+                TierSpec {
+                    weight: 4.0,
+                    max_rate: 1.0,
+                },
+                TierSpec {
+                    weight: 1.0,
+                    max_rate: 1.0,
+                },
+                TierSpec {
+                    weight: 1.0,
+                    max_rate: 0.5,
+                },
+            ],
+        }
+    }
+
+    /// Short label for report tables (`w-uniform`, `w-tiers3`,
+    /// `w-zipf1`). The Zipf skew is rendered at full precision: sweep
+    /// rows are grouped and looked up purely by label, so two distinct
+    /// specs must never alias.
+    pub fn label(&self) -> String {
+        match self {
+            WeightSpec::Uniform => "w-uniform".into(),
+            WeightSpec::Tiers { tiers } => format!("w-tiers{}", tiers.len()),
+            WeightSpec::ZipfCorrelated { s } => format!("w-zipf{s}"),
+        }
+    }
+
+    /// Realize the model against a catalogue as a dense per-function
+    /// table.
+    pub fn table(&self, catalogue: &Catalogue) -> WeightTable {
+        let n = catalogue.len();
+        let shares = match self {
+            WeightSpec::Uniform => vec![TaskShare::UNIFORM; n],
+            WeightSpec::Tiers { tiers } => {
+                assert!(!tiers.is_empty(), "tier list cannot be empty");
+                for t in tiers {
+                    assert!(
+                        t.weight > 0.0 && t.max_rate > 0.0,
+                        "tier weights and caps must be positive"
+                    );
+                }
+                (0..n)
+                    .map(|i| {
+                        let t = tiers[i % tiers.len()];
+                        TaskShare {
+                            weight: t.weight,
+                            max_rate: t.max_rate,
+                        }
+                    })
+                    .collect()
+            }
+            WeightSpec::ZipfCorrelated { s } => {
+                assert!(s.is_finite() && *s >= 0.0, "zipf skew must be non-negative");
+                let raw: Vec<f64> = (0..n).map(|r| (r as f64 + 1.0).powf(-s)).collect();
+                let mean = raw.iter().sum::<f64>() / n as f64;
+                raw.iter()
+                    .map(|w| TaskShare {
+                        weight: w / mean,
+                        max_rate: 1.0,
+                    })
+                    .collect()
+            }
+        };
+        WeightTable { shares }
+    }
+}
+
+/// A realized weight model: one [`TaskShare`] per catalogue function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightTable {
+    shares: Vec<TaskShare>,
+}
+
+impl WeightTable {
+    /// The uniform table for a catalogue of `functions` entries.
+    pub fn uniform(functions: usize) -> WeightTable {
+        WeightTable {
+            shares: vec![TaskShare::UNIFORM; functions],
+        }
+    }
+
+    /// The share of one function's containers.
+    pub fn share(&self, func: FuncId) -> TaskShare {
+        self.shares[func.index()]
+    }
+
+    /// True when every function carries the uniform signature.
+    /// Introspection for tests and reports; the GPS kernel keys its fast
+    /// path on the live signature set, not on this table.
+    pub fn is_uniform(&self) -> bool {
+        self.shares.iter().all(TaskShare::is_uniform)
+    }
+
+    /// Number of functions covered.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// True for an empty catalogue.
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalogue() -> Catalogue {
+        Catalogue::sebs()
+    }
+
+    #[test]
+    fn uniform_table_is_uniform() {
+        let t = WeightSpec::Uniform.table(&catalogue());
+        assert!(t.is_uniform());
+        assert_eq!(t.len(), catalogue().len());
+        for func in catalogue().ids() {
+            assert!(t.share(func).is_uniform());
+        }
+    }
+
+    #[test]
+    fn tiers_cycle_over_the_catalogue() {
+        let spec = WeightSpec::paper_tiers();
+        let t = spec.table(&catalogue());
+        assert!(!t.is_uniform());
+        // 11 functions over 3 tiers: index 0 and 3 share a tier.
+        assert_eq!(t.share(FuncId(0)), t.share(FuncId(3)));
+        assert_eq!(t.share(FuncId(1)), t.share(FuncId(4)));
+        assert!((t.share(FuncId(0)).weight - 4.0).abs() < 1e-12);
+        assert!((t.share(FuncId(2)).max_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_weights_decrease_with_rank_and_average_one() {
+        let t = WeightSpec::ZipfCorrelated { s: 1.0 }.table(&catalogue());
+        assert!(!t.is_uniform());
+        let n = t.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let share = t.share(FuncId(i as u16));
+            sum += share.weight;
+            assert!((share.max_rate - 1.0).abs() < 1e-12, "caps stay at 1 core");
+            if i > 0 {
+                assert!(
+                    share.weight < t.share(FuncId(i as u16 - 1)).weight,
+                    "weights must decrease with rank"
+                );
+            }
+        }
+        assert!((sum / n as f64 - 1.0).abs() < 1e-12, "mean weight 1");
+    }
+
+    #[test]
+    fn zipf_zero_skew_degenerates_to_uniform_weights() {
+        let t = WeightSpec::ZipfCorrelated { s: 0.0 }.table(&catalogue());
+        // Every weight is exactly 1.0 (and so is the cap); the table is
+        // bit-for-bit uniform and the fast path applies.
+        assert!(t.is_uniform());
+    }
+
+    #[test]
+    fn labels_are_stable_and_do_not_alias() {
+        assert_eq!(WeightSpec::Uniform.label(), "w-uniform");
+        assert_eq!(WeightSpec::paper_tiers().label(), "w-tiers3");
+        assert_eq!(WeightSpec::ZipfCorrelated { s: 1.25 }.label(), "w-zipf1.25");
+        assert_ne!(
+            WeightSpec::ZipfCorrelated { s: 1.15 }.label(),
+            WeightSpec::ZipfCorrelated { s: 1.2 }.label(),
+            "close skews must not collapse to one sweep row"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_tier_rejected() {
+        WeightSpec::Tiers {
+            tiers: vec![TierSpec {
+                weight: 0.0,
+                max_rate: 1.0,
+            }],
+        }
+        .table(&catalogue());
+    }
+}

@@ -13,6 +13,7 @@ use faas_workload::generate::{ShardedGenerator, WorkloadSpec};
 use faas_workload::mix::MixSpec;
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::CallKind;
+use faas_workload::weight::WeightSpec;
 use proptest::prelude::*;
 
 fn arrival_strategy() -> impl Strategy<Value = ArrivalSpec> {
@@ -53,7 +54,7 @@ proptest! {
         mix in mix_strategy(),
     ) {
         let catalogue = Catalogue::sebs();
-        let spec = WorkloadSpec { arrival, mix, window: SimDuration::from_secs(60) };
+        let spec = WorkloadSpec { arrival, mix, weights: WeightSpec::Uniform, window: SimDuration::from_secs(60) };
         let start = SimTime::from_secs(100);
         let end = start + spec.window;
         let mut root = Xoshiro256::seed_from_u64(seed);
@@ -80,7 +81,7 @@ proptest! {
         nodes in 1u64..12,
     ) {
         let catalogue = Catalogue::sebs();
-        let spec = WorkloadSpec { arrival, mix, window: SimDuration::from_secs(60) };
+        let spec = WorkloadSpec { arrival, mix, weights: WeightSpec::Uniform, window: SimDuration::from_secs(60) };
         let g = ShardedGenerator::new(&spec, &catalogue, SimTime::from_secs(50), seed);
         let serial = g.generate_serial();
         prop_assert_eq!(&g.generate_parallel(), &serial, "parallel == serial");
@@ -99,7 +100,7 @@ proptest! {
         let spec = WorkloadSpec {
             arrival,
             mix: MixSpec::Equal,
-            window: SimDuration::from_secs(60),
+            weights: WeightSpec::Uniform, window: SimDuration::from_secs(60),
         };
         let start = SimTime::from_secs(9);
         let end = start + spec.window;
@@ -161,6 +162,7 @@ fn zipf_mix_hits_every_function_with_configured_skew() {
     let spec = WorkloadSpec {
         arrival: ArrivalSpec::Uniform { count: 60_000 },
         mix: MixSpec::Zipf { s },
+        weights: WeightSpec::Uniform,
         window: SimDuration::from_secs(60),
     };
     let g = ShardedGenerator::new(&spec, &catalogue, SimTime::ZERO, 0x21F);
