@@ -18,6 +18,8 @@ pub trait GpsKernel {
     fn add_task(&mut self, now: SimTime, work: f64, weight: f64, max_rate: f64) -> TaskId;
     /// See [`GpsCpu::remove_task`].
     fn remove_task(&mut self, now: SimTime, id: TaskId) -> f64;
+    /// See [`GpsCpu::advance`].
+    fn advance(&mut self, now: SimTime);
     /// See [`GpsCpu::next_completion`].
     fn next_completion(&mut self, now: SimTime) -> Option<(TaskId, SimTime)>;
     /// See [`GpsCpu::finished_tasks`].
@@ -32,6 +34,9 @@ impl GpsKernel for GpsCpu {
     }
     fn remove_task(&mut self, now: SimTime, id: TaskId) -> f64 {
         GpsCpu::remove_task(self, now, id)
+    }
+    fn advance(&mut self, now: SimTime) {
+        GpsCpu::advance(self, now)
     }
     fn next_completion(&mut self, now: SimTime) -> Option<(TaskId, SimTime)> {
         GpsCpu::next_completion(self, now)
@@ -50,6 +55,9 @@ impl GpsKernel for ReferenceGpsCpu {
     }
     fn remove_task(&mut self, now: SimTime, id: TaskId) -> f64 {
         ReferenceGpsCpu::remove_task(self, now, id)
+    }
+    fn advance(&mut self, now: SimTime) {
+        ReferenceGpsCpu::advance(self, now)
     }
     fn next_completion(&mut self, now: SimTime) -> Option<(TaskId, SimTime)> {
         ReferenceGpsCpu::next_completion(self, now)
@@ -153,6 +161,56 @@ pub fn run_weighted_churn<K: GpsKernel>(kernel: &mut K, tasks: usize, completion
     })
 }
 
+/// Advance/next_completion-heavy weighted churn: the same weighted
+/// completion-driven loop as [`run_weighted_churn`], but with `probes`
+/// intermediate `advance` + `next_completion` calls between consecutive
+/// completion events (the access pattern of an owner that re-queries the
+/// bank on every event — monitoring ticks, arrivals that end up queueing,
+/// sibling completions on the node). Membership is unchanged between
+/// probes, so the two-clock kernel answers each probe in O(1)/O(log n)
+/// where the per-slot integrator re-deplets and re-scans all `tasks`
+/// slots: this is the workload that measures the *end-to-end* general-mode
+/// win, not just the rate-refresh win.
+pub fn run_weighted_probe_churn<K: GpsKernel>(
+    kernel: &mut K,
+    tasks: usize,
+    completions: usize,
+    probes: usize,
+) -> f64 {
+    let mut now = SimTime::ZERO;
+    let work = |k: usize| 0.5 + (k % 97) as f64 * 0.013;
+    for k in 0..tasks {
+        let (weight, max_rate) = WEIGHTED_CHURN_SIGNATURES[k % WEIGHTED_CHURN_SIGNATURES.len()];
+        kernel.add_task(now, work(k), weight, max_rate);
+    }
+    let mut spawned = tasks;
+    for _ in 0..completions {
+        let Some((_, at)) = kernel.next_completion(now) else {
+            break;
+        };
+        let at = at.max(now);
+        // Probe strictly inside the interval: each probe advances the
+        // clock and re-queries the next completion without changing
+        // membership.
+        let span = at.saturating_since(now).as_nanos();
+        for p in 1..=probes as u64 {
+            let t =
+                now + faas_simcore::time::SimDuration::from_nanos(span * p / (probes as u64 + 1));
+            kernel.advance(t);
+            kernel.next_completion(t);
+        }
+        now = at;
+        for id in kernel.finished_tasks(now) {
+            kernel.remove_task(now, id);
+            let (weight, max_rate) =
+                WEIGHTED_CHURN_SIGNATURES[spawned % WEIGHTED_CHURN_SIGNATURES.len()];
+            kernel.add_task(now, work(spawned), weight, max_rate);
+            spawned += 1;
+        }
+    }
+    kernel.work_done()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +237,19 @@ mod tests {
         assert!(
             (a - b).abs() < 1e-4,
             "weighted churn checksum diverged: optimized={a} reference={b}"
+        );
+    }
+
+    #[test]
+    fn weighted_probe_churn_matches_between_kernels() {
+        let params = weighted_churn_params(64);
+        let mut optimized = GpsCpu::new(params);
+        let mut reference = ReferenceGpsCpu::new(params);
+        let a = run_weighted_probe_churn(&mut optimized, 64, 120, 6);
+        let b = run_weighted_probe_churn(&mut reference, 64, 120, 6);
+        assert!(
+            (a - b).abs() < 1e-4,
+            "weighted probe churn checksum diverged: optimized={a} reference={b}"
         );
     }
 

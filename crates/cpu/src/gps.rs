@@ -71,10 +71,9 @@
 //! # Weighted (general) mode: the incremental capped/uncapped partition
 //!
 //! Heterogeneous weights or rate caps (weighted containers) break the
-//! single-virtual-clock property, so the kernel falls back to settled
-//! per-slot accounting. The water-filling fixed point has a threshold
-//! structure: for the current capacity `C_eff` there is a *water level*
-//! `λ` (service per unit weight) such that
+//! single-virtual-clock property. The water-filling fixed point has a
+//! threshold structure: for the current capacity `C_eff` there is a
+//! *water level* `λ` (service per unit weight) such that
 //!
 //! ```text
 //! rate_i = min(max_rate_i, weight_i * λ)
@@ -101,6 +100,51 @@
 //! O(log n) amortized where the seed re-ran the full O(n·rounds)
 //! water-filling; the O(n log n) partition build happens only on the
 //! uniform→general representation switch, which already costs O(n).
+//!
+//! # The two general-mode clocks
+//!
+//! The partition makes every *rate* cheap; time progression is made cheap
+//! by the observation that between membership changes each side of the
+//! partition depletes against its own clock:
+//!
+//! * An **uncapped** task depletes at `weight_i * λ`. Define the uncapped
+//!   virtual clock `U(t) = ∫ λ(s) ds` (service per unit weight —
+//!   [`GpsCpu::advance`] adds `λ · dt`). A task that is uncapped with
+//!   `rem` core-seconds left at `U = U₀` finishes when `U` reaches the
+//!   **fixed coordinate** `U₀ + rem / weight_i`, however `λ` moves in
+//!   between: rate changes slow or speed the growth of `U` itself, never
+//!   the task's coordinate.
+//! * A **capped** task depletes at the constant `max_rate_i`, so plain
+//!   real time covers it: with `rem` left at general-mode clock `R₀`
+//!   (seconds of general-mode residence), it finishes at the fixed
+//!   coordinate `R₀ + rem / max_rate_i`.
+//!
+//! Each family keeps its unfinished tasks in a min-heap keyed by the
+//! *freeze coordinate* `finish − ε/axis` (`axis` = `weight` for the
+//! uncapped family, `max_rate` for the capped one), which is exactly the
+//! clock value at which the task's remaining work drops to the
+//! [`WORK_EPSILON`] "numerically finished" threshold — so draining each
+//! heap while `key <= clock` collects precisely the finished set without
+//! scanning slots, and an exhausted task surfaces even when its rate is
+//! zero-ish (the uniform path's `finished_pending` rule; the freeze
+//! coordinate does not involve `λ`). `advance` is then two clock bumps,
+//! one compensated `work_done` update from the running unfinished-weight /
+//! unfinished-cap sums, and the amortized drain; `next_completion`
+//! compares the two family heads (`(finish_U − U)/λ` against
+//! `finish_R − R`) in O(log n).
+//!
+//! **Epoch on boundary crossing.** Heap keys are only valid while the
+//! task stays on its side of the partition: a crossing changes the axis
+//! (and the clock) its coordinate is expressed in. When a rebalance sweep
+//! moves a task across the boundary, the kernel re-derives `rem` from the
+//! old coordinate, bumps the slot's epoch (the same slot/epoch discipline
+//! the indexed event heap of PR 2 and the uniform heap use), and pushes a
+//! fresh key on the other family's heap; the stale entry is discarded
+//! lazily when it surfaces, because its epoch no longer matches the slot.
+//! Since each sweep move is a boundary crossing and the boundary crosses
+//! O(1) tasks per event in steady state, membership churn stays O(log n)
+//! amortized end to end — there is no O(n) re-keying, and tasks that do
+//! not cross keep their coordinates bit-for-bit.
 //!
 //! The structure is a pure state machine over simulated time. The owner
 //! drives it with [`GpsCpu::advance`] and re-queries
@@ -227,11 +271,24 @@ enum Body {
         /// Virtual time at which the task's work is exhausted.
         finish_vt: f64,
     },
-    /// Explicit remaining work: all tasks in general mode, and tasks in
-    /// uniform mode whose work is (numerically) exhausted.
+    /// Explicit remaining work: tasks (in either mode) whose work is
+    /// numerically exhausted and which wait in `finished_pending` for the
+    /// owner to remove them.
     Settled {
         /// Remaining CPU work in core-seconds.
         remaining: f64,
+    },
+    /// General-mode unfinished task on the uncapped side: completes when
+    /// the uncapped virtual clock reaches `finish_uvt`.
+    GenUncapped {
+        /// Uncapped-clock coordinate at which the work is exhausted.
+        finish_uvt: f64,
+    },
+    /// General-mode unfinished task pinned at its rate cap: completes
+    /// when the general-mode real clock reaches `finish_rt`.
+    GenCapped {
+        /// Real-clock coordinate at which the work is exhausted.
+        finish_rt: f64,
     },
 }
 
@@ -279,12 +336,56 @@ impl Ord for HeapKey {
     }
 }
 
+/// General-mode heap entry: `key` is the *freeze coordinate*
+/// `finish − WORK_EPSILON / axis` (the clock value at which remaining work
+/// hits the numerically-finished threshold), `finish` the true completion
+/// coordinate on the family clock. Min-ordered by `(key, slot)`; the slot
+/// component keeps same-signature ties deterministic.
+#[derive(Debug, Clone, Copy)]
+struct GenKey {
+    key: f64,
+    finish: f64,
+    slot: u32,
+    epoch: u64,
+}
+
+impl PartialEq for GenKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for GenKey {}
+impl PartialOrd for GenKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for GenKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted for BinaryHeap: earliest (key, slot) on top.
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.slot.cmp(&self.slot))
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     /// Single `(weight, max_rate)` signature: O(1) virtual-time advance.
     Uniform,
-    /// Heterogeneous signatures: settled per-slot water-filling.
+    /// Heterogeneous signatures: incremental water-filling partition with
+    /// per-family clock coordinates.
     General,
+}
+
+/// The two general-mode completion families, each with its own clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    /// Depletes at `weight * λ`; coordinates on the uncapped virtual clock.
+    Uncapped,
+    /// Depletes at the constant `max_rate`; coordinates on the real clock.
+    Capped,
 }
 
 /// The GPS processor bank.
@@ -299,7 +400,10 @@ pub struct GpsCpu {
     /// completion events, and keys the rate memo.
     generation: u64,
     /// Total core-seconds of work completed, for conservation checks.
-    work_done: f64,
+    /// Neumaier-compensated: long runs accumulate one blanket update per
+    /// `advance` plus overshoot corrections, and plain `+=` would drift
+    /// against the freshly-summed reference accounting.
+    work_done: CompensatedSum,
     /// Next slot epoch (bumped on every add, never reused).
     next_epoch: u64,
     /// Live-task count per `(weight, max_rate)` signature; a single entry
@@ -315,7 +419,8 @@ pub struct GpsCpu {
     /// Number of live unfinished (`Body::Virtual`) tasks.
     unfinished: usize,
     /// Slots whose work is exhausted but which still occupy the bank until
-    /// the owner removes them (unsorted; sorted on query).
+    /// the owner removes them (unsorted; sorted on query). Shared by both
+    /// modes: the general-mode heap drain lands finished tasks here too.
     finished_pending: Vec<u32>,
 
     // ---- Uniform-rate memo (valid while `rates_generation ==
@@ -338,6 +443,32 @@ pub struct GpsCpu {
     capped_capacity: CompensatedSum,
     /// The water level `λ` for the current membership (general mode).
     water_level: f64,
+
+    // ---- General-mode two-clock state ----
+    /// The uncapped virtual clock `U = ∫ λ dt`: cumulative service per
+    /// unit weight since the last general-mode rebase.
+    g_uvt: f64,
+    /// The capped real clock `R`: seconds of general-mode residence since
+    /// the last rebase (capped tasks deplete at their constant cap).
+    g_rt: f64,
+    /// Completion heap over unfinished uncapped tasks, keyed by the freeze
+    /// coordinate on the `U` axis.
+    g_uncapped_heap: BinaryHeap<GenKey>,
+    /// Completion heap over unfinished capped tasks, keyed by the freeze
+    /// coordinate on the `R` axis.
+    g_capped_heap: BinaryHeap<GenKey>,
+    /// Σ weight over *unfinished* uncapped tasks (blanket `work_done`
+    /// accounting; frozen tasks leave it).
+    unf_uncapped_weight: CompensatedSum,
+    /// Number of unfinished uncapped tasks (pins the sum to exact zero).
+    unf_uncapped_count: usize,
+    /// Σ max_rate over *unfinished* capped tasks.
+    unf_capped_rate: CompensatedSum,
+    /// Number of unfinished capped tasks.
+    unf_capped_count: usize,
+    /// Total capped/uncapped boundary crossings (test introspection: the
+    /// thrash suites assert their schedules actually exercise re-keying).
+    boundary_crossings: u64,
 }
 
 impl GpsCpu {
@@ -355,7 +486,7 @@ impl GpsCpu {
             runnable: 0,
             last_advance: SimTime::ZERO,
             generation: 0,
-            work_done: 0.0,
+            work_done: CompensatedSum::ZERO,
             next_epoch: 0,
             sig_counts: HashMap::new(),
             mode: Mode::Uniform,
@@ -370,6 +501,15 @@ impl GpsCpu {
             uncapped_weight: CompensatedSum::ZERO,
             capped_capacity: CompensatedSum::ZERO,
             water_level: 0.0,
+            g_uvt: 0.0,
+            g_rt: 0.0,
+            g_uncapped_heap: BinaryHeap::new(),
+            g_capped_heap: BinaryHeap::new(),
+            unf_uncapped_weight: CompensatedSum::ZERO,
+            unf_uncapped_count: 0,
+            unf_capped_rate: CompensatedSum::ZERO,
+            unf_capped_count: 0,
+            boundary_crossings: 0,
         }
     }
 
@@ -395,7 +535,14 @@ impl GpsCpu {
 
     /// Total core-seconds of service delivered so far.
     pub fn work_done(&self) -> f64 {
-        self.work_done
+        self.work_done.value()
+    }
+
+    /// Total number of capped/uncapped boundary crossings so far (general
+    /// mode re-keys exactly the crossing tasks). Test introspection: the
+    /// boundary-thrash suites assert their schedules exercise this path.
+    pub fn boundary_crossings(&self) -> u64 {
+        self.boundary_crossings
     }
 
     /// True while the bank runs the uniform virtual-time representation
@@ -443,6 +590,8 @@ impl GpsCpu {
         match slot.body {
             Body::Virtual { finish_vt } => (finish_vt - self.vt).max(0.0),
             Body::Settled { remaining } => remaining,
+            Body::GenUncapped { finish_uvt } => (finish_uvt - self.g_uvt).max(0.0) * slot.weight,
+            Body::GenCapped { finish_rt } => (finish_rt - self.g_rt).max(0.0) * slot.max_rate,
         }
     }
 
@@ -461,24 +610,42 @@ impl GpsCpu {
                 self.vt += rate * dt;
                 // Every unfinished task consumed `rate * dt`... except the
                 // ones that exhausted mid-interval, corrected in the drain.
-                self.work_done += self.unfinished as f64 * rate * dt;
+                self.work_done.add(self.unfinished as f64 * rate * dt);
                 self.drain_exhausted();
                 if self.vt >= VT_REBASE_THRESHOLD {
                     self.rebase_vt();
                 }
             }
             Mode::General => {
-                // The partition (and hence every rate) is kept current by
-                // the membership operations themselves.
+                // The partition (and hence the water level) is kept current
+                // by the membership operations themselves: advance is two
+                // clock bumps, one compensated work update and the
+                // amortized drain of passed/frozen coordinates.
                 let level = self.water_level;
-                for slot in self.slots.iter_mut().flatten() {
-                    let rate = Self::general_rate(slot, level);
-                    let Body::Settled { remaining } = &mut slot.body else {
-                        unreachable!("general mode keeps all tasks settled");
-                    };
-                    let consumed = (rate * dt).min(*remaining);
-                    *remaining -= consumed;
-                    self.work_done += consumed;
+                // The level is finite and positive whenever the uncapped
+                // side is populated (see the rebalance sweeps) — except
+                // when subnormal weights overflow `(C−K)/W`; the finite
+                // guard keeps the clock (and the blanket charge, whose
+                // unfinished sum is then a subnormal residue) unpoisoned.
+                if !self.part_uncapped.is_empty() && level.is_finite() {
+                    self.g_uvt += level * dt;
+                }
+                self.g_rt += dt;
+                let mut charge = 0.0;
+                let uw = self.unf_uncapped_weight.value();
+                if uw > 0.0 && level.is_finite() {
+                    charge += level * dt * uw;
+                }
+                let cr = self.unf_capped_rate.value();
+                if cr > 0.0 {
+                    charge += dt * cr;
+                }
+                // Single compensated update; tasks that exhausted
+                // mid-interval are corrected by the drain's overshoot term.
+                self.work_done.add(charge);
+                self.drain_gen_finished();
+                if self.g_uvt >= VT_REBASE_THRESHOLD || self.g_rt >= VT_REBASE_THRESHOLD {
+                    self.rebase_gen();
                 }
             }
         }
@@ -509,8 +676,10 @@ impl GpsCpu {
         };
         if self.sig_counts.len() > 1 {
             // Heterogeneous signatures: leave (or put) the bank in general
-            // mode, store the task settled, and splice it into the
-            // water-filling partition.
+            // mode, splice the task into the water-filling partition, and
+            // give it a clock coordinate on whichever side the rebalance
+            // leaves it.
+            let switched = self.mode == Mode::Uniform;
             self.enter_general_mode();
             self.slots[index as usize] = Some(Slot {
                 weight,
@@ -521,6 +690,16 @@ impl GpsCpu {
             });
             self.partition_insert(index);
             self.rebalance_partition();
+            if switched {
+                // The representation switch left every carried-over task
+                // settled; coordinate them all (O(n), amortized into the
+                // O(n) switch itself).
+                for i in 0..self.slots.len() as u32 {
+                    self.activate_settled(i);
+                }
+            } else {
+                self.activate_settled(index);
+            }
         } else {
             // Single signature implies the bank was already uniform (adds
             // cannot shrink the signature set).
@@ -571,17 +750,24 @@ impl GpsCpu {
                 (finish_vt - self.vt).max(0.0)
             }
             Body::Settled { remaining } => {
-                if self.mode == Mode::Uniform {
-                    self.finished_pending.retain(|&s| s != id.0);
-                }
+                self.finished_pending.retain(|&s| s != id.0);
                 remaining
+            }
+            Body::GenUncapped { finish_uvt } => {
+                self.unf_leave_uncapped(slot.weight);
+                (finish_uvt - self.g_uvt).max(0.0) * slot.weight
+            }
+            Body::GenCapped { finish_rt } => {
+                self.unf_leave_capped(slot.max_rate);
+                (finish_rt - self.g_rt).max(0.0) * slot.max_rate
             }
         };
         if self.runnable == 0 {
-            // Rebase the virtual clock while idle: bounds its magnitude and
+            // Rebase the clocks while idle: bounds their magnitude and
             // discards stale heap entries wholesale.
             self.reset_uniform_state();
             self.clear_partition();
+            self.reset_gen_state();
             self.mode = Mode::Uniform;
         } else if self.mode == Mode::General {
             if self.sig_counts.len() == 1 {
@@ -615,29 +801,37 @@ impl GpsCpu {
                 Some((TaskId(top.slot), now + SimDuration::from_secs_f64(eta)))
             }
             Mode::General => {
+                self.drain_gen_finished();
+                if let Some(&slot) = self.finished_pending.iter().min() {
+                    // Exhausted tasks complete "now" regardless of their
+                    // rate — a task frozen at a zero-ish water level must
+                    // not be starved out of the completion stream (the
+                    // uniform path's `finished_pending` rule; the freeze
+                    // coordinate never involves the rate).
+                    return Some((TaskId(slot), now));
+                }
                 let level = self.water_level;
-                let mut best: Option<(usize, f64)> = None;
-                for (i, slot) in self.slots.iter().enumerate() {
-                    if let Some(slot) = slot {
-                        let rate = Self::general_rate(slot, level);
-                        if rate <= 0.0 {
-                            continue;
-                        }
-                        let Body::Settled { remaining } = slot.body else {
-                            unreachable!("general mode keeps all tasks settled");
-                        };
-                        let eta = if remaining <= WORK_EPSILON {
-                            0.0
+                let uncapped = self
+                    .peek_live_gen_top(Family::Uncapped)
+                    .filter(|_| level > 0.0 && level.is_finite())
+                    .map(|top| (top.slot, (top.finish - self.g_uvt).max(0.0) / level));
+                let capped = self
+                    .peek_live_gen_top(Family::Capped)
+                    .map(|top| (top.slot, (top.finish - self.g_rt).max(0.0)));
+                let best = match (uncapped, capped) {
+                    (Some((us, ue)), Some((cs, ce))) => {
+                        // Earliest completion wins; a cross-family tie
+                        // resolves to the lowest slot like the reference
+                        // scan's strict-minimum rule.
+                        if ue < ce || (ue == ce && us < cs) {
+                            Some((us, ue))
                         } else {
-                            remaining / rate
-                        };
-                        match best {
-                            Some((_, b)) if eta >= b => {}
-                            _ => best = Some((i, eta)),
+                            Some((cs, ce))
                         }
                     }
-                }
-                best.map(|(i, eta)| (TaskId(i as u32), now + SimDuration::from_secs_f64(eta)))
+                    (u, c) => u.or(c),
+                };
+                best.map(|(slot, eta)| (TaskId(slot), now + SimDuration::from_secs_f64(eta)))
             }
         }
     }
@@ -660,22 +854,15 @@ impl GpsCpu {
         match self.mode {
             Mode::Uniform => {
                 self.freeze_numerically_finished();
-                self.finished_pending.sort_unstable();
-                out.extend(self.finished_pending.iter().map(|&s| TaskId(s)));
             }
             Mode::General => {
-                for (i, slot) in self.slots.iter().enumerate() {
-                    if let Some(slot) = slot {
-                        let Body::Settled { remaining } = slot.body else {
-                            unreachable!("general mode keeps all tasks settled");
-                        };
-                        if remaining <= WORK_EPSILON {
-                            out.push(TaskId(i as u32));
-                        }
-                    }
-                }
+                // Drain the family heaps instead of scanning slots: every
+                // finished task sits in `finished_pending` afterwards.
+                self.drain_gen_finished();
             }
         }
+        self.finished_pending.sort_unstable();
+        out.extend(self.finished_pending.iter().map(|&s| TaskId(s)));
     }
 
     /// The memoized uniform task rate, recomputed only when the membership
@@ -771,6 +958,7 @@ impl GpsCpu {
             self.capped_capacity.add(-max_rate);
             self.uncapped_weight.add(weight);
             self.part_uncapped.insert((rb, index));
+            self.cross_boundary(index);
         }
         // Sweep 2: pin from the bottom of the uncapped order.
         while let Some(&(rb, index)) = self.part_uncapped.first() {
@@ -786,6 +974,7 @@ impl GpsCpu {
             self.uncapped_weight.add(-weight);
             self.capped_capacity.add(max_rate);
             self.part_capped.insert((rb, index));
+            self.cross_boundary(index);
         }
         // Pin the sums back to exact zero whenever a side empties, so
         // residual compensation cannot accumulate across mode episodes.
@@ -838,6 +1027,28 @@ impl GpsCpu {
         debug_assert_eq!(live, self.part_uncapped.len() + self.part_capped.len());
         debug_assert!((w - self.uncapped_weight.value()).abs() <= 1e-9 * (1.0 + w.abs()));
         debug_assert!((k - self.capped_capacity.value()).abs() <= 1e-9 * (1.0 + k.abs()));
+        // The unfinished sums cover exactly the coordinate bodies.
+        let mut uw = 0.0;
+        let mut uc = 0usize;
+        let mut cr = 0.0;
+        let mut cc = 0usize;
+        for slot in self.slots.iter().flatten() {
+            match slot.body {
+                Body::GenUncapped { .. } => {
+                    uw += slot.weight;
+                    uc += 1;
+                }
+                Body::GenCapped { .. } => {
+                    cr += slot.max_rate;
+                    cc += 1;
+                }
+                _ => {}
+            }
+        }
+        debug_assert_eq!(uc, self.unf_uncapped_count);
+        debug_assert_eq!(cc, self.unf_capped_count);
+        debug_assert!((uw - self.unf_uncapped_weight.value()).abs() <= 1e-9 * (1.0 + uw.abs()));
+        debug_assert!((cr - self.unf_capped_rate.value()).abs() <= 1e-9 * (1.0 + cr.abs()));
     }
 
     fn clear_partition(&mut self) {
@@ -846,6 +1057,286 @@ impl GpsCpu {
         self.uncapped_weight = CompensatedSum::ZERO;
         self.capped_capacity = CompensatedSum::ZERO;
         self.water_level = 0.0;
+    }
+
+    fn reset_gen_state(&mut self) {
+        self.g_uvt = 0.0;
+        self.g_rt = 0.0;
+        self.g_uncapped_heap.clear();
+        self.g_capped_heap.clear();
+        self.unf_uncapped_weight = CompensatedSum::ZERO;
+        self.unf_uncapped_count = 0;
+        self.unf_capped_rate = CompensatedSum::ZERO;
+        self.unf_capped_count = 0;
+    }
+
+    fn unf_join_uncapped(&mut self, weight: f64) {
+        self.unf_uncapped_weight.add(weight);
+        self.unf_uncapped_count += 1;
+    }
+
+    fn unf_leave_uncapped(&mut self, weight: f64) {
+        self.unf_uncapped_weight.add(-weight);
+        self.unf_uncapped_count -= 1;
+        if self.unf_uncapped_count == 0 {
+            // Pin the sum back to exact zero so residual compensation
+            // cannot leak into later blanket charges.
+            self.unf_uncapped_weight = CompensatedSum::ZERO;
+        }
+    }
+
+    fn unf_join_capped(&mut self, max_rate: f64) {
+        self.unf_capped_rate.add(max_rate);
+        self.unf_capped_count += 1;
+    }
+
+    fn unf_leave_capped(&mut self, max_rate: f64) {
+        self.unf_capped_rate.add(-max_rate);
+        self.unf_capped_count -= 1;
+        if self.unf_capped_count == 0 {
+            self.unf_capped_rate = CompensatedSum::ZERO;
+        }
+    }
+
+    /// Give an unfinished task a fresh coordinate (and heap key) on the
+    /// family its `capped` flag names. The freeze key is the clock value
+    /// at which the remaining work hits [`WORK_EPSILON`].
+    ///
+    /// Subnormal axes can overflow `remaining / axis` (or the
+    /// `ε / axis` freeze offset) past f64 range, turning the key into
+    /// inf−inf = NaN — which would defeat every heap comparison and
+    /// spuriously settle the task. Such a task's completion is
+    /// astronomically far away, so it is **parked** instead: it keeps its
+    /// exact `Settled` remaining, never joins the heap or the unfinished
+    /// sums (it depletes at an effectively-zero rate), and never reports
+    /// finished — the starved-task behaviour the reference's zero-rate
+    /// skip produces. A boundary crossing re-attempts the coordinate on
+    /// the other axis.
+    fn push_gen_coordinate(&mut self, index: u32, remaining: f64) {
+        let slot = self.slots[index as usize]
+            .as_mut()
+            .expect("coordinate push on a dead slot");
+        let epoch = slot.epoch;
+        if slot.capped {
+            let max_rate = slot.max_rate;
+            let finish = self.g_rt + remaining / max_rate;
+            let key = finish - WORK_EPSILON / max_rate;
+            if !(key.is_finite() && finish.is_finite()) {
+                slot.body = Body::Settled { remaining };
+                return;
+            }
+            slot.body = Body::GenCapped { finish_rt: finish };
+            self.g_capped_heap.push(GenKey {
+                key,
+                finish,
+                slot: index,
+                epoch,
+            });
+            self.unf_join_capped(max_rate);
+        } else {
+            let weight = slot.weight;
+            let finish = self.g_uvt + remaining / weight;
+            let key = finish - WORK_EPSILON / weight;
+            if !(key.is_finite() && finish.is_finite()) {
+                slot.body = Body::Settled { remaining };
+                return;
+            }
+            slot.body = Body::GenUncapped { finish_uvt: finish };
+            self.g_uncapped_heap.push(GenKey {
+                key,
+                finish,
+                slot: index,
+                epoch,
+            });
+            self.unf_join_uncapped(weight);
+        }
+    }
+
+    /// Coordinate a task whose body is still `Settled` (a fresh add, or a
+    /// carry-over from the representation switch): numerically-exhausted
+    /// work goes straight to `finished_pending`, the rest onto the family
+    /// heap the rebalance left it on. No-op for dead slots and tasks that
+    /// already carry a coordinate.
+    fn activate_settled(&mut self, index: u32) {
+        let Some(slot) = self.slots[index as usize].as_ref() else {
+            return;
+        };
+        let Body::Settled { remaining } = slot.body else {
+            return;
+        };
+        if remaining <= WORK_EPSILON {
+            self.finished_pending.push(index);
+        } else {
+            self.push_gen_coordinate(index, remaining);
+        }
+    }
+
+    /// Re-key a task the rebalance just moved across the capped/uncapped
+    /// boundary: its coordinate was expressed on the old family's clock,
+    /// so re-derive the remaining work, bump the slot epoch (invalidating
+    /// the old heap entry lazily) and push a fresh key on the new family's
+    /// heap. Frozen (`Settled`) tasks only flip sides for rate accounting
+    /// and need no re-key.
+    fn cross_boundary(&mut self, index: u32) {
+        self.boundary_crossings += 1;
+        let slot = self.slots[index as usize]
+            .as_mut()
+            .expect("boundary crossing on a dead slot");
+        let remaining = match slot.body {
+            Body::GenUncapped { finish_uvt } => {
+                debug_assert!(slot.capped, "crossing must have flipped the flag");
+                let weight = slot.weight;
+                slot.epoch = self.next_epoch;
+                self.next_epoch += 1;
+                let remaining = (finish_uvt - self.g_uvt).max(0.0) * weight;
+                self.unf_leave_uncapped(weight);
+                remaining
+            }
+            Body::GenCapped { finish_rt } => {
+                debug_assert!(!slot.capped, "crossing must have flipped the flag");
+                let max_rate = slot.max_rate;
+                slot.epoch = self.next_epoch;
+                self.next_epoch += 1;
+                let remaining = (finish_rt - self.g_rt).max(0.0) * max_rate;
+                self.unf_leave_capped(max_rate);
+                remaining
+            }
+            // Frozen tasks only flip sides for rate accounting; a parked
+            // task (coordinate not representable on the old axis) gets a
+            // fresh attempt on the new one.
+            Body::Settled { remaining } => {
+                if remaining > WORK_EPSILON {
+                    self.push_gen_coordinate(index, remaining);
+                }
+                return;
+            }
+            Body::Virtual { .. } => unreachable!("general mode holds no virtual bodies"),
+        };
+        if remaining <= WORK_EPSILON {
+            let slot = self.slots[index as usize]
+                .as_mut()
+                .expect("boundary crossing on a dead slot");
+            slot.body = Body::Settled { remaining };
+            self.finished_pending.push(index);
+        } else {
+            self.push_gen_coordinate(index, remaining);
+        }
+    }
+
+    /// Discard stale keys and return the earliest live entry of a family
+    /// heap. An entry is live while the slot exists, the epoch matches
+    /// (no boundary crossing or reincarnation since the push) and the body
+    /// still carries that family's coordinate.
+    fn peek_live_gen_top(&mut self, family: Family) -> Option<GenKey> {
+        let (heap, slots) = match family {
+            Family::Uncapped => (&mut self.g_uncapped_heap, &self.slots),
+            Family::Capped => (&mut self.g_capped_heap, &self.slots),
+        };
+        while let Some(top) = heap.peek() {
+            let live = match (&slots[top.slot as usize], family) {
+                (Some(slot), Family::Uncapped) => {
+                    slot.epoch == top.epoch && matches!(slot.body, Body::GenUncapped { .. })
+                }
+                (Some(slot), Family::Capped) => {
+                    slot.epoch == top.epoch && matches!(slot.body, Body::GenCapped { .. })
+                }
+                (None, _) => false,
+            };
+            if live {
+                return Some(*top);
+            }
+            heap.pop();
+        }
+        None
+    }
+
+    /// Drain every task whose freeze coordinate was reached: remaining
+    /// work is at or below [`WORK_EPSILON`], so the task settles (keeping
+    /// its true sub-epsilon residual) and joins `finished_pending`. Tasks
+    /// whose *finish* coordinate was strictly passed over-consumed in the
+    /// blanket `advance` charge; the overshoot is corrected here, exactly
+    /// like the uniform drain.
+    fn drain_gen_finished(&mut self) {
+        while let Some(top) = self.peek_live_gen_top(Family::Uncapped) {
+            if top.key > self.g_uvt {
+                break;
+            }
+            self.g_uncapped_heap.pop();
+            let weight = self.slots[top.slot as usize]
+                .as_ref()
+                .expect("live top on a dead slot")
+                .weight;
+            let residual = (top.finish - self.g_uvt).max(0.0) * weight;
+            if top.finish < self.g_uvt {
+                self.work_done.add(-((self.g_uvt - top.finish) * weight));
+            }
+            self.unf_leave_uncapped(weight);
+            self.settle_gen_finished(top.slot, residual);
+        }
+        while let Some(top) = self.peek_live_gen_top(Family::Capped) {
+            if top.key > self.g_rt {
+                break;
+            }
+            self.g_capped_heap.pop();
+            let max_rate = self.slots[top.slot as usize]
+                .as_ref()
+                .expect("live top on a dead slot")
+                .max_rate;
+            let residual = (top.finish - self.g_rt).max(0.0) * max_rate;
+            if top.finish < self.g_rt {
+                self.work_done.add(-((self.g_rt - top.finish) * max_rate));
+            }
+            self.unf_leave_capped(max_rate);
+            self.settle_gen_finished(top.slot, residual);
+        }
+    }
+
+    fn settle_gen_finished(&mut self, slot: u32, remaining: f64) {
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("settling a dead slot")
+            .body = Body::Settled { remaining };
+        self.finished_pending.push(slot);
+    }
+
+    /// Shift both general-mode clocks back to zero, subtracting the old
+    /// values from every in-flight coordinate (differences — remaining
+    /// work — are preserved to within one rounding each) and rebuilding
+    /// the family heaps, dropping stale keys wholesale. Same amortization
+    /// argument as [`GpsCpu::rebase_vt`].
+    fn rebase_gen(&mut self) {
+        let du = self.g_uvt;
+        let dr = self.g_rt;
+        self.g_uvt = 0.0;
+        self.g_rt = 0.0;
+        self.g_uncapped_heap.clear();
+        self.g_capped_heap.clear();
+        for i in 0..self.slots.len() {
+            let Some(slot) = &mut self.slots[i] else {
+                continue;
+            };
+            match &mut slot.body {
+                Body::GenUncapped { finish_uvt } => {
+                    *finish_uvt = (*finish_uvt - du).max(0.0);
+                    self.g_uncapped_heap.push(GenKey {
+                        key: *finish_uvt - WORK_EPSILON / slot.weight,
+                        finish: *finish_uvt,
+                        slot: i as u32,
+                        epoch: slot.epoch,
+                    });
+                }
+                Body::GenCapped { finish_rt } => {
+                    *finish_rt = (*finish_rt - dr).max(0.0);
+                    self.g_capped_heap.push(GenKey {
+                        key: *finish_rt - WORK_EPSILON / slot.max_rate,
+                        finish: *finish_rt,
+                        slot: i as u32,
+                        epoch: slot.epoch,
+                    });
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Discard stale heap keys and return the earliest live unfinished one.
@@ -876,7 +1367,7 @@ impl GpsCpu {
                 break;
             }
             self.heap.pop();
-            self.work_done -= self.vt - top.finish_vt;
+            self.work_done.add(-(self.vt - top.finish_vt));
             self.settle_finished(top.slot, 0.0);
         }
     }
@@ -903,10 +1394,12 @@ impl GpsCpu {
             .body = Body::Settled { remaining };
     }
 
-    /// Switch to settled per-slot accounting (heterogeneous signatures)
-    /// and build the water-filling partition from the live tasks. O(n log
-    /// n), amortized free: the switch only happens on a membership change
-    /// that already settles every slot in O(n).
+    /// Switch to the general representation (heterogeneous signatures):
+    /// settle every uniform task at its remaining work and build the
+    /// water-filling partition from the live tasks. O(n log n), amortized
+    /// free: the switch only happens on a membership change that already
+    /// costs O(n); the caller rebalances and then coordinates every
+    /// settled task onto the family clocks.
     fn enter_general_mode(&mut self) {
         if self.mode == Mode::General {
             return;
@@ -921,29 +1414,43 @@ impl GpsCpu {
         self.reset_uniform_state();
         self.mode = Mode::General;
         debug_assert!(self.part_uncapped.is_empty() && self.part_capped.is_empty());
+        debug_assert!(self.g_uncapped_heap.is_empty() && self.g_capped_heap.is_empty());
         for i in 0..self.slots.len() as u32 {
             if self.slots[i as usize].is_some() {
                 self.partition_insert(i);
             }
         }
-        // The caller (add_task) rebalances after inserting the new task.
+        // The caller (add_task) rebalances after inserting the new task,
+        // then activates the settled bodies onto the family clocks
+        // (rebuilding `finished_pending`, which reset_uniform_state just
+        // cleared).
     }
 
     /// Re-enter the uniform virtual-time representation (single signature
-    /// left). Rebases the virtual clock to zero and drops the partition.
+    /// left). Rebases the virtual clock to zero and drops the partition
+    /// and the general-mode clocks.
     fn enter_uniform_mode(&mut self) {
         debug_assert_eq!(self.mode, Mode::General);
+        // Capture the clocks before resetting: the coordinate bodies are
+        // still expressed on them.
+        let g_uvt = self.g_uvt;
+        let g_rt = self.g_rt;
         self.reset_uniform_state();
         self.clear_partition();
+        self.reset_gen_state();
         self.mode = Mode::Uniform;
         for i in 0..self.slots.len() {
             let Some(slot) = &mut self.slots[i] else {
                 continue;
             };
-            let Body::Settled { remaining } = slot.body else {
-                unreachable!("general mode keeps all tasks settled");
+            let remaining = match slot.body {
+                Body::Settled { remaining } => remaining,
+                Body::GenUncapped { finish_uvt } => (finish_uvt - g_uvt).max(0.0) * slot.weight,
+                Body::GenCapped { finish_rt } => (finish_rt - g_rt).max(0.0) * slot.max_rate,
+                Body::Virtual { .. } => unreachable!("general mode holds no virtual bodies"),
             };
             if remaining <= WORK_EPSILON {
+                slot.body = Body::Settled { remaining };
                 self.finished_pending.push(i as u32);
             } else {
                 let finish_vt = self.vt + remaining;
@@ -1382,6 +1889,129 @@ mod tests {
         // The long task kept depleting through all four flips.
         cpu.advance(t);
         assert!(cpu.remaining(a) < 10.0);
+    }
+
+    #[test]
+    fn general_mode_stays_precise_across_clock_rebases() {
+        // Drive both general-mode clocks far past VT_REBASE_THRESHOLD
+        // without the bank leaving general mode: a capped task pins the
+        // real clock's family, an uncapped one the virtual clock's, and
+        // both deplete at exactly 1 core/s, so remaining work stays a
+        // linear function of time through every rebase.
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let t0 = SimTime::ZERO;
+        let work = 50_000.0;
+        // Uncapped: ratio 2 > λ = 1 (see below), rate = weight * λ = 1.
+        let a = cpu.add_task(t0, work, 1.0, 2.0);
+        // Capped: ratio 0.5 <= λ, pinned at max_rate = 1.
+        let b = cpu.add_task(t0, work, 2.0, 1.0);
+        assert!(!cpu.is_uniform_mode());
+        assert_eq!(cpu.water_level(), Some(1.0));
+        let mut t = t0;
+        for step in 1..=30 {
+            t += SimDuration::from_secs(1_000);
+            cpu.advance(t);
+            let expect = work - 1_000.0 * step as f64;
+            // One rounding per rebase is the promise; 1e-5 over 30 Mcs of
+            // clock travel leaves plenty of slack under it.
+            assert!(
+                (cpu.remaining(a) - expect).abs() < 1e-5,
+                "uncapped drift at step {step}: {} vs {expect}",
+                cpu.remaining(a)
+            );
+            assert!((cpu.remaining(b) - expect).abs() < 1e-5);
+        }
+        // 30_000 s consumed; both finish together at t = 50_000 s.
+        let (_, at) = cpu.next_completion(t).unwrap();
+        assert!((at.as_secs_f64() - 50_000.0).abs() < 1e-4);
+        let end = SimTime::from_secs(60_000);
+        cpu.advance(end);
+        let finished = cpu.finished_tasks(end);
+        assert_eq!(finished, vec![a, b]);
+        let residual: f64 = cpu.remove_task(end, a) + cpu.remove_task(end, b);
+        assert!(
+            (cpu.work_done() + residual - 2.0 * work).abs() < 1e-4,
+            "conservation across rebases: done={} residual={residual}",
+            cpu.work_done()
+        );
+    }
+
+    #[test]
+    fn exhausted_task_completes_now_even_at_zero_rate() {
+        // Regression: an exhausted task whose water-filling rate underflows
+        // to exactly 0.0 used to be skipped by the general-mode completion
+        // scan (`rate <= 0.0 -> continue`) while `finished_tasks` kept
+        // reporting it — the owner's completion tick would never fire.
+        // Exhausted tasks must complete "now" regardless of rate, matching
+        // the uniform path's `finished_pending` rule.
+        //
+        // Two huge-weight companions drive the water level down to
+        // ~1e-307; the tiny subnormal weight then underflows `w * λ` to
+        // exactly zero.
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let mut reference = crate::gps_reference::ReferenceGpsCpu::new(params(2.0, 0.0));
+        let t0 = SimTime::ZERO;
+        for kernel_add in [
+            (1.0, 1e307, 2.0),  // companion B: rate 1.0
+            (1.0, 1e307, 2.0),  // companion C: rate 1.0
+            (0.0, 5e-324, 1.0), // exhausted task A: rate underflows to 0.0
+        ] {
+            let (work, weight, cap) = kernel_add;
+            cpu.add_task(t0, work, weight, cap);
+            reference.add_task(t0, work, weight, cap);
+        }
+        let a = TaskId(2);
+        assert_eq!(reference.current_rate(a), 0.0, "rate must underflow");
+        assert_eq!(cpu.current_rate(a), 0.0, "rate must underflow");
+        // Both kernels: the exhausted zero-rate task is the next
+        // completion, at `now`, and the finished set reports it.
+        assert_eq!(cpu.next_completion(t0), Some((a, t0)));
+        assert_eq!(reference.next_completion(t0), Some((a, t0)));
+        assert_eq!(cpu.finished_tasks(t0), vec![a]);
+        assert_eq!(reference.finished_tasks(t0), vec![a]);
+        // Removing it unblocks the stream: the companions complete at t=1.
+        cpu.remove_task(t0, a);
+        reference.remove_task(t0, a);
+        let (_, at) = cpu.next_completion(t0).unwrap();
+        let (_, at_ref) = reference.next_completion(t0).unwrap();
+        assert!((at.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert!((at_ref.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrepresentable_coordinate_parks_instead_of_finishing() {
+        // A subnormal weight overflows `remaining / weight` past f64 range
+        // (finish = inf, freeze key = inf - inf = NaN): the task must be
+        // parked — starved like the reference's zero-rate skip — not
+        // spuriously settled as finished with an infinite residual.
+        let mut cpu = GpsCpu::new(params(2.0, 0.0));
+        let mut reference = crate::gps_reference::ReferenceGpsCpu::new(params(2.0, 0.0));
+        let t0 = SimTime::ZERO;
+        // Two unit-weight companions (uncapped, rate exactly 1) and the
+        // subnormal-weight task whose uncapped coordinate overflows.
+        for kernel_add in [(1.0, 1.0, 2.0), (1.0, 1.0, 2.0), (1.0, 5e-324, 1.0)] {
+            let (work, weight, cap) = kernel_add;
+            cpu.add_task(t0, work, weight, cap);
+            reference.add_task(t0, work, weight, cap);
+        }
+        let parked = TaskId(2);
+        // Both kernels: nothing is finished, a companion is next at t=1.
+        assert!(cpu.finished_tasks(t0).is_empty());
+        assert!(reference.finished_tasks(t0).is_empty());
+        let (next, at) = cpu.next_completion(t0).unwrap();
+        assert_eq!(next, TaskId(0));
+        assert!((at.as_secs_f64() - 1.0).abs() < 1e-9);
+        let (next_ref, at_ref) = reference.next_completion(t0).unwrap();
+        assert_eq!(next_ref, TaskId(0));
+        assert!((at_ref.as_secs_f64() - 1.0).abs() < 1e-9);
+        // The parked task keeps its exact remaining through time and
+        // removal — no infinities leak into the accounting.
+        cpu.advance(SimTime::from_secs(5));
+        assert_eq!(cpu.remaining(parked), 1.0);
+        assert!(!cpu.finished_tasks(SimTime::from_secs(5)).contains(&parked));
+        let residual = cpu.remove_task(SimTime::from_secs(5), parked);
+        assert_eq!(residual, 1.0);
+        assert!(cpu.work_done().is_finite());
     }
 
     #[test]

@@ -165,11 +165,15 @@ impl ReferenceGpsCpu {
         for (i, slot) in self.slots.iter().enumerate() {
             if let Some(task) = slot {
                 let rate = self.rates_scratch[i];
-                if rate <= 0.0 {
-                    continue;
-                }
+                // Exhausted tasks complete "now" whatever their rate: a
+                // numerically-finished task whose water-filling rate
+                // underflowed to zero must not be starved out of the scan
+                // while `finished_tasks` keeps reporting it (the owner's
+                // completion tick would never fire).
                 let eta = if task.remaining <= WORK_EPSILON {
                     0.0
+                } else if rate <= 0.0 {
+                    continue;
                 } else {
                     task.remaining / rate
                 };

@@ -39,6 +39,14 @@ pub enum ChurnOp {
     Add { work_ms: u64, sig: u8 },
     /// Remove the `pick % live`-th live task (no-op when idle).
     Remove { pick: u64 },
+    /// Remove the `pick`-th live task *of pool signature `sig`* (no-op
+    /// when no such task is live): lets schedules thrash the water level
+    /// by targeting the heavy swing signature.
+    RemoveSig { sig: u8, pick: u64 },
+    /// Remove *every* live task of pool signature `sig`. Random removal
+    /// almost never drains a whole signature class, so plain schedules
+    /// cannot force general→uniform mode flips on demand; this op can.
+    DrainSig { sig: u8 },
     /// Advance simulated time by `dt_ms`.
     Advance { dt_ms: u64 },
     /// Jump to the next predicted completion and retire every finished
@@ -93,6 +101,26 @@ impl SignaturePool {
         SignaturePool::new(sigs)
     }
 
+    /// A ladder of pin ratios around the unit fair share plus one
+    /// heavy-weight swing signature: adding or removing a swing task moves
+    /// the water level across several ladder rungs at once, so every such
+    /// membership change forces a batch of capped/uncapped boundary
+    /// crossings (the re-keying path of the two-clock kernel). Signature 0
+    /// is the swing; 1 is the plain uniform `(1, 1)` rung, so draining
+    /// everything else flips the bank back to uniform mode.
+    pub fn boundary_ladder() -> Self {
+        SignaturePool::new(vec![
+            (8.0, 8.0), // swing: ratio 1.0, weight dominates the level
+            (1.0, 1.0), // uniform rung (also the mode-flip anchor)
+            (1.0, 0.2),
+            (1.0, 0.35),
+            (1.0, 0.5),
+            (1.0, 0.65),
+            (1.0, 0.8),
+            (2.0, 1.0), // ratio 0.5 at double weight: ties with the mid rung
+        ])
+    }
+
     /// The `sig`-th signature (wrapping).
     pub fn get(&self, sig: u8) -> (f64, f64) {
         self.sigs[sig as usize % self.sigs.len()]
@@ -137,6 +165,62 @@ pub fn random_schedule(
         .collect()
 }
 
+/// Generate a seeded schedule that deliberately thrashes the
+/// capped/uncapped boundary and the uniform↔general mode flip, for the
+/// [`SignaturePool::boundary_ladder`] pool. Each block populates the
+/// ladder, slams the heavy swing signature in and out (every swing move
+/// shifts the water level across several rungs — a batch of boundary
+/// crossings, i.e. heap re-keys), and every other block drains all
+/// heterogeneous signatures *mid-completion-stream* so the bank flips to
+/// uniform and back while completions are being consumed.
+pub fn boundary_thrash_schedule(rng: &mut Xoshiro256, blocks: usize, pool_len: u8) -> Vec<ChurnOp> {
+    assert!(
+        pool_len > 2,
+        "thrash schedules need swing + uniform + rungs"
+    );
+    let mut ops = Vec::new();
+    for block in 0..blocks {
+        // Populate the ladder rungs (signatures 2..) around the boundary.
+        for _ in 0..3 + rng.next_u64() % 5 {
+            ops.push(ChurnOp::Add {
+                work_ms: 200 + rng.next_u64() % 2_500,
+                sig: 2 + (rng.next_u64() % (pool_len as u64 - 2)) as u8,
+            });
+        }
+        // Keep a uniform anchor alive so mode flips have a survivor.
+        ops.push(ChurnOp::Add {
+            work_ms: 400 + rng.next_u64() % 2_000,
+            sig: 1,
+        });
+        // Swing in: the water level dives, pinning a batch of rungs.
+        ops.push(ChurnOp::Add {
+            work_ms: 500 + rng.next_u64() % 3_000,
+            sig: 0,
+        });
+        ops.push(ChurnOp::CompleteNext);
+        ops.push(ChurnOp::Advance {
+            dt_ms: 1 + rng.next_u64() % 400,
+        });
+        // Swing out: the level jumps back up, unpinning across the rungs.
+        ops.push(ChurnOp::RemoveSig {
+            sig: 0,
+            pick: rng.next_u64(),
+        });
+        ops.push(ChurnOp::CompleteNext);
+        if block % 2 == 1 {
+            // Mid-stream mode flip: drain every heterogeneous signature so
+            // only the uniform anchor survives, consume a completion in
+            // uniform mode, then the next block re-enters general mode.
+            for sig in 2..pool_len {
+                ops.push(ChurnOp::DrainSig { sig });
+            }
+            ops.push(ChurnOp::DrainSig { sig: 0 });
+            ops.push(ChurnOp::CompleteNext);
+        }
+    }
+    ops
+}
+
 /// The production kernel and the seed integrator driven in lockstep.
 pub struct DifferentialPair {
     /// The kernel under test.
@@ -144,7 +228,9 @@ pub struct DifferentialPair {
     /// The executable specification.
     pub reference: ReferenceGpsCpu,
     pool: SignaturePool,
-    live: Vec<TaskId>,
+    /// Live tasks with the (wrapped) pool signature they were added under,
+    /// so signature-targeted ops can find them.
+    live: Vec<(TaskId, u8)>,
     now: SimTime,
 }
 
@@ -200,7 +286,7 @@ impl DifferentialPair {
             self.opt.work_done(),
             self.reference.work_done()
         );
-        for &id in &self.live {
+        for &(id, _) in &self.live {
             let a = self.opt.remaining(id);
             let b = self.reference.remaining(id);
             assert!(
@@ -244,6 +330,17 @@ impl DifferentialPair {
         }
     }
 
+    /// Remove one live task from both kernels, comparing residuals.
+    fn remove_live(&mut self, index: usize) {
+        let (id, _) = self.live.remove(index);
+        let ra = self.opt.remove_task(self.now, id);
+        let rb = self.reference.remove_task(self.now, id);
+        assert!(
+            (ra - rb).abs() < WORK_TOL,
+            "residual diverged for {id:?}: optimized={ra} reference={rb}"
+        );
+    }
+
     /// Apply one operation to both kernels and compare every observable.
     pub fn apply(&mut self, op: ChurnOp) {
         match op {
@@ -253,19 +350,37 @@ impl DifferentialPair {
                 let ida = self.opt.add_task(self.now, work, weight, max_rate);
                 let idb = self.reference.add_task(self.now, work, weight, max_rate);
                 assert_eq!(ida, idb, "slot allocation diverged");
-                self.live.push(ida);
+                self.live
+                    .push((ida, (sig as usize % self.pool.len()) as u8));
             }
             ChurnOp::Remove { pick } => {
                 if self.live.is_empty() {
                     return;
                 }
-                let id = self.live.remove((pick % self.live.len() as u64) as usize);
-                let ra = self.opt.remove_task(self.now, id);
-                let rb = self.reference.remove_task(self.now, id);
-                assert!(
-                    (ra - rb).abs() < WORK_TOL,
-                    "residual diverged for {id:?}: optimized={ra} reference={rb}"
-                );
+                self.remove_live((pick % self.live.len() as u64) as usize);
+            }
+            ChurnOp::RemoveSig { sig, pick } => {
+                let sig = (sig as usize % self.pool.len()) as u8;
+                let matches: Vec<usize> = self
+                    .live
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &(_, s))| (s == sig).then_some(i))
+                    .collect();
+                if matches.is_empty() {
+                    return;
+                }
+                self.remove_live(matches[(pick % matches.len() as u64) as usize]);
+            }
+            ChurnOp::DrainSig { sig } => {
+                let sig = (sig as usize % self.pool.len()) as u8;
+                while let Some(index) = self.live.iter().position(|&(_, s)| s == sig) {
+                    self.remove_live(index);
+                    // Compare the full observable set after every removal,
+                    // not just at the end of the drain: a mid-drain
+                    // rebalance is exactly the state the op targets.
+                    self.check_state();
+                }
             }
             ChurnOp::Advance { dt_ms } => {
                 self.now += SimDuration::from_millis(dt_ms);
@@ -287,7 +402,7 @@ impl DifferentialPair {
                     "predicted completion {id:?} neither finished nor pending"
                 );
                 for done in fb {
-                    self.live.retain(|&l| l != done);
+                    self.live.retain(|&(l, _)| l != done);
                     let ra = self.opt.remove_task(self.now, done);
                     let rb = self.reference.remove_task(self.now, done);
                     assert!((ra - rb).abs() < WORK_TOL, "finished residual diverged");
@@ -325,6 +440,27 @@ pub fn run_differential_schedule(seed: u64, pool: &SignaturePool, max_steps: usi
         pair.apply(op);
     }
     pair.drain();
+}
+
+/// Drive one seeded boundary-thrash schedule end to end over the
+/// [`SignaturePool::boundary_ladder`] pool, with the node shape derived
+/// from `seed`, and return the number of capped/uncapped boundary
+/// crossings the production kernel performed (so suites can assert the
+/// schedules actually exercise the re-keying path).
+pub fn run_boundary_thrash_schedule(seed: u64, blocks: usize) -> u64 {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xB0BB_1E57);
+    // The ladder ratios sit in 0.2–1.0 at ~unit weights: 2–7 cores keeps
+    // the water level inside the ladder so the swing moves cross rungs.
+    let cores = 2.0 + (rng.next_u64() % 6) as f64;
+    let kappa = (rng.next_u64() % 60) as f64 / 100.0;
+    let pool = SignaturePool::boundary_ladder();
+    let ops = boundary_thrash_schedule(&mut rng, blocks, pool.len() as u8);
+    let mut pair = DifferentialPair::new(cores, kappa, pool);
+    for op in ops {
+        pair.apply(op);
+    }
+    pair.drain();
+    pair.opt.boundary_crossings()
 }
 
 #[cfg(test)]
@@ -367,5 +503,28 @@ mod tests {
     fn differential_pair_smoke() {
         run_differential_schedule(1, &SignaturePool::paper_mixed(), 60);
         run_differential_schedule(2, &SignaturePool::weighted(2), 60);
+    }
+
+    #[test]
+    fn boundary_thrash_smoke() {
+        let crossings = run_boundary_thrash_schedule(1, 4);
+        assert!(crossings > 0, "thrash schedule never crossed the boundary");
+    }
+
+    #[test]
+    fn drain_sig_removes_exactly_one_signature_class() {
+        let pool = SignaturePool::boundary_ladder();
+        let mut pair = DifferentialPair::new(4.0, 0.0, pool);
+        for sig in [0u8, 1, 2, 0, 1, 2] {
+            pair.apply(ChurnOp::Add { work_ms: 500, sig });
+        }
+        assert_eq!(pair.live_len(), 6);
+        pair.apply(ChurnOp::DrainSig { sig: 0 });
+        assert_eq!(pair.live_len(), 4, "both swing tasks removed");
+        pair.apply(ChurnOp::DrainSig { sig: 2 });
+        pair.apply(ChurnOp::RemoveSig { sig: 2, pick: 7 });
+        assert_eq!(pair.live_len(), 2, "drained class is empty, op is a no-op");
+        assert!(pair.opt.is_uniform_mode(), "single signature flips back");
+        pair.drain();
     }
 }

@@ -14,7 +14,10 @@
 //!   must never leave the virtual-time representation or touch the
 //!   partition structure, keeping the invoker's O(1) path O(1).
 
-use faas_cpu::schedule::{random_schedule, ChurnOp, DifferentialPair, SignaturePool};
+use faas_cpu::schedule::{
+    boundary_thrash_schedule, random_schedule, run_boundary_thrash_schedule, ChurnOp,
+    DifferentialPair, SignaturePool,
+};
 use faas_cpu::{GpsCpu, GpsParams};
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::SimTime;
@@ -70,6 +73,65 @@ fn differential_600_weighted_schedules() {
     }
 }
 
+/// Boundary-thrash differential sweep: seeded schedules built to slam the
+/// heavy swing signature in and out of the boundary-ladder pool (each move
+/// re-keys a batch of tasks across the capped/uncapped boundary) and to
+/// drain whole signature classes mid-completion-stream (uniform↔general
+/// mode flips while completions are being consumed). Every observable is
+/// pinned to `gps_reference` after every operation, and the sweep as a
+/// whole must actually cross the boundary — a thrash suite that never
+/// re-keys is testing nothing.
+#[test]
+fn differential_boundary_thrash_schedules() {
+    let mut total_crossings = 0u64;
+    for seed in 0..200u64 {
+        match std::panic::catch_unwind(|| run_boundary_thrash_schedule(seed, 6)) {
+            Ok(crossings) => total_crossings += crossings,
+            Err(e) => {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                panic!("boundary-thrash seed {seed} diverged: {msg}");
+            }
+        }
+    }
+    assert!(
+        total_crossings > 1_000,
+        "thrash sweep barely crossed the boundary ({total_crossings} crossings)"
+    );
+}
+
+/// The thrash schedules must flip the representation both ways while the
+/// completion stream is live: general→uniform (signature classes drained
+/// mid-stream) and uniform→general (the next block re-populates the
+/// ladder), several times per schedule.
+#[test]
+fn thrash_schedules_flip_modes_mid_stream() {
+    let mut total_flips = 0usize;
+    for seed in 0..20u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xF11B);
+        let pool = SignaturePool::boundary_ladder();
+        let ops = boundary_thrash_schedule(&mut rng, 6, pool.len() as u8);
+        let mut pair = DifferentialPair::new(4.0, 0.2, pool);
+        let mut was_uniform = true;
+        for op in ops {
+            pair.apply(op);
+            let uniform = pair.opt.is_uniform_mode();
+            if uniform != was_uniform {
+                total_flips += 1;
+                was_uniform = uniform;
+            }
+        }
+        pair.drain();
+    }
+    assert!(
+        total_flips >= 20 * 4,
+        "thrash schedules must flip modes repeatedly, saw {total_flips}"
+    );
+}
+
 /// The weighted sweep must actually exercise the partition: across the
 /// seeds, schedules reach general mode with tasks on both sides of the
 /// capped/uncapped boundary.
@@ -100,6 +162,8 @@ fn weighted_schedules_populate_the_partition() {
                         cpu.remove_task(now, id);
                     }
                 }
+                // random_schedule never emits the signature-targeted ops.
+                ChurnOp::RemoveSig { .. } | ChurnOp::DrainSig { .. } => {}
                 ChurnOp::Advance { dt_ms } => {
                     now += faas_simcore::time::SimDuration::from_millis(dt_ms);
                     cpu.advance(now);

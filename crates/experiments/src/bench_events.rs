@@ -270,6 +270,11 @@ pub fn run() -> Vec<BenchEntry> {
         value: hold_lzy,
         unit: "ns/op".into(),
     });
+    entries.push(BenchEntry {
+        name: "event_queue_threads".into(),
+        value: crate::bench_gps::host_threads(),
+        unit: "count".into(),
+    });
     entries
 }
 
@@ -293,9 +298,10 @@ mod tests {
         assert_eq!(tick_storm_indexed(), tick_storm_lazy());
         assert_eq!(hold_indexed(), hold_lazy());
         let entries = run();
-        assert_eq!(entries.len(), 5);
+        assert_eq!(entries.len(), 6);
         for e in &entries {
             assert!(e.value > 0.0, "{} must be positive", e.name);
         }
+        crate::bench_schema::validate_entries("BENCH_events.json", &entries).unwrap();
     }
 }

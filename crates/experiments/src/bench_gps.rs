@@ -75,7 +75,23 @@ pub fn run() -> Vec<BenchEntry> {
         value: wall / 1e6,
         unit: "ms/run".into(),
     });
+    // The kernels are single-threaded; the host parallelism is recorded so
+    // trajectory points stay attributable to their machine shape (and the
+    // check-bench schema requires it of every artifact).
+    entries.push(BenchEntry {
+        name: "gps_threads".into(),
+        value: host_threads(),
+        unit: "count".into(),
+    });
     entries
+}
+
+/// The host's available parallelism, shared by the bench modules' thread
+/// stamp entries.
+pub(crate) fn host_threads() -> f64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as f64
 }
 
 /// Human-readable rendering of the entries.
@@ -95,9 +111,10 @@ mod tests {
     fn produces_entries_for_every_concurrency_level() {
         // Smoke-check the shape only (timings are environment-dependent).
         let entries = run();
-        assert_eq!(entries.len(), CHURN_TASKS.len() * 3 + 1);
+        assert_eq!(entries.len(), CHURN_TASKS.len() * 3 + 2);
         for e in &entries {
             assert!(e.value > 0.0, "{} must be positive", e.name);
         }
+        crate::bench_schema::validate_entries("BENCH_gps.json", &entries).unwrap();
     }
 }

@@ -1,0 +1,208 @@
+//! Schema validation for the `BENCH_*.json` perf-trajectory artifacts.
+//!
+//! The continuous-benchmark files are consumed by dashboards keyed on
+//! entry names and units, and PR 4 showed that a new file shape can drift
+//! silently: nothing asserted that an artifact still parses, still records
+//! the host thread count, or still carries the baseline/candidate timing
+//! pairs the speedups are computed from. `experiments check-bench` (run by
+//! CI right after `experiments bench`) fails loudly instead:
+//!
+//! * every `BENCH_*.json` in the output directory parses as a
+//!   [`BenchEntry`] list with finite, positive values;
+//! * every file records the host parallelism (an entry whose name
+//!   contains `threads`, value an integer ≥ 1) so trajectory points stay
+//!   attributable to their machine shape;
+//! * every file carries at least one baseline/candidate timing pair (two
+//!   or more entries in a wall-clock unit) plus the derived `*_speedup`
+//!   ratio in unit `x`;
+//! * the four canonical artifacts (`BENCH_gps.json`,
+//!   `BENCH_weighted_gps.json`, `BENCH_events.json`,
+//!   `BENCH_workload.json`) are all present.
+
+use crate::bench_gps::BenchEntry;
+use std::path::Path;
+
+/// The artifacts `experiments bench` must produce.
+pub const EXPECTED_ARTIFACTS: [&str; 4] = [
+    "BENCH_gps.json",
+    "BENCH_weighted_gps.json",
+    "BENCH_events.json",
+    "BENCH_workload.json",
+];
+
+/// Wall-clock units a baseline/candidate timing may use.
+const TIMING_UNITS: [&str; 4] = ["ns/iter", "ns/op", "ms/run", "ms"];
+
+/// Validate one artifact's entry list. `name` is used in error messages.
+pub fn validate_entries(name: &str, entries: &[BenchEntry]) -> Result<(), String> {
+    if entries.is_empty() {
+        return Err(format!("{name}: empty entry list"));
+    }
+    for e in entries {
+        if e.name.is_empty() || e.unit.is_empty() {
+            return Err(format!("{name}: entry with empty name or unit"));
+        }
+        if !e.value.is_finite() || e.value <= 0.0 {
+            return Err(format!(
+                "{name}: entry `{}` has non-finite or non-positive value {}",
+                e.name, e.value
+            ));
+        }
+    }
+    let threads = entries
+        .iter()
+        .find(|e| e.name.contains("threads"))
+        .ok_or_else(|| format!("{name}: no thread-count entry (host shape unrecorded)"))?;
+    if threads.value < 1.0 || threads.value.fract() != 0.0 {
+        return Err(format!(
+            "{name}: thread-count entry `{}` is not a positive integer ({})",
+            threads.name, threads.value
+        ));
+    }
+    let timings = entries
+        .iter()
+        .filter(|e| TIMING_UNITS.contains(&e.unit.as_str()))
+        .count();
+    if timings < 2 {
+        return Err(format!(
+            "{name}: found {timings} timing entries, need a baseline/candidate pair"
+        ));
+    }
+    if !entries
+        .iter()
+        .any(|e| e.name.ends_with("_speedup") && e.unit == "x")
+    {
+        return Err(format!("{name}: no `*_speedup` ratio entry in unit `x`"));
+    }
+    Ok(())
+}
+
+/// Validate every `BENCH_*.json` under `dir` and check the canonical set
+/// is present. Returns the validated file names.
+pub fn validate_dir(dir: &Path) -> Result<Vec<String>, String> {
+    let mut seen = Vec::new();
+    let listing = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in listing {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let file_name = entry.file_name().to_string_lossy().into_owned();
+        if !(file_name.starts_with("BENCH_") && file_name.ends_with(".json")) {
+            continue;
+        }
+        let path = entry.path();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let entries: Vec<BenchEntry> = serde_json::from_str(&text)
+            .map_err(|e| format!("{}: does not parse as a bench entry list: {e}", file_name))?;
+        validate_entries(&file_name, &entries)?;
+        seen.push(file_name);
+    }
+    for expected in EXPECTED_ARTIFACTS {
+        if !seen.iter().any(|s| s == expected) {
+            return Err(format!(
+                "missing canonical artifact {expected} (found: {seen:?})"
+            ));
+        }
+    }
+    seen.sort();
+    Ok(seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, value: f64, unit: &str) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+        }
+    }
+
+    fn valid() -> Vec<BenchEntry> {
+        vec![
+            entry("x_n10_candidate", 120.0, "ns/iter"),
+            entry("x_n10_reference", 360.0, "ns/iter"),
+            entry("x_n10_speedup", 3.0, "x"),
+            entry("x_threads", 4.0, "count"),
+        ]
+    }
+
+    #[test]
+    fn valid_shape_passes() {
+        validate_entries("BENCH_x.json", &valid()).unwrap();
+    }
+
+    #[test]
+    fn missing_threads_is_rejected() {
+        let entries: Vec<BenchEntry> = valid()
+            .into_iter()
+            .filter(|e| !e.name.contains("threads"))
+            .collect();
+        let err = validate_entries("BENCH_x.json", &entries).unwrap_err();
+        assert!(err.contains("thread-count"), "{err}");
+    }
+
+    #[test]
+    fn missing_timing_pair_is_rejected() {
+        let entries = vec![
+            entry("x_n10_speedup", 3.0, "x"),
+            entry("x_n10_candidate", 120.0, "ns/iter"),
+            entry("x_threads", 4.0, "count"),
+        ];
+        let err = validate_entries("BENCH_x.json", &entries).unwrap_err();
+        assert!(err.contains("baseline/candidate"), "{err}");
+    }
+
+    #[test]
+    fn missing_speedup_and_bad_values_are_rejected() {
+        let mut entries = valid();
+        entries.retain(|e| !e.name.ends_with("_speedup"));
+        assert!(validate_entries("BENCH_x.json", &entries)
+            .unwrap_err()
+            .contains("speedup"));
+        let mut nan = valid();
+        nan[0].value = f64::NAN;
+        assert!(validate_entries("BENCH_x.json", &nan)
+            .unwrap_err()
+            .contains("non-finite"));
+        let mut frac = valid();
+        frac[3].value = 3.5;
+        assert!(validate_entries("BENCH_x.json", &frac)
+            .unwrap_err()
+            .contains("positive integer"));
+    }
+
+    #[test]
+    fn weighted_bench_emits_a_valid_shape() {
+        // Reduced configuration, same entry names and units as the full
+        // `experiments bench` artifact: schema drift in the weighted file
+        // shape fails the test suite even before CI's check-bench step.
+        let weighted = crate::bench_weighted_gps::run_levels(&[40], 40, 20);
+        validate_entries("BENCH_weighted_gps.json", &weighted).unwrap();
+    }
+
+    #[test]
+    fn validate_dir_requires_the_canonical_artifacts() {
+        let dir = std::env::temp_dir().join("bench_schema_test_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, entries: &[BenchEntry]| {
+            faas_metrics::export::write_json(&dir.join(name), &entries.to_vec()).unwrap();
+        };
+        // Only one artifact present: the canonical-set check trips.
+        write("BENCH_gps.json", &valid());
+        let err = validate_dir(&dir).unwrap_err();
+        assert!(err.contains("missing canonical artifact"), "{err}");
+        for name in EXPECTED_ARTIFACTS {
+            write(name, &valid());
+        }
+        let seen = validate_dir(&dir).unwrap();
+        assert_eq!(seen.len(), EXPECTED_ARTIFACTS.len());
+        // A malformed artifact fails the whole directory.
+        std::fs::write(dir.join("BENCH_broken.json"), "{not json").unwrap();
+        let err = validate_dir(&dir).unwrap_err();
+        assert!(err.contains("BENCH_broken.json"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,18 +1,31 @@
 //! Weighted GPS-kernel trajectory: `experiments bench` →
 //! `BENCH_weighted_gps.json`.
 //!
-//! Times the incremental capped/uncapped partition in `GpsCpu` against the
-//! seed integrator's O(n·rounds) water-filling re-derivation
-//! (`ReferenceGpsCpu`) on completion-driven *weighted* churn — every task
-//! carrying one of the heterogeneous weight/cap tiers of
+//! Times the two-clock general-mode kernel in `GpsCpu` (incremental
+//! capped/uncapped partition + per-family completion heaps) against the
+//! seed integrator's O(n)-per-event accounting (`ReferenceGpsCpu`) on
+//! completion-driven *weighted* churn — every task carrying one of the
+//! heterogeneous weight/cap tiers of
 //! [`faas_cpu::bench_support::WEIGHTED_CHURN_SIGNATURES`], so the bank
 //! never leaves general mode and the capped/uncapped boundary is populated
-//! on both sides. The headline configuration is the 10^4-task weighted
-//! churn the PR 4 acceptance criteria name; the thread/core count is
-//! recorded alongside the speedups so trajectory points from different
-//! machines stay comparable.
+//! on both sides. Two workloads per task level:
+//!
+//! * `churn` — the membership-churn loop PR 4 introduced (every event
+//!   removes and replaces a task), dominated by the rate refresh;
+//! * `probe` — the advance/next_completion-heavy variant
+//!   ([`faas_cpu::bench_support::run_weighted_probe_churn`]): several
+//!   membership-preserving advance + next-completion probes between
+//!   completion events, the regime where the old per-slot `advance` and
+//!   full-scan `next_completion` paid O(n) per call and the two-clock
+//!   kernel pays O(1)/O(log n) — the end-to-end win of the clock rewrite.
+//!
+//! The headline configuration is the 10^4-task level; the thread/core
+//! count is recorded alongside the speedups so trajectory points from
+//! different machines stay comparable.
 
-use faas_cpu::bench_support::{run_weighted_churn, weighted_churn_params};
+use faas_cpu::bench_support::{
+    run_weighted_churn, run_weighted_probe_churn, weighted_churn_params,
+};
 use faas_cpu::{GpsCpu, ReferenceGpsCpu};
 
 pub use crate::bench_gps::BenchEntry;
@@ -22,16 +35,26 @@ const CHURN_TASKS: [usize; 3] = [100, 1_000, 10_000];
 /// Completion events per run (each event is next_completion +
 /// finished_tasks + remove + replacement add — the invoker tick pattern).
 const CHURN_COMPLETIONS: usize = 1_000;
+/// Completion events of the probe workload (each carries
+/// [`PROBES_PER_EVENT`] extra advance/next_completion pairs).
+const PROBE_COMPLETIONS: usize = 250;
+/// Membership-preserving advance/next_completion probes between
+/// consecutive completion events of the probe workload.
+const PROBES_PER_EVENT: usize = 8;
 const SAMPLES: usize = 5;
 
 /// Run the weighted churn benchmarks at the standard levels.
 pub fn run() -> Vec<BenchEntry> {
-    run_levels(&CHURN_TASKS, CHURN_COMPLETIONS)
+    run_levels(&CHURN_TASKS, CHURN_COMPLETIONS, PROBE_COMPLETIONS)
 }
 
 /// Run the weighted churn benchmarks at explicit levels (the unit test
 /// uses a reduced configuration; `experiments bench` the full one).
-pub fn run_levels(task_levels: &[usize], completions: usize) -> Vec<BenchEntry> {
+pub fn run_levels(
+    task_levels: &[usize],
+    completions: usize,
+    probe_completions: usize,
+) -> Vec<BenchEntry> {
     let mut entries = Vec::new();
     for &tasks in task_levels {
         let params = weighted_churn_params(tasks);
@@ -58,15 +81,35 @@ pub fn run_levels(task_levels: &[usize], completions: usize) -> Vec<BenchEntry> 
             value: reference / incremental,
             unit: "x".into(),
         });
+        let probe_incremental = crate::median_ns(SAMPLES, || {
+            let mut kernel = GpsCpu::new(params);
+            run_weighted_probe_churn(&mut kernel, tasks, probe_completions, PROBES_PER_EVENT)
+        });
+        let probe_reference = crate::median_ns(SAMPLES, || {
+            let mut kernel = ReferenceGpsCpu::new(params);
+            run_weighted_probe_churn(&mut kernel, tasks, probe_completions, PROBES_PER_EVENT)
+        });
+        entries.push(BenchEntry {
+            name: format!("weighted_gps_probe_n{tasks}_incremental"),
+            value: probe_incremental,
+            unit: "ns/iter".into(),
+        });
+        entries.push(BenchEntry {
+            name: format!("weighted_gps_probe_n{tasks}_reference"),
+            value: probe_reference,
+            unit: "ns/iter".into(),
+        });
+        entries.push(BenchEntry {
+            name: format!("weighted_gps_probe_n{tasks}_speedup"),
+            value: probe_reference / probe_incremental,
+            unit: "x".into(),
+        });
     }
     // The kernels are single-threaded; the machine's parallelism is
     // recorded so trajectory points are attributable to their host shape.
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     entries.push(BenchEntry {
         name: "weighted_gps_threads".into(),
-        value: threads as f64,
+        value: crate::bench_gps::host_threads(),
         unit: "count".into(),
     });
     entries
@@ -89,8 +132,8 @@ mod tests {
     fn produces_entries_for_every_level_plus_thread_count() {
         // Smoke-check the shape on a reduced configuration (timings are
         // environment-dependent and debug builds are slow at 10^4 tasks).
-        let entries = run_levels(&[50, 200], 100);
-        assert_eq!(entries.len(), 2 * 3 + 1);
+        let entries = run_levels(&[50, 200], 100, 40);
+        assert_eq!(entries.len(), 2 * 6 + 1);
         for e in &entries {
             assert!(e.value > 0.0, "{} must be positive", e.name);
         }
@@ -98,6 +141,9 @@ mod tests {
         assert!(entries
             .iter()
             .any(|e| e.name == "weighted_gps_churn_n200_speedup"));
+        assert!(entries
+            .iter()
+            .any(|e| e.name == "weighted_gps_probe_n200_speedup"));
     }
 
     #[test]

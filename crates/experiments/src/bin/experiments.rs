@@ -36,8 +36,8 @@
 //! Results are also written as JSON under `--out` (default `results/`).
 
 use faas_experiments::{
-    ablations, bench_events, bench_gps, bench_weighted_gps, bench_workload, custom, fig2, fig5,
-    fig6, functions, grid, sweep, table1, Effort,
+    ablations, bench_events, bench_gps, bench_schema, bench_weighted_gps, bench_workload, custom,
+    fig2, fig5, fig6, functions, grid, sweep, table1, Effort,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -50,7 +50,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|sweep|bench|run|all> \
+        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|sweep|bench|check-bench|run|all> \
          [--quick] [--seeds N] [--out DIR] [--per-seed]"
     );
     std::process::exit(2);
@@ -105,6 +105,7 @@ fn main() {
         "functions" => run_functions(&opts),
         "sweep" => run_sweep(&opts),
         "bench" => run_bench(&opts),
+        "check-bench" => run_check_bench(&opts),
         "all" => {
             run_table1(&opts);
             run_fig2(&opts);
@@ -177,6 +178,20 @@ fn run_sweep(opts: &Opts) {
     let result = sweep::run(opts.effort);
     println!("{}", sweep::render(&result));
     save(opts, "sweep.json", &result);
+}
+
+/// Validate the `BENCH_*.json` artifacts under `--out`: every file must
+/// parse, record the host thread count and carry baseline/candidate
+/// timings plus a speedup ratio. Exits non-zero on schema drift, so CI
+/// catches a silently changed file shape.
+fn run_check_bench(opts: &Opts) {
+    match bench_schema::validate_dir(&opts.out) {
+        Ok(seen) => println!("bench artifacts ok: {}", seen.join(", ")),
+        Err(e) => {
+            eprintln!("bench artifact schema check failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_fig5(opts: &Opts) {

@@ -164,10 +164,16 @@ fn mix_axis(quick: bool) -> Vec<MixSpec> {
     axis
 }
 
-/// The weighted-container axis. The tiered model rides along even in
-/// quick mode so the CI smoke run covers the weighted GPS path.
+/// The weighted-container axis. The tiered model and its cgroup-lag
+/// variant (warm-up cold starts initialise at the default share until the
+/// cgroup update lands) ride along even in quick mode so the CI smoke run
+/// covers both the weighted GPS path and the per-phase warm-up shares.
 fn weight_axis(quick: bool) -> Vec<WeightSpec> {
-    let mut axis = vec![WeightSpec::Uniform, WeightSpec::paper_tiers()];
+    let mut axis = vec![
+        WeightSpec::Uniform,
+        WeightSpec::paper_tiers(),
+        WeightSpec::paper_tiers_cgroup_lag(),
+    ];
     if !quick {
         axis.push(WeightSpec::ZipfCorrelated { s: 1.0 });
     }
@@ -536,13 +542,16 @@ mod tests {
     #[test]
     fn quick_sweep_covers_the_reduced_axes() {
         let r = quick();
-        // 2 arrivals x 2 mixes x 2 weights x 2 strategies.
-        assert_eq!(r.rows.len(), 16);
+        // 2 arrivals x 2 mixes x 3 weights x 2 strategies.
+        assert_eq!(r.rows.len(), 24);
         assert!(r
             .row("uniform", "equal", "w-uniform", Strategy::Baseline)
             .is_some());
         assert!(r
             .row("poisson", "zipf1.2", "w-tiers3", Strategy::Fc)
+            .is_some());
+        assert!(r
+            .row("uniform", "equal", "w-tiers3+wu-i1x1", Strategy::Baseline)
             .is_some());
     }
 
@@ -596,10 +605,29 @@ mod tests {
     }
 
     #[test]
+    fn warmup_phase_column_is_present_and_sane() {
+        let r = quick();
+        let lagged = r
+            .row("uniform", "equal", "w-tiers3+wu-i1x1", Strategy::Baseline)
+            .unwrap();
+        // The cgroup-lag column carries the full measured load and healthy
+        // sim counters, like every other column.
+        assert_eq!(lagged.calls, 660);
+        assert!(lagged.peak_events > 0);
+        // It only diverges from plain tiers through the warm-up phase, and
+        // is inert under the paper's one-core-per-container regime.
+        let fc_plain = r.row("uniform", "equal", "w-tiers3", Strategy::Fc).unwrap();
+        let fc_lagged = r
+            .row("uniform", "equal", "w-tiers3+wu-i1x1", Strategy::Fc)
+            .unwrap();
+        assert_eq!(fc_plain.response.mean, fc_lagged.response.mean);
+    }
+
+    #[test]
     fn cluster_sweep_covers_nodes_and_weights() {
         let r = quick();
-        // 2 node counts x 2 weights x 2 strategies.
-        assert_eq!(r.cluster_rows.len(), 8);
+        // 2 node counts x 3 weights x 2 strategies.
+        assert_eq!(r.cluster_rows.len(), 12);
         for row in &r.cluster_rows {
             assert_eq!(row.calls, 660, "fixed total load on {} nodes", row.nodes);
         }

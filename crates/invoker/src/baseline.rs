@@ -31,7 +31,7 @@ use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::{Call, CallKind, CallOutcome, ColdStartKind};
-use faas_workload::weight::WeightTable;
+use faas_workload::weight::{CallPhase, WeightTable};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -132,10 +132,13 @@ pub fn simulate(
 }
 
 /// Run the baseline node with per-function container weights and rate
-/// caps: each function's CPU phases (cold-start init and execution) enter
-/// the GPS bank with that function's [`faas_workload::weight::TaskShare`],
-/// modelling memory-proportional soft shares and cgroup rate caps. A
-/// uniform table reduces exactly to [`simulate`].
+/// caps: each CPU phase (cold-start init and execution) enters the GPS
+/// bank with the share [`WeightTable::phase_share`] assigns it —
+/// the function's [`faas_workload::weight::TaskShare`] for measured
+/// calls, with optional per-phase overrides for warm-up calls (cgroup
+/// update latency: a fresh container initialises under the default share
+/// until its cgroup update lands). A uniform table reduces exactly to
+/// [`simulate`].
 pub fn simulate_weighted(
     catalogue: &Catalogue,
     calls: &[Call],
@@ -306,7 +309,11 @@ impl<'a> Sim<'a> {
                 .sample(&mut self.rng_cold),
         };
         if init_work > 0.0 {
-            let share = self.weights.share(func);
+            // Per-phase lookup: warm-up cold-start init can run at a
+            // different share than the function's (cgroup update latency).
+            let share = self
+                .weights
+                .phase_share(func, self.calls[idx].kind, CallPhase::Init);
             let tid = self
                 .cpu
                 .add_task(now, init_work, share.weight, share.max_rate);
@@ -328,7 +335,9 @@ impl<'a> Sim<'a> {
         self.runtime[idx].exec_start = now;
         self.runtime[idx].io_secs = (1.0 - spec.cpu_fraction) * p;
         self.runtime[idx].p_intrinsic = p;
-        let share = self.weights.share(func);
+        let share = self
+            .weights
+            .phase_share(func, self.calls[idx].kind, CallPhase::Exec);
         let tid = self
             .cpu
             .add_task(now, cpu_work, share.weight, share.max_rate);
@@ -614,6 +623,61 @@ mod tests {
             "weighted shares must shift completions under contention"
         );
         assert_eq!(tiered.outcomes.len(), plain.outcomes.len());
+    }
+
+    #[test]
+    fn warmup_phase_shares_change_overlapping_outcomes() {
+        // Cgroup-update latency: with `paper_tiers_cgroup_lag`, a warm-up
+        // call's cold-start init runs at the default (1, 1) share instead
+        // of the function's tier share. Overlap a warm-up and a measured
+        // cold start of a weight-4 function on one core: the banks differ
+        // (uniform vs heterogeneous), so the measured completion moves.
+        use faas_workload::weight::WeightSpec;
+        let cat = catalogue();
+        let func = cat.ids().next().unwrap(); // tier index 0: weight 4.0
+        let calls = vec![
+            Call {
+                id: CallId(0),
+                func,
+                release: SimTime::ZERO,
+                kind: CallKind::Warmup,
+            },
+            Call {
+                id: CallId(1),
+                func,
+                release: SimTime::ZERO,
+                kind: CallKind::Measured,
+            },
+        ];
+        let cfg = NodeConfig::paper(1);
+        let run =
+            |spec: WeightSpec| simulate_weighted(&cat, &calls, &cfg, &spec.table(&cat), 11, 0);
+        let plain = run(WeightSpec::paper_tiers());
+        let lagged = run(WeightSpec::paper_tiers_cgroup_lag());
+        assert_ne!(
+            plain.outcomes, lagged.outcomes,
+            "warm-up init at the default share must shift the overlap"
+        );
+        // The override only touches warm-up phases: without warm-up calls
+        // the two tables are indistinguishable.
+        let measured_only = &calls[1..];
+        let plain = simulate_weighted(
+            &cat,
+            measured_only,
+            &cfg,
+            &WeightSpec::paper_tiers().table(&cat),
+            12,
+            0,
+        );
+        let lagged = simulate_weighted(
+            &cat,
+            measured_only,
+            &cfg,
+            &WeightSpec::paper_tiers_cgroup_lag().table(&cat),
+            12,
+            0,
+        );
+        assert_eq!(plain.outcomes, lagged.outcomes);
     }
 
     #[test]

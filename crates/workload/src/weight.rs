@@ -15,7 +15,7 @@
 //! sequences of every existing scenario bit-for-bit intact (the digest
 //! regressions in `tests/regression_scenarios.rs` still pin them).
 //!
-//! Three models:
+//! Four models:
 //!
 //! * [`WeightSpec::Uniform`] — the legacy `(1, 1)` signature; the invoker
 //!   detects it and stays on the GPS uniform fast path.
@@ -27,8 +27,17 @@
 //!   popularity rank (`(rank + 1)^{-s}`, normalized to mean 1): popular
 //!   functions, which under a Zipf mix also dominate the call volume, get
 //!   the larger shares. Caps stay at one core.
+//! * [`WeightSpec::PhasedWarmup`] — any base model plus distinct
+//!   *warm-up* shares per CPU phase. Warm-up calls are the ones that
+//!   create the containers, and a container's cgroup update lands only
+//!   after creation: until then it runs at the runtime's default share.
+//!   Giving the warm-up init phase (and optionally the warm-up exec
+//!   phase) its own [`TaskShare`] models that cgroup-update latency
+//!   instead of retroactively billing the measured function's share —
+//!   see [`WarmupShares`].
 
 use crate::sebs::{Catalogue, FuncId};
+use crate::trace::CallKind;
 use serde::{Deserialize, Serialize};
 
 /// The GPS share of one function's containers.
@@ -65,6 +74,31 @@ pub struct TierSpec {
     pub max_rate: f64,
 }
 
+/// The CPU phase a GPS task belongs to, from the weight model's point of
+/// view: cold-start initialisation runs before the container's cgroup
+/// update has landed, execution after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CallPhase {
+    /// Cold-start initialisation work.
+    Init,
+    /// Function execution work.
+    Exec,
+}
+
+/// Per-phase share overrides for *warm-up* calls. `None` falls back to
+/// the measured function's share, so `WarmupShares::default()` reproduces
+/// the legacy behaviour bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WarmupShares {
+    /// Share of warm-up cold-start initialisation work. The canonical
+    /// cgroup-latency model sets this to [`TaskShare::UNIFORM`]: a freshly
+    /// created container initialises under the runtime's default share
+    /// because its cgroup update has not been applied yet.
+    pub init: Option<TaskShare>,
+    /// Share of warm-up execution work (after the cgroup update landed).
+    pub exec: Option<TaskShare>,
+}
+
 /// Serializable description of the per-function weight model.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub enum WeightSpec {
@@ -82,6 +116,14 @@ pub enum WeightSpec {
     ZipfCorrelated {
         /// Skew exponent (matches [`crate::mix::ZipfMix`]'s rank order).
         s: f64,
+    },
+    /// A base model plus per-phase warm-up share overrides (cgroup update
+    /// latency modelling — see [`WarmupShares`]).
+    PhasedWarmup {
+        /// The model measured calls (and unset warm-up phases) use.
+        base: Box<WeightSpec>,
+        /// The warm-up phase overrides.
+        warmup: WarmupShares,
     },
 }
 
@@ -108,21 +150,62 @@ impl WeightSpec {
         }
     }
 
+    /// The standard tiers with the canonical cgroup-update-latency model:
+    /// warm-up cold-start initialisation runs at the default uniform
+    /// share (the per-function cgroup update has not landed when a fresh
+    /// container initialises), warm-up execution at the function's tier
+    /// share.
+    pub fn paper_tiers_cgroup_lag() -> WeightSpec {
+        WeightSpec::PhasedWarmup {
+            base: Box::new(WeightSpec::paper_tiers()),
+            warmup: WarmupShares {
+                init: Some(TaskShare::UNIFORM),
+                exec: None,
+            },
+        }
+    }
+
     /// Short label for report tables (`w-uniform`, `w-tiers3`,
-    /// `w-zipf1`). The Zipf skew is rendered at full precision: sweep
-    /// rows are grouped and looked up purely by label, so two distinct
-    /// specs must never alias.
+    /// `w-zipf1`, `w-tiers3+wu-i1x1`). The Zipf skew and the warm-up
+    /// override shares are rendered at full precision: sweep rows are
+    /// grouped and looked up purely by label, so two distinct specs must
+    /// never alias.
     pub fn label(&self) -> String {
         match self {
             WeightSpec::Uniform => "w-uniform".into(),
             WeightSpec::Tiers { tiers } => format!("w-tiers{}", tiers.len()),
             WeightSpec::ZipfCorrelated { s } => format!("w-zipf{s}"),
+            WeightSpec::PhasedWarmup { base, warmup } => {
+                let mut label = format!("{}+wu", base.label());
+                if let Some(s) = warmup.init {
+                    label.push_str(&format!("-i{}x{}", s.weight, s.max_rate));
+                }
+                if let Some(s) = warmup.exec {
+                    label.push_str(&format!("-e{}x{}", s.weight, s.max_rate));
+                }
+                label
+            }
         }
     }
 
     /// Realize the model against a catalogue as a dense per-function
     /// table.
     pub fn table(&self, catalogue: &Catalogue) -> WeightTable {
+        if let WeightSpec::PhasedWarmup { base, warmup } = self {
+            assert!(
+                !matches!(**base, WeightSpec::PhasedWarmup { .. }),
+                "warm-up overrides cannot nest"
+            );
+            for share in [&warmup.init, &warmup.exec].into_iter().flatten() {
+                assert!(
+                    share.weight > 0.0 && share.max_rate > 0.0,
+                    "warm-up shares must be positive"
+                );
+            }
+            let mut table = base.table(catalogue);
+            table.warmup = *warmup;
+            return table;
+        }
         let n = catalogue.len();
         let shares = match self {
             WeightSpec::Uniform => vec![TaskShare::UNIFORM; n],
@@ -155,15 +238,21 @@ impl WeightSpec {
                     })
                     .collect()
             }
+            WeightSpec::PhasedWarmup { .. } => unreachable!("handled above"),
         };
-        WeightTable { shares }
+        WeightTable {
+            shares,
+            warmup: WarmupShares::default(),
+        }
     }
 }
 
-/// A realized weight model: one [`TaskShare`] per catalogue function.
+/// A realized weight model: one [`TaskShare`] per catalogue function,
+/// plus optional per-phase warm-up overrides.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WeightTable {
     shares: Vec<TaskShare>,
+    warmup: WarmupShares,
 }
 
 impl WeightTable {
@@ -171,7 +260,14 @@ impl WeightTable {
     pub fn uniform(functions: usize) -> WeightTable {
         WeightTable {
             shares: vec![TaskShare::UNIFORM; functions],
+            warmup: WarmupShares::default(),
         }
+    }
+
+    /// Attach warm-up phase overrides to this table.
+    pub fn with_warmup(mut self, warmup: WarmupShares) -> WeightTable {
+        self.warmup = warmup;
+        self
     }
 
     /// The share of one function's containers.
@@ -179,11 +275,33 @@ impl WeightTable {
         self.shares[func.index()]
     }
 
-    /// True when every function carries the uniform signature.
-    /// Introspection for tests and reports; the GPS kernel keys its fast
-    /// path on the live signature set, not on this table.
+    /// The share one CPU phase of one call enters the GPS bank with:
+    /// measured calls always use the function's share; warm-up calls use
+    /// the per-phase override when one is set. This is the single lookup
+    /// the invoker performs per GPS task.
+    pub fn phase_share(&self, func: FuncId, kind: CallKind, phase: CallPhase) -> TaskShare {
+        if kind == CallKind::Warmup {
+            let over = match phase {
+                CallPhase::Init => self.warmup.init,
+                CallPhase::Exec => self.warmup.exec,
+            };
+            if let Some(share) = over {
+                return share;
+            }
+        }
+        self.share(func)
+    }
+
+    /// True when every share this table can hand out carries the uniform
+    /// signature (including warm-up overrides). Introspection for tests
+    /// and reports; the GPS kernel keys its fast path on the live
+    /// signature set, not on this table.
     pub fn is_uniform(&self) -> bool {
         self.shares.iter().all(TaskShare::is_uniform)
+            && [self.warmup.init, self.warmup.exec]
+                .iter()
+                .flatten()
+                .all(TaskShare::is_uniform)
     }
 
     /// Number of functions covered.
@@ -265,6 +383,73 @@ mod tests {
             WeightSpec::ZipfCorrelated { s: 1.2 }.label(),
             "close skews must not collapse to one sweep row"
         );
+    }
+
+    #[test]
+    fn phased_warmup_overrides_only_warmup_phases() {
+        let t = WeightSpec::paper_tiers_cgroup_lag().table(&catalogue());
+        assert!(!t.is_uniform());
+        let f = FuncId(0); // tier weight 4.0
+                           // Measured calls always use the function's share.
+        for phase in [CallPhase::Init, CallPhase::Exec] {
+            let s = t.phase_share(f, CallKind::Measured, phase);
+            assert!((s.weight - 4.0).abs() < 1e-12);
+        }
+        // Warm-up init runs pre-cgroup-update at the default share...
+        let init = t.phase_share(f, CallKind::Warmup, CallPhase::Init);
+        assert!(init.is_uniform(), "warm-up init at the default share");
+        // ...and warm-up exec falls back to the function's share (the
+        // canonical model leaves `exec` unset).
+        let exec = t.phase_share(f, CallKind::Warmup, CallPhase::Exec);
+        assert!((exec.weight - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_warmup_shares_reproduce_the_function_share() {
+        let t = WeightSpec::paper_tiers().table(&catalogue());
+        for func in catalogue().ids() {
+            for kind in [CallKind::Warmup, CallKind::Measured] {
+                for phase in [CallPhase::Init, CallPhase::Exec] {
+                    assert_eq!(t.phase_share(func, kind, phase), t.share(func));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phased_warmup_label_and_uniformity() {
+        let spec = WeightSpec::paper_tiers_cgroup_lag();
+        assert_eq!(spec.label(), "w-tiers3+wu-i1x1");
+        // A uniform base with a non-uniform warm-up override is not a
+        // uniform table.
+        let t = WeightSpec::PhasedWarmup {
+            base: Box::new(WeightSpec::Uniform),
+            warmup: WarmupShares {
+                init: Some(TaskShare {
+                    weight: 2.0,
+                    max_rate: 1.0,
+                }),
+                exec: None,
+            },
+        }
+        .table(&catalogue());
+        assert!(!t.is_uniform());
+        // And uniform overrides keep a uniform base uniform.
+        let u = WeightTable::uniform(catalogue().len()).with_warmup(WarmupShares {
+            init: Some(TaskShare::UNIFORM),
+            exec: Some(TaskShare::UNIFORM),
+        });
+        assert!(u.is_uniform());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot nest")]
+    fn nested_phased_warmup_rejected() {
+        WeightSpec::PhasedWarmup {
+            base: Box::new(WeightSpec::paper_tiers_cgroup_lag()),
+            warmup: WarmupShares::default(),
+        }
+        .table(&catalogue());
     }
 
     #[test]
