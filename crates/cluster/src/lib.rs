@@ -22,5 +22,6 @@ pub mod sim;
 
 pub use lb::LoadBalancer;
 pub use sim::{
-    run_cluster, run_cluster_streamed, run_cluster_weighted, ClusterConfig, ClusterScenario,
+    run_cluster, run_cluster_faulted, run_cluster_streamed, run_cluster_streamed_faulted,
+    run_cluster_weighted, ClusterConfig, ClusterScenario,
 };

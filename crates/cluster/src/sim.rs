@@ -6,10 +6,11 @@
 //! intensity `120/k`. Every worker is warmed up before the burst.
 
 use crate::lb::LoadBalancer;
-use faas_invoker::{simulate_calls_weighted, NodeConfig, NodeMode, NodeResult};
+use faas_invoker::{simulate_calls_faulted, NodeConfig, NodeMode, NodeResult};
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::arrival::ArrivalSpec;
+use faas_workload::faults::FaultSpec;
 use faas_workload::generate::{ShardedGenerator, WorkloadSpec};
 use faas_workload::mix::MixSpec;
 use faas_workload::scenario::{warmup_calls_for_waves, warmup_waves as warmup_waves_for};
@@ -130,6 +131,31 @@ pub fn run_cluster_weighted(
     weights: &WeightTable,
     seed: u64,
 ) -> NodeResult {
+    run_cluster_faulted(
+        catalogue,
+        scenario,
+        mode,
+        cfg,
+        weights,
+        &FaultSpec::none(),
+        seed,
+    )
+}
+
+/// [`run_cluster_weighted`] under a fault plan: every worker derives its
+/// own fault timeline from `(faults, node)` inside the invoker, so
+/// per-node degradation, crashes and the retry policy compose with any
+/// load balancer. With [`FaultSpec::none`] this *is*
+/// [`run_cluster_weighted`] — bit-for-bit.
+pub fn run_cluster_faulted(
+    catalogue: &Catalogue,
+    scenario: &ClusterScenario,
+    mode: &NodeMode,
+    cfg: &ClusterConfig,
+    weights: &WeightTable,
+    faults: &FaultSpec,
+    seed: u64,
+) -> NodeResult {
     let assignment = cfg.lb.assign(&scenario.burst, cfg.nodes);
     // Warm-up ids start above the burst ids so each node's call list has
     // unique ids.
@@ -154,7 +180,9 @@ pub fn run_cluster_weighted(
                     .map(|(c, _)| *c),
             );
             calls.sort_by_key(|c| (c.release, c.id));
-            simulate_calls_weighted(catalogue, &calls, mode, &cfg.node, weights, node_seed, node)
+            simulate_calls_faulted(
+                catalogue, &calls, mode, &cfg.node, weights, faults, node_seed, node,
+            )
         })
         .collect();
     NodeResult::merge(results)
@@ -187,6 +215,31 @@ pub fn run_cluster_streamed(
     scenario_seed: u64,
     sim_seed: u64,
 ) -> NodeResult {
+    run_cluster_streamed_faulted(
+        catalogue,
+        spec,
+        mode,
+        cfg,
+        &FaultSpec::none(),
+        scenario_seed,
+        sim_seed,
+    )
+}
+
+/// [`run_cluster_streamed`] under a fault plan. Fault timelines are pure
+/// functions of `(faults, node)` — independent of how the burst is
+/// sharded — so the streamed stride path and the materialized fallback
+/// inject the identical fault schedule. With [`FaultSpec::none`] this *is*
+/// [`run_cluster_streamed`] — bit-for-bit.
+pub fn run_cluster_streamed_faulted(
+    catalogue: &Catalogue,
+    spec: &WorkloadSpec,
+    mode: &NodeMode,
+    cfg: &ClusterConfig,
+    faults: &FaultSpec,
+    scenario_seed: u64,
+    sim_seed: u64,
+) -> NodeResult {
     let (warmup_waves, burst_start) = warmup_waves_for(catalogue);
     let generator = ShardedGenerator::new(spec, catalogue, burst_start, scenario_seed);
     let weights = spec.weights.table(catalogue);
@@ -201,8 +254,8 @@ pub fn run_cluster_streamed(
                     let mut calls = warmup_calls_for_waves(&warmup_waves, cfg.node.cores, id_base);
                     calls.extend(generator.iter_stride(node as u64, cfg.nodes as u64));
                     calls.sort_by_key(|c| (c.release, c.id));
-                    simulate_calls_weighted(
-                        catalogue, &calls, mode, &cfg.node, &weights, node_seed, node,
+                    simulate_calls_faulted(
+                        catalogue, &calls, mode, &cfg.node, &weights, faults, node_seed, node,
                     )
                 })
                 .collect();
@@ -217,7 +270,7 @@ pub fn run_cluster_streamed(
                 burst_window: spec.window,
                 warmup_waves,
             };
-            run_cluster_weighted(catalogue, &scenario, mode, cfg, &weights, sim_seed)
+            run_cluster_faulted(catalogue, &scenario, mode, cfg, &weights, faults, sim_seed)
         }
     }
 }
@@ -546,6 +599,68 @@ mod tests {
             weighted.outcomes, uniform.outcomes,
             "weights must reach the materialized fallback path"
         );
+    }
+
+    #[test]
+    fn faulted_cluster_conserves_calls_and_reproduces_bit_for_bit() {
+        // Crash worker 0 mid-burst on a 3-node streamed cluster: every
+        // measured call either completes or is reported dropped, only node
+        // 0 crashes, and a fixed seed reproduces the run exactly.
+        let cat = catalogue();
+        let cfg = ClusterConfig {
+            nodes: 3,
+            node: NodeConfig::paper(10),
+            lb: LoadBalancer::RoundRobin,
+        };
+        let spec = streamed_spec(660);
+        let (_, burst_start) = warmup_waves_for(&cat);
+        let mut faults = FaultSpec::crash_restart(21, burst_start, SimDuration::from_secs(60));
+        faults.transient_failure = 0.05;
+        let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice));
+        let r = run_cluster_streamed_faulted(&cat, &spec, &mode, &cfg, &faults, 21, 22);
+        let measured = r.outcomes.iter().filter(|o| o.is_measured()).count();
+        let measured_drops = r.drops.iter().filter(|d| d.id.0 < 660).count();
+        assert_eq!(
+            measured + measured_drops,
+            660,
+            "cluster call conservation: completed XOR dropped"
+        );
+        assert_eq!(r.fault_stats.crashes, 1, "only node 0 crashes");
+        assert!(r.fault_stats.crash_kills > 0);
+        assert!(r.fault_stats.retries > 0);
+        let again = run_cluster_streamed_faulted(&cat, &spec, &mode, &cfg, &faults, 21, 22);
+        assert_eq!(r.outcomes, again.outcomes);
+        assert_eq!(r.drops, again.drops);
+        assert_eq!(r.fault_stats, again.fault_stats);
+    }
+
+    #[test]
+    fn fault_timelines_are_shard_invariant() {
+        // The identical per-node fault schedule reaches both streamed
+        // paths: the stride path and the materialize-and-assign fallback
+        // derive each worker's timeline from `(faults, node)` alone, so
+        // degrading node 1 shows up in both (different LB policies route
+        // different calls, so only the fault accounting is comparable).
+        let cat = catalogue();
+        let spec = streamed_spec(132);
+        let (_, burst_start) = warmup_waves_for(&cat);
+        let faults = FaultSpec::degradation(31, burst_start, SimDuration::from_secs(60));
+        let run_with = |lb: LoadBalancer| {
+            let cfg = ClusterConfig {
+                nodes: 2,
+                node: NodeConfig::paper(10),
+                lb,
+            };
+            run_cluster_streamed_faulted(&cat, &spec, &NodeMode::Baseline, &cfg, &faults, 31, 32)
+        };
+        let stride = run_with(LoadBalancer::RoundRobin);
+        let fallback = run_with(LoadBalancer::FunctionHash);
+        assert_eq!(
+            stride.fault_stats.capacity_events, fallback.fault_stats.capacity_events,
+            "both sharding paths replay the same capacity schedule"
+        );
+        assert!(stride.fault_stats.capacity_events > 0);
+        assert!(stride.drops.is_empty() && fallback.drops.is_empty());
     }
 
     #[test]

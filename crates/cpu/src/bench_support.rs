@@ -26,6 +26,8 @@ pub trait GpsKernel {
     fn finished_tasks(&mut self, now: SimTime) -> Vec<TaskId>;
     /// See [`GpsCpu::work_done`].
     fn work_done(&self) -> f64;
+    /// See [`GpsCpu::set_capacity`].
+    fn set_capacity(&mut self, now: SimTime, cores: f64);
 }
 
 impl GpsKernel for GpsCpu {
@@ -47,6 +49,9 @@ impl GpsKernel for GpsCpu {
     fn work_done(&self) -> f64 {
         GpsCpu::work_done(self)
     }
+    fn set_capacity(&mut self, now: SimTime, cores: f64) {
+        GpsCpu::set_capacity(self, now, cores)
+    }
 }
 
 impl GpsKernel for ReferenceGpsCpu {
@@ -67,6 +72,9 @@ impl GpsKernel for ReferenceGpsCpu {
     }
     fn work_done(&self) -> f64 {
         ReferenceGpsCpu::work_done(self)
+    }
+    fn set_capacity(&mut self, now: SimTime, cores: f64) {
+        ReferenceGpsCpu::set_capacity(self, now, cores)
     }
 }
 
@@ -171,6 +179,54 @@ pub fn run_weighted_churn<K: GpsKernel>(kernel: &mut K, tasks: usize, completion
 /// where the per-slot integrator re-deplets and re-scans all `tasks`
 /// slots: this is the workload that measures the *end-to-end* general-mode
 /// win, not just the rate-refresh win.
+/// Capacity factors a [`run_capacity_churn`] cycle walks through: a
+/// degradation ramp to a 0.4 trough and back up past nominal — the shape
+/// of the fault subsystem's `CapacityRamp` events.
+pub const CAPACITY_CHURN_FACTORS: [f64; 6] = [0.8, 0.6, 0.4, 0.6, 1.0, 1.4];
+
+/// Completion-driven weighted churn with dynamic capacity: identical to
+/// [`run_weighted_churn`], but every `resize_every` completion events a
+/// `set_capacity` call rescales the bank through
+/// [`CAPACITY_CHURN_FACTORS`] — the access pattern of the fault
+/// subsystem's degradation ramps landing on a loaded baseline node. The
+/// incremental kernel re-anchors its virtual clocks in O(log n) per
+/// resize; the reference integrator re-deplets all `tasks` slots.
+pub fn run_capacity_churn<K: GpsKernel>(
+    kernel: &mut K,
+    tasks: usize,
+    completions: usize,
+    resize_every: usize,
+) -> f64 {
+    let base = (tasks as f64 * 0.75).max(1.0);
+    let mut now = SimTime::ZERO;
+    let work = |k: usize| 0.5 + (k % 97) as f64 * 0.013;
+    for k in 0..tasks {
+        let (weight, max_rate) = WEIGHTED_CHURN_SIGNATURES[k % WEIGHTED_CHURN_SIGNATURES.len()];
+        kernel.add_task(now, work(k), weight, max_rate);
+    }
+    let mut spawned = tasks;
+    let mut resizes = 0usize;
+    for event in 0..completions {
+        let Some((_, at)) = kernel.next_completion(now) else {
+            break;
+        };
+        now = now.max(at);
+        for id in kernel.finished_tasks(now) {
+            kernel.remove_task(now, id);
+            let (weight, max_rate) =
+                WEIGHTED_CHURN_SIGNATURES[spawned % WEIGHTED_CHURN_SIGNATURES.len()];
+            kernel.add_task(now, work(spawned), weight, max_rate);
+            spawned += 1;
+        }
+        if (event + 1) % resize_every == 0 {
+            let factor = CAPACITY_CHURN_FACTORS[resizes % CAPACITY_CHURN_FACTORS.len()];
+            kernel.set_capacity(now, base * factor);
+            resizes += 1;
+        }
+    }
+    kernel.work_done()
+}
+
 pub fn run_weighted_probe_churn<K: GpsKernel>(
     kernel: &mut K,
     tasks: usize,
@@ -250,6 +306,19 @@ mod tests {
         assert!(
             (a - b).abs() < 1e-4,
             "weighted probe churn checksum diverged: optimized={a} reference={b}"
+        );
+    }
+
+    #[test]
+    fn capacity_churn_matches_between_kernels() {
+        let params = weighted_churn_params(64);
+        let mut optimized = GpsCpu::new(params);
+        let mut reference = ReferenceGpsCpu::new(params);
+        let a = run_capacity_churn(&mut optimized, 64, 200, 4);
+        let b = run_capacity_churn(&mut reference, 64, 200, 4);
+        assert!(
+            (a - b).abs() < 1e-4,
+            "capacity churn checksum diverged: optimized={a} reference={b}"
         );
     }
 

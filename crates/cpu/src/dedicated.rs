@@ -39,9 +39,12 @@ impl CorePool {
         self.busy
     }
 
-    /// Cores currently free.
+    /// Cores currently free. Zero (not an underflow) while a capacity
+    /// shrink has left more cores busy than the new total — running calls
+    /// are non-preemptive, so the pool drains down to the new size as they
+    /// finish.
     pub fn free(&self) -> u32 {
-        self.total - self.busy
+        self.total.saturating_sub(self.busy)
     }
 
     /// Highest number of simultaneously busy cores observed.
@@ -71,6 +74,22 @@ impl CorePool {
     pub fn release(&mut self) {
         assert!(self.busy > 0, "released a core that was never acquired");
         self.busy -= 1;
+    }
+
+    /// Resize the pool (dynamic capacity). Running calls are non-preemptive,
+    /// so `busy` may transiently exceed a shrunken `total`: no new core is
+    /// handed out until completions drain the pool below the new size.
+    /// Panics on zero — a node with no action cores cannot make progress.
+    pub fn set_total(&mut self, total: u32) {
+        assert!(total > 0, "a node needs at least one action core");
+        self.total = total;
+    }
+
+    /// Release every held core at once (node crash: the in-flight calls
+    /// owning them are killed). The peak-busy high-water mark survives —
+    /// it describes the run, not the incarnation.
+    pub fn release_all(&mut self) {
+        self.busy = 0;
     }
 }
 
@@ -112,6 +131,51 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_cores_rejected() {
         CorePool::new(0);
+    }
+
+    #[test]
+    fn shrink_below_busy_blocks_new_acquires_until_drained() {
+        let mut pool = CorePool::new(4);
+        for _ in 0..4 {
+            assert!(pool.try_acquire());
+        }
+        pool.set_total(2);
+        assert_eq!(pool.free(), 0, "no underflow while over-subscribed");
+        assert!(!pool.has_free());
+        assert!(!pool.try_acquire(), "shrunken pool hands out nothing");
+        pool.release();
+        pool.release();
+        assert!(!pool.has_free(), "still at the new total");
+        pool.release();
+        assert!(pool.try_acquire(), "drained below the new total");
+    }
+
+    #[test]
+    fn grow_frees_cores_immediately() {
+        let mut pool = CorePool::new(1);
+        assert!(pool.try_acquire());
+        assert!(!pool.has_free());
+        pool.set_total(3);
+        assert_eq!(pool.free(), 2);
+        assert!(pool.try_acquire());
+    }
+
+    #[test]
+    fn release_all_clears_busy_and_keeps_peak() {
+        let mut pool = CorePool::new(4);
+        pool.try_acquire();
+        pool.try_acquire();
+        pool.try_acquire();
+        pool.release_all();
+        assert_eq!(pool.busy(), 0);
+        assert_eq!(pool.free(), 4);
+        assert_eq!(pool.peak_busy(), 3, "peak describes the run");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn set_total_zero_rejected() {
+        CorePool::new(1).set_total(0);
     }
 
     #[test]

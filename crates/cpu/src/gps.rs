@@ -146,6 +146,25 @@
 //! amortized end to end — there is no O(n) re-keying, and tasks that do
 //! not cross keep their coordinates bit-for-bit.
 //!
+//! # Dynamic capacity and the capacity-rebase invariant
+//!
+//! The fault-injection layer (`faas_workload::faults`) degrades and
+//! restores node capacity mid-run — cgroup throttling, noisy neighbors,
+//! autoscale lag. [`GpsCpu::set_capacity`] supports this in O(log n)
+//! amortized because **every stored completion coordinate is
+//! capacity-invariant**: uniform-mode tasks finish at a fixed virtual time
+//! (capacity only changes how fast `V` grows afterwards), general-mode
+//! uncapped tasks finish at a fixed `U`-clock coordinate (λ moves, the
+//! coordinate does not), and capped tasks deplete at their constant
+//! `max_rate` on the real clock. A capacity change therefore reduces to:
+//! settle work under the old capacity, swap the parameter, bump the
+//! generation, and in general mode run the two rebalance sweeps — the
+//! water level moved, so the boundary-crossing machinery re-keys exactly
+//! the tasks whose pin ratio the level crossed. Everything else keeps its
+//! coordinate bit-for-bit, which is what the capacity-thrash differential
+//! suite (`tests/prop_gps_faults.rs`) pins against the reference
+//! integrator.
+//!
 //! The structure is a pure state machine over simulated time. The owner
 //! drives it with [`GpsCpu::advance`] and re-queries
 //! [`GpsCpu::next_completion`] after every membership change; stale
@@ -191,6 +210,31 @@ pub struct GpsParams {
 }
 
 impl GpsParams {
+    /// Panic unless every field is well-formed: finite positive `cores`,
+    /// finite non-negative `ctx_switch_penalty`, and a capacity-loss
+    /// divisor cap of at least 1 (a smaller cap would *add* capacity under
+    /// oversubscription). Malformed parameters would otherwise silently
+    /// poison [`GpsParams::effective_capacity`] — a NaN `kappa` turns every
+    /// rate into NaN and the completion heaps into garbage — so both
+    /// kernels validate at construction and on every capacity change.
+    pub fn validate(&self) {
+        assert!(
+            self.cores.is_finite() && self.cores > 0.0,
+            "GPS needs positive finite capacity, got cores={}",
+            self.cores
+        );
+        assert!(
+            self.ctx_switch_penalty.is_finite() && self.ctx_switch_penalty >= 0.0,
+            "context-switch penalty must be finite and non-negative, got {}",
+            self.ctx_switch_penalty
+        );
+        assert!(
+            self.penalty_cap.is_finite() && self.penalty_cap >= 1.0,
+            "capacity-loss divisor cap must be finite and at least 1, got {}",
+            self.penalty_cap
+        );
+    }
+
     /// Effective capacity given `n` runnable tasks.
     pub fn effective_capacity(&self, runnable: usize) -> f64 {
         let n = runnable as f64;
@@ -474,11 +518,7 @@ pub struct GpsCpu {
 impl GpsCpu {
     /// Create an empty bank.
     pub fn new(params: GpsParams) -> Self {
-        assert!(params.cores > 0.0, "GPS needs positive capacity");
-        assert!(
-            params.ctx_switch_penalty >= 0.0,
-            "context-switch penalty must be non-negative"
-        );
+        params.validate();
         GpsCpu {
             params,
             slots: Vec::new(),
@@ -648,6 +688,41 @@ impl GpsCpu {
                     self.rebase_gen();
                 }
             }
+        }
+    }
+
+    /// Change the bank's core capacity at `now` (dynamic capacity: cgroup
+    /// throttling, noisy neighbors, autoscale lag). O(log n) amortized.
+    ///
+    /// The capacity-rebase invariant that makes this cheap: **every stored
+    /// completion coordinate is capacity-invariant.** Uniform-mode tasks
+    /// finish at a fixed *virtual* time `V₀ + work`, and a capacity change
+    /// only alters the future growth rate of `V` itself; general-mode
+    /// uncapped tasks finish at a fixed coordinate on the `U = ∫ λ dt`
+    /// clock (λ moves, the coordinate does not) and capped tasks deplete at
+    /// their constant `max_rate` on the real clock regardless of capacity.
+    /// So the operation is: settle served work up to `now` under the *old*
+    /// capacity, swap the parameter, bump the generation (invalidating the
+    /// memoized uniform rate and any owner-held completion events), and in
+    /// general mode run the two rebalance sweeps — the water level moved,
+    /// so tasks whose pin ratio the level crossed migrate between the
+    /// capped and uncapped families, re-keyed onto the other clock by the
+    /// same boundary-crossing machinery membership churn uses. Tasks the
+    /// level did not cross keep their coordinates bit-for-bit.
+    pub fn set_capacity(&mut self, now: SimTime, cores: f64) {
+        self.advance(now);
+        if cores == self.params.cores {
+            return;
+        }
+        let params = GpsParams {
+            cores,
+            ..self.params
+        };
+        params.validate();
+        self.params = params;
+        self.generation += 1;
+        if self.mode == Mode::General {
+            self.rebalance_partition();
         }
     }
 
@@ -2022,5 +2097,152 @@ mod tests {
         let mut buf = vec![TaskId(99)];
         cpu.finished_tasks_into(SimTime::from_secs(1), &mut buf);
         assert_eq!(buf, vec![a, b], "both finished, slot order, buffer cleared");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite capacity")]
+    fn non_finite_cores_rejected() {
+        GpsCpu::new(params(f64::INFINITY, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite capacity")]
+    fn nan_cores_rejected() {
+        GpsCpu::new(params(f64::NAN, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "context-switch penalty")]
+    fn nan_kappa_rejected() {
+        GpsCpu::new(params(4.0, f64::NAN));
+    }
+
+    #[test]
+    #[should_panic(expected = "context-switch penalty")]
+    fn negative_kappa_rejected() {
+        GpsCpu::new(params(4.0, -0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity-loss divisor cap")]
+    fn penalty_cap_below_one_rejected() {
+        GpsCpu::new(GpsParams {
+            cores: 4.0,
+            ctx_switch_penalty: 0.1,
+            penalty_cap: 0.5,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity-loss divisor cap")]
+    fn reference_rejects_malformed_params_too() {
+        crate::gps_reference::ReferenceGpsCpu::new(GpsParams {
+            cores: 4.0,
+            ctx_switch_penalty: 0.1,
+            penalty_cap: f64::NAN,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite capacity")]
+    fn set_capacity_rejects_invalid_cores() {
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        cpu.set_capacity(SimTime::ZERO, 0.0);
+    }
+
+    #[test]
+    fn set_capacity_changes_uniform_rate_going_forward() {
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        let t0 = SimTime::ZERO;
+        // Eight unit tasks on four cores: each runs at 0.5.
+        let ids: Vec<TaskId> = (0..8).map(|_| cpu.add_task(t0, 2.0, 1.0, 1.0)).collect();
+        assert!((cpu.current_rate(ids[0]) - 0.5).abs() < 1e-12);
+        // One second of service at the old capacity, then halve the node.
+        let t1 = SimTime::from_secs(1);
+        cpu.set_capacity(t1, 2.0);
+        assert!((cpu.current_rate(ids[0]) - 0.25).abs() < 1e-12);
+        // Work served before the change was under the old capacity...
+        assert!((cpu.remaining(ids[0]) - 1.5).abs() < 1e-9);
+        // ...and the completion reflects the degraded rate: 1.5 core-s
+        // left at 0.25 cores = 6 more seconds.
+        let (_, at) = cpu.next_completion(t1).unwrap();
+        assert!((at.as_secs_f64() - 7.0).abs() < 1e-9);
+        // The bank never left the uniform fast path.
+        assert!(cpu.is_uniform_mode());
+    }
+
+    #[test]
+    fn set_capacity_is_generation_visible_and_idempotent() {
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        let g0 = cpu.generation();
+        cpu.set_capacity(SimTime::ZERO, 2.0);
+        assert!(cpu.generation() > g0, "owners must see stale completions");
+        let g1 = cpu.generation();
+        // Re-asserting the same capacity is a no-op (fault plans may emit
+        // redundant restoration events).
+        cpu.set_capacity(SimTime::ZERO, 2.0);
+        assert_eq!(cpu.generation(), g1);
+    }
+
+    #[test]
+    fn set_capacity_rebalances_the_weighted_partition() {
+        // Capped ladder on generous capacity: everyone uncapped... then a
+        // degradation pins the low-ratio rungs, and a restoration unpins
+        // them — both via the boundary-crossing machinery, matching the
+        // reference integrator's freshly-computed rates throughout.
+        let mut cpu = GpsCpu::new(params(8.0, 0.0));
+        let mut reference = crate::gps_reference::ReferenceGpsCpu::new(params(8.0, 0.0));
+        let t0 = SimTime::ZERO;
+        let sigs = [(1.0, 0.25), (1.0, 0.5), (1.0, 1.0), (2.0, 1.0)];
+        let mut ids = Vec::new();
+        for &(w, c) in &sigs {
+            ids.push(cpu.add_task(t0, 10.0, w, c));
+            reference.add_task(t0, 10.0, w, c);
+        }
+        assert!(!cpu.is_uniform_mode());
+        let before = cpu.boundary_crossings();
+        let t1 = SimTime::from_secs(1);
+        cpu.set_capacity(t1, 1.0);
+        reference.set_capacity(t1, 1.0);
+        assert!(
+            cpu.boundary_crossings() > before,
+            "degradation must move the capped/uncapped boundary"
+        );
+        for &id in &ids {
+            assert!(
+                (cpu.current_rate(id) - reference.current_rate(id)).abs() < 1e-9,
+                "degraded rate diverged for {id:?}"
+            );
+            assert!((cpu.remaining(id) - reference.remaining(id)).abs() < 1e-9);
+        }
+        let t2 = SimTime::from_secs(2);
+        cpu.set_capacity(t2, 8.0);
+        reference.set_capacity(t2, 8.0);
+        for &id in &ids {
+            assert!(
+                (cpu.current_rate(id) - reference.current_rate(id)).abs() < 1e-9,
+                "restored rate diverged for {id:?}"
+            );
+        }
+        // Drain to completion under one more mid-stream capacity flip.
+        let t3 = SimTime::from_secs(3);
+        cpu.set_capacity(t3, 2.0);
+        reference.set_capacity(t3, 2.0);
+        let mut now = t3;
+        while !reference.is_empty() {
+            let (id, at) = reference.next_completion(now).unwrap();
+            let (id_opt, at_opt) = cpu.next_completion(now).unwrap();
+            assert_eq!(id, id_opt);
+            assert!((at.as_secs_f64() - at_opt.as_secs_f64()).abs() < 1e-6);
+            now = now.max(at);
+            for done in reference.finished_tasks(now) {
+                let ra = cpu.remove_task(now, done);
+                let rb = reference.remove_task(now, done);
+                assert!((ra - rb).abs() < 1e-6);
+            }
+        }
+        assert!(cpu.is_empty());
+        assert!((cpu.work_done() - reference.work_done()).abs() < 1e-6);
     }
 }

@@ -44,11 +44,7 @@ pub struct ReferenceGpsCpu {
 impl ReferenceGpsCpu {
     /// Create an empty bank.
     pub fn new(params: GpsParams) -> Self {
-        assert!(params.cores > 0.0, "GPS needs positive capacity");
-        assert!(
-            params.ctx_switch_penalty >= 0.0,
-            "context-switch penalty must be non-negative"
-        );
+        params.validate();
         ReferenceGpsCpu {
             params,
             slots: Vec::new(),
@@ -117,6 +113,24 @@ impl ReferenceGpsCpu {
                 self.work_done += consumed;
             }
         }
+    }
+
+    /// Change the bank's core capacity at `now`. The integrator recomputes
+    /// the full rate vector on every query anyway, so this is just: settle
+    /// served work under the old capacity, swap the parameter, bump the
+    /// generation.
+    pub fn set_capacity(&mut self, now: SimTime, cores: f64) {
+        self.advance(now);
+        if cores == self.params.cores {
+            return;
+        }
+        let params = GpsParams {
+            cores,
+            ..self.params
+        };
+        params.validate();
+        self.params = params;
+        self.generation += 1;
     }
 
     /// Add a task with `work` core-seconds of demand.

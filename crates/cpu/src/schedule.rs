@@ -52,6 +52,11 @@ pub enum ChurnOp {
     /// Jump to the next predicted completion and retire every finished
     /// task.
     CompleteNext,
+    /// Set the node capacity to `cores_centi / 100` cores (dynamic
+    /// capacity: degradation and restoration ramps). Applied to both
+    /// kernels; zero is clamped to one centi-core so shrunk schedules stay
+    /// valid.
+    SetCapacity { cores_centi: u64 },
 }
 
 /// A pool of `(weight, max_rate)` signatures a schedule draws from.
@@ -216,6 +221,94 @@ pub fn boundary_thrash_schedule(rng: &mut Xoshiro256, blocks: usize, pool_len: u
             }
             ops.push(ChurnOp::DrainSig { sig: 0 });
             ops.push(ChurnOp::CompleteNext);
+        }
+    }
+    ops
+}
+
+/// Generate a seeded schedule that thrashes the node *capacity* on top of
+/// boundary-ladder membership churn, for the
+/// [`SignaturePool::boundary_ladder`] pool. Each block populates the
+/// ladder, then walks the capacity through a degradation ramp (step-downs
+/// with churn and completions between the steps — every step moves the
+/// water level, forcing capped/uncapped boundary crossings), holds the
+/// trough, and restores — sometimes past the original capacity (autoscale
+/// overshoot). Every other block drains the heterogeneous signatures so
+/// capacity changes also land in uniform mode and on the representation
+/// flips themselves.
+pub fn capacity_thrash_schedule(
+    rng: &mut Xoshiro256,
+    blocks: usize,
+    pool_len: u8,
+    base_centi: u64,
+) -> Vec<ChurnOp> {
+    assert!(
+        pool_len > 2,
+        "thrash schedules need swing + uniform + rungs"
+    );
+    assert!(base_centi >= 100, "base capacity below one core");
+    let mut ops = Vec::new();
+    for block in 0..blocks {
+        // Populate the ladder rungs and the uniform anchor.
+        for _ in 0..3 + rng.next_u64() % 5 {
+            ops.push(ChurnOp::Add {
+                work_ms: 200 + rng.next_u64() % 2_500,
+                sig: 2 + (rng.next_u64() % (pool_len as u64 - 2)) as u8,
+            });
+        }
+        ops.push(ChurnOp::Add {
+            work_ms: 400 + rng.next_u64() % 2_000,
+            sig: 1,
+        });
+        if rng.next_u64().is_multiple_of(2) {
+            // Heavy swing task: its weight dominates the water level, so
+            // capacity steps move the boundary across several rungs.
+            ops.push(ChurnOp::Add {
+                work_ms: 500 + rng.next_u64() % 3_000,
+                sig: 0,
+            });
+        }
+        // Degradation ramp: step down to a trough between 10% and 60% of
+        // base, in 2–4 steps, with completions and time between the steps.
+        let trough = base_centi * (10 + rng.next_u64() % 51) / 100;
+        let steps = 2 + rng.next_u64() % 3;
+        for step in 1..=steps {
+            let level = base_centi - (base_centi - trough) * step / steps;
+            ops.push(ChurnOp::SetCapacity { cores_centi: level });
+            ops.push(ChurnOp::Advance {
+                dt_ms: 1 + rng.next_u64() % 400,
+            });
+            ops.push(ChurnOp::CompleteNext);
+        }
+        // Hold the trough under churn, then restore — sometimes
+        // overshooting base (autoscale-up adding headroom).
+        ops.push(ChurnOp::Remove {
+            pick: rng.next_u64(),
+        });
+        ops.push(ChurnOp::CompleteNext);
+        let restored = if rng.next_u64().is_multiple_of(4) {
+            base_centi + base_centi * (rng.next_u64() % 50) / 100
+        } else {
+            base_centi
+        };
+        ops.push(ChurnOp::SetCapacity {
+            cores_centi: restored,
+        });
+        ops.push(ChurnOp::CompleteNext);
+        if block % 2 == 1 {
+            // Flip to uniform mode mid-stream and thrash capacity there
+            // too: the memoized uniform rate must track every change.
+            for sig in 2..pool_len {
+                ops.push(ChurnOp::DrainSig { sig });
+            }
+            ops.push(ChurnOp::DrainSig { sig: 0 });
+            ops.push(ChurnOp::SetCapacity {
+                cores_centi: trough.max(100),
+            });
+            ops.push(ChurnOp::CompleteNext);
+            ops.push(ChurnOp::SetCapacity {
+                cores_centi: base_centi,
+            });
         }
     }
     ops
@@ -387,6 +480,11 @@ impl DifferentialPair {
                 self.opt.advance(self.now);
                 self.reference.advance(self.now);
             }
+            ChurnOp::SetCapacity { cores_centi } => {
+                let cores = cores_centi.max(1) as f64 / 100.0;
+                self.opt.set_capacity(self.now, cores);
+                self.reference.set_capacity(self.now, cores);
+            }
             ChurnOp::CompleteNext => {
                 let Some((id, at)) = self.reference.next_completion(self.now) else {
                     assert!(self.opt.next_completion(self.now).is_none());
@@ -463,6 +561,30 @@ pub fn run_boundary_thrash_schedule(seed: u64, blocks: usize) -> u64 {
     pair.opt.boundary_crossings()
 }
 
+/// Drive one seeded capacity-thrash schedule end to end over the
+/// [`SignaturePool::boundary_ladder`] pool — dynamic-capacity ramps and
+/// restorations interleaved with membership churn and mode flips, every
+/// observable pinned to the reference integrator per step — and return the
+/// number of capped/uncapped boundary crossings the production kernel
+/// performed (so suites can assert the ramps actually move the boundary).
+pub fn run_capacity_thrash_schedule(seed: u64, blocks: usize) -> u64 {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xCA9A_C17F);
+    // Same envelope as the boundary-thrash runner: the ladder ratios sit
+    // in 0.2–1.0 at ~unit weights, so 2–7 cores keeps the water level
+    // inside the ladder and every capacity step crosses rungs.
+    let cores = 2.0 + (rng.next_u64() % 6) as f64;
+    let kappa = (rng.next_u64() % 60) as f64 / 100.0;
+    let pool = SignaturePool::boundary_ladder();
+    let base_centi = (cores * 100.0) as u64;
+    let ops = capacity_thrash_schedule(&mut rng, blocks, pool.len() as u8, base_centi);
+    let mut pair = DifferentialPair::new(cores, kappa, pool);
+    for op in ops {
+        pair.apply(op);
+    }
+    pair.drain();
+    pair.opt.boundary_crossings()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +631,33 @@ mod tests {
     fn boundary_thrash_smoke() {
         let crossings = run_boundary_thrash_schedule(1, 4);
         assert!(crossings > 0, "thrash schedule never crossed the boundary");
+    }
+
+    #[test]
+    fn capacity_thrash_smoke() {
+        let crossings = run_capacity_thrash_schedule(1, 4);
+        assert!(crossings > 0, "capacity thrash never crossed the boundary");
+    }
+
+    #[test]
+    fn set_capacity_op_applies_to_both_kernels() {
+        let mut pair = DifferentialPair::new(4.0, 0.0, SignaturePool::boundary_ladder());
+        pair.apply(ChurnOp::Add {
+            work_ms: 900,
+            sig: 2,
+        });
+        pair.apply(ChurnOp::Add {
+            work_ms: 900,
+            sig: 4,
+        });
+        pair.apply(ChurnOp::SetCapacity { cores_centi: 120 });
+        assert_eq!(pair.opt.params().cores, 1.2);
+        assert_eq!(pair.reference.params().cores, 1.2);
+        pair.apply(ChurnOp::Advance { dt_ms: 300 });
+        pair.apply(ChurnOp::SetCapacity { cores_centi: 0 });
+        assert_eq!(pair.opt.params().cores, 0.01, "zero clamps to a centi-core");
+        pair.apply(ChurnOp::SetCapacity { cores_centi: 400 });
+        pair.drain();
     }
 
     #[test]

@@ -162,8 +162,11 @@ fn weighted_schedules_populate_the_partition() {
                         cpu.remove_task(now, id);
                     }
                 }
-                // random_schedule never emits the signature-targeted ops.
-                ChurnOp::RemoveSig { .. } | ChurnOp::DrainSig { .. } => {}
+                // random_schedule never emits the signature-targeted or
+                // capacity ops.
+                ChurnOp::RemoveSig { .. }
+                | ChurnOp::DrainSig { .. }
+                | ChurnOp::SetCapacity { .. } => {}
                 ChurnOp::Advance { dt_ms } => {
                     now += faas_simcore::time::SimDuration::from_millis(dt_ms);
                     cpu.advance(now);

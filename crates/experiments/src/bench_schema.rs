@@ -15,19 +15,20 @@
 //! * every file carries at least one baseline/candidate timing pair (two
 //!   or more entries in a wall-clock unit) plus the derived `*_speedup`
 //!   ratio in unit `x`;
-//! * the four canonical artifacts (`BENCH_gps.json`,
+//! * the five canonical artifacts (`BENCH_gps.json`,
 //!   `BENCH_weighted_gps.json`, `BENCH_events.json`,
-//!   `BENCH_workload.json`) are all present.
+//!   `BENCH_workload.json`, `BENCH_faults.json`) are all present.
 
 use crate::bench_gps::BenchEntry;
 use std::path::Path;
 
 /// The artifacts `experiments bench` must produce.
-pub const EXPECTED_ARTIFACTS: [&str; 4] = [
+pub const EXPECTED_ARTIFACTS: [&str; 5] = [
     "BENCH_gps.json",
     "BENCH_weighted_gps.json",
     "BENCH_events.json",
     "BENCH_workload.json",
+    "BENCH_faults.json",
 ];
 
 /// Wall-clock units a baseline/candidate timing may use.

@@ -23,10 +23,13 @@
 //!              equal/fairness/Zipf x uniform/tiered/Zipf-correlated),
 //!              with per-combination sim-health columns, plus a
 //!              cluster-size sweep through the streamed multi-node engine
-//!   bench      GPS-kernel (uniform and weighted), event-queue and
-//!              workload-generation micro-benchmarks; writes
-//!              BENCH_gps.json, BENCH_weighted_gps.json,
-//!              BENCH_events.json and BENCH_workload.json for the perf
+//!              and a fault-scenario robustness sweep (goodput, drop
+//!              rate, retries, p99 under degradation)
+//!   bench      GPS-kernel (uniform and weighted), event-queue,
+//!              workload-generation and dynamic-capacity
+//!              micro-benchmarks; writes BENCH_gps.json,
+//!              BENCH_weighted_gps.json, BENCH_events.json,
+//!              BENCH_workload.json and BENCH_faults.json for the perf
 //!              trajectory
 //!   run        Custom single configuration with per-call CSV trace:
 //!              run --cores C --intensity V --policy P [--seed S]
@@ -36,8 +39,8 @@
 //! Results are also written as JSON under `--out` (default `results/`).
 
 use faas_experiments::{
-    ablations, bench_events, bench_gps, bench_schema, bench_weighted_gps, bench_workload, custom,
-    fig2, fig5, fig6, functions, grid, sweep, table1, Effort,
+    ablations, bench_events, bench_faults, bench_gps, bench_schema, bench_weighted_gps,
+    bench_workload, custom, fig2, fig5, fig6, functions, grid, sweep, table1, Effort,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -172,6 +175,9 @@ fn run_bench(opts: &Opts) {
     let workload = bench_workload::run();
     println!("{}", bench_workload::render(&workload));
     save(opts, "BENCH_workload.json", &workload);
+    let faults = bench_faults::run();
+    println!("{}", bench_faults::render(&faults));
+    save(opts, "BENCH_faults.json", &faults);
 }
 
 fn run_sweep(opts: &Opts) {

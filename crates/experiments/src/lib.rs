@@ -27,6 +27,7 @@
 
 pub mod ablations;
 pub mod bench_events;
+pub mod bench_faults;
 pub mod bench_gps;
 pub mod bench_schema;
 pub mod bench_weighted_gps;

@@ -20,19 +20,22 @@
 use crate::grid::mode_for;
 use crate::Effort;
 use faas_cluster::{run_cluster_streamed, ClusterConfig, LoadBalancer};
-use faas_invoker::{simulate_calls_weighted, NodeConfig};
+use faas_invoker::{simulate_calls_faulted, simulate_calls_weighted, NodeConfig};
 use faas_metrics::compare::Strategy;
-use faas_metrics::summary::{response_times_into, stretches_into, MetricSummary};
+use faas_metrics::summary::{
+    response_times_into, stretches_into, FaultCounts, MetricSummary, RobustnessSummary,
+};
 use faas_metrics::table::{fmt_secs, TextTable};
 use faas_simcore::rng::Xoshiro256;
-use faas_simcore::time::SimDuration;
+use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::arrival::ArrivalSpec;
+use faas_workload::faults::FaultSpec;
 use faas_workload::generate::WorkloadSpec;
 use faas_workload::mix::MixSpec;
 use faas_workload::scenario::warmup_for_spec;
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::CallOutcome;
-use faas_workload::weight::WeightSpec;
+use faas_workload::weight::{WeightSpec, WeightTable};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +89,21 @@ pub struct ClusterSweepRow {
     pub peak_events: usize,
 }
 
+/// One (fault scenario, strategy) robustness combination, pooled over
+/// seeds: the paper's uniform/equal burst replayed under a seeded fault
+/// plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultSweepRow {
+    /// Fault-scenario label.
+    pub scenario: String,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Goodput, drop rate, fault counters and the delivered p99.
+    pub robustness: RobustnessSummary,
+    /// Delivered response-time statistics (goodput latency), seconds.
+    pub response: MetricSummary,
+}
+
 /// The sweep result set.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepResult {
@@ -98,6 +116,9 @@ pub struct SweepResult {
     pub rows: Vec<SweepRow>,
     /// Cluster-size rows (streamed generation, fixed total load).
     pub cluster_rows: Vec<ClusterSweepRow>,
+    /// Fault-scenario rows (robustness axis), ordered by
+    /// (scenario, strategy).
+    pub fault_rows: Vec<FaultSweepRow>,
 }
 
 impl SweepResult {
@@ -124,6 +145,13 @@ impl SweepResult {
         self.cluster_rows
             .iter()
             .find(|r| r.nodes == nodes && r.weights == weights && r.strategy == strategy)
+    }
+
+    /// Look up one fault-scenario row.
+    pub fn fault_row(&self, scenario: &str, strategy: Strategy) -> Option<&FaultSweepRow> {
+        self.fault_rows
+            .iter()
+            .find(|r| r.scenario == scenario && r.strategy == strategy)
     }
 }
 
@@ -341,12 +369,157 @@ pub fn run(effort: Effort) -> SweepResult {
     }
 
     let cluster_rows = run_cluster_sweep(&catalogue, cores, intensity, window, effort);
+    let fault_rows = run_fault_sweep(&catalogue, cores, intensity, window, effort);
     SweepResult {
         cores,
         intensity,
         rows,
         cluster_rows,
+        fault_rows,
     }
+}
+
+/// The fault-scenario axis: a fault-free control plus the three seeded
+/// presets, anchored to the measured burst window.
+fn fault_axis(seed: u64, burst_start: SimTime, window: SimDuration) -> Vec<(String, FaultSpec)> {
+    vec![
+        ("none".into(), FaultSpec::none()),
+        (
+            "degrade".into(),
+            FaultSpec::degradation(seed, burst_start, window),
+        ),
+        (
+            "crash".into(),
+            FaultSpec::crash_restart(seed, burst_start, window),
+        ),
+        ("retry-storm".into(), FaultSpec::retry_storm(seed)),
+    ]
+}
+
+/// The robustness sweep: the paper's uniform/equal burst replayed under
+/// each fault scenario (see [`fault_axis`]) per strategy — goodput, drop
+/// rate, retry cost and the delivered p99 next to the fault-free control.
+fn run_fault_sweep(
+    catalogue: &Catalogue,
+    cores: u32,
+    intensity: u32,
+    window: SimDuration,
+    effort: Effort,
+) -> Vec<FaultSweepRow> {
+    let count = catalogue.len() * cores as usize * intensity as usize / 10;
+    // The robustness table compares regimes under stress, not the policy
+    // grid: keep the paper's headline pair in both modes.
+    let strategies = vec![Strategy::Baseline, Strategy::Fc];
+    let seeds = effort.seed_set();
+    let (_, burst_start) = warmup_for_spec(catalogue, cores);
+    let scenario_labels: Vec<String> = fault_axis(0, burst_start, window)
+        .into_iter()
+        .map(|(label, _)| label)
+        .collect();
+
+    #[allow(clippy::type_complexity)]
+    let tasks: Vec<(String, FaultSpec, Strategy, u64)> = seeds
+        .iter()
+        .flat_map(|&seed| {
+            // The fault draws are seeded per run seed, so pooling over
+            // seeds samples fault realizations too.
+            let axis = fault_axis(seed ^ 0xFA17, burst_start, window);
+            axis.into_iter().flat_map({
+                let strategies = &strategies;
+                move |(label, spec)| {
+                    strategies
+                        .iter()
+                        .map(move |&s| (label.clone(), spec.clone(), s, seed))
+                }
+            })
+        })
+        .collect();
+
+    struct FaultOut {
+        scenario: String,
+        strategy: Strategy,
+        outcomes: Vec<CallOutcome>,
+        dropped: usize,
+        counts: FaultCounts,
+    }
+
+    let outputs: Vec<FaultOut> = tasks
+        .par_iter()
+        .map(|(label, faults, strategy, seed)| {
+            let spec = WorkloadSpec {
+                arrival: ArrivalSpec::Uniform { count },
+                mix: MixSpec::Equal,
+                weights: WeightSpec::Uniform,
+                window,
+            };
+            let mut root = Xoshiro256::seed_from_u64(*seed);
+            let mut rng_times = root.derive_stream(STREAM_TIMES);
+            let mut rng_assign = root.derive_stream(STREAM_ASSIGN);
+            let (mut calls, burst_start) = warmup_for_spec(catalogue, cores);
+            let id_base = calls.len() as u32;
+            calls.extend(spec.generate_sorted(
+                catalogue,
+                burst_start,
+                &mut rng_times,
+                &mut rng_assign,
+                id_base,
+            ));
+            let result = simulate_calls_faulted(
+                catalogue,
+                &calls,
+                &mode_for(*strategy),
+                &NodeConfig::paper(cores),
+                &WeightTable::uniform(catalogue.len()),
+                faults,
+                *seed,
+                0,
+            );
+            let fs = result.fault_stats;
+            FaultOut {
+                scenario: label.clone(),
+                strategy: *strategy,
+                // Measured drops only: burst ids start at `id_base`.
+                dropped: result.drops.iter().filter(|d| d.id.0 >= id_base).count(),
+                counts: FaultCounts {
+                    retries: fs.retries,
+                    timeouts: fs.timeouts,
+                    transient_failures: fs.transient_failures,
+                    crashes: fs.crashes,
+                },
+                outcomes: result.measured().copied().collect(),
+            }
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for label in &scenario_labels {
+        for &strategy in &strategies {
+            let mut pooled: Vec<CallOutcome> = Vec::new();
+            let mut dropped = 0;
+            let mut counts = FaultCounts::default();
+            for out in outputs
+                .iter()
+                .filter(|o| &o.scenario == label && o.strategy == strategy)
+            {
+                pooled.extend(out.outcomes.iter().copied());
+                dropped += out.dropped;
+                counts.retries += out.counts.retries;
+                counts.timeouts += out.counts.timeouts;
+                counts.transient_failures += out.counts.transient_failures;
+                counts.crashes += out.counts.crashes;
+            }
+            let refs: Vec<&CallOutcome> = pooled.iter().collect();
+            let mut resp = Vec::new();
+            response_times_into(&refs, &mut resp);
+            rows.push(FaultSweepRow {
+                scenario: label.clone(),
+                strategy,
+                robustness: RobustnessSummary::from_outcomes(&refs, dropped, counts),
+                response: MetricSummary::from_values(&resp),
+            });
+        }
+    }
+    rows
 }
 
 /// The cluster-size sweep: the paper's fixed-total-load design (§VIII)
@@ -511,14 +684,38 @@ pub fn render(result: &SweepResult) -> String {
             r.peak_events.to_string(),
         ]);
     }
+    let mut f = TextTable::new([
+        "scenario/strategy",
+        "served",
+        "drop",
+        "goodput",
+        "retries",
+        "t/o",
+        "crash",
+        "R p99",
+    ]);
+    for r in &result.fault_rows {
+        f.row([
+            format!("{}/{}", r.scenario, r.strategy.name()),
+            r.robustness.delivered.to_string(),
+            r.robustness.dropped.to_string(),
+            format!("{:.4}", r.robustness.goodput),
+            r.robustness.counts.retries.to_string(),
+            r.robustness.counts.timeouts.to_string(),
+            r.robustness.counts.crashes.to_string(),
+            fmt_secs(r.robustness.p99_response),
+        ]);
+    }
     format!(
         "Workload sweep: arrival x mix x weights x strategy at {} cores, \
          intensity-equivalent {}\n{}\n\
-         Cluster-size sweep (streamed generation, fixed total load)\n{}",
+         Cluster-size sweep (streamed generation, fixed total load)\n{}\n\
+         Fault-scenario sweep (robustness axis)\n{}",
         result.cores,
         result.intensity,
         t.render(),
-        c.render()
+        c.render(),
+        f.render()
     )
 }
 
@@ -645,6 +842,60 @@ mod tests {
     }
 
     #[test]
+    fn fault_sweep_covers_scenarios_and_controls() {
+        let r = quick();
+        // 4 scenarios x 2 strategies.
+        assert_eq!(r.fault_rows.len(), 8);
+        // The fault-free control: full goodput, zero counters.
+        for strategy in [Strategy::Baseline, Strategy::Fc] {
+            let none = r.fault_row("none", strategy).unwrap();
+            assert_eq!(none.robustness.goodput, 1.0);
+            assert_eq!(none.robustness.dropped, 0);
+            assert_eq!(none.robustness.counts, FaultCounts::default());
+            assert_eq!(none.robustness.delivered, 660);
+        }
+    }
+
+    #[test]
+    fn degradation_raises_the_delivered_tail() {
+        let r = quick();
+        for strategy in [Strategy::Baseline, Strategy::Fc] {
+            let none = r.fault_row("none", strategy).unwrap();
+            let deg = r.fault_row("degrade", strategy).unwrap();
+            assert_eq!(deg.robustness.dropped, 0, "degradation drops nothing");
+            assert!(
+                deg.robustness.p99_response >= none.robustness.p99_response,
+                "{:?}: p99 {} under degradation vs {} clean",
+                strategy,
+                deg.robustness.p99_response,
+                none.robustness.p99_response
+            );
+        }
+    }
+
+    #[test]
+    fn crash_and_retry_storm_populate_fault_counters() {
+        let r = quick();
+        let crash = r.fault_row("crash", Strategy::Fc).unwrap();
+        assert_eq!(crash.robustness.counts.crashes, 1, "one crash per seed");
+        assert!(crash.robustness.counts.retries > 0);
+        let storm = r.fault_row("retry-storm", Strategy::Baseline).unwrap();
+        assert!(storm.robustness.counts.transient_failures > 0);
+        assert!(storm.robustness.counts.retries > 0);
+        assert!(
+            storm.robustness.goodput > 0.9,
+            "five attempts at 15% failure keep goodput near 1, got {}",
+            storm.robustness.goodput
+        );
+        // Conservation surfaces in the summary arithmetic.
+        for row in &r.fault_rows {
+            let rb = &row.robustness;
+            assert_eq!(rb.delivered + rb.dropped, 660);
+            assert!((rb.goodput + rb.drop_rate - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn sim_health_is_populated() {
         let r = quick();
         for row in &r.rows {
@@ -665,5 +916,7 @@ mod tests {
         assert!(s.contains("uniform/equal/w-uniform/"));
         assert!(s.contains("w-tiers3"), "weighted column rendered");
         assert!(s.contains("Cluster-size sweep"));
+        assert!(s.contains("Fault-scenario sweep"));
+        assert!(s.contains("goodput") && s.contains("retry-storm/"));
     }
 }

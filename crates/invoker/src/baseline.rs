@@ -20,15 +20,46 @@
 //!     ─▶ IoPhase (timer) ─▶ respond ─▶ Cleanup (GPS, container held)
 //!     ─▶ container idle → drain FIFO queue
 //! ```
+//!
+//! # Fault semantics ([`simulate_faulted`])
+//!
+//! A non-trivial [`FaultSpec`] merges the node's compiled fault timeline
+//! into the event queue (before the arrivals, so a same-instant fault
+//! fires first):
+//!
+//! * **Capacity** events rebase the GPS bank via
+//!   [`GpsCpu::set_capacity`] — running calls keep their served work and
+//!   share the new capacity.
+//! * **Crash** kills every in-flight attempt (init, CPU or I/O phase) and
+//!   retries it per policy; queued calls survive in the FIFO — OpenWhisk's
+//!   load balancer has already committed them to the invoker's Kafka
+//!   topic, so they wait for the restart. Every container is lost; the
+//!   node restarts cold. Timer events scheduled before the crash
+//!   (I/O, cleanup, prewarm) are invalidated by an incarnation counter
+//!   carried in the event payload — correct because no attempt survives a
+//!   crash, so every pre-crash timer is dead by construction.
+//! * **Transient failures** are drawn per attempt at I/O completion: the
+//!   work was consumed and the container still cleans up, but the
+//!   response is lost and the attempt fails.
+//! * The **pending timeout** abandons an attempt still queued after the
+//!   policy's deadline (the FIFO entry is removed eagerly).
+//!
+//! A call whose attempts are exhausted is dropped — excluded from
+//! `outcomes`, reported in [`NodeResult::drops`] — so every call resolves
+//! exactly once: completed XOR dropped. On [`FaultSpec::none`] every one
+//! of these paths is gated off and the simulation is bit-identical to
+//! [`simulate_weighted`] before fault injection existed.
 
 use crate::config::NodeConfig;
+use crate::fault_rt::{FaultCall, FaultPhase};
 use crate::pool::{ContainerId, ContainerPool};
-use crate::result::NodeResult;
+use crate::result::{DroppedCall, FaultStats, NodeResult};
 use faas_cpu::{GpsCpu, GpsParams, TaskId};
 use faas_simcore::dist::Sampler;
 use faas_simcore::events::{EventHandle, EventQueue};
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
+use faas_workload::faults::{DropReason, FaultEvent, FaultKind, FaultSpec};
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::{Call, CallKind, CallOutcome, ColdStartKind};
 use faas_workload::weight::{CallPhase, WeightTable};
@@ -43,12 +74,23 @@ enum Ev {
     /// tick at any time: membership changes move it in place via
     /// [`EventQueue::reschedule`].
     GpsTick,
-    /// A call's I/O phase finishes.
-    IoDone(u32),
-    /// A call's container finishes post-response cleanup.
-    CleanupDone(u32),
-    /// A prewarm replacement becomes ready.
-    PrewarmReady,
+    /// A call's I/O phase finishes. The second field is the node
+    /// incarnation the attempt ran under: a crash bumps the counter, so
+    /// timers of killed attempts are recognisably stale.
+    IoDone(u32, u32),
+    /// A container finishes post-response cleanup (incarnation-guarded).
+    /// Carries the container, not the call: a retried call may already
+    /// hold a *new* container when its failed attempt's cleanup fires.
+    CleanupDone(ContainerId, u32),
+    /// A prewarm replacement becomes ready (incarnation-guarded).
+    PrewarmReady(u32),
+    /// Fault-timeline event at this index fires (fault runs only).
+    Fault(u32),
+    /// A failed call's retry backoff expired: re-deliver the next attempt.
+    Retry(u32),
+    /// The pending timeout of `(call, attempt)` fired: abandon the attempt
+    /// if it is still queued.
+    PendingTimeout(u32, u32),
 }
 
 /// What a GPS task belongs to.
@@ -115,6 +157,23 @@ struct Sim<'a> {
     /// Reused buffer for completion collection: the GPS tick is the hottest
     /// event, and `finished_tasks_into` keeps it allocation-free.
     finished_scratch: Vec<TaskId>,
+    /// The fault plan (the inert [`FaultSpec::none`] on fault-free runs).
+    faults: &'a FaultSpec,
+    /// This node's compiled fault timeline, indexed by [`Ev::Fault`].
+    timeline: Vec<FaultEvent>,
+    /// False iff `faults.is_none()`: every fault code path is gated on
+    /// this, keeping the fault-free run bit-identical to the pre-fault
+    /// simulator.
+    fault_on: bool,
+    /// False between a crash and its restart.
+    alive: bool,
+    /// Bumped on every crash; timer events carry the value they were
+    /// scheduled under and are dropped when stale.
+    incarnation: u32,
+    /// Per-call attempt/phase state (empty on fault-free runs).
+    fstate: Vec<FaultCall>,
+    fault_stats: FaultStats,
+    drops: Vec<DroppedCall>,
 }
 
 /// Run the baseline node over `calls` (sorted by release time) with the
@@ -147,11 +206,42 @@ pub fn simulate_weighted(
     seed: u64,
     node_index: u16,
 ) -> NodeResult {
+    simulate_faulted(
+        catalogue,
+        calls,
+        cfg,
+        weights,
+        &FaultSpec::none(),
+        seed,
+        node_index,
+    )
+}
+
+/// Run the baseline node under a fault plan: dynamic capacity, crash and
+/// restart, transient failures and the retry/timeout/backoff policy (see
+/// the module docs for the semantics). With [`FaultSpec::none`] this *is*
+/// [`simulate_weighted`] — bit-for-bit.
+pub fn simulate_faulted(
+    catalogue: &Catalogue,
+    calls: &[Call],
+    cfg: &NodeConfig,
+    weights: &WeightTable,
+    faults: &FaultSpec,
+    seed: u64,
+    node_index: u16,
+) -> NodeResult {
     assert_eq!(
         weights.len(),
         catalogue.len(),
         "weight table must cover the catalogue"
     );
+    faults.validate();
+    let fault_on = !faults.is_none();
+    let timeline = if fault_on {
+        faults.timeline_for_node(node_index).events
+    } else {
+        Vec::new()
+    };
     let mut root = Xoshiro256::seed_from_u64(seed);
     let rng_service = root.derive_stream(0xB001);
     let rng_cold = root.derive_stream(0xB002);
@@ -196,8 +286,28 @@ pub fn simulate_weighted(
         peak_events: 0,
         tick: None,
         finished_scratch: Vec::new(),
+        faults,
+        timeline,
+        fault_on,
+        alive: true,
+        incarnation: 0,
+        fstate: if fault_on {
+            vec![FaultCall::default(); calls.len()]
+        } else {
+            Vec::new()
+        },
+        fault_stats: FaultStats::default(),
+        drops: Vec::new(),
     };
 
+    // Fault-timeline events go in before the arrivals: a fault at the same
+    // instant as an arrival gets the smaller sequence number and fires
+    // first. A no-op loop on fault-free runs (empty timeline), so arrival
+    // sequence numbers are unchanged.
+    for k in 0..sim.timeline.len() {
+        let at = sim.timeline[k].at;
+        sim.events.schedule(at, Ev::Fault(k as u32));
+    }
     for (idx, call) in calls.iter().enumerate() {
         debug_assert!(
             idx == 0 || calls[idx - 1].release <= call.release,
@@ -211,10 +321,16 @@ pub fn simulate_weighted(
 
     sim.run();
     assert_eq!(
-        sim.outcomes_filled,
+        sim.outcomes_filled + sim.drops.len(),
         calls.len(),
-        "every call must produce an outcome"
+        "every call must resolve exactly once: completed XOR dropped"
     );
+    if !sim.drops.is_empty() {
+        // Dropped calls never overwrote their pending slot: remove them so
+        // `outcomes` contains completions only (goodput).
+        sim.outcomes.retain(|o| o.completion != SimTime::ZERO);
+    }
+    sim.drops.sort_unstable_by_key(|d| (d.release, d.id));
 
     let total_stats = sim.pool.stats();
     let snapshot = sim.measured_snapshot.unwrap_or(total_stats);
@@ -232,6 +348,8 @@ pub fn simulate_weighted(
         peak_concurrency: sim.peak_leased,
         peak_events: sim.peak_events,
         last_completion: sim.last_completion,
+        drops: sim.drops,
+        fault_stats: sim.fault_stats,
     }
 }
 
@@ -245,12 +363,17 @@ impl<'a> Sim<'a> {
             match ev {
                 Ev::Arrive(i) => self.on_arrive(now, i),
                 Ev::GpsTick => self.on_gps_tick(now),
-                Ev::IoDone(i) => self.on_io_done(now, i),
-                Ev::CleanupDone(i) => self.on_cleanup_done(now, i),
-                Ev::PrewarmReady => {
-                    self.pool.replenish_prewarm();
-                    self.drain_queue(now);
+                Ev::IoDone(i, inc) => self.on_io_done(now, i, inc),
+                Ev::CleanupDone(c, inc) => self.on_cleanup_done(now, c, inc),
+                Ev::PrewarmReady(inc) => {
+                    if inc == self.incarnation {
+                        self.pool.replenish_prewarm();
+                        self.drain_queue(now);
+                    }
                 }
+                Ev::Fault(k) => self.on_fault(now, k),
+                Ev::Retry(i) => self.on_retry(now, i),
+                Ev::PendingTimeout(i, attempt) => self.on_pending_timeout(now, i, attempt),
             }
         }
         assert!(
@@ -267,11 +390,33 @@ impl<'a> Sim<'a> {
             self.measured_snapshot = Some(self.pool.stats());
         }
         self.runtime[idx].invoker_receive = now;
+        if self.fault_on {
+            self.begin_attempt(now, i);
+        }
         // §III: "When an invoker receives a new request and there are
-        // pending requests, the request is added to the queue."
-        if !self.fifo.is_empty() || !self.try_place(now, i) {
+        // pending requests, the request is added to the queue." A dead
+        // node's requests queue too: the LB committed them to the topic.
+        let dead = self.fault_on && !self.alive;
+        if dead || !self.fifo.is_empty() || !self.try_place(now, i) {
             self.fifo.push_back(i);
             self.peak_queue = self.peak_queue.max(self.fifo.len());
+        }
+    }
+
+    /// Start the next delivery attempt of call `i` (fault runs only):
+    /// bump the attempt counter and arm the pending timeout.
+    fn begin_attempt(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        self.fstate[idx].attempt += 1;
+        self.fstate[idx].phase = FaultPhase::Queued;
+        if self.fstate[idx].attempt > 1 {
+            self.fault_stats.retries += 1;
+        }
+        if let Some(timeout) = self.faults.retry.pending_timeout {
+            self.events.schedule(
+                now + timeout,
+                Ev::PendingTimeout(i, self.fstate[idx].attempt),
+            );
         }
     }
 
@@ -287,10 +432,13 @@ impl<'a> Sim<'a> {
         self.peak_leased = self.peak_leased.max(self.leased);
         self.runtime[idx].start_kind = placement.kind;
         self.runtime[idx].container = Some(placement.container);
+        if self.fault_on {
+            self.fstate[idx].phase = FaultPhase::Running;
+        }
         if placement.kind == ColdStartKind::Prewarm && self.pool.prewarm_deficit() > 0 {
             self.events.schedule(
                 now + self.cfg.calibration.prewarm_replacement_delay,
-                Ev::PrewarmReady,
+                Ev::PrewarmReady(self.incarnation),
             );
         }
         let init_work = match placement.kind {
@@ -363,8 +511,10 @@ impl<'a> Sim<'a> {
                 Owner::Init(i) => self.start_exec(now, i),
                 Owner::Exec(i) => {
                     let io = self.runtime[i as usize].io_secs;
-                    self.events
-                        .schedule(now + SimDuration::from_secs_f64(io), Ev::IoDone(i));
+                    self.events.schedule(
+                        now + SimDuration::from_secs_f64(io),
+                        Ev::IoDone(i, self.incarnation),
+                    );
                 }
             }
         }
@@ -372,10 +522,35 @@ impl<'a> Sim<'a> {
         self.reschedule_tick(now);
     }
 
-    fn on_io_done(&mut self, now: SimTime, i: u32) {
+    fn on_io_done(&mut self, now: SimTime, i: u32, inc: u32) {
+        if inc != self.incarnation {
+            return; // the attempt was killed by a crash; timer is stale
+        }
         let idx = i as usize;
         let call = &self.calls[idx];
         let rt = self.runtime[idx];
+        // Post-response cleanup holds the container (docker pause, log
+        // collection) but burns no CPU: with containers oversubscribing the
+        // cores the OS overlaps this work, unlike the paper's dedicated-core
+        // regime where it idles the call's core. It happens whether or not
+        // the response survives the transient-failure draw below — the work
+        // was consumed either way.
+        let mgmt =
+            self.cfg
+                .calibration
+                .baseline_mgmt_secs(self.cfg.cores, rt.p_intrinsic, self.leased);
+        self.events.schedule(
+            now + SimDuration::from_secs_f64(mgmt),
+            Ev::CleanupDone(
+                rt.container.expect("completed call must hold a container"),
+                self.incarnation,
+            ),
+        );
+        if self.fault_on && self.faults.attempt_fails(call.id, self.fstate[idx].attempt) {
+            self.fault_stats.transient_failures += 1;
+            self.fail_attempt(now, i, DropReason::ExhaustedRetries);
+            return;
+        }
         let completion = now + self.cfg.calibration.hop_response;
         let processing = now.saturating_since(rt.exec_start);
         // A hard assert (one branch per call, negligible next to the event
@@ -387,6 +562,9 @@ impl<'a> Sim<'a> {
             "outcome written twice"
         );
         self.outcomes_filled += 1;
+        if self.fault_on {
+            self.fstate[idx].phase = FaultPhase::Done;
+        }
         self.outcomes[idx] = CallOutcome {
             id: call.id,
             func: call.func,
@@ -403,24 +581,130 @@ impl<'a> Sim<'a> {
         if call.kind == CallKind::Measured {
             self.last_completion = self.last_completion.max(completion);
         }
-        // Post-response cleanup holds the container (docker pause, log
-        // collection) but burns no CPU: with containers oversubscribing the
-        // cores the OS overlaps this work, unlike the paper's dedicated-core
-        // regime where it idles the call's core.
-        let mgmt =
-            self.cfg
-                .calibration
-                .baseline_mgmt_secs(self.cfg.cores, rt.p_intrinsic, self.leased);
-        self.events
-            .schedule(now + SimDuration::from_secs_f64(mgmt), Ev::CleanupDone(i));
     }
 
-    fn on_cleanup_done(&mut self, now: SimTime, i: u32) {
-        let container = self.runtime[i as usize]
-            .container
-            .expect("cleaned-up call must hold a container");
+    fn on_cleanup_done(&mut self, now: SimTime, container: ContainerId, inc: u32) {
+        if inc != self.incarnation {
+            return; // container died with the crashed node
+        }
         self.pool.release_idle(container, now);
         self.leased -= 1;
+        self.drain_queue(now);
+    }
+
+    /// A delivery attempt of call `i` just failed (transient failure,
+    /// crash kill, or pending timeout): schedule the retry per policy, or
+    /// drop the call with `exhausted_reason` when no attempts remain.
+    fn fail_attempt(&mut self, now: SimTime, i: u32, exhausted_reason: DropReason) {
+        let idx = i as usize;
+        let attempt = self.fstate[idx].attempt;
+        if attempt < self.faults.retry.max_attempts {
+            self.fstate[idx].phase = FaultPhase::Backoff;
+            let wait = self
+                .faults
+                .retry
+                .backoff(self.faults.seed, self.calls[idx].id, attempt);
+            self.events.schedule(now + wait, Ev::Retry(i));
+        } else {
+            assert_eq!(
+                self.outcomes[idx].completion,
+                SimTime::ZERO,
+                "dropped a call that already completed"
+            );
+            self.fstate[idx].phase = FaultPhase::Dropped;
+            self.fault_stats.dropped += 1;
+            self.drops.push(DroppedCall {
+                id: self.calls[idx].id,
+                func: self.calls[idx].func,
+                release: self.calls[idx].release,
+                node: self.node_index,
+                reason: exhausted_reason,
+                attempts: attempt,
+            });
+        }
+    }
+
+    /// A failed attempt's backoff expired: re-deliver the call.
+    fn on_retry(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        debug_assert_eq!(self.fstate[idx].phase, FaultPhase::Backoff);
+        self.runtime[idx].invoker_receive = now;
+        self.begin_attempt(now, i);
+        if !self.alive || !self.fifo.is_empty() || !self.try_place(now, i) {
+            self.fifo.push_back(i);
+            self.peak_queue = self.peak_queue.max(self.fifo.len());
+        }
+    }
+
+    /// The pending timeout of `(i, attempt)` fired. If that attempt is
+    /// still waiting in the FIFO the client has given up on it: remove the
+    /// entry eagerly and fail the attempt. Stale timeouts (the attempt
+    /// started executing, resolved, or a later attempt is current) no-op.
+    fn on_pending_timeout(&mut self, now: SimTime, i: u32, attempt: u32) {
+        let idx = i as usize;
+        if self.fstate[idx].phase != FaultPhase::Queued || self.fstate[idx].attempt != attempt {
+            return;
+        }
+        let pos = self
+            .fifo
+            .iter()
+            .position(|&c| c == i)
+            .expect("a Queued call must sit in the FIFO");
+        self.fifo.remove(pos);
+        self.fault_stats.timeouts += 1;
+        self.fail_attempt(now, i, DropReason::TimedOut);
+    }
+
+    fn on_fault(&mut self, now: SimTime, k: u32) {
+        match self.timeline[k as usize].kind {
+            FaultKind::SetCapacityFactor(f) => {
+                self.fault_stats.capacity_events += 1;
+                // Capacity-rebase invariant (see `GpsCpu::set_capacity`):
+                // served work up to `now` is settled under the old
+                // capacity before the parameter swap, then the completion
+                // tick moves to the new earliest finisher.
+                self.cpu.set_capacity(now, self.cfg.cores as f64 * f);
+                self.reschedule_tick(now);
+            }
+            FaultKind::Crash => self.on_crash(now),
+            FaultKind::Restart => self.on_restart(now),
+        }
+    }
+
+    fn on_crash(&mut self, now: SimTime) {
+        assert!(self.alive, "crash on a node that is already down");
+        self.alive = false;
+        self.incarnation += 1;
+        self.fault_stats.crashes += 1;
+        // Tear down the GPS bank. `owners` is a HashMap whose iteration
+        // order is arbitrary: collect and sort the task ids first so the
+        // bank's float accumulation stays deterministic across runs.
+        let mut tasks: Vec<TaskId> = self.owners.keys().copied().collect();
+        tasks.sort_unstable();
+        for tid in tasks {
+            self.cpu.remove_task(now, tid);
+        }
+        self.owners.clear();
+        // Kill every in-flight attempt (init, CPU or I/O phase). Their
+        // pending IoDone/CleanupDone timers are stale under the bumped
+        // incarnation. Queued calls stay in the FIFO.
+        for i in 0..self.calls.len() as u32 {
+            if self.fstate[i as usize].phase == FaultPhase::Running {
+                self.fault_stats.crash_kills += 1;
+                self.fail_attempt(now, i, DropReason::ExhaustedRetries);
+            }
+        }
+        self.pool.crash();
+        self.leased = 0;
+        self.reschedule_tick(now); // the bank is empty: cancels the tick
+    }
+
+    fn on_restart(&mut self, now: SimTime) {
+        assert!(!self.alive, "restart on a live node");
+        self.alive = true;
+        // Cold boot: rebuild the prewarm stock at once, exactly like
+        // `ContainerPool::new` does at time zero.
+        while self.pool.replenish_prewarm() {}
         self.drain_queue(now);
     }
 
@@ -678,6 +962,155 @@ mod tests {
             0,
         );
         assert_eq!(plain.outcomes, lagged.outcomes);
+    }
+
+    fn faulted(cores: u32, intensity: u32, seed: u64, faults: &FaultSpec) -> NodeResult {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(cores, intensity).generate(&cat, seed);
+        simulate_faulted(
+            &cat,
+            &scenario.all_calls(),
+            &NodeConfig::paper(cores),
+            &WeightTable::uniform(cat.len()),
+            faults,
+            seed,
+            0,
+        )
+    }
+
+    use faas_workload::faults::{CapacityRamp, RetryPolicy};
+
+    #[test]
+    fn inert_fault_machinery_reproduces_the_plain_run() {
+        // A non-trivial spec whose events cannot change the simulation — a
+        // capacity ramp whose floor is 1.0 — exercises every fault gate
+        // (timeline merge, per-call state, transient draws at zero
+        // probability) and must still produce the plain run's outcomes.
+        let spec = FaultSpec {
+            seed: 99,
+            capacity: vec![CapacityRamp {
+                node: None,
+                start: SimTime::from_secs(130),
+                floor: 1.0,
+                steps_down: 2,
+                step_every: SimDuration::from_secs(2),
+                hold: SimDuration::from_secs(5),
+                steps_up: 2,
+            }],
+            crashes: Vec::new(),
+            transient_failure: 0.0,
+            retry: RetryPolicy::standard(),
+        };
+        assert!(!spec.is_none(), "the gate must actually engage");
+        let plain = run(10, 30, 14);
+        let gated = faulted(10, 30, 14, &spec);
+        assert_eq!(plain.outcomes, gated.outcomes);
+        assert!(gated.drops.is_empty());
+        assert_eq!(gated.fault_stats.capacity_events, 4);
+        assert_eq!(gated.fault_stats.retries, 0);
+    }
+
+    #[test]
+    fn capacity_degradation_slows_the_contended_run() {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 60).generate(&cat, 15);
+        let spec = FaultSpec::degradation(15, scenario.burst_start, SimDuration::from_secs(60));
+        let plain = run(10, 60, 15);
+        let degraded = faulted(10, 60, 15, &spec);
+        assert!(degraded.drops.is_empty(), "degradation drops nothing");
+        assert_eq!(degraded.outcomes.len(), plain.outcomes.len());
+        assert_ne!(plain.outcomes, degraded.outcomes, "capacity must bite");
+        assert!(
+            degraded.last_completion > plain.last_completion,
+            "losing capacity mid-burst must delay the drain: {:?} vs {:?}",
+            degraded.last_completion,
+            plain.last_completion
+        );
+    }
+
+    #[test]
+    fn crash_kills_in_flight_calls_and_restart_drains_the_rest() {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 60).generate(&cat, 16);
+        let total = scenario.all_calls().len();
+        let spec = FaultSpec::crash_restart(16, scenario.burst_start, SimDuration::from_secs(60));
+        let r = faulted(10, 60, 16, &spec);
+        assert_eq!(r.fault_stats.crashes, 1);
+        assert!(
+            r.fault_stats.crash_kills > 0,
+            "a loaded node has in-flight calls"
+        );
+        assert_eq!(
+            r.outcomes.len() + r.drops.len(),
+            total,
+            "call conservation: completed XOR dropped"
+        );
+        assert_eq!(r.fault_stats.dropped, r.drops.len() as u64);
+        // The standard policy retries crash-killed attempts: with 3
+        // attempts and one crash, every kill should eventually complete.
+        assert!(
+            r.drops.is_empty(),
+            "one crash under 3 attempts drops nothing"
+        );
+        assert!(r.fault_stats.retries >= r.fault_stats.crash_kills);
+        // Bit-identical reproduction.
+        let again = faulted(10, 60, 16, &spec);
+        assert_eq!(r.outcomes, again.outcomes);
+        assert_eq!(r.drops, again.drops);
+        assert_eq!(r.fault_stats, again.fault_stats);
+    }
+
+    #[test]
+    fn retry_storm_drops_only_fully_exhausted_calls() {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 30).generate(&cat, 17);
+        let total = scenario.all_calls().len();
+        let spec = FaultSpec::retry_storm(17);
+        let r = faulted(10, 30, 17, &spec);
+        assert!(r.fault_stats.transient_failures > 0);
+        assert!(r.fault_stats.retries > 0);
+        assert_eq!(r.outcomes.len() + r.drops.len(), total);
+        // p_drop = 0.15^5 ≈ 8e-5: with ~360 calls, drops are possible but
+        // every drop must be a genuine exhaustion.
+        for d in &r.drops {
+            assert_eq!(d.reason, DropReason::ExhaustedRetries);
+            assert_eq!(d.attempts, spec.retry.max_attempts);
+        }
+        // The survivors dominate: goodput stays near 1.
+        assert!(r.drops.len() < total / 20);
+    }
+
+    #[test]
+    fn pending_timeout_abandons_queued_calls() {
+        // Starve the node (tiny memory, one container at a time) so the
+        // FIFO backs up, with a tight no-retry timeout: queued calls are
+        // abandoned with `TimedOut`.
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(4, 60).generate(&cat, 18);
+        let calls = scenario.all_calls();
+        let total = calls.len();
+        let mut spec = FaultSpec::none();
+        spec.retry = RetryPolicy {
+            max_attempts: 1,
+            pending_timeout: Some(SimDuration::from_secs(5)),
+            backoff_base: SimDuration::ZERO,
+            backoff_factor: 1.0,
+            jitter: 0.0,
+        };
+        let cfg = NodeConfig::paper(4).with_memory_mb(1024);
+        let r = simulate_faulted(
+            &cat,
+            &calls,
+            &cfg,
+            &WeightTable::uniform(cat.len()),
+            &spec,
+            18,
+            0,
+        );
+        assert!(!r.drops.is_empty(), "a starved queue must time calls out");
+        assert!(r.drops.iter().all(|d| d.reason == DropReason::TimedOut));
+        assert_eq!(r.fault_stats.timeouts, r.drops.len() as u64);
+        assert_eq!(r.outcomes.len() + r.drops.len(), total);
     }
 
     #[test]

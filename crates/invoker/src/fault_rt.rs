@@ -1,0 +1,48 @@
+//! Shared per-call fault-runtime bookkeeping for the two node simulations.
+//!
+//! Both invokers track, per call, the current delivery attempt and where
+//! that attempt sits in its lifecycle. The state machine is the same in
+//! both regimes — only the "queued" structure differs (baseline FIFO vs
+//! the scheduled pending queue):
+//!
+//! ```text
+//!             begin_attempt                place
+//! Idle ──────────────────────▶ Queued ──────────▶ Running ──▶ Done
+//!                                │  timeout         │ crash / transient
+//!                                ▼                  ▼
+//!                              Backoff ◀────── fail_attempt
+//!                                │ retry (attempts left)
+//!                                └──────▶ Dropped (exhausted)
+//! ```
+//!
+//! All of this is dead state on fault-free runs: the invokers allocate the
+//! per-call vector only when the [`faas_workload::faults::FaultSpec`] is
+//! non-trivial, keeping the no-fault path bit-identical to the pre-fault
+//! simulator.
+
+/// Where a call's current delivery attempt sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum FaultPhase {
+    /// Not yet arrived at the invoker.
+    #[default]
+    Idle,
+    /// Waiting in the pending structure, not yet executing.
+    Queued,
+    /// Executing on the node (init, CPU or I/O phase in flight).
+    Running,
+    /// A failed attempt is waiting out its retry backoff.
+    Backoff,
+    /// Outcome written: the call completed.
+    Done,
+    /// Every attempt consumed: the call was dropped.
+    Dropped,
+}
+
+/// Per-call fault-runtime state.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FaultCall {
+    /// Delivery attempts begun so far (1-based once arrived).
+    pub attempt: u32,
+    /// Lifecycle position of the current attempt.
+    pub phase: FaultPhase,
+}

@@ -22,15 +22,17 @@
 
 pub mod baseline;
 pub mod config;
+mod fault_rt;
 pub mod ours;
 pub mod pool;
 pub mod result;
 
 pub use config::{Calibration, NodeConfig, NodeMode};
 pub use pool::{ContainerPool, PoolStats};
-pub use result::NodeResult;
+pub use result::{DroppedCall, FaultStats, NodeResult};
 
 use faas_core::SchedulerConfig;
+use faas_workload::faults::FaultSpec;
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::Call;
 use faas_workload::weight::WeightTable;
@@ -78,6 +80,35 @@ pub fn simulate_calls_weighted(
         }
         NodeMode::Scheduled(sched) => {
             ours::simulate(catalogue, calls, cfg, *sched, seed, node_index)
+        }
+    }
+}
+
+/// Simulate one node under a fault plan: dynamic capacity, node
+/// crash/restart, transient failures and the retry/timeout/backoff policy
+/// (see [`faas_workload::faults`] for the model, and the `baseline` /
+/// `ours` module docs for the per-regime semantics).
+///
+/// The node's fault timeline is derived from `(faults, node_index)` inside
+/// the invoker, so multi-node runs stay shard-invariant. With
+/// [`FaultSpec::none`] this is [`simulate_calls_weighted`] bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_calls_faulted(
+    catalogue: &Catalogue,
+    calls: &[Call],
+    mode: &NodeMode,
+    cfg: &NodeConfig,
+    weights: &WeightTable,
+    faults: &FaultSpec,
+    seed: u64,
+    node_index: u16,
+) -> NodeResult {
+    match mode {
+        NodeMode::Baseline => {
+            baseline::simulate_faulted(catalogue, calls, cfg, weights, faults, seed, node_index)
+        }
+        NodeMode::Scheduled(sched) => {
+            ours::simulate_faulted(catalogue, calls, cfg, *sched, faults, seed, node_index)
         }
     }
 }

@@ -14,16 +14,42 @@
 //! The container is unavailable during cleanup and the core is held: this is
 //! the per-call management cost (docker pause/unpause, log collection) that
 //! the paper identifies as comparable to the execution time itself (§V-B).
+//!
+//! # Fault semantics ([`simulate_faulted`])
+//!
+//! Same model as the baseline (see `baseline` module docs), adapted to the
+//! dedicated-core regime:
+//!
+//! * **Capacity** events resize the [`CorePool`]. Execution is
+//!   non-preemptive, so a shrink never interrupts running calls — the pool
+//!   just hands out nothing until completions drain it below the new
+//!   total. The oversubscription slowdown keeps using the configured core
+//!   count (a documented approximation: at the paper's busy limit the
+//!   slowdown is exactly 1 and the capacity squeeze is fully captured by
+//!   the reduced parallelism).
+//! * **Crash** kills in-flight attempts, releases every core, and loses
+//!   every container; queued calls survive in the pending queue. Stale
+//!   `ExecDone`/`CleanupDone`/`PrewarmReady` timers are invalidated by the
+//!   incarnation counter in their payload.
+//! * **Pending timeouts** skip lazily: [`PendingQueue`] has no removal, so
+//!   a timed-out entry stays queued and `dispatch` discards it on pop
+//!   (its phase is no longer `Queued`). A retried call is pushed again
+//!   with a fresh priority; whichever entry pops first while the call is
+//!   `Queued` dispatches it, the rest are stale.
+//! * Re-delivered attempts go through [`SchedulerState::on_receive`] again
+//!   — the scheduler sees every delivery, like OpenWhisk's controller.
 
 use crate::config::NodeConfig;
+use crate::fault_rt::{FaultCall, FaultPhase};
 use crate::pool::{ContainerId, ContainerPool};
-use crate::result::NodeResult;
+use crate::result::{DroppedCall, FaultStats, NodeResult};
 use faas_core::{PendingQueue, SchedulerConfig, SchedulerState};
 use faas_cpu::CorePool;
 use faas_simcore::dist::Sampler;
 use faas_simcore::events::EventQueue;
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
+use faas_workload::faults::{DropReason, FaultEvent, FaultKind, FaultSpec};
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::{Call, CallKind, CallOutcome, ColdStartKind};
 
@@ -31,12 +57,23 @@ use faas_workload::trace::{Call, CallKind, CallOutcome, ColdStartKind};
 enum Ev {
     /// A call reaches the invoker.
     Arrive(u32),
-    /// A call's execution finishes on its container.
-    ExecDone(u32),
-    /// A container's post-response cleanup finishes.
-    CleanupDone(ContainerId),
-    /// A prewarm replacement container becomes ready.
-    PrewarmReady,
+    /// A call's execution finishes on its container. The second field is
+    /// the node incarnation the attempt ran under: a crash bumps the
+    /// counter, so timers of killed attempts are recognisably stale.
+    ExecDone(u32, u32),
+    /// A container's post-response cleanup finishes
+    /// (incarnation-guarded).
+    CleanupDone(ContainerId, u32),
+    /// A prewarm replacement container becomes ready
+    /// (incarnation-guarded).
+    PrewarmReady(u32),
+    /// Fault-timeline event at this index fires (fault runs only).
+    Fault(u32),
+    /// A failed call's retry backoff expired: re-deliver the next attempt.
+    Retry(u32),
+    /// The pending timeout of `(call, attempt)` fired: abandon the attempt
+    /// if it is still queued.
+    PendingTimeout(u32, u32),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -88,6 +125,23 @@ struct Sim<'a> {
     measured_snapshot: Option<crate::pool::PoolStats>,
     last_completion: SimTime,
     peak_events: usize,
+    /// The fault plan (the inert [`FaultSpec::none`] on fault-free runs).
+    faults: &'a FaultSpec,
+    /// This node's compiled fault timeline, indexed by [`Ev::Fault`].
+    timeline: Vec<FaultEvent>,
+    /// False iff `faults.is_none()`: every fault code path is gated on
+    /// this, keeping the fault-free run bit-identical to the pre-fault
+    /// simulator.
+    fault_on: bool,
+    /// False between a crash and its restart.
+    alive: bool,
+    /// Bumped on every crash; timer events carry the value they were
+    /// scheduled under and are dropped when stale.
+    incarnation: u32,
+    /// Per-call attempt/phase state (empty on fault-free runs).
+    fstate: Vec<FaultCall>,
+    fault_stats: FaultStats,
+    drops: Vec<DroppedCall>,
 }
 
 /// Run the paper's node over `calls` (must be sorted by release time).
@@ -99,6 +153,37 @@ pub fn simulate(
     seed: u64,
     node_index: u16,
 ) -> NodeResult {
+    simulate_faulted(
+        catalogue,
+        calls,
+        cfg,
+        sched_cfg,
+        &FaultSpec::none(),
+        seed,
+        node_index,
+    )
+}
+
+/// Run the paper's node under a fault plan: dynamic capacity, crash and
+/// restart, transient failures and the retry/timeout/backoff policy (see
+/// the module docs for the semantics). With [`FaultSpec::none`] this *is*
+/// [`simulate`] — bit-for-bit.
+pub fn simulate_faulted(
+    catalogue: &Catalogue,
+    calls: &[Call],
+    cfg: &NodeConfig,
+    sched_cfg: SchedulerConfig,
+    faults: &FaultSpec,
+    seed: u64,
+    node_index: u16,
+) -> NodeResult {
+    faults.validate();
+    let fault_on = !faults.is_none();
+    let timeline = if fault_on {
+        faults.timeline_for_node(node_index).events
+    } else {
+        Vec::new()
+    };
     let mut root = Xoshiro256::seed_from_u64(seed);
     let rng_service = root.derive_stream(0xA001);
     let rng_cold = root.derive_stream(0xA002);
@@ -130,8 +215,28 @@ pub fn simulate(
         measured_snapshot: None,
         last_completion: SimTime::ZERO,
         peak_events: 0,
+        faults,
+        timeline,
+        fault_on,
+        alive: true,
+        incarnation: 0,
+        fstate: if fault_on {
+            vec![FaultCall::default(); calls.len()]
+        } else {
+            Vec::new()
+        },
+        fault_stats: FaultStats::default(),
+        drops: Vec::new(),
     };
 
+    // Fault-timeline events go in before the arrivals: a fault at the same
+    // instant as an arrival gets the smaller sequence number and fires
+    // first. A no-op loop on fault-free runs (empty timeline), so arrival
+    // sequence numbers are unchanged.
+    for k in 0..sim.timeline.len() {
+        let at = sim.timeline[k].at;
+        sim.events.schedule(at, Ev::Fault(k as u32));
+    }
     for (idx, call) in calls.iter().enumerate() {
         debug_assert!(
             idx == 0 || calls[idx - 1].release <= call.release,
@@ -145,16 +250,26 @@ pub fn simulate(
 
     sim.run();
     assert_eq!(
-        sim.outcomes_filled,
+        sim.outcomes_filled + sim.drops.len(),
         calls.len(),
-        "every call must produce an outcome"
+        "every call must resolve exactly once: completed XOR dropped"
     );
+    if !sim.drops.is_empty() {
+        // Dropped calls never overwrote their pending slot: remove them so
+        // `outcomes` contains completions only (goodput).
+        sim.outcomes.retain(|o| o.completion != SimTime::ZERO);
+    }
+    sim.drops.sort_unstable_by_key(|d| (d.release, d.id));
 
-    assert!(
-        sim.pending.is_empty(),
-        "simulation ended with {} stuck calls (memory smaller than one container?)",
-        sim.pending.len()
-    );
+    // Fault runs skip timed-out queue entries lazily, so stale entries may
+    // remain; anything still genuinely queued is a stuck call.
+    while let Some(i) = sim.pending.pop() {
+        assert!(
+            fault_on && sim.fstate[i as usize].phase != FaultPhase::Queued,
+            "simulation ended with call {i} stuck in the pending queue \
+             (memory smaller than one container?)"
+        );
+    }
     let total_stats = sim.pool.stats();
     let measured_stats = diff_stats(total_stats, sim.measured_snapshot.unwrap_or(total_stats));
 
@@ -166,6 +281,8 @@ pub fn simulate(
         peak_concurrency: sim.cores.peak_busy() as usize,
         peak_events: sim.peak_events,
         last_completion: sim.last_completion,
+        drops: sim.drops,
+        fault_stats: sim.fault_stats,
     }
 }
 
@@ -178,12 +295,21 @@ impl<'a> Sim<'a> {
             };
             match ev {
                 Ev::Arrive(i) => self.on_arrive(now, i),
-                Ev::ExecDone(i) => self.on_exec_done(now, i),
-                Ev::CleanupDone(container) => self.on_cleanup_done(now, container),
-                Ev::PrewarmReady => {
-                    self.pool.replenish_prewarm();
-                    self.dispatch(now);
+                Ev::ExecDone(i, inc) => self.on_exec_done(now, i, inc),
+                Ev::CleanupDone(container, inc) => {
+                    if inc == self.incarnation {
+                        self.on_cleanup_done(now, container);
+                    }
                 }
+                Ev::PrewarmReady(inc) => {
+                    if inc == self.incarnation {
+                        self.pool.replenish_prewarm();
+                        self.dispatch(now);
+                    }
+                }
+                Ev::Fault(k) => self.on_fault(now, k),
+                Ev::Retry(i) => self.on_retry(now, i),
+                Ev::PendingTimeout(i, attempt) => self.on_pending_timeout(now, i, attempt),
             }
         }
     }
@@ -199,18 +325,58 @@ impl<'a> Sim<'a> {
         let prio = self.sched.on_receive(func, now);
         self.runtime[idx].priority = prio;
         self.runtime[idx].invoker_receive = now;
+        if self.fault_on {
+            self.begin_attempt(now, i);
+        }
         self.pending.push(prio, i);
         self.dispatch(now);
     }
 
-    fn on_exec_done(&mut self, now: SimTime, i: u32) {
+    /// Start the next delivery attempt of call `i` (fault runs only):
+    /// bump the attempt counter and arm the pending timeout.
+    fn begin_attempt(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        self.fstate[idx].attempt += 1;
+        self.fstate[idx].phase = FaultPhase::Queued;
+        if self.fstate[idx].attempt > 1 {
+            self.fault_stats.retries += 1;
+        }
+        if let Some(timeout) = self.faults.retry.pending_timeout {
+            self.events.schedule(
+                now + timeout,
+                Ev::PendingTimeout(i, self.fstate[idx].attempt),
+            );
+        }
+    }
+
+    fn on_exec_done(&mut self, now: SimTime, i: u32, inc: u32) {
+        if inc != self.incarnation {
+            return; // the attempt was killed by a crash; timer is stale
+        }
         let idx = i as usize;
         let call = &self.calls[idx];
         let rt = self.runtime[idx];
         self.cpu_load -= self.catalogue.spec(call.func).cpu_fraction;
         let calib = self.cfg.calibration;
-        let completion = now + calib.hop_response;
         let processing = SimDuration::from_secs_f64(rt.processing);
+        let container = rt.container.expect("executed call must hold a container");
+        let mgmt = SimDuration::from_secs_f64(calib.mgmt_secs(self.cfg.cores, rt.processing));
+        // The paper's invoker stores "the processing time" measured around
+        // the whole container interaction (SSIV-B); on a loaded node that
+        // window includes the per-call container management, so the stored
+        // estimate is the held interval, not the bare execution time. The
+        // invoker measures it whether or not the response survives the
+        // transient-failure draw below, and the container cleans up either
+        // way — the work was consumed.
+        self.sched.on_complete(call.func, processing + mgmt, now);
+        self.events
+            .schedule(now + mgmt, Ev::CleanupDone(container, self.incarnation));
+        if self.fault_on && self.faults.attempt_fails(call.id, self.fstate[idx].attempt) {
+            self.fault_stats.transient_failures += 1;
+            self.fail_attempt(now, i, DropReason::ExhaustedRetries);
+            return;
+        }
+        let completion = now + calib.hop_response;
         // A hard assert (one branch per call, negligible next to the event
         // loop): together with the final filled-count check it guarantees
         // every slot is written exactly once, in release builds too.
@@ -220,6 +386,9 @@ impl<'a> Sim<'a> {
             "outcome written twice"
         );
         self.outcomes_filled += 1;
+        if self.fault_on {
+            self.fstate[idx].phase = FaultPhase::Done;
+        }
         self.outcomes[idx] = CallOutcome {
             id: call.id,
             func: call.func,
@@ -236,14 +405,111 @@ impl<'a> Sim<'a> {
         if call.kind == CallKind::Measured {
             self.last_completion = self.last_completion.max(completion);
         }
-        let container = rt.container.expect("executed call must hold a container");
-        let mgmt = SimDuration::from_secs_f64(calib.mgmt_secs(self.cfg.cores, rt.processing));
-        // The paper's invoker stores "the processing time" measured around
-        // the whole container interaction (SSIV-B); on a loaded node that
-        // window includes the per-call container management, so the stored
-        // estimate is the held interval, not the bare execution time.
-        self.sched.on_complete(call.func, processing + mgmt, now);
-        self.events.schedule(now + mgmt, Ev::CleanupDone(container));
+    }
+
+    /// A delivery attempt of call `i` just failed (transient failure,
+    /// crash kill, or pending timeout): schedule the retry per policy, or
+    /// drop the call with `exhausted_reason` when no attempts remain.
+    fn fail_attempt(&mut self, now: SimTime, i: u32, exhausted_reason: DropReason) {
+        let idx = i as usize;
+        let attempt = self.fstate[idx].attempt;
+        if attempt < self.faults.retry.max_attempts {
+            self.fstate[idx].phase = FaultPhase::Backoff;
+            let wait = self
+                .faults
+                .retry
+                .backoff(self.faults.seed, self.calls[idx].id, attempt);
+            self.events.schedule(now + wait, Ev::Retry(i));
+        } else {
+            assert_eq!(
+                self.outcomes[idx].completion,
+                SimTime::ZERO,
+                "dropped a call that already completed"
+            );
+            self.fstate[idx].phase = FaultPhase::Dropped;
+            self.fault_stats.dropped += 1;
+            self.drops.push(DroppedCall {
+                id: self.calls[idx].id,
+                func: self.calls[idx].func,
+                release: self.calls[idx].release,
+                node: self.node_index,
+                reason: exhausted_reason,
+                attempts: attempt,
+            });
+        }
+    }
+
+    /// A failed attempt's backoff expired: re-deliver the call through the
+    /// scheduler (a fresh priority draw, like OpenWhisk's controller
+    /// re-sending the request).
+    fn on_retry(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        debug_assert_eq!(self.fstate[idx].phase, FaultPhase::Backoff);
+        let func = self.calls[idx].func;
+        let prio = self.sched.on_receive(func, now);
+        self.runtime[idx].priority = prio;
+        self.runtime[idx].invoker_receive = now;
+        self.begin_attempt(now, i);
+        self.pending.push(prio, i);
+        self.dispatch(now);
+    }
+
+    /// The pending timeout of `(i, attempt)` fired. If that attempt is
+    /// still queued the client has given up on it: fail the attempt. The
+    /// queue entry itself stays ([`PendingQueue`] has no removal) and is
+    /// skipped lazily by `dispatch` when popped.
+    fn on_pending_timeout(&mut self, now: SimTime, i: u32, attempt: u32) {
+        let idx = i as usize;
+        if self.fstate[idx].phase != FaultPhase::Queued || self.fstate[idx].attempt != attempt {
+            return;
+        }
+        self.fault_stats.timeouts += 1;
+        self.fail_attempt(now, i, DropReason::TimedOut);
+    }
+
+    fn on_fault(&mut self, now: SimTime, k: u32) {
+        match self.timeline[k as usize].kind {
+            FaultKind::SetCapacityFactor(f) => {
+                self.fault_stats.capacity_events += 1;
+                // Scale the busy limit; never below one core. Running
+                // calls are non-preemptive, so a shrink only stops new
+                // dispatches until the pool drains below the new total.
+                let scaled = (self.cfg.busy_limit() as f64 * f).round().max(1.0) as u32;
+                self.cores.set_total(scaled);
+                self.dispatch(now); // a grow frees cores immediately
+            }
+            FaultKind::Crash => self.on_crash(now),
+            FaultKind::Restart => self.on_restart(now),
+        }
+    }
+
+    fn on_crash(&mut self, now: SimTime) {
+        assert!(self.alive, "crash on a node that is already down");
+        self.alive = false;
+        self.incarnation += 1;
+        self.fault_stats.crashes += 1;
+        // Kill every in-flight attempt (init or execution). Their pending
+        // ExecDone/CleanupDone timers are stale under the bumped
+        // incarnation. Queued calls stay in the pending queue. Index order
+        // keeps the retry schedule deterministic.
+        for i in 0..self.calls.len() as u32 {
+            if self.fstate[i as usize].phase == FaultPhase::Running {
+                self.fault_stats.crash_kills += 1;
+                self.fail_attempt(now, i, DropReason::ExhaustedRetries);
+            }
+        }
+        self.cpu_load = 0.0;
+        self.cores.release_all();
+        self.pool.crash();
+    }
+
+    fn on_restart(&mut self, now: SimTime) {
+        assert!(!self.alive, "restart on a live node");
+        self.alive = true;
+        // Cold boot: rebuild the prewarm stock at once, exactly like
+        // `ContainerPool::new` does at time zero.
+        while self.pool.replenish_prewarm() {}
+        self.dispatch(now);
     }
 
     fn on_cleanup_done(&mut self, now: SimTime, container: ContainerId) {
@@ -252,7 +518,7 @@ impl<'a> Sim<'a> {
         if self.pool.prewarm_deficit() > 0 {
             self.events.schedule(
                 now + self.cfg.calibration.prewarm_replacement_delay,
-                Ev::PrewarmReady,
+                Ev::PrewarmReady(self.incarnation),
             );
         }
         self.dispatch(now);
@@ -260,10 +526,19 @@ impl<'a> Sim<'a> {
 
     /// Start as many pending calls as free cores and memory allow, in
     /// priority order with head-of-line blocking (the queue is strict).
+    /// A no-op on a dead node: arrivals keep queuing until the restart.
     fn dispatch(&mut self, now: SimTime) {
+        if self.fault_on && !self.alive {
+            return;
+        }
         while self.cores.has_free() && !self.pending.is_empty() {
             let i = self.pending.pop().expect("non-empty queue pops");
             let idx = i as usize;
+            if self.fault_on && self.fstate[idx].phase != FaultPhase::Queued {
+                // Stale entry: the attempt timed out while queued (or a
+                // duplicate entry already dispatched this call).
+                continue;
+            }
             let func = self.calls[idx].func;
             let spec = self.catalogue.spec(func);
             match self.pool.place(func, spec.memory_mb as u64, now) {
@@ -292,9 +567,12 @@ impl<'a> Sim<'a> {
                     self.runtime[idx].processing = p;
                     self.runtime[idx].start_kind = placement.kind;
                     self.runtime[idx].container = Some(placement.container);
+                    if self.fault_on {
+                        self.fstate[idx].phase = FaultPhase::Running;
+                    }
                     self.events.schedule(
                         exec_start + SimDuration::from_secs_f64(exec_secs),
-                        Ev::ExecDone(i),
+                        Ev::ExecDone(i, self.incarnation),
                     );
                 }
                 None => {
@@ -352,6 +630,154 @@ mod tests {
             seed,
             0,
         )
+    }
+
+    fn faulted(
+        policy: Policy,
+        cores: u32,
+        intensity: u32,
+        seed: u64,
+        faults: &FaultSpec,
+    ) -> NodeResult {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(cores, intensity).generate(&cat, seed);
+        simulate_faulted(
+            &cat,
+            &scenario.all_calls(),
+            &NodeConfig::paper(cores),
+            SchedulerConfig::paper(policy),
+            faults,
+            seed,
+            0,
+        )
+    }
+
+    use faas_workload::faults::{CapacityRamp, RetryPolicy};
+
+    #[test]
+    fn inert_fault_machinery_reproduces_the_plain_run() {
+        // Floor 1.0 capacity ramp: every fault gate engages (timeline
+        // merge, per-call state, zero-probability transient draws) yet no
+        // event can change the schedule.
+        let spec = FaultSpec {
+            seed: 99,
+            capacity: vec![CapacityRamp {
+                node: None,
+                start: SimTime::from_secs(130),
+                floor: 1.0,
+                steps_down: 2,
+                step_every: SimDuration::from_secs(2),
+                hold: SimDuration::from_secs(5),
+                steps_up: 2,
+            }],
+            crashes: Vec::new(),
+            transient_failure: 0.0,
+            retry: RetryPolicy::standard(),
+        };
+        assert!(!spec.is_none(), "the gate must actually engage");
+        let plain = run(Policy::Sept, 10, 30, 14);
+        let gated = faulted(Policy::Sept, 10, 30, 14, &spec);
+        assert_eq!(plain.outcomes, gated.outcomes);
+        assert!(gated.drops.is_empty());
+        assert_eq!(gated.fault_stats.capacity_events, 4);
+        assert_eq!(gated.fault_stats.retries, 0);
+    }
+
+    #[test]
+    fn capacity_degradation_slows_the_contended_run() {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 60).generate(&cat, 15);
+        let spec = FaultSpec::degradation(15, scenario.burst_start, SimDuration::from_secs(60));
+        let plain = run(Policy::Sept, 10, 60, 15);
+        let degraded = faulted(Policy::Sept, 10, 60, 15, &spec);
+        assert!(degraded.drops.is_empty(), "degradation drops nothing");
+        assert_eq!(degraded.outcomes.len(), plain.outcomes.len());
+        assert_ne!(plain.outcomes, degraded.outcomes, "capacity must bite");
+        assert!(
+            degraded.last_completion > plain.last_completion,
+            "losing cores mid-burst must delay the drain: {:?} vs {:?}",
+            degraded.last_completion,
+            plain.last_completion
+        );
+    }
+
+    #[test]
+    fn crash_kills_in_flight_calls_and_restart_drains_the_rest() {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 60).generate(&cat, 16);
+        let total = scenario.all_calls().len();
+        let spec = FaultSpec::crash_restart(16, scenario.burst_start, SimDuration::from_secs(60));
+        let r = faulted(Policy::Sept, 10, 60, 16, &spec);
+        assert_eq!(r.fault_stats.crashes, 1);
+        assert!(
+            r.fault_stats.crash_kills > 0,
+            "a loaded node has in-flight calls"
+        );
+        assert_eq!(
+            r.outcomes.len() + r.drops.len(),
+            total,
+            "call conservation: completed XOR dropped"
+        );
+        assert_eq!(r.fault_stats.dropped, r.drops.len() as u64);
+        assert!(
+            r.drops.is_empty(),
+            "one crash under 3 attempts drops nothing"
+        );
+        assert!(r.fault_stats.retries >= r.fault_stats.crash_kills);
+        let again = faulted(Policy::Sept, 10, 60, 16, &spec);
+        assert_eq!(r.outcomes, again.outcomes);
+        assert_eq!(r.drops, again.drops);
+        assert_eq!(r.fault_stats, again.fault_stats);
+    }
+
+    #[test]
+    fn retry_storm_drops_only_fully_exhausted_calls() {
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(10, 30).generate(&cat, 17);
+        let total = scenario.all_calls().len();
+        let spec = FaultSpec::retry_storm(17);
+        let r = faulted(Policy::Fifo, 10, 30, 17, &spec);
+        assert!(r.fault_stats.transient_failures > 0);
+        assert!(r.fault_stats.retries > 0);
+        assert_eq!(r.outcomes.len() + r.drops.len(), total);
+        for d in &r.drops {
+            assert_eq!(d.reason, DropReason::ExhaustedRetries);
+            assert_eq!(d.attempts, spec.retry.max_attempts);
+        }
+        assert!(r.drops.len() < total / 20);
+    }
+
+    #[test]
+    fn pending_timeout_abandons_queued_calls() {
+        // Starve the node (tiny memory bounds concurrency) with a tight
+        // no-retry timeout: the priority queue backs up and queued calls
+        // are abandoned with `TimedOut` via the lazy-skip path.
+        let cat = catalogue();
+        let scenario = BurstScenario::standard(4, 60).generate(&cat, 18);
+        let calls = scenario.all_calls();
+        let total = calls.len();
+        let mut spec = FaultSpec::none();
+        spec.retry = RetryPolicy {
+            max_attempts: 1,
+            pending_timeout: Some(SimDuration::from_secs(5)),
+            backoff_base: SimDuration::ZERO,
+            backoff_factor: 1.0,
+            jitter: 0.0,
+        };
+        let cfg = NodeConfig::paper(4).with_memory_mb(1024);
+        let r = simulate_faulted(
+            &cat,
+            &calls,
+            &cfg,
+            SchedulerConfig::paper(Policy::Fifo),
+            &spec,
+            18,
+            0,
+        );
+        assert!(!r.drops.is_empty(), "a starved queue must time calls out");
+        assert!(r.drops.iter().all(|d| d.reason == DropReason::TimedOut));
+        assert_eq!(r.fault_stats.timeouts, r.drops.len() as u64);
+        assert_eq!(r.outcomes.len() + r.drops.len(), total);
     }
 
     #[test]

@@ -239,6 +239,25 @@ impl ContainerPool {
         }
     }
 
+    /// Node crash: every container — idle, leased, prewarm — is lost and
+    /// its memory returned. Accumulated statistics survive (they describe
+    /// the run, not the incarnation); the restart boots with an empty pool
+    /// and must re-build its prewarm stock via
+    /// [`ContainerPool::replenish_prewarm`].
+    pub fn crash(&mut self) {
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if !matches!(slot, Slot::Dead) {
+                *slot = Slot::Dead;
+                self.free_slots.push(idx as u32);
+            }
+        }
+        for list in &mut self.idle_by_func {
+            list.clear();
+        }
+        self.prewarm_ready = 0;
+        self.mem_used_mb = 0;
+    }
+
     /// Add one prewarm container if there is a deficit and memory allows.
     /// Returns true if a container was added.
     pub fn replenish_prewarm(&mut self) -> bool {
@@ -461,6 +480,47 @@ mod tests {
         let p = ContainerPool::new(MB, 1, 5, MB);
         assert_eq!(p.prewarm_ready(), 1);
         assert_eq!(p.mem_used_mb(), MB);
+    }
+
+    #[test]
+    fn crash_loses_every_container_but_keeps_stats() {
+        let mut p = ContainerPool::new(8 * MB, 3, 2, MB);
+        let t = SimTime::ZERO;
+        let a = p.place(FuncId(0), MB, t).unwrap();
+        let b = p.place(FuncId(1), MB, t).unwrap();
+        p.release_idle(b.container, t);
+        assert!(p.mem_used_mb() > 0);
+        let stats_before = p.stats();
+        p.crash();
+        assert_eq!(p.mem_used_mb(), 0, "crash returns all memory");
+        assert_eq!(p.container_count(), 0);
+        assert_eq!(p.prewarm_ready(), 0, "stemcells die with the node");
+        assert_eq!(p.idle_count(FuncId(1)), 0);
+        assert_eq!(p.stats(), stats_before, "stats describe the run");
+        // The restarted node rebuilds from cold: placements work again and
+        // the prewarm deficit is replenishable.
+        assert_eq!(p.prewarm_deficit(), 2);
+        assert!(p.replenish_prewarm());
+        let c = p.place(FuncId(1), MB, t).unwrap();
+        assert_eq!(c.kind, ColdStartKind::Prewarm);
+        let _ = a;
+    }
+
+    #[test]
+    fn crash_does_not_double_free_dead_slots() {
+        let mut p = pool(4 * MB);
+        let t = SimTime::ZERO;
+        let a = p.place(FuncId(0), MB, t).unwrap();
+        p.destroy_leased(a.container); // slot already Dead + in free list
+        p.place(FuncId(1), MB, t).unwrap();
+        p.crash();
+        p.crash(); // idempotent: a second crash finds only Dead slots
+                   // Allocating up to capacity must hand out distinct slots.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4 {
+            let cid = p.place(FuncId(i % 3), MB, t).unwrap().container;
+            assert!(seen.insert(cid), "slot {cid:?} handed out twice");
+        }
     }
 
     #[test]

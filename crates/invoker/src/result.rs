@@ -2,8 +2,65 @@
 
 use crate::pool::PoolStats;
 use faas_simcore::time::SimTime;
-use faas_workload::trace::CallOutcome;
+use faas_workload::faults::DropReason;
+use faas_workload::sebs::FuncId;
+use faas_workload::trace::{CallId, CallOutcome};
 use serde::{Deserialize, Serialize};
+
+/// A call that never completed: every retry attempt was consumed (node
+/// crash or transient failure on each) or the pending timeout fired on the
+/// final attempt. Dropped calls are excluded from `outcomes` — latency
+/// statistics describe goodput — and reported here with their reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DroppedCall {
+    /// The call's id.
+    pub id: CallId,
+    /// Function invoked.
+    pub func: FuncId,
+    /// Release (arrival) time of the call.
+    pub release: SimTime,
+    /// Node that dropped it.
+    pub node: u16,
+    /// Why the call was given up on.
+    pub reason: DropReason,
+    /// Attempts consumed (equals the policy's `max_attempts` for
+    /// [`DropReason::ExhaustedRetries`]).
+    pub attempts: u32,
+}
+
+/// Robustness counters a faulted node simulation accumulates. All zero on
+/// a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Node crash events processed.
+    pub crashes: u64,
+    /// Dynamic-capacity events processed (degradation and restoration).
+    pub capacity_events: u64,
+    /// Attempts whose response was lost to a transient failure.
+    pub transient_failures: u64,
+    /// In-flight attempts killed by a node crash.
+    pub crash_kills: u64,
+    /// Attempts abandoned by the pending timeout.
+    pub timeouts: u64,
+    /// Retry attempts scheduled (attempt ≥ 2 dispatches).
+    pub retries: u64,
+    /// Calls dropped (matches the length of [`NodeResult::drops`]).
+    pub dropped: u64,
+}
+
+impl FaultStats {
+    fn add(self, b: FaultStats) -> FaultStats {
+        FaultStats {
+            crashes: self.crashes + b.crashes,
+            capacity_events: self.capacity_events + b.capacity_events,
+            transient_failures: self.transient_failures + b.transient_failures,
+            crash_kills: self.crash_kills + b.crash_kills,
+            timeouts: self.timeouts + b.timeouts,
+            retries: self.retries + b.retries,
+            dropped: self.dropped + b.dropped,
+        }
+    }
+}
 
 /// Everything a node simulation produces.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -25,6 +82,10 @@ pub struct NodeResult {
     pub peak_events: usize,
     /// Completion time of the last measured call.
     pub last_completion: SimTime,
+    /// Calls that never completed (fault runs only; empty otherwise).
+    pub drops: Vec<DroppedCall>,
+    /// Robustness counters (all zero on fault-free runs).
+    pub fault_stats: FaultStats,
 }
 
 impl NodeResult {
@@ -55,12 +116,15 @@ impl NodeResult {
         self.peak_concurrency = self.peak_concurrency.max(other.peak_concurrency);
         self.peak_events = self.peak_events.max(other.peak_events);
         self.last_completion = self.last_completion.max(other.last_completion);
+        self.drops.extend(other.drops);
+        self.fault_stats = self.fault_stats.add(other.fault_stats);
     }
 
     /// Restore the canonical `(release, id)` outcome order after one or
     /// more [`NodeResult::merge_from`] calls.
     pub fn sort_outcomes(&mut self) {
         self.outcomes.sort_unstable_by_key(|o| (o.release, o.id));
+        self.drops.sort_unstable_by_key(|d| (d.release, d.id));
     }
 
     /// Merge outcomes of several nodes (multi-node experiments).
@@ -131,6 +195,8 @@ mod tests {
             peak_concurrency: 2,
             peak_events: 5,
             last_completion: last,
+            drops: Vec::new(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -171,6 +237,32 @@ mod tests {
         assert_eq!(acc.outcomes.len(), 2);
         assert_eq!(acc.outcomes[0].id, CallId(1), "sorted after merge_from");
         assert_eq!(acc.last_completion, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn merge_accumulates_drops_and_fault_stats() {
+        let drop = |id: u32, node: u16| DroppedCall {
+            id: CallId(id),
+            func: FuncId(0),
+            release: SimTime::from_secs(id as u64),
+            node,
+            reason: DropReason::ExhaustedRetries,
+            attempts: 3,
+        };
+        let mut a = result(vec![outcome(0, CallKind::Measured, ColdStartKind::Warm, 0)]);
+        a.drops.push(drop(7, 0));
+        a.fault_stats.retries = 2;
+        a.fault_stats.dropped = 1;
+        let mut b = result(vec![outcome(1, CallKind::Measured, ColdStartKind::Warm, 1)]);
+        b.drops.push(drop(3, 1));
+        b.fault_stats.crashes = 1;
+        b.fault_stats.dropped = 1;
+        let m = NodeResult::merge(vec![a, b]);
+        assert_eq!(m.drops.len(), 2);
+        assert_eq!(m.drops[0].id, CallId(3), "drops sorted by release");
+        assert_eq!(m.fault_stats.retries, 2);
+        assert_eq!(m.fault_stats.crashes, 1);
+        assert_eq!(m.fault_stats.dropped, 2);
     }
 
     #[test]

@@ -16,5 +16,5 @@ pub mod export;
 pub mod summary;
 pub mod table;
 
-pub use summary::{MetricSummary, RunSummary};
+pub use summary::{FaultCounts, MetricSummary, RobustnessSummary, RunSummary};
 pub use table::TextTable;

@@ -139,6 +139,69 @@ impl RunSummary {
     }
 }
 
+/// Fault counters feeding a [`RobustnessSummary`]. Mirrors the invoker's
+/// per-run fault statistics without coupling the metrics crate to it —
+/// experiment code copies the fields over.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Retry attempts delivered (attempt ≥ 2).
+    pub retries: u64,
+    /// Attempts abandoned by the pending timeout.
+    pub timeouts: u64,
+    /// Attempts whose response was lost to a transient failure.
+    pub transient_failures: u64,
+    /// Node crash events.
+    pub crashes: u64,
+}
+
+/// Robustness view of one (possibly faulted) run: how much of the offered
+/// load was actually served, at what retry cost, and what the delivered
+/// tail looked like under the fault plan. All-zero counters and a goodput
+/// of 1 on fault-free runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessSummary {
+    /// Measured calls that completed.
+    pub delivered: usize,
+    /// Measured calls dropped (retries exhausted or timed out).
+    pub dropped: usize,
+    /// `delivered / (delivered + dropped)`.
+    pub goodput: f64,
+    /// `dropped / (delivered + dropped)`.
+    pub drop_rate: f64,
+    /// Fault counters accumulated over the run.
+    pub counts: FaultCounts,
+    /// 99th-percentile response time of the *delivered* measured calls,
+    /// seconds — the paper-style tail metric under degradation.
+    pub p99_response: f64,
+}
+
+impl RobustnessSummary {
+    /// Summarise the delivered measured calls plus the drop/fault
+    /// counters of one run.
+    pub fn from_outcomes(
+        outcomes: &[&CallOutcome],
+        dropped: usize,
+        counts: FaultCounts,
+    ) -> RobustnessSummary {
+        let delivered = outcomes.len();
+        let offered = delivered + dropped;
+        assert!(offered > 0, "robustness summary of zero calls");
+        let p99_response = if delivered == 0 {
+            0.0
+        } else {
+            MetricSummary::from_values(&response_times(outcomes)).p99
+        };
+        RobustnessSummary {
+            delivered,
+            dropped,
+            goodput: delivered as f64 / offered as f64,
+            drop_rate: dropped as f64 / offered as f64,
+            counts,
+            p99_response,
+        }
+    }
+}
+
 /// Box-plot statistics of response times (for figure regeneration).
 pub fn response_boxplot(outcomes: &[&CallOutcome]) -> BoxPlot {
     BoxPlot::from_data(&response_times(outcomes))
@@ -260,5 +323,50 @@ mod tests {
     fn empty_summary_panics() {
         let cat = catalogue();
         RunSummary::from_outcomes(&[], &cat, SimTime::ZERO);
+    }
+
+    #[test]
+    fn robustness_summary_fault_free() {
+        let outs = [outcome(FuncId(0), 0, 1.0), outcome(FuncId(0), 1, 2.0)];
+        let refs: Vec<&CallOutcome> = outs.iter().collect();
+        let s = RobustnessSummary::from_outcomes(&refs, 0, FaultCounts::default());
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.goodput, 1.0);
+        assert_eq!(s.drop_rate, 0.0);
+        // p99 interpolates between the two samples, landing just below max.
+        assert!(s.p99_response > 1.9 && s.p99_response <= 2.0);
+    }
+
+    #[test]
+    fn robustness_summary_with_drops() {
+        let outs = [outcome(FuncId(0), 0, 1.0); 3];
+        let refs: Vec<&CallOutcome> = outs.iter().collect();
+        let counts = FaultCounts {
+            retries: 5,
+            timeouts: 1,
+            transient_failures: 2,
+            crashes: 1,
+        };
+        let s = RobustnessSummary::from_outcomes(&refs, 1, counts);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.dropped, 1);
+        assert!((s.goodput - 0.75).abs() < 1e-12);
+        assert!((s.drop_rate - 0.25).abs() < 1e-12);
+        assert_eq!(s.counts, counts);
+    }
+
+    #[test]
+    fn robustness_summary_total_loss() {
+        // Every call dropped: goodput 0, tail undefined → reported as 0.
+        let s = RobustnessSummary::from_outcomes(&[], 4, FaultCounts::default());
+        assert_eq!(s.goodput, 0.0);
+        assert_eq!(s.drop_rate, 1.0);
+        assert_eq!(s.p99_response, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero calls")]
+    fn robustness_summary_of_nothing_panics() {
+        RobustnessSummary::from_outcomes(&[], 0, FaultCounts::default());
     }
 }

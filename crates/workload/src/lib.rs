@@ -36,6 +36,12 @@
 //!   pre-subsystem generators (pinned by `tests/regression_scenarios.rs`).
 //! * [`trace`] — call/outcome record types shared by the node and cluster
 //!   simulations.
+//! * [`faults`] — seeded deterministic fault injection: capacity
+//!   degradation/restoration ramps, node crash/restart, per-call transient
+//!   failures and the retry/timeout/backoff policy. Every draw is a pure
+//!   hash of `(seed, call, attempt)` and every node timeline a pure
+//!   function of `(spec, node)`, so fault scenarios reproduce bit-for-bit
+//!   across runs and sharding.
 //!
 //! ## How the paper's §V scenarios map onto the axes
 //!
@@ -47,6 +53,7 @@
 //! | beyond the paper | [`arrival::PoissonArrivals`], [`arrival::MmppArrivals`], [`arrival::DiurnalArrivals`] | [`mix::ZipfMix`] |
 
 pub mod arrival;
+pub mod faults;
 pub mod generate;
 pub mod mix;
 pub mod scenario;
@@ -55,6 +62,10 @@ pub mod trace;
 pub mod weight;
 
 pub use arrival::{ArrivalProcess, ArrivalSpec, IntensityProfile};
+pub use faults::{
+    CapacityRamp, CrashSpec, DropReason, FaultEvent, FaultKind, FaultSpec, FaultTimeline,
+    RetryPolicy,
+};
 pub use generate::{IndexPermutation, ShardedGenerator, WorkloadSpec};
 pub use mix::{FunctionMix, MixSpec};
 pub use scenario::{BurstScenario, FairnessScenario, Scenario};
