@@ -6,6 +6,25 @@
 //! experiments use round-robin, which spreads the paper's equal-per-function
 //! load evenly (matching the paper's observation that the per-core intensity
 //! is what determines node behaviour).
+//!
+//! # Static vs feedback policies
+//!
+//! [`LoadBalancer::RoundRobin`] and [`LoadBalancer::FunctionHash`] are
+//! *static*: the assignment is a pure function of the call sequence, so the
+//! whole burst can be sharded up front and every node simulated
+//! independently. [`LoadBalancer::JoinShortestQueue`] and
+//! [`LoadBalancer::PowerOfTwoChoices`] are *feedback* policies: they route
+//! on the per-node queue depths the coupled engine observes at each
+//! conservative-window barrier (see `crate::coupled`), so they only exist
+//! there — [`LoadBalancer::assign`] panics for them.
+//!
+//! Feedback routing is deterministic by construction: every random draw
+//! (tie-breaks, the two probes of power-of-two) is a counter-based
+//! function of `(policy seed, decision index)`, never a shared mutable
+//! stream. The decision sequence therefore depends only on the order in
+//! which calls are routed — not on how the engine batches them into
+//! windows or threads — which is what makes coupled runs bit-identical
+//! across thread counts.
 
 use faas_workload::sebs::FuncId;
 use faas_workload::trace::Call;
@@ -20,11 +39,36 @@ pub enum LoadBalancer {
     /// calls of one function rotate through workers starting at its home,
     /// approximating the sharding balancer's locality with overflow.
     FunctionHash,
+    /// Join-the-shortest-queue: each call goes to the healthy node with the
+    /// smallest observed backlog (queued + in-flight), ties broken by a
+    /// seeded deterministic draw. Feedback policy — coupled engine only.
+    JoinShortestQueue {
+        /// Seed of the counter-based tie-break draws.
+        seed: u64,
+    },
+    /// Power-of-two-choices: probe two seeded-random healthy nodes, route
+    /// to the less loaded (first probe on a tie). The classic
+    /// load-balancing result: two probes capture most of JSQ's benefit
+    /// without global state. Feedback policy — coupled engine only.
+    PowerOfTwoChoices {
+        /// Seed of the counter-based probe draws.
+        seed: u64,
+    },
 }
 
 impl LoadBalancer {
+    /// Whether this policy routes on observed node state and therefore
+    /// requires the coupled cluster engine.
+    pub fn is_feedback(&self) -> bool {
+        matches!(
+            self,
+            LoadBalancer::JoinShortestQueue { .. } | LoadBalancer::PowerOfTwoChoices { .. }
+        )
+    }
+
     /// Assign every call to a node in `0..nodes`. Assignment is by arrival
-    /// order and deterministic.
+    /// order and deterministic. Panics for feedback policies — they have
+    /// no static assignment; route them through the coupled engine.
     pub fn assign(&self, calls: &[Call], nodes: u16) -> Vec<u16> {
         assert!(nodes > 0, "cluster needs at least one node");
         match self {
@@ -46,6 +90,92 @@ impl LoadBalancer {
                     })
                     .collect()
             }
+            LoadBalancer::JoinShortestQueue { .. } | LoadBalancer::PowerOfTwoChoices { .. } => {
+                panic!("feedback policies have no static assignment: use the coupled engine")
+            }
+        }
+    }
+}
+
+/// What a feedback balancer observes about one node at a window barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeView {
+    /// Queued plus in-flight calls ([`faas_invoker::NodeProgress::backlog`]
+    /// at the last barrier, plus the calls routed there since).
+    pub backlog: usize,
+    /// False between a crash and its restart.
+    pub alive: bool,
+}
+
+/// SplitMix64 finalizer: the counter-based draw behind every feedback
+/// routing decision.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// The routing state of a feedback [`LoadBalancer`]: a decision counter.
+/// Each [`FeedbackRouter::route`] call consumes exactly one counter value,
+/// so the decision sequence is a pure function of `(policy seed, decision
+/// order)` — independent of window widths, shard partitions and thread
+/// counts.
+#[derive(Debug, Clone)]
+pub struct FeedbackRouter {
+    lb: LoadBalancer,
+    decisions: u64,
+}
+
+impl FeedbackRouter {
+    /// Build a router for a feedback policy (panics on a static one).
+    pub fn new(lb: LoadBalancer) -> FeedbackRouter {
+        assert!(lb.is_feedback(), "static policies need no feedback router");
+        FeedbackRouter { lb, decisions: 0 }
+    }
+
+    /// Route one call given the per-node views. Dead nodes are skipped
+    /// while any node is alive; with the whole cluster down the call is
+    /// routed as if all were up (like OpenWhisk committing to a down
+    /// invoker's topic — it queues until the restart).
+    pub fn route(&mut self, views: &[NodeView]) -> u16 {
+        assert!(!views.is_empty(), "cluster needs at least one node");
+        let d = self.decisions;
+        self.decisions += 1;
+        let any_alive = views.iter().any(|v| v.alive);
+        let candidate = |n: usize| !any_alive || views[n].alive;
+        match self.lb {
+            LoadBalancer::JoinShortestQueue { seed } => {
+                let best = (0..views.len())
+                    .filter(|&n| candidate(n))
+                    .map(|n| views[n].backlog)
+                    .min()
+                    .expect("at least one candidate");
+                let ties: Vec<u16> = (0..views.len())
+                    .filter(|&n| candidate(n) && views[n].backlog == best)
+                    .map(|n| n as u16)
+                    .collect();
+                ties[(splitmix64(seed ^ d) % ties.len() as u64) as usize]
+            }
+            LoadBalancer::PowerOfTwoChoices { seed } => {
+                let alive: Vec<u16> = (0..views.len())
+                    .filter(|&n| candidate(n))
+                    .map(|n| n as u16)
+                    .collect();
+                let r = splitmix64(seed ^ d);
+                // Two probes from one draw (independent halves).
+                let a = alive[(r as u32 as u64 % alive.len() as u64) as usize];
+                let b = alive[((r >> 32) % alive.len() as u64) as usize];
+                let (la, lb) = (views[a as usize].backlog, views[b as usize].backlog);
+                // First probe wins ties: each probe is uniform, so tie
+                // decisions stay unbiased (min-index would favour node 0).
+                if la <= lb {
+                    a
+                } else {
+                    b
+                }
+            }
+            _ => unreachable!("checked in new()"),
         }
     }
 }
@@ -190,6 +320,66 @@ mod tests {
         let home = home_node(func, nodes);
         let expected: Vec<u16> = (0..12).map(|k| (home + k as u16) % nodes).collect();
         assert_eq!(assign, expected);
+    }
+
+    #[test]
+    fn feedback_flag_partitions_the_policies() {
+        assert!(!LoadBalancer::RoundRobin.is_feedback());
+        assert!(!LoadBalancer::FunctionHash.is_feedback());
+        assert!(LoadBalancer::JoinShortestQueue { seed: 0 }.is_feedback());
+        assert!(LoadBalancer::PowerOfTwoChoices { seed: 0 }.is_feedback());
+    }
+
+    #[test]
+    #[should_panic(expected = "no static assignment")]
+    fn feedback_policies_refuse_static_assignment() {
+        LoadBalancer::JoinShortestQueue { seed: 1 }.assign(&calls(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no feedback router")]
+    fn static_policies_refuse_a_router() {
+        FeedbackRouter::new(LoadBalancer::RoundRobin);
+    }
+
+    #[test]
+    fn jsq_routes_to_the_least_loaded_node() {
+        let mut router = FeedbackRouter::new(LoadBalancer::JoinShortestQueue { seed: 9 });
+        let views = [
+            NodeView {
+                backlog: 4,
+                alive: true,
+            },
+            NodeView {
+                backlog: 1,
+                alive: true,
+            },
+            NodeView {
+                backlog: 7,
+                alive: true,
+            },
+        ];
+        for _ in 0..10 {
+            assert_eq!(router.route(&views), 1);
+        }
+    }
+
+    #[test]
+    fn dead_cluster_still_routes_somewhere() {
+        // All nodes down: the controller commits anyway (the call queues
+        // until a restart), instead of panicking.
+        let views = [NodeView {
+            backlog: 0,
+            alive: false,
+        }; 3];
+        for lb in [
+            LoadBalancer::JoinShortestQueue { seed: 2 },
+            LoadBalancer::PowerOfTwoChoices { seed: 2 },
+        ] {
+            let mut router = FeedbackRouter::new(lb);
+            let n = router.route(&views);
+            assert!(n < 3);
+        }
     }
 
     #[test]

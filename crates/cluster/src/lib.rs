@@ -6,21 +6,31 @@
 //! multi-node experiment engine of §VIII.
 //!
 //! Worker nodes do not interact with each other in OpenWhisk — each invoker
-//! manages its own container pool and queue — so a cluster simulation is
-//! exactly: (1) assign every measured call to a node with the load-balancer
-//! policy; (2) run one single-node simulation per worker (with its own
-//! warm-up, as the paper warms all workers); (3) merge the outcomes.
+//! manages its own container pool and queue — so with a *static* routing
+//! policy a cluster simulation is exactly: (1) assign every measured call to
+//! a node with the load-balancer policy; (2) run one single-node simulation
+//! per worker (with its own warm-up, as the paper warms all workers);
+//! (3) merge the outcomes.
 //!
-//! Two scenario paths feed the engine: [`sim::run_cluster`] replays a
-//! materialized [`sim::ClusterScenario`] (the paper's fixed shared burst),
-//! and [`sim::run_cluster_streamed`] lets every node stream its own slice
-//! of a [`faas_workload::WorkloadSpec`] straight from the sharded
+//! Two scenario paths feed that independent engine: [`sim::run_cluster`]
+//! replays a materialized [`sim::ClusterScenario`] (the paper's fixed shared
+//! burst), and [`sim::run_cluster_streamed`] lets every node stream its own
+//! slice of a [`faas_workload::WorkloadSpec`] straight from the sharded
 //! generator — no shared call vector, no serialized assignment.
+//!
+//! Feedback policies ([`lb::LoadBalancer::JoinShortestQueue`],
+//! [`lb::LoadBalancer::PowerOfTwoChoices`]) and cross-node failover couple
+//! the nodes through the controller; those run on the [`coupled`] engine,
+//! which advances every node's resumable simulator in conservative
+//! lock-step windows of width [`sim::ClusterConfig::lookahead`] (see the
+//! [`coupled`] module docs for the protocol and its determinism argument).
 
+pub mod coupled;
 pub mod lb;
 pub mod sim;
 
-pub use lb::LoadBalancer;
+pub use coupled::{run_cluster_coupled, run_cluster_streamed_coupled};
+pub use lb::{FeedbackRouter, LoadBalancer, NodeView};
 pub use sim::{
     run_cluster, run_cluster_faulted, run_cluster_streamed, run_cluster_streamed_faulted,
     run_cluster_weighted, ClusterConfig, ClusterScenario,

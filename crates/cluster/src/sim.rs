@@ -29,6 +29,43 @@ pub struct ClusterConfig {
     pub node: NodeConfig,
     /// Controller load-balancing policy.
     pub lb: LoadBalancer,
+    /// Conservative-window width of the coupled engine (see
+    /// `crate::coupled`): between windows the controller observes node
+    /// state and routes the next slice of arrivals.
+    /// [`SimDuration::MAX`] couples nothing — one window runs every node
+    /// to completion, which is exactly the independent-node engines.
+    /// Ignored by [`run_cluster`]/[`run_cluster_streamed`] (they are
+    /// always independent).
+    pub lookahead: SimDuration,
+    /// Cross-node failover (coupled engine only): a failed attempt with
+    /// retries left is re-routed to the least-loaded healthy node at the
+    /// next window barrier instead of retrying locally. Requires a finite
+    /// `lookahead` and a fault plan.
+    pub failover: bool,
+}
+
+impl ClusterConfig {
+    /// A cluster of independent nodes: infinite lookahead, no failover —
+    /// the configuration every pre-coupling experiment runs under.
+    pub fn independent(nodes: u16, node: NodeConfig, lb: LoadBalancer) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            node,
+            lb,
+            lookahead: SimDuration::MAX,
+            failover: false,
+        }
+    }
+
+    /// The same cluster under the coupled engine: windows of `lookahead`,
+    /// cross-node failover on.
+    pub fn coupled(self, lookahead: SimDuration, failover: bool) -> ClusterConfig {
+        ClusterConfig {
+            lookahead,
+            failover,
+            ..self
+        }
+    }
 }
 
 /// A generated multi-node scenario: one shared burst plus per-node warm-ups.
@@ -42,12 +79,12 @@ pub struct ClusterScenario {
     /// Burst window length.
     pub burst_window: SimDuration,
     /// Per-function warm-up wave times (each node replays these locally).
-    warmup_waves: Vec<(FuncId, SimTime)>,
+    pub(crate) warmup_waves: Vec<(FuncId, SimTime)>,
 }
 
 /// Per-node simulation seeds, derived sequentially in node order so the
 /// RNG stream order is fixed regardless of how the node loop is scheduled.
-fn node_seeds(seed: u64, nodes: u16) -> Vec<(u16, u64)> {
+pub(crate) fn node_seeds(seed: u64, nodes: u16) -> Vec<(u16, u64)> {
     let mut root = Xoshiro256::seed_from_u64(seed ^ 0xC1u64.rotate_left(32));
     (0..nodes)
         .map(|node| (node, root.derive_stream(node as u64).next_u64()))
@@ -97,7 +134,7 @@ impl ClusterScenario {
 
     /// The warm-up calls one node issues (with ids offset to stay unique
     /// within that node's simulation).
-    fn node_warmup(&self, cores: u32, id_base: u32) -> Vec<Call> {
+    pub(crate) fn node_warmup(&self, cores: u32, id_base: u32) -> Vec<Call> {
         warmup_calls_for_waves(&self.warmup_waves, cores, id_base)
     }
 }
@@ -272,6 +309,9 @@ pub fn run_cluster_streamed_faulted(
             };
             run_cluster_faulted(catalogue, &scenario, mode, cfg, &weights, faults, sim_seed)
         }
+        LoadBalancer::JoinShortestQueue { .. } | LoadBalancer::PowerOfTwoChoices { .. } => {
+            panic!("feedback policies need the coupled engine: run_cluster_streamed_coupled")
+        }
     }
 }
 
@@ -307,11 +347,7 @@ mod tests {
         // by construction identical (the paper sends the same sequence).
         let sc = scenario(12, 2);
         let cat = catalogue();
-        let cfg1 = ClusterConfig {
-            nodes: 1,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::RoundRobin,
-        };
+        let cfg1 = ClusterConfig::independent(1, NodeConfig::paper(10), LoadBalancer::RoundRobin);
         let cfg2 = ClusterConfig { nodes: 2, ..cfg1 };
         let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice));
         let r1 = run_cluster(&cat, &sc, &mode, &cfg1, 3);
@@ -326,11 +362,7 @@ mod tests {
     fn every_measured_call_served_once() {
         let sc = scenario(12, 3);
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 3,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::RoundRobin,
-        };
+        let cfg = ClusterConfig::independent(3, NodeConfig::paper(10), LoadBalancer::RoundRobin);
         let r = run_cluster(&cat, &sc, &NodeMode::Baseline, &cfg, 4);
         let measured: Vec<_> = r.outcomes.iter().filter(|o| o.is_measured()).collect();
         assert_eq!(measured.len(), sc.burst.len());
@@ -344,11 +376,7 @@ mod tests {
     fn outcomes_carry_node_indices() {
         let sc = scenario(12, 5);
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 4,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::RoundRobin,
-        };
+        let cfg = ClusterConfig::independent(4, NodeConfig::paper(10), LoadBalancer::RoundRobin);
         let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::Fifo));
         let r = run_cluster(&cat, &sc, &mode, &cfg, 6);
         let nodes: std::collections::BTreeSet<u16> = r
@@ -366,11 +394,8 @@ mod tests {
         let cat = catalogue();
         let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice));
         let avg = |nodes: u16| {
-            let cfg = ClusterConfig {
-                nodes,
-                node: NodeConfig::paper(10),
-                lb: LoadBalancer::RoundRobin,
-            };
+            let cfg =
+                ClusterConfig::independent(nodes, NodeConfig::paper(10), LoadBalancer::RoundRobin);
             let r = run_cluster(&cat, &sc, &mode, &cfg, 8);
             let v: Vec<f64> = r
                 .outcomes
@@ -392,11 +417,7 @@ mod tests {
     fn deterministic_given_seed() {
         let sc = scenario(12, 9);
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 2,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::FunctionHash,
-        };
+        let cfg = ClusterConfig::independent(2, NodeConfig::paper(10), LoadBalancer::FunctionHash);
         let a = run_cluster(&cat, &sc, &NodeMode::Baseline, &cfg, 10);
         let b = run_cluster(&cat, &sc, &NodeMode::Baseline, &cfg, 10);
         assert_eq!(a.outcomes, b.outcomes);
@@ -456,11 +477,7 @@ mod tests {
     #[test]
     fn streamed_round_robin_serves_every_call_once() {
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 3,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::RoundRobin,
-        };
+        let cfg = ClusterConfig::independent(3, NodeConfig::paper(10), LoadBalancer::RoundRobin);
         let r = run_cluster_streamed(&cat, &streamed_spec(132), &NodeMode::Baseline, &cfg, 1, 2);
         let measured: Vec<_> = r.outcomes.iter().filter(|o| o.is_measured()).collect();
         assert_eq!(measured.len(), 132);
@@ -478,11 +495,7 @@ mod tests {
     #[test]
     fn streamed_is_deterministic() {
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 2,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::RoundRobin,
-        };
+        let cfg = ClusterConfig::independent(2, NodeConfig::paper(10), LoadBalancer::RoundRobin);
         let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice));
         let a = run_cluster_streamed(&cat, &streamed_spec(66), &mode, &cfg, 3, 4);
         let b = run_cluster_streamed(&cat, &streamed_spec(66), &mode, &cfg, 3, 4);
@@ -492,11 +505,7 @@ mod tests {
     #[test]
     fn streamed_function_hash_falls_back_to_materialized_assignment() {
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 2,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::FunctionHash,
-        };
+        let cfg = ClusterConfig::independent(2, NodeConfig::paper(10), LoadBalancer::FunctionHash);
         let r = run_cluster_streamed(&cat, &streamed_spec(66), &NodeMode::Baseline, &cfg, 5, 6);
         let measured = r.outcomes.iter().filter(|o| o.is_measured()).count();
         assert_eq!(measured, 66);
@@ -512,11 +521,7 @@ mod tests {
     #[test]
     fn streamed_scenario_seed_changes_workload_sim_seed_does_not() {
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 2,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::RoundRobin,
-        };
+        let cfg = ClusterConfig::independent(2, NodeConfig::paper(10), LoadBalancer::RoundRobin);
         let releases = |scen: u64, sim: u64| -> Vec<u64> {
             let r = run_cluster_streamed(
                 &cat,
@@ -545,11 +550,7 @@ mod tests {
         // still serves every call exactly once on every node, and changes
         // the baseline outcomes relative to uniform weights.
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 2,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::RoundRobin,
-        };
+        let cfg = ClusterConfig::independent(2, NodeConfig::paper(10), LoadBalancer::RoundRobin);
         let mut spec = streamed_spec(132);
         spec.weights = WeightSpec::paper_tiers();
         let weighted = run_cluster_streamed(&cat, &spec, &NodeMode::Baseline, &cfg, 7, 8);
@@ -578,11 +579,7 @@ mod tests {
     #[test]
     fn streamed_weighted_function_hash_fallback_applies_weights() {
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 2,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::FunctionHash,
-        };
+        let cfg = ClusterConfig::independent(2, NodeConfig::paper(10), LoadBalancer::FunctionHash);
         // The tiered model includes a 0.5-core cap, which binds even on an
         // uncontended node (Zipf weights with unit caps only matter once
         // the run-queue oversubscribes the cores).
@@ -607,11 +604,7 @@ mod tests {
         // measured call either completes or is reported dropped, only node
         // 0 crashes, and a fixed seed reproduces the run exactly.
         let cat = catalogue();
-        let cfg = ClusterConfig {
-            nodes: 3,
-            node: NodeConfig::paper(10),
-            lb: LoadBalancer::RoundRobin,
-        };
+        let cfg = ClusterConfig::independent(3, NodeConfig::paper(10), LoadBalancer::RoundRobin);
         let spec = streamed_spec(660);
         let (_, burst_start) = warmup_waves_for(&cat);
         let mut faults = FaultSpec::crash_restart(21, burst_start, SimDuration::from_secs(60));
@@ -646,11 +639,7 @@ mod tests {
         let (_, burst_start) = warmup_waves_for(&cat);
         let faults = FaultSpec::degradation(31, burst_start, SimDuration::from_secs(60));
         let run_with = |lb: LoadBalancer| {
-            let cfg = ClusterConfig {
-                nodes: 2,
-                node: NodeConfig::paper(10),
-                lb,
-            };
+            let cfg = ClusterConfig::independent(2, NodeConfig::paper(10), lb);
             run_cluster_streamed_faulted(&cat, &spec, &NodeMode::Baseline, &cfg, &faults, 31, 32)
         };
         let stride = run_with(LoadBalancer::RoundRobin);

@@ -1,6 +1,6 @@
 //! Property tests of the cluster layer.
 
-use faas_cluster::LoadBalancer;
+use faas_cluster::{FeedbackRouter, LoadBalancer, NodeView};
 use faas_simcore::time::SimTime;
 use faas_workload::sebs::FuncId;
 use faas_workload::trace::{Call, CallId, CallKind};
@@ -42,6 +42,10 @@ proptest! {
             let slack = match lb {
                 LoadBalancer::RoundRobin => 1,
                 LoadBalancer::FunctionHash => funcs as usize,
+                LoadBalancer::JoinShortestQueue { .. }
+                | LoadBalancer::PowerOfTwoChoices { .. } => {
+                    unreachable!("feedback policies have no static assignment")
+                }
             };
             prop_assert!(max - min <= slack, "{lb:?}: {counts:?}");
         }
@@ -53,6 +57,131 @@ proptest! {
         let cs = calls(n, 11);
         for lb in [LoadBalancer::RoundRobin, LoadBalancer::FunctionHash] {
             prop_assert_eq!(lb.assign(&cs, nodes), lb.assign(&cs, nodes));
+        }
+    }
+}
+
+fn feedback_policies(seed: u64) -> [LoadBalancer; 2] {
+    [
+        LoadBalancer::JoinShortestQueue { seed },
+        LoadBalancer::PowerOfTwoChoices { seed },
+    ]
+}
+
+/// A pseudo-random but deterministic view sequence for the router to react
+/// to (the proptest inputs seed it).
+fn view_sequence(len: usize, nodes: usize, salt: u64) -> Vec<Vec<NodeView>> {
+    (0..len)
+        .map(|i| {
+            (0..nodes)
+                .map(|n| {
+                    let h =
+                        (salt ^ (i as u64) << 17 ^ n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    NodeView {
+                        backlog: (h >> 32) as usize % 7,
+                        // Keep at least node 0 alive so routing stays defined.
+                        alive: n == 0 || h & 0xFF > 40,
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    /// Feedback routing is a pure function of (policy seed, decision
+    /// index, views): two routers fed the same sequence agree decision by
+    /// decision.
+    #[test]
+    fn feedback_routing_reruns_identically(
+        len in 1usize..300,
+        nodes in 1usize..8,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let views = view_sequence(len, nodes, salt);
+        for lb in feedback_policies(seed) {
+            let mut a = FeedbackRouter::new(lb);
+            let mut b = FeedbackRouter::new(lb);
+            for v in &views {
+                prop_assert_eq!(a.route(v), b.route(v));
+            }
+        }
+    }
+
+    /// Decisions are keyed by the decision counter, not by a shared RNG
+    /// stream, so any partition of the sequence reproduces the unsharded
+    /// run: a router cloned mid-stream continues bit-identically, wherever
+    /// the split lands (chunk) and however the halves interleave (stride —
+    /// both clones advance independently yet agree with the reference).
+    #[test]
+    fn feedback_routing_is_partition_invariant(
+        len in 2usize..300,
+        nodes in 1usize..8,
+        split_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let views = view_sequence(len, nodes, salt);
+        let split = ((len as f64 * split_frac) as usize).min(len - 1);
+        for lb in feedback_policies(seed) {
+            let mut whole = FeedbackRouter::new(lb);
+            let reference: Vec<u16> = views.iter().map(|v| whole.route(v)).collect();
+
+            let mut first = FeedbackRouter::new(lb);
+            for v in &views[..split] {
+                first.route(v);
+            }
+            let mut second = first.clone();
+            let tail_a: Vec<u16> = views[split..].iter().map(|v| first.route(v)).collect();
+            let tail_b: Vec<u16> = views[split..].iter().map(|v| second.route(v)).collect();
+            prop_assert_eq!(&tail_a, &reference[split..]);
+            prop_assert_eq!(&tail_b, &reference[split..]);
+        }
+    }
+
+    /// Routing never lands on a dead node while any node is alive.
+    #[test]
+    fn feedback_routing_respects_liveness(
+        len in 1usize..300,
+        nodes in 1usize..8,
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+    ) {
+        let views = view_sequence(len, nodes, salt);
+        for lb in feedback_policies(seed) {
+            let mut router = FeedbackRouter::new(lb);
+            for v in &views {
+                let choice = router.route(v) as usize;
+                prop_assert!(choice < nodes);
+                prop_assert!(v[choice].alive);
+            }
+        }
+    }
+
+    /// Tie-breaking is fair: with every node equally loaded, the seeded
+    /// draw spreads decisions across the cluster with bounded imbalance
+    /// (no node starves, no node hoards).
+    #[test]
+    fn feedback_tie_breaking_has_bounded_imbalance(
+        nodes in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let rounds = 2048usize;
+        let flat = vec![NodeView { backlog: 3, alive: true }; nodes];
+        for lb in feedback_policies(seed) {
+            let mut router = FeedbackRouter::new(lb);
+            let mut counts = vec![0usize; nodes];
+            for _ in 0..rounds {
+                counts[router.route(&flat) as usize] += 1;
+            }
+            let expect = rounds / nodes;
+            for (n, &c) in counts.iter().enumerate() {
+                prop_assert!(
+                    c > expect / 2 && c < expect * 2,
+                    "{lb:?}: node {n} got {c} of {rounds} over {nodes} nodes"
+                );
+            }
         }
     }
 }

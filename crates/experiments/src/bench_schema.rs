@@ -15,20 +15,22 @@
 //! * every file carries at least one baseline/candidate timing pair (two
 //!   or more entries in a wall-clock unit) plus the derived `*_speedup`
 //!   ratio in unit `x`;
-//! * the five canonical artifacts (`BENCH_gps.json`,
+//! * the six canonical artifacts (`BENCH_gps.json`,
 //!   `BENCH_weighted_gps.json`, `BENCH_events.json`,
-//!   `BENCH_workload.json`, `BENCH_faults.json`) are all present.
+//!   `BENCH_workload.json`, `BENCH_faults.json`, `BENCH_coupled.json`)
+//!   are all present.
 
 use crate::bench_gps::BenchEntry;
 use std::path::Path;
 
 /// The artifacts `experiments bench` must produce.
-pub const EXPECTED_ARTIFACTS: [&str; 5] = [
+pub const EXPECTED_ARTIFACTS: [&str; 6] = [
     "BENCH_gps.json",
     "BENCH_weighted_gps.json",
     "BENCH_events.json",
     "BENCH_workload.json",
     "BENCH_faults.json",
+    "BENCH_coupled.json",
 ];
 
 /// Wall-clock units a baseline/candidate timing may use.

@@ -22,15 +22,17 @@
 //!              weights x strategy (uniform/Poisson/MMPP/diurnal x
 //!              equal/fairness/Zipf x uniform/tiered/Zipf-correlated),
 //!              with per-combination sim-health columns, plus a
-//!              cluster-size sweep through the streamed multi-node engine
-//!              and a fault-scenario robustness sweep (goodput, drop
-//!              rate, retries, p99 under degradation)
+//!              cluster-size sweep through the streamed multi-node engine,
+//!              a fault-scenario robustness sweep (goodput, drop
+//!              rate, retries, p99 under degradation) and a coupled-engine
+//!              robustness table (static vs feedback load balancing with
+//!              cross-node failover under the strict crash preset)
 //!   bench      GPS-kernel (uniform and weighted), event-queue,
-//!              workload-generation and dynamic-capacity
+//!              workload-generation, dynamic-capacity and coupled-engine
 //!              micro-benchmarks; writes BENCH_gps.json,
 //!              BENCH_weighted_gps.json, BENCH_events.json,
-//!              BENCH_workload.json and BENCH_faults.json for the perf
-//!              trajectory
+//!              BENCH_workload.json, BENCH_faults.json and
+//!              BENCH_coupled.json for the perf trajectory
 //!   run        Custom single configuration with per-call CSV trace:
 //!              run --cores C --intensity V --policy P [--seed S]
 //!   all      Everything above
@@ -39,8 +41,9 @@
 //! Results are also written as JSON under `--out` (default `results/`).
 
 use faas_experiments::{
-    ablations, bench_events, bench_faults, bench_gps, bench_schema, bench_weighted_gps,
-    bench_workload, custom, fig2, fig5, fig6, functions, grid, sweep, table1, Effort,
+    ablations, bench_coupled, bench_events, bench_faults, bench_gps, bench_schema,
+    bench_weighted_gps, bench_workload, custom, fig2, fig5, fig6, functions, grid, sweep, table1,
+    Effort,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -178,6 +181,9 @@ fn run_bench(opts: &Opts) {
     let faults = bench_faults::run();
     println!("{}", bench_faults::render(&faults));
     save(opts, "BENCH_faults.json", &faults);
+    let coupled = bench_coupled::run();
+    println!("{}", bench_coupled::render(&coupled));
+    save(opts, "BENCH_coupled.json", &coupled);
 }
 
 fn run_sweep(opts: &Opts) {

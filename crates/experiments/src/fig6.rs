@@ -89,11 +89,11 @@ pub fn run(effort: Effort) -> Fig6Result {
                 Strategy::Fc => NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice)),
                 _ => unreachable!("the paper's SSVIII uses baseline and FC only"),
             };
-            let cfg = ClusterConfig {
+            let cfg = ClusterConfig::independent(
                 nodes,
-                node: NodeConfig::paper(cores),
-                lb: LoadBalancer::RoundRobin,
-            };
+                NodeConfig::paper(cores),
+                LoadBalancer::RoundRobin,
+            );
             let mut pooled: Vec<f64> = Vec::new();
             let mut per_seed_avg = Vec::new();
             let mut max_completion: f64 = 0.0;

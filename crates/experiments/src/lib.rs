@@ -26,6 +26,7 @@
 //! bit-for-bit reproducible from the seed set.
 
 pub mod ablations;
+pub mod bench_coupled;
 pub mod bench_events;
 pub mod bench_faults;
 pub mod bench_gps;

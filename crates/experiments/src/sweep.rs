@@ -19,7 +19,9 @@
 
 use crate::grid::mode_for;
 use crate::Effort;
-use faas_cluster::{run_cluster_streamed, ClusterConfig, LoadBalancer};
+use faas_cluster::{
+    run_cluster_streamed, run_cluster_streamed_coupled, ClusterConfig, LoadBalancer,
+};
 use faas_invoker::{simulate_calls_faulted, simulate_calls_weighted, NodeConfig};
 use faas_metrics::compare::Strategy;
 use faas_metrics::summary::{
@@ -32,7 +34,7 @@ use faas_workload::arrival::ArrivalSpec;
 use faas_workload::faults::FaultSpec;
 use faas_workload::generate::WorkloadSpec;
 use faas_workload::mix::MixSpec;
-use faas_workload::scenario::warmup_for_spec;
+use faas_workload::scenario::{warmup_for_spec, warmup_waves};
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::CallOutcome;
 use faas_workload::weight::{WeightSpec, WeightTable};
@@ -104,6 +106,24 @@ pub struct FaultSweepRow {
     pub response: MetricSummary,
 }
 
+/// One (load balancer, strategy) row of the coupled robustness table: the
+/// §VIII cluster under the strict crash preset, routed by a static or
+/// feedback policy through the coupled engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoupledSweepRow {
+    /// Load-balancer label (`static-rr` is the no-feedback control).
+    pub lb: String,
+    /// Whether cross-node failover was enabled.
+    pub failover: bool,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Goodput, drop rate, fault counters (including failovers) and the
+    /// delivered p99.
+    pub robustness: RobustnessSummary,
+    /// Delivered response-time statistics, seconds.
+    pub response: MetricSummary,
+}
+
 /// The sweep result set.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepResult {
@@ -119,6 +139,9 @@ pub struct SweepResult {
     /// Fault-scenario rows (robustness axis), ordered by
     /// (scenario, strategy).
     pub fault_rows: Vec<FaultSweepRow>,
+    /// Coupled-engine robustness rows (LB-policy axis under the strict
+    /// crash preset), ordered by (lb, strategy).
+    pub coupled_rows: Vec<CoupledSweepRow>,
 }
 
 impl SweepResult {
@@ -152,6 +175,13 @@ impl SweepResult {
         self.fault_rows
             .iter()
             .find(|r| r.scenario == scenario && r.strategy == strategy)
+    }
+
+    /// Look up one coupled-engine robustness row.
+    pub fn coupled_row(&self, lb: &str, strategy: Strategy) -> Option<&CoupledSweepRow> {
+        self.coupled_rows
+            .iter()
+            .find(|r| r.lb == lb && r.strategy == strategy)
     }
 }
 
@@ -370,12 +400,14 @@ pub fn run(effort: Effort) -> SweepResult {
 
     let cluster_rows = run_cluster_sweep(&catalogue, cores, intensity, window, effort);
     let fault_rows = run_fault_sweep(&catalogue, cores, intensity, window, effort);
+    let coupled_rows = run_coupled_sweep(&catalogue, cores, intensity, window, effort);
     SweepResult {
         cores,
         intensity,
         rows,
         cluster_rows,
         fault_rows,
+        coupled_rows,
     }
 }
 
@@ -485,6 +517,7 @@ fn run_fault_sweep(
                     timeouts: fs.timeouts,
                     transient_failures: fs.transient_failures,
                     crashes: fs.crashes,
+                    failovers: fs.failovers,
                 },
                 outcomes: result.measured().copied().collect(),
             }
@@ -507,6 +540,7 @@ fn run_fault_sweep(
                 counts.timeouts += out.counts.timeouts;
                 counts.transient_failures += out.counts.transient_failures;
                 counts.crashes += out.counts.crashes;
+                counts.failovers += out.counts.failovers;
             }
             let refs: Vec<&CallOutcome> = pooled.iter().collect();
             let mut resp = Vec::new();
@@ -575,11 +609,11 @@ fn run_cluster_sweep(
                 weights: weights.clone(),
                 window,
             };
-            let cfg = ClusterConfig {
+            let cfg = ClusterConfig::independent(
                 nodes,
-                node: NodeConfig::paper(cores),
-                lb: LoadBalancer::RoundRobin,
-            };
+                NodeConfig::paper(cores),
+                LoadBalancer::RoundRobin,
+            );
             let result = run_cluster_streamed(
                 catalogue,
                 &spec,
@@ -627,6 +661,149 @@ fn run_cluster_sweep(
                     peak_events,
                 });
             }
+        }
+    }
+    rows
+}
+
+/// The LB-policy axis of the coupled robustness table: the static
+/// round-robin control (no feedback, no failover — the independent
+/// engine's semantics) against the two feedback policies with cross-node
+/// failover. LB seeds are derived per run seed so pooling over seeds
+/// samples tie-break realizations too.
+fn coupled_lb_axis(seed: u64) -> Vec<(String, LoadBalancer, bool)> {
+    let lb_seed = seed ^ 0x1BA1;
+    vec![
+        ("static-rr".into(), LoadBalancer::RoundRobin, false),
+        (
+            "jsq".into(),
+            LoadBalancer::JoinShortestQueue { seed: lb_seed },
+            true,
+        ),
+        (
+            "p2c".into(),
+            LoadBalancer::PowerOfTwoChoices { seed: lb_seed },
+            true,
+        ),
+    ]
+}
+
+/// Conservative-window width of the coupled sweep: a health-poll-scale
+/// lookahead, wide enough to amortize barriers, narrow enough that the
+/// balancers see a crashed node within a fraction of its outage.
+const COUPLED_LOOKAHEAD: SimDuration = SimDuration::from_millis(250);
+
+/// Worker count of the coupled robustness table (the acceptance bar asks
+/// for the crash-failover story at 4+ nodes).
+const COUPLED_NODES: u16 = 4;
+
+/// The coupled-engine robustness sweep: the §VIII fixed total load on
+/// [`COUPLED_NODES`] workers under [`FaultSpec::crash_strict`] — node 0
+/// dies mid-burst while an impatient client times queued calls out — per
+/// LB policy and strategy. Static round-robin keeps committing calls to
+/// the dead node's shard and drops them; the feedback policies route
+/// around the outage and fail killed attempts over, which is exactly the
+/// goodput gap this table exists to show.
+fn run_coupled_sweep(
+    catalogue: &Catalogue,
+    cores: u32,
+    intensity: u32,
+    window: SimDuration,
+    effort: Effort,
+) -> Vec<CoupledSweepRow> {
+    let count = catalogue.len() * cores as usize * intensity as usize / 10;
+    let strategies = vec![Strategy::Baseline, Strategy::Fc];
+    let seeds = effort.seed_set();
+    let (_, burst_start) = warmup_waves(catalogue);
+    let lb_labels: Vec<(String, bool)> = coupled_lb_axis(0)
+        .into_iter()
+        .map(|(label, _, failover)| (label, failover))
+        .collect();
+
+    struct CoupledOut {
+        lb: String,
+        strategy: Strategy,
+        outcomes: Vec<CallOutcome>,
+        dropped: usize,
+        counts: FaultCounts,
+    }
+
+    // The window loop inside the coupled engine already fans the nodes out
+    // on rayon; run the configurations serially.
+    let mut outputs: Vec<CoupledOut> = Vec::new();
+    for &seed in seeds {
+        for (label, lb, failover) in coupled_lb_axis(seed) {
+            for &strategy in &strategies {
+                let spec = WorkloadSpec {
+                    arrival: ArrivalSpec::Uniform { count },
+                    mix: MixSpec::Equal,
+                    weights: WeightSpec::Uniform,
+                    window,
+                };
+                let faults = FaultSpec::crash_strict(seed ^ 0xFA17, burst_start, window);
+                let cfg = ClusterConfig::independent(COUPLED_NODES, NodeConfig::paper(cores), lb)
+                    .coupled(COUPLED_LOOKAHEAD, failover);
+                let result = run_cluster_streamed_coupled(
+                    catalogue,
+                    &spec,
+                    &mode_for(strategy),
+                    &cfg,
+                    &faults,
+                    seed,
+                    seed ^ 0xC1u64,
+                );
+                let fs = result.fault_stats;
+                outputs.push(CoupledOut {
+                    lb: label.clone(),
+                    strategy,
+                    // Measured drops only: burst ids are below `count`
+                    // (warmup ids start at the burst length).
+                    dropped: result
+                        .drops
+                        .iter()
+                        .filter(|d| (d.id.0 as usize) < count)
+                        .count(),
+                    counts: FaultCounts {
+                        retries: fs.retries,
+                        timeouts: fs.timeouts,
+                        transient_failures: fs.transient_failures,
+                        crashes: fs.crashes,
+                        failovers: fs.failovers,
+                    },
+                    outcomes: result.measured().copied().collect(),
+                });
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (label, failover) in &lb_labels {
+        for &strategy in &strategies {
+            let mut pooled: Vec<CallOutcome> = Vec::new();
+            let mut dropped = 0;
+            let mut counts = FaultCounts::default();
+            for out in outputs
+                .iter()
+                .filter(|o| &o.lb == label && o.strategy == strategy)
+            {
+                pooled.extend(out.outcomes.iter().copied());
+                dropped += out.dropped;
+                counts.retries += out.counts.retries;
+                counts.timeouts += out.counts.timeouts;
+                counts.transient_failures += out.counts.transient_failures;
+                counts.crashes += out.counts.crashes;
+                counts.failovers += out.counts.failovers;
+            }
+            let refs: Vec<&CallOutcome> = pooled.iter().collect();
+            let mut resp = Vec::new();
+            response_times_into(&refs, &mut resp);
+            rows.push(CoupledSweepRow {
+                lb: label.clone(),
+                failover: *failover,
+                strategy,
+                robustness: RobustnessSummary::from_outcomes(&refs, dropped, counts),
+                response: MetricSummary::from_values(&resp),
+            });
         }
     }
     rows
@@ -706,16 +883,43 @@ pub fn render(result: &SweepResult) -> String {
             fmt_secs(r.robustness.p99_response),
         ]);
     }
+    let mut cp = TextTable::new([
+        "lb/strategy",
+        "served",
+        "drop",
+        "goodput",
+        "retries",
+        "t/o",
+        "failover",
+        "R p99",
+    ]);
+    for r in &result.coupled_rows {
+        cp.row([
+            format!("{}/{}", r.lb, r.strategy.name()),
+            r.robustness.delivered.to_string(),
+            r.robustness.dropped.to_string(),
+            format!("{:.4}", r.robustness.goodput),
+            r.robustness.counts.retries.to_string(),
+            r.robustness.counts.timeouts.to_string(),
+            r.robustness.counts.failovers.to_string(),
+            fmt_secs(r.robustness.p99_response),
+        ]);
+    }
     format!(
         "Workload sweep: arrival x mix x weights x strategy at {} cores, \
          intensity-equivalent {}\n{}\n\
          Cluster-size sweep (streamed generation, fixed total load)\n{}\n\
-         Fault-scenario sweep (robustness axis)\n{}",
+         Fault-scenario sweep (robustness axis)\n{}\n\
+         Coupled-engine robustness ({} nodes, strict crash preset, \
+         lookahead {} ms)\n{}",
         result.cores,
         result.intensity,
         t.render(),
         c.render(),
-        f.render()
+        f.render(),
+        COUPLED_NODES,
+        COUPLED_LOOKAHEAD.as_millis_f64(),
+        cp.render()
     )
 }
 
@@ -736,11 +940,33 @@ mod tests {
         })
     }
 
+    /// Expected row count of each table, derived from the very axis lists
+    /// the sweep crosses — adding an arrival shape, LB policy or fault
+    /// scenario can't silently desynchronize the tests.
+    fn expected_rows(quick: bool) -> usize {
+        arrival_axis(1, SimDuration::from_secs(60), quick).len()
+            * mix_axis(quick).len()
+            * weight_axis(quick).len()
+            * strategy_axis(quick).len()
+    }
+
+    fn expected_cluster_rows(quick: bool) -> usize {
+        // The cluster and robustness tables fix the headline strategy pair.
+        node_axis(quick).len() * weight_axis(quick).len() * 2
+    }
+
+    fn expected_fault_rows() -> usize {
+        fault_axis(0, SimTime::ZERO, SimDuration::from_secs(60)).len() * 2
+    }
+
+    fn expected_coupled_rows() -> usize {
+        coupled_lb_axis(0).len() * 2
+    }
+
     #[test]
     fn quick_sweep_covers_the_reduced_axes() {
         let r = quick();
-        // 2 arrivals x 2 mixes x 3 weights x 2 strategies.
-        assert_eq!(r.rows.len(), 24);
+        assert_eq!(r.rows.len(), expected_rows(true));
         assert!(r
             .row("uniform", "equal", "w-uniform", Strategy::Baseline)
             .is_some());
@@ -823,8 +1049,7 @@ mod tests {
     #[test]
     fn cluster_sweep_covers_nodes_and_weights() {
         let r = quick();
-        // 2 node counts x 3 weights x 2 strategies.
-        assert_eq!(r.cluster_rows.len(), 12);
+        assert_eq!(r.cluster_rows.len(), expected_cluster_rows(true));
         for row in &r.cluster_rows {
             assert_eq!(row.calls, 660, "fixed total load on {} nodes", row.nodes);
         }
@@ -844,8 +1069,7 @@ mod tests {
     #[test]
     fn fault_sweep_covers_scenarios_and_controls() {
         let r = quick();
-        // 4 scenarios x 2 strategies.
-        assert_eq!(r.fault_rows.len(), 8);
+        assert_eq!(r.fault_rows.len(), expected_fault_rows());
         // The fault-free control: full goodput, zero counters.
         for strategy in [Strategy::Baseline, Strategy::Fc] {
             let none = r.fault_row("none", strategy).unwrap();
@@ -896,6 +1120,62 @@ mod tests {
     }
 
     #[test]
+    fn coupled_table_covers_the_lb_axis_and_conserves_calls() {
+        let r = quick();
+        assert_eq!(r.coupled_rows.len(), expected_coupled_rows());
+        for row in &r.coupled_rows {
+            let rb = &row.robustness;
+            assert_eq!(
+                rb.delivered + rb.dropped,
+                660,
+                "{}/{:?}: cluster call conservation",
+                row.lb,
+                row.strategy
+            );
+            assert_eq!(rb.counts.crashes, 1, "one crash per seed");
+        }
+        // The control row runs without failover, the feedback rows with.
+        assert!(!r.coupled_row("static-rr", Strategy::Fc).unwrap().failover);
+        assert!(r.coupled_row("jsq", Strategy::Fc).unwrap().failover);
+    }
+
+    #[test]
+    fn feedback_routing_beats_static_round_robin_under_the_crash() {
+        // The acceptance bar of the coupled engine: with node 0 down and
+        // an impatient client, JSQ + failover must deliver measurably more
+        // of the offered load than the static control, for both regimes.
+        let r = quick();
+        for strategy in [Strategy::Baseline, Strategy::Fc] {
+            let rr = r.coupled_row("static-rr", strategy).unwrap();
+            let jsq = r.coupled_row("jsq", strategy).unwrap();
+            assert!(
+                rr.robustness.dropped > 0,
+                "{strategy:?}: the strict crash preset must hurt static RR"
+            );
+            assert!(
+                jsq.robustness.goodput > rr.robustness.goodput,
+                "{strategy:?}: JSQ goodput {} must beat static RR {}",
+                jsq.robustness.goodput,
+                rr.robustness.goodput
+            );
+            assert_eq!(
+                rr.robustness.counts.failovers, 0,
+                "no failover on the control row"
+            );
+        }
+        // Failovers are structural under the queued regime: FairChoice
+        // holds calls pending, so strict timeouts with retries left migrate
+        // across nodes throughout the run. (Under the baseline's greedy
+        // dispatch only in-flight kills at the crash instant migrate, which
+        // can legitimately round to zero at light per-node load.)
+        let jsq_fc = r.coupled_row("jsq", Strategy::Fc).unwrap();
+        assert!(
+            jsq_fc.robustness.counts.failovers > 0,
+            "timed-out retries must hand off under JSQ/FC"
+        );
+    }
+
+    #[test]
     fn sim_health_is_populated() {
         let r = quick();
         for row in &r.rows {
@@ -918,5 +1198,7 @@ mod tests {
         assert!(s.contains("Cluster-size sweep"));
         assert!(s.contains("Fault-scenario sweep"));
         assert!(s.contains("goodput") && s.contains("retry-storm/"));
+        assert!(s.contains("Coupled-engine robustness"));
+        assert!(s.contains("static-rr/") && s.contains("jsq/") && s.contains("failover"));
     }
 }

@@ -54,6 +54,7 @@ use crate::config::NodeConfig;
 use crate::fault_rt::{FaultCall, FaultPhase};
 use crate::pool::{ContainerId, ContainerPool};
 use crate::result::{DroppedCall, FaultStats, NodeResult};
+use crate::step::{Handoff, NodeProgress};
 use faas_cpu::{GpsCpu, GpsParams, TaskId};
 use faas_simcore::dist::Sampler;
 use faas_simcore::events::{EventHandle, EventQueue};
@@ -126,9 +127,13 @@ impl CallRuntime {
     }
 }
 
-struct Sim<'a> {
+/// The baseline node as a resumable simulator (see [`crate::step`] for the
+/// lifecycle contract). The legacy `simulate_*` entry points are thin
+/// wrappers: `new` + `inject` + `advance_to(SimTime::MAX)` + `finish`,
+/// pinned bit-identical to the pre-refactor run-to-completion loop.
+pub struct NodeSim<'a> {
     catalogue: &'a Catalogue,
-    calls: &'a [Call],
+    calls: Vec<Call>,
     cfg: &'a NodeConfig,
     /// Per-function GPS weights/caps (weighted containers). The uniform
     /// table keeps every task on the GPS fast path.
@@ -174,6 +179,16 @@ struct Sim<'a> {
     fstate: Vec<FaultCall>,
     fault_stats: FaultStats,
     drops: Vec<DroppedCall>,
+    /// Cross-node failover enabled (coupled cluster runs only): a failed
+    /// attempt with retries left leaves the node as a [`Handoff`] instead
+    /// of scheduling a local [`Ev::Retry`].
+    failover: bool,
+    /// Outbox of pending handoffs, drained by the cluster engine at each
+    /// window barrier.
+    handoffs: Vec<Handoff>,
+    /// Calls that left this node via failover (their pending outcome slot
+    /// is discarded at `finish`).
+    migrated: usize,
 }
 
 /// Run the baseline node over `calls` (sorted by release time) with the
@@ -230,134 +245,160 @@ pub fn simulate_faulted(
     seed: u64,
     node_index: u16,
 ) -> NodeResult {
-    assert_eq!(
-        weights.len(),
-        catalogue.len(),
-        "weight table must cover the catalogue"
-    );
-    faults.validate();
-    let fault_on = !faults.is_none();
-    let timeline = if fault_on {
-        faults.timeline_for_node(node_index).events
-    } else {
-        Vec::new()
-    };
-    let mut root = Xoshiro256::seed_from_u64(seed);
-    let rng_service = root.derive_stream(0xB001);
-    let rng_cold = root.derive_stream(0xB002);
-
-    let mut sim = Sim {
-        catalogue,
-        calls,
-        cfg,
-        weights,
-        node_index,
-        events: EventQueue::new(),
-        cpu: GpsCpu::new(GpsParams {
-            cores: cfg.cores as f64,
-            ctx_switch_penalty: cfg.calibration.ctx_switch_penalty,
-            penalty_cap: cfg.calibration.ctx_switch_penalty_cap,
-        }),
-        fifo: VecDeque::new(),
-        pool: ContainerPool::new(
-            cfg.memory_mb,
-            catalogue.len(),
-            cfg.prewarm_count,
-            catalogue
-                .iter()
-                .map(|(_, f)| f.memory_mb as u64)
-                .min()
-                .unwrap_or(256),
-        ),
-        owners: HashMap::new(),
-        runtime: vec![CallRuntime::empty(); calls.len()],
-        outcomes: calls
-            .iter()
-            .map(|c| CallOutcome::pending(c, node_index))
-            .collect(),
-        outcomes_filled: 0,
-        rng_service,
-        rng_cold,
-        peak_queue: 0,
-        leased: 0,
-        peak_leased: 0,
-        measured_snapshot: None,
-        last_completion: SimTime::ZERO,
-        peak_events: 0,
-        tick: None,
-        finished_scratch: Vec::new(),
-        faults,
-        timeline,
-        fault_on,
-        alive: true,
-        incarnation: 0,
-        fstate: if fault_on {
-            vec![FaultCall::default(); calls.len()]
-        } else {
-            Vec::new()
-        },
-        fault_stats: FaultStats::default(),
-        drops: Vec::new(),
-    };
-
-    // Fault-timeline events go in before the arrivals: a fault at the same
-    // instant as an arrival gets the smaller sequence number and fires
-    // first. A no-op loop on fault-free runs (empty timeline), so arrival
-    // sequence numbers are unchanged.
-    for k in 0..sim.timeline.len() {
-        let at = sim.timeline[k].at;
-        sim.events.schedule(at, Ev::Fault(k as u32));
-    }
-    for (idx, call) in calls.iter().enumerate() {
-        debug_assert!(
-            idx == 0 || calls[idx - 1].release <= call.release,
-            "calls must be sorted by release"
-        );
-        sim.events.schedule(
-            call.release + cfg.calibration.hop_request,
-            Ev::Arrive(idx as u32),
-        );
-    }
-
-    sim.run();
-    assert_eq!(
-        sim.outcomes_filled + sim.drops.len(),
-        calls.len(),
-        "every call must resolve exactly once: completed XOR dropped"
-    );
-    if !sim.drops.is_empty() {
-        // Dropped calls never overwrote their pending slot: remove them so
-        // `outcomes` contains completions only (goodput).
-        sim.outcomes.retain(|o| o.completion != SimTime::ZERO);
-    }
-    sim.drops.sort_unstable_by_key(|d| (d.release, d.id));
-
-    let total_stats = sim.pool.stats();
-    let snapshot = sim.measured_snapshot.unwrap_or(total_stats);
-    NodeResult {
-        outcomes: sim.outcomes,
-        measured_pool_stats: crate::pool::PoolStats {
-            warm_hits: total_stats.warm_hits - snapshot.warm_hits,
-            prewarm_hits: total_stats.prewarm_hits - snapshot.prewarm_hits,
-            cold_creates: total_stats.cold_creates - snapshot.cold_creates,
-            evictions: total_stats.evictions - snapshot.evictions,
-            placement_failures: total_stats.placement_failures - snapshot.placement_failures,
-        },
-        total_pool_stats: total_stats,
-        peak_queue: sim.peak_queue,
-        peak_concurrency: sim.peak_leased,
-        peak_events: sim.peak_events,
-        last_completion: sim.last_completion,
-        drops: sim.drops,
-        fault_stats: sim.fault_stats,
-    }
+    let mut sim = NodeSim::new(catalogue, cfg, weights, faults, seed, node_index, false);
+    sim.inject(calls);
+    sim.advance_to(SimTime::MAX);
+    sim.finish()
 }
 
-impl<'a> Sim<'a> {
-    fn run(&mut self) {
+impl<'a> NodeSim<'a> {
+    /// Build an empty baseline node: no calls yet, only the node's fault
+    /// timeline scheduled (before any arrival, so a same-instant fault
+    /// fires first).
+    pub fn new(
+        catalogue: &'a Catalogue,
+        cfg: &'a NodeConfig,
+        weights: &'a WeightTable,
+        faults: &'a FaultSpec,
+        seed: u64,
+        node_index: u16,
+        failover: bool,
+    ) -> NodeSim<'a> {
+        assert_eq!(
+            weights.len(),
+            catalogue.len(),
+            "weight table must cover the catalogue"
+        );
+        faults.validate();
+        let fault_on = !faults.is_none();
+        assert!(!failover || fault_on, "failover needs a fault plan");
+        let timeline = if fault_on {
+            faults.timeline_for_node(node_index).events
+        } else {
+            Vec::new()
+        };
+        let mut root = Xoshiro256::seed_from_u64(seed);
+        let rng_service = root.derive_stream(0xB001);
+        let rng_cold = root.derive_stream(0xB002);
+
+        let mut sim = NodeSim {
+            catalogue,
+            calls: Vec::new(),
+            cfg,
+            weights,
+            node_index,
+            events: EventQueue::new(),
+            cpu: GpsCpu::new(GpsParams {
+                cores: cfg.cores as f64,
+                ctx_switch_penalty: cfg.calibration.ctx_switch_penalty,
+                penalty_cap: cfg.calibration.ctx_switch_penalty_cap,
+            }),
+            fifo: VecDeque::new(),
+            pool: ContainerPool::new(
+                cfg.memory_mb,
+                catalogue.len(),
+                cfg.prewarm_count,
+                catalogue
+                    .iter()
+                    .map(|(_, f)| f.memory_mb as u64)
+                    .min()
+                    .unwrap_or(256),
+            ),
+            owners: HashMap::new(),
+            runtime: Vec::new(),
+            outcomes: Vec::new(),
+            outcomes_filled: 0,
+            rng_service,
+            rng_cold,
+            peak_queue: 0,
+            leased: 0,
+            peak_leased: 0,
+            measured_snapshot: None,
+            last_completion: SimTime::ZERO,
+            peak_events: 0,
+            tick: None,
+            finished_scratch: Vec::new(),
+            faults,
+            timeline,
+            fault_on,
+            alive: true,
+            incarnation: 0,
+            fstate: Vec::new(),
+            fault_stats: FaultStats::default(),
+            drops: Vec::new(),
+            failover,
+            handoffs: Vec::new(),
+            migrated: 0,
+        };
+
+        // Fault-timeline events go in before the arrivals: a fault at the
+        // same instant as an arrival gets the smaller sequence number and
+        // fires first. A no-op loop on fault-free runs (empty timeline),
+        // so arrival sequence numbers are unchanged.
+        for k in 0..sim.timeline.len() {
+            let at = sim.timeline[k].at;
+            sim.events.schedule(at, Ev::Fault(k as u32));
+        }
+        sim
+    }
+
+    /// Append a release-sorted batch of calls and schedule their arrivals.
+    /// Every release must be at or after the node's clock (events cannot be
+    /// scheduled into the past).
+    pub fn inject(&mut self, calls: &[Call]) {
+        self.calls.reserve(calls.len());
+        self.runtime.reserve(calls.len());
+        self.outcomes.reserve(calls.len());
+        if self.fault_on {
+            self.fstate.reserve(calls.len());
+        }
+        for (k, call) in calls.iter().enumerate() {
+            debug_assert!(
+                k == 0 || calls[k - 1].release <= call.release,
+                "calls must be sorted by release"
+            );
+            let idx = self.calls.len() as u32;
+            self.calls.push(*call);
+            self.runtime.push(CallRuntime::empty());
+            self.outcomes
+                .push(CallOutcome::pending(call, self.node_index));
+            if self.fault_on {
+                self.fstate.push(FaultCall::default());
+            }
+            self.events.schedule(
+                call.release + self.cfg.calibration.hop_request,
+                Ev::Arrive(idx),
+            );
+        }
+    }
+
+    /// Re-inject a call another node failed over: the attempt counter
+    /// carries across, and the delivery is a fresh dispatch through the
+    /// controller — one `hop_request` after `deliver_at` (the backoff
+    /// expiry, barrier-aligned by the cluster engine).
+    pub fn inject_handoff(&mut self, h: &Handoff, deliver_at: SimTime) {
+        assert!(self.fault_on, "handoffs only exist under a fault plan");
+        let idx = self.calls.len() as u32;
+        self.calls.push(h.call);
+        self.runtime.push(CallRuntime::empty());
+        self.outcomes
+            .push(CallOutcome::pending(&h.call, self.node_index));
+        self.fstate.push(FaultCall {
+            attempt: h.attempts,
+            phase: FaultPhase::Idle,
+        });
+        self.events.schedule(
+            deliver_at + self.cfg.calibration.hop_request,
+            Ev::Arrive(idx),
+        );
+    }
+
+    /// Drain every event with `time <= horizon`, then report progress.
+    /// `advance_to(SimTime::MAX)` runs to completion.
+    pub fn advance_to(&mut self, horizon: SimTime) -> NodeProgress {
         loop {
             self.peak_events = self.peak_events.max(self.events.len());
-            let Some((now, ev)) = self.events.pop() else {
+            let Some((now, ev)) = self.events.pop_at_or_before(horizon) else {
                 break;
             };
             match ev {
@@ -376,12 +417,86 @@ impl<'a> Sim<'a> {
                 Ev::PendingTimeout(i, attempt) => self.on_pending_timeout(now, i, attempt),
             }
         }
+        self.progress()
+    }
+
+    /// The [`NodeProgress`] snapshot `advance_to` returns.
+    pub fn progress(&self) -> NodeProgress {
+        NodeProgress {
+            now: self.events.now(),
+            next_event: self.events.peek_time(),
+            queue_depth: self.fifo.len(),
+            inflight: self.leased,
+            alive: self.alive,
+            completed: self.outcomes_filled,
+            dropped: self.drops.len(),
+            handoffs: self.handoffs.len(),
+        }
+    }
+
+    /// Timestamp of the earliest still-queued event.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    /// Take the pending failover outbox (cluster engine, between windows).
+    pub fn take_handoffs(&mut self) -> Vec<Handoff> {
+        std::mem::take(&mut self.handoffs)
+    }
+
+    /// Check conservation and assemble the [`NodeResult`]. Call after the
+    /// final `advance_to` has drained the node (`next_event_time() ==
+    /// None`).
+    pub fn finish(mut self) -> NodeResult {
+        assert!(
+            self.events.is_empty(),
+            "finish with {} events still queued",
+            self.events.len()
+        );
+        assert!(
+            self.handoffs.is_empty(),
+            "finish with {} handoffs not collected",
+            self.handoffs.len()
+        );
         assert!(
             self.fifo.is_empty(),
             "baseline ended with {} stuck calls",
             self.fifo.len()
         );
         debug_assert!(self.cpu.is_empty(), "GPS bank must drain");
+        assert_eq!(
+            self.outcomes_filled + self.drops.len() + self.migrated,
+            self.calls.len(),
+            "every call must resolve exactly once: completed XOR dropped XOR handed off"
+        );
+        if !self.drops.is_empty() || self.migrated > 0 {
+            // Dropped and migrated calls never overwrote their pending
+            // slot: remove them so `outcomes` contains completions only
+            // (goodput; a migrated call's outcome is owned by the node
+            // that resolved it).
+            self.outcomes.retain(|o| o.completion != SimTime::ZERO);
+        }
+        self.drops.sort_unstable_by_key(|d| (d.release, d.id));
+
+        let total_stats = self.pool.stats();
+        let snapshot = self.measured_snapshot.unwrap_or(total_stats);
+        NodeResult {
+            outcomes: self.outcomes,
+            measured_pool_stats: crate::pool::PoolStats {
+                warm_hits: total_stats.warm_hits - snapshot.warm_hits,
+                prewarm_hits: total_stats.prewarm_hits - snapshot.prewarm_hits,
+                cold_creates: total_stats.cold_creates - snapshot.cold_creates,
+                evictions: total_stats.evictions - snapshot.evictions,
+                placement_failures: total_stats.placement_failures - snapshot.placement_failures,
+            },
+            total_pool_stats: total_stats,
+            peak_queue: self.peak_queue,
+            peak_concurrency: self.peak_leased,
+            peak_events: self.peak_events,
+            last_completion: self.last_completion,
+            drops: self.drops,
+            fault_stats: self.fault_stats,
+        }
     }
 
     fn on_arrive(&mut self, now: SimTime, i: u32) {
@@ -593,17 +708,32 @@ impl<'a> Sim<'a> {
     }
 
     /// A delivery attempt of call `i` just failed (transient failure,
-    /// crash kill, or pending timeout): schedule the retry per policy, or
-    /// drop the call with `exhausted_reason` when no attempts remain.
+    /// crash kill, or pending timeout): schedule the retry per policy —
+    /// locally, or as a cross-node handoff when failover is on — or drop
+    /// the call with `exhausted_reason` when no attempts remain.
     fn fail_attempt(&mut self, now: SimTime, i: u32, exhausted_reason: DropReason) {
         let idx = i as usize;
         let attempt = self.fstate[idx].attempt;
         if attempt < self.faults.retry.max_attempts {
-            self.fstate[idx].phase = FaultPhase::Backoff;
             let wait = self
                 .faults
                 .retry
                 .backoff(self.faults.seed, self.calls[idx].id, attempt);
+            if self.failover {
+                // The retry leaves the node: the cluster engine re-routes
+                // it to the least-loaded healthy node at the next barrier.
+                self.fstate[idx].phase = FaultPhase::Migrated;
+                self.migrated += 1;
+                self.fault_stats.failovers += 1;
+                self.handoffs.push(Handoff {
+                    call: self.calls[idx],
+                    attempts: attempt,
+                    due: now + wait,
+                    from: self.node_index,
+                });
+                return;
+            }
+            self.fstate[idx].phase = FaultPhase::Backoff;
             self.events.schedule(now + wait, Ev::Retry(i));
         } else {
             assert_eq!(

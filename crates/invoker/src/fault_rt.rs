@@ -12,7 +12,10 @@
 //!                                ▼                  ▼
 //!                              Backoff ◀────── fail_attempt
 //!                                │ retry (attempts left)
-//!                                └──────▶ Dropped (exhausted)
+//!                                ├──────▶ Dropped (exhausted)
+//!                                └──────▶ Migrated (attempts left, cluster
+//!                                         failover on: the retry leaves
+//!                                         the node as a `Handoff`)
 //! ```
 //!
 //! All of this is dead state on fault-free runs: the invokers allocate the
@@ -36,6 +39,9 @@ pub(crate) enum FaultPhase {
     Done,
     /// Every attempt consumed: the call was dropped.
     Dropped,
+    /// The call left this node as a cross-node failover handoff; it
+    /// resolves (completes, drops, or migrates again) elsewhere.
+    Migrated,
 }
 
 /// Per-call fault-runtime state.

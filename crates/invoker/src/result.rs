@@ -46,6 +46,10 @@ pub struct FaultStats {
     pub retries: u64,
     /// Calls dropped (matches the length of [`NodeResult::drops`]).
     pub dropped: u64,
+    /// Failed attempts handed off to another node for their retry
+    /// (cross-node failover; always zero outside the coupled cluster
+    /// engine). Counted on the node the attempt failed on.
+    pub failovers: u64,
 }
 
 impl FaultStats {
@@ -58,6 +62,7 @@ impl FaultStats {
             timeouts: self.timeouts + b.timeouts,
             retries: self.retries + b.retries,
             dropped: self.dropped + b.dropped,
+            failovers: self.failovers + b.failovers,
         }
     }
 }

@@ -152,6 +152,9 @@ pub struct FaultCounts {
     pub transient_failures: u64,
     /// Node crash events.
     pub crashes: u64,
+    /// Retries handed off to another node by the coupled engine's
+    /// cross-node failover (zero on independent-engine runs).
+    pub failovers: u64,
 }
 
 /// Robustness view of one (possibly faulted) run: how much of the offered
@@ -346,6 +349,7 @@ mod tests {
             timeouts: 1,
             transient_failures: 2,
             crashes: 1,
+            failovers: 3,
         };
         let s = RobustnessSummary::from_outcomes(&refs, 1, counts);
         assert_eq!(s.delivered, 3);

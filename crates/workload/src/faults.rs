@@ -362,6 +362,25 @@ impl FaultSpec {
         }
     }
 
+    /// Preset: [`FaultSpec::crash_restart`] under an impatient client —
+    /// two attempts and a 1.5 s pending timeout. Queued calls committed to
+    /// the dead node now time out instead of waiting for the restart,
+    /// which is the regime where routing policy matters: a static balancer
+    /// keeps feeding the dead node's shard, while queue-feedback balancers
+    /// with cross-node failover steer around it (the coupled engine's
+    /// robustness axis).
+    pub fn crash_strict(seed: u64, burst_start: SimTime, window: SimDuration) -> Self {
+        let mut spec = FaultSpec::crash_restart(seed, burst_start, window);
+        spec.retry = RetryPolicy {
+            max_attempts: 2,
+            pending_timeout: Some(SimDuration::from_millis(1500)),
+            backoff_base: SimDuration::from_millis(100),
+            backoff_factor: 2.0,
+            jitter: 0.5,
+        };
+        spec
+    }
+
     /// Preset: a retry storm — 15% of attempts fail transiently under an
     /// aggressive five-attempt policy with tight backoff.
     pub fn retry_storm(seed: u64) -> Self {
@@ -573,6 +592,15 @@ mod tests {
                 .is_none()
         );
         assert!(!FaultSpec::retry_storm(1).is_none());
+        let strict =
+            FaultSpec::crash_strict(1, SimTime::from_secs(100), SimDuration::from_secs(60));
+        assert!(!strict.is_none());
+        assert_eq!(strict.retry.max_attempts, 2);
+        assert_eq!(
+            strict.retry.pending_timeout,
+            Some(SimDuration::from_millis(1500))
+        );
+        assert_eq!(strict.crashes.len(), 1, "inherits the crash plan");
         // A pending timeout alone can abandon queued attempts: not inert.
         let mut timed = FaultSpec::none();
         timed.retry.pending_timeout = Some(SimDuration::from_secs(1));

@@ -45,11 +45,11 @@ fn main() {
                 NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice)),
             ),
         ] {
-            let cfg = ClusterConfig {
+            let cfg = ClusterConfig::independent(
                 nodes,
-                node: NodeConfig::paper(cores_per_node),
-                lb: LoadBalancer::RoundRobin,
-            };
+                NodeConfig::paper(cores_per_node),
+                LoadBalancer::RoundRobin,
+            );
             let result = run_cluster(&catalogue, &scenario, &mode, &cfg, seed);
             let resp: Vec<f64> = result
                 .outcomes

@@ -70,11 +70,7 @@ fn same_scenario_different_sim_seed_changes_service_times_only() {
 fn cluster_runs_are_reproducible() {
     let catalogue = Catalogue::sebs();
     let scenario = ClusterScenario::generate(&catalogue, 24, 10, SimDuration::from_secs(60), 13);
-    let cfg = ClusterConfig {
-        nodes: 3,
-        node: NodeConfig::paper(10),
-        lb: LoadBalancer::FunctionHash,
-    };
+    let cfg = ClusterConfig::independent(3, NodeConfig::paper(10), LoadBalancer::FunctionHash);
     let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice));
     let a = run_cluster(&catalogue, &scenario, &mode, &cfg, 13);
     let b = run_cluster(&catalogue, &scenario, &mode, &cfg, 13);

@@ -212,11 +212,8 @@ fn fc_on_three_nodes_beats_baseline_on_four() {
         12,
     );
     let run_cfg = |nodes: u16, mode: &NodeMode| {
-        let cfg = ClusterConfig {
-            nodes,
-            node: NodeConfig::paper(18),
-            lb: LoadBalancer::RoundRobin,
-        };
+        let cfg =
+            ClusterConfig::independent(nodes, NodeConfig::paper(18), LoadBalancer::RoundRobin);
         let result = run_cluster(&catalogue, &scenario, mode, &cfg, 12);
         let v: Vec<f64> = result
             .outcomes

@@ -9,9 +9,12 @@
 //! workspace parallelizes (whole node/seed simulations per item), static
 //! chunking is within noise of a real work-stealing pool.
 
-/// Everything needed for `slice.par_iter().map(..).collect()`.
+/// Everything needed for `slice.par_iter().map(..).collect()` and
+/// `slice.par_iter_mut().map(..).collect()`.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter, ParIterMut, ParMap, ParMapMut,
+    };
 }
 
 /// Number of worker threads: respects `RAYON_NUM_THREADS`, defaults to the
@@ -88,6 +91,91 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
+/// Types that can hand out a parallel iterator over `&mut self`'s items.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item yielded by mutable reference.
+    type Item: Send + 'a;
+    /// Create the mutable parallel iterator.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Mutably borrowing parallel iterator over a slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Map each item through `f` in parallel, with mutable access.
+    pub fn map<R, F>(self, f: F) -> ParMapMut<'a, T, F>
+    where
+        F: Fn(&'a mut T) -> R + Sync,
+        R: Send,
+    {
+        ParMapMut {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIterMut::map`], ready to collect.
+pub struct ParMapMut<'a, T, F> {
+    items: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, F> ParMapMut<'a, T, F> {
+    /// Run the map on a scoped thread pool and collect the results in input
+    /// order. Items are split into contiguous chunks via `chunks_mut`, so
+    /// each item is mutated by exactly one thread and the output order is
+    /// the input order — identical to the sequential computation.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a mut T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_chunked_mut(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Chunked mutable parallel map preserving input order.
+fn run_chunked_mut<'a, T: Send, R: Send, F: Fn(&'a mut T) -> R + Sync>(
+    items: &'a mut [T],
+    f: &F,
+) -> Vec<R> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunk_outputs: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter_mut().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            chunk_outputs.push(h.join().expect("rayon stand-in worker panicked"));
+        }
+    });
+    chunk_outputs.into_iter().flatten().collect()
+}
+
 /// Chunked parallel map preserving input order.
 fn run_chunked<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync>(items: &'a [T], f: &F) -> Vec<R> {
     let threads = current_num_threads().min(items.len().max(1));
@@ -130,6 +218,30 @@ mod tests {
     fn empty_input_collects_empty() {
         let xs: Vec<u8> = Vec::new();
         let out: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mut_map_mutates_in_place_and_preserves_order() {
+        let mut xs: Vec<u64> = (0..10_000).collect();
+        let seen: Vec<u64> = xs
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert_eq!(seen, (1..=10_000).collect::<Vec<_>>());
+        assert_eq!(xs, (1..=10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mut_map_works_on_tiny_and_empty_inputs() {
+        let mut one = [5u32];
+        let out: Vec<u32> = one.par_iter_mut().map(|x| *x * 2).collect();
+        assert_eq!(out, vec![10]);
+        let mut none: Vec<u8> = Vec::new();
+        let out: Vec<u8> = none.par_iter_mut().map(|x| *x).collect();
         assert!(out.is_empty());
     }
 }
