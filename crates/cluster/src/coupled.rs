@@ -82,7 +82,7 @@ pub fn run_cluster_coupled(
     } else {
         Some(cfg.lb.assign(&scenario.burst, cfg.nodes))
     };
-    let warmup = scenario.node_warmup(cfg.node.cores, scenario.burst.len() as u32);
+    let warmup = scenario.node_warmup(cfg.node.cores, scenario.burst.len() as u64);
     coupled_engine(
         catalogue,
         &scenario.burst,
@@ -116,7 +116,7 @@ pub fn run_cluster_streamed_coupled(
     let (warmup_waves, burst_start) = warmup_waves_for(catalogue);
     let generator = ShardedGenerator::new(spec, catalogue, burst_start, scenario_seed);
     let weights = spec.weights.table(catalogue);
-    let id_base = generator.len() as u32;
+    let id_base = generator.len();
     let mut burst = generator.generate_parallel();
     burst.sort_by_key(|c| (c.release, c.id));
     let assignment = match cfg.lb {
@@ -444,7 +444,7 @@ mod tests {
         for r in [&rr, &jsq, &p2c] {
             let measured: Vec<_> = r.outcomes.iter().filter(|o| o.is_measured()).collect();
             assert_eq!(measured.len(), 264);
-            let mut ids: Vec<u32> = measured.iter().map(|o| o.id.0).collect();
+            let mut ids: Vec<u64> = measured.iter().map(|o| o.id.0).collect();
             ids.sort_unstable();
             ids.dedup();
             assert_eq!(ids.len(), 264, "each call served exactly once");
@@ -521,7 +521,7 @@ mod tests {
                     .coupled(lookahead, false);
             let r =
                 run_cluster_streamed_coupled(&cat, &spec, &mode, &cfg, &FaultSpec::none(), 3, 4);
-            let mut v: Vec<(u32, u16)> = r
+            let mut v: Vec<(u64, u16)> = r
                 .outcomes
                 .iter()
                 .filter(|o| o.is_measured())

@@ -198,7 +198,7 @@ mod tests {
     fn calls(n: usize) -> Vec<Call> {
         (0..n)
             .map(|i| Call {
-                id: CallId(i as u32),
+                id: CallId(i as u64),
                 func: FuncId((i % 4) as u16),
                 release: SimTime::from_millis(i as u64),
                 kind: CallKind::Measured,
@@ -310,7 +310,7 @@ mod tests {
         let nodes = 5u16;
         let cs: Vec<Call> = (0..12)
             .map(|i| Call {
-                id: CallId(i as u32),
+                id: CallId(i as u64),
                 func,
                 release: SimTime::from_millis(i as u64),
                 kind: CallKind::Measured,
@@ -389,7 +389,7 @@ mod tests {
         let nodes = 4u16;
         let cs: Vec<Call> = (0..8)
             .map(|i| Call {
-                id: CallId(i as u32),
+                id: CallId(i as u64),
                 func: FuncId((i % 2) as u16),
                 release: SimTime::from_millis(i as u64),
                 kind: CallKind::Measured,

@@ -24,10 +24,19 @@
 //! which advances every node's resumable simulator in conservative
 //! lock-step windows of width [`sim::ClusterConfig::lookahead`] (see the
 //! [`coupled`] module docs for the protocol and its determinism argument).
+//!
+//! A third ingestion path replays fixed call logs: the [`trace_run`]
+//! engines pull a [`faas_workload::TraceSource`] (a recorded file or a
+//! lazily-synthesized trace) through bounded `chunk`-call ingestion
+//! windows, so a 10^8-call day streams through the cluster without ever
+//! being materialized. [`trace_run::run_cluster_source`] dispatches any
+//! [`faas_workload::WorkloadSource`] — analytic spec or trace — onto the
+//! right engine for the cluster configuration.
 
 pub mod coupled;
 pub mod lb;
 pub mod sim;
+pub mod trace_run;
 
 pub use coupled::{run_cluster_coupled, run_cluster_streamed_coupled};
 pub use lb::{FeedbackRouter, LoadBalancer, NodeView};
@@ -35,3 +44,4 @@ pub use sim::{
     run_cluster, run_cluster_faulted, run_cluster_streamed, run_cluster_streamed_faulted,
     run_cluster_weighted, ClusterConfig, ClusterScenario,
 };
+pub use trace_run::{run_cluster_source, run_cluster_trace_coupled, run_cluster_trace_streamed};

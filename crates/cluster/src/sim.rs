@@ -134,7 +134,7 @@ impl ClusterScenario {
 
     /// The warm-up calls one node issues (with ids offset to stay unique
     /// within that node's simulation).
-    pub(crate) fn node_warmup(&self, cores: u32, id_base: u32) -> Vec<Call> {
+    pub(crate) fn node_warmup(&self, cores: u32, id_base: u64) -> Vec<Call> {
         warmup_calls_for_waves(&self.warmup_waves, cores, id_base)
     }
 }
@@ -196,7 +196,7 @@ pub fn run_cluster_faulted(
     let assignment = cfg.lb.assign(&scenario.burst, cfg.nodes);
     // Warm-up ids start above the burst ids so each node's call list has
     // unique ids.
-    let id_base = scenario.burst.len() as u32;
+    let id_base = scenario.burst.len() as u64;
 
     // Only the seed derivation must run sequentially (it consumes the root
     // RNG stream in node order); the per-node call lists are deterministic
@@ -283,7 +283,7 @@ pub fn run_cluster_streamed_faulted(
 
     match cfg.lb {
         LoadBalancer::RoundRobin => {
-            let id_base = generator.len() as u32;
+            let id_base = generator.len();
             let seeds = node_seeds(sim_seed, cfg.nodes);
             let results: Vec<NodeResult> = seeds
                 .par_iter()
@@ -366,7 +366,7 @@ mod tests {
         let r = run_cluster(&cat, &sc, &NodeMode::Baseline, &cfg, 4);
         let measured: Vec<_> = r.outcomes.iter().filter(|o| o.is_measured()).collect();
         assert_eq!(measured.len(), sc.burst.len());
-        let mut ids: Vec<u32> = measured.iter().map(|o| o.id.0).collect();
+        let mut ids: Vec<u64> = measured.iter().map(|o| o.id.0).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), sc.burst.len(), "no duplicates");
@@ -448,7 +448,7 @@ mod tests {
                     fnv1a(&mut acc, at.as_nanos());
                 }
                 for call in &sc.burst {
-                    fnv1a(&mut acc, call.id.0 as u64);
+                    fnv1a(&mut acc, call.id.0);
                     fnv1a(&mut acc, call.func.0 as u64);
                     fnv1a(&mut acc, call.release.as_nanos());
                 }
@@ -481,7 +481,7 @@ mod tests {
         let r = run_cluster_streamed(&cat, &streamed_spec(132), &NodeMode::Baseline, &cfg, 1, 2);
         let measured: Vec<_> = r.outcomes.iter().filter(|o| o.is_measured()).collect();
         assert_eq!(measured.len(), 132);
-        let mut ids: Vec<u32> = measured.iter().map(|o| o.id.0).collect();
+        let mut ids: Vec<u64> = measured.iter().map(|o| o.id.0).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 132, "no duplicates");
@@ -564,7 +564,7 @@ mod tests {
         );
         // Same calls, same releases: only the service schedule moved.
         let ids = |r: &NodeResult| {
-            let mut v: Vec<u32> = r
+            let mut v: Vec<u64> = r
                 .outcomes
                 .iter()
                 .filter(|o| o.is_measured())
@@ -655,7 +655,7 @@ mod tests {
     #[test]
     fn warmup_ids_do_not_collide_with_burst() {
         let sc = scenario(12, 11);
-        let warm = sc.node_warmup(10, sc.burst.len() as u32);
+        let warm = sc.node_warmup(10, sc.burst.len() as u64);
         let burst_max = sc.burst.iter().map(|c| c.id.0).max().unwrap();
         assert!(warm.iter().all(|c| c.id.0 > burst_max));
     }

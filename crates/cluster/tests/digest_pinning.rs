@@ -34,7 +34,7 @@ fn fnv1a(acc: &mut u64, x: u64) {
 fn digest(r: &NodeResult) -> u64 {
     let mut acc = 0xcbf2_9ce4_8422_2325u64;
     for o in &r.outcomes {
-        fnv1a(&mut acc, o.id.0 as u64);
+        fnv1a(&mut acc, o.id.0);
         fnv1a(&mut acc, o.func.0 as u64);
         fnv1a(&mut acc, matches!(o.kind, CallKind::Measured) as u64);
         fnv1a(&mut acc, o.release.as_nanos());
@@ -52,7 +52,7 @@ fn digest(r: &NodeResult) -> u64 {
         fnv1a(&mut acc, o.node as u64);
     }
     for d in &r.drops {
-        fnv1a(&mut acc, d.id.0 as u64);
+        fnv1a(&mut acc, d.id.0);
         fnv1a(&mut acc, d.func.0 as u64);
         fnv1a(&mut acc, d.release.as_nanos());
         fnv1a(&mut acc, d.node as u64);

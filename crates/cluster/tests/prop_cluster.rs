@@ -9,7 +9,7 @@ use proptest::prelude::*;
 fn calls(n: usize, funcs: u16) -> Vec<Call> {
     (0..n)
         .map(|i| Call {
-            id: CallId(i as u32),
+            id: CallId(i as u64),
             func: FuncId((i as u16) % funcs),
             release: SimTime::from_millis(i as u64),
             kind: CallKind::Measured,

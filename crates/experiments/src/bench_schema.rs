@@ -15,22 +15,26 @@
 //! * every file carries at least one baseline/candidate timing pair (two
 //!   or more entries in a wall-clock unit) plus the derived `*_speedup`
 //!   ratio in unit `x`;
-//! * the six canonical artifacts (`BENCH_gps.json`,
+//! * the seven canonical artifacts (`BENCH_gps.json`,
 //!   `BENCH_weighted_gps.json`, `BENCH_events.json`,
-//!   `BENCH_workload.json`, `BENCH_faults.json`, `BENCH_coupled.json`)
-//!   are all present.
+//!   `BENCH_workload.json`, `BENCH_faults.json`, `BENCH_coupled.json`,
+//!   `BENCH_replay.json`) are all present;
+//! * the replay artifact additionally carries at least one throughput
+//!   entry in unit `calls/s` — the trajectory number the 10^6/10^7/10^8
+//!   scaling claim is plotted from.
 
 use crate::bench_gps::BenchEntry;
 use std::path::Path;
 
 /// The artifacts `experiments bench` must produce.
-pub const EXPECTED_ARTIFACTS: [&str; 6] = [
+pub const EXPECTED_ARTIFACTS: [&str; 7] = [
     "BENCH_gps.json",
     "BENCH_weighted_gps.json",
     "BENCH_events.json",
     "BENCH_workload.json",
     "BENCH_faults.json",
     "BENCH_coupled.json",
+    "BENCH_replay.json",
 ];
 
 /// Wall-clock units a baseline/candidate timing may use.
@@ -76,6 +80,15 @@ pub fn validate_entries(name: &str, entries: &[BenchEntry]) -> Result<(), String
         .any(|e| e.name.ends_with("_speedup") && e.unit == "x")
     {
         return Err(format!("{name}: no `*_speedup` ratio entry in unit `x`"));
+    }
+    if name.contains("replay")
+        && !entries
+            .iter()
+            .any(|e| e.name.ends_with("_calls_per_sec") && e.unit == "calls/s")
+    {
+        return Err(format!(
+            "{name}: no `*_calls_per_sec` throughput entry in unit `calls/s`"
+        ));
     }
     Ok(())
 }
@@ -177,6 +190,19 @@ mod tests {
     }
 
     #[test]
+    fn replay_artifact_requires_a_throughput_entry() {
+        // The plain shape passes for any other artifact name but the
+        // replay file must also carry calls/s.
+        let entries = valid();
+        validate_entries("BENCH_coupled.json", &entries).unwrap();
+        let err = validate_entries("BENCH_replay.json", &entries).unwrap_err();
+        assert!(err.contains("calls_per_sec"), "{err}");
+        let mut with_rate = valid();
+        with_rate.push(entry("x_c1000_calls_per_sec", 2.5e6, "calls/s"));
+        validate_entries("BENCH_replay.json", &with_rate).unwrap();
+    }
+
+    #[test]
     fn weighted_bench_emits_a_valid_shape() {
         // Reduced configuration, same entry names and units as the full
         // `experiments bench` artifact: schema drift in the weighted file
@@ -198,7 +224,11 @@ mod tests {
         let err = validate_dir(&dir).unwrap_err();
         assert!(err.contains("missing canonical artifact"), "{err}");
         for name in EXPECTED_ARTIFACTS {
-            write(name, &valid());
+            let mut entries = valid();
+            if name.contains("replay") {
+                entries.push(entry("x_c1000_calls_per_sec", 2.5e6, "calls/s"));
+            }
+            write(name, &entries);
         }
         let seen = validate_dir(&dir).unwrap();
         assert_eq!(seen.len(), EXPECTED_ARTIFACTS.len());

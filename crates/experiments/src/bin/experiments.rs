@@ -24,15 +24,20 @@
 //!              with per-combination sim-health columns, plus a
 //!              cluster-size sweep through the streamed multi-node engine,
 //!              a fault-scenario robustness sweep (goodput, drop
-//!              rate, retries, p99 under degradation) and a coupled-engine
+//!              rate, retries, p99 under degradation), a coupled-engine
 //!              robustness table (static vs feedback load balancing with
-//!              cross-node failover under the strict crash preset)
+//!              cross-node failover under the strict crash preset) and a
+//!              trace-replay table (Azure-style synthetic traces through
+//!              the bounded-memory streamed trace engine)
 //!   bench      GPS-kernel (uniform and weighted), event-queue,
-//!              workload-generation, dynamic-capacity and coupled-engine
-//!              micro-benchmarks; writes BENCH_gps.json,
+//!              workload-generation, dynamic-capacity, coupled-engine and
+//!              trace-replay micro-benchmarks; writes BENCH_gps.json,
 //!              BENCH_weighted_gps.json, BENCH_events.json,
-//!              BENCH_workload.json, BENCH_faults.json and
-//!              BENCH_coupled.json for the perf trajectory
+//!              BENCH_workload.json, BENCH_faults.json,
+//!              BENCH_coupled.json and BENCH_replay.json for the perf
+//!              trajectory
+//!   replay     Trace-replay benchmark alone at an explicit call count:
+//!              replay [--calls N] [--out DIR]; writes BENCH_replay.json
 //!   run        Custom single configuration with per-call CSV trace:
 //!              run --cores C --intensity V --policy P [--seed S]
 //!   all      Everything above
@@ -41,7 +46,7 @@
 //! Results are also written as JSON under `--out` (default `results/`).
 
 use faas_experiments::{
-    ablations, bench_coupled, bench_events, bench_faults, bench_gps, bench_schema,
+    ablations, bench_coupled, bench_events, bench_faults, bench_gps, bench_replay, bench_schema,
     bench_weighted_gps, bench_workload, custom, fig2, fig5, fig6, functions, grid, sweep, table1,
     Effort,
 };
@@ -56,8 +61,8 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|sweep|bench|check-bench|run|all> \
-         [--quick] [--seeds N] [--out DIR] [--per-seed]"
+        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|sweep|bench|check-bench|replay|run|all> \
+         [--quick] [--seeds N] [--out DIR] [--per-seed] (replay: [--calls N] [--out DIR])"
     );
     std::process::exit(2);
 }
@@ -67,6 +72,10 @@ fn main() {
     let Some(cmd) = args.next() else { usage() };
     if cmd == "run" {
         run_custom(args.collect());
+        return;
+    }
+    if cmd == "replay" {
+        run_replay(args.collect());
         return;
     }
     let mut opts = Opts {
@@ -184,6 +193,37 @@ fn run_bench(opts: &Opts) {
     let coupled = bench_coupled::run();
     println!("{}", bench_coupled::render(&coupled));
     save(opts, "BENCH_coupled.json", &coupled);
+    let replay = bench_replay::run();
+    println!("{}", bench_replay::render(&replay));
+    save(opts, "BENCH_replay.json", &replay);
+}
+
+/// Replay benchmark at an explicit call count: `experiments replay
+/// [--calls N] [--out DIR]`. Writes the same `BENCH_replay.json` shape as
+/// `experiments bench` (which runs the full 10^6/10^7 trajectory); the CI
+/// smoke run uses a reduced count.
+fn run_replay(args: Vec<String>) {
+    let mut calls: u64 = 1_000_000;
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--calls" => calls = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--out" => out = PathBuf::from(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let entries = bench_replay::run_level(calls, 3);
+    println!("{}", bench_replay::render(&entries));
+    let path = out.join("BENCH_replay.json");
+    if let Err(e) = faas_metrics::export::write_json(&path, &entries) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
 }
 
 fn run_sweep(opts: &Opts) {

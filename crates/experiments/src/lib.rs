@@ -19,8 +19,9 @@
 //! per-function fairness view for one grid configuration. [`sweep`]
 //! crosses the workload subsystem's arrival × mix × container-weight axes
 //! with the scheduling strategies — scenario diversity the paper never
-//! measured — and sweeps cluster sizes through the streamed multi-node
-//! engine.
+//! measured — sweeps cluster sizes through the streamed multi-node
+//! engine, and replays Azure-style synthetic traces through the
+//! bounded-memory trace engine.
 //!
 //! All experiments run the 5-seed repetitions in parallel (rayon) and are
 //! bit-for-bit reproducible from the seed set.
@@ -30,6 +31,7 @@ pub mod bench_coupled;
 pub mod bench_events;
 pub mod bench_faults;
 pub mod bench_gps;
+pub mod bench_replay;
 pub mod bench_schema;
 pub mod bench_weighted_gps;
 pub mod bench_workload;

@@ -16,11 +16,19 @@
 //! worker count through [`faas_cluster::run_cluster_streamed`] (each node
 //! generating its own stride of the burst — the PR 3 follow-on), crossed
 //! with the weighted-container axis.
+//!
+//! The trace table replays Azure-style synthetic traces — Zipf mean
+//! rates, diurnal phase, MMPP bursts, correlated chains — through the
+//! bounded-memory streamed trace engine
+//! ([`faas_cluster::run_cluster_trace_streamed`]), putting a
+//! recorded-workload-shaped scenario column next to the parametric axes
+//! and reporting the ingestion working set per combination.
 
 use crate::grid::mode_for;
 use crate::Effort;
 use faas_cluster::{
-    run_cluster_streamed, run_cluster_streamed_coupled, ClusterConfig, LoadBalancer,
+    run_cluster_streamed, run_cluster_streamed_coupled, run_cluster_trace_streamed, ClusterConfig,
+    LoadBalancer,
 };
 use faas_invoker::{simulate_calls_faulted, simulate_calls_weighted, NodeConfig};
 use faas_metrics::compare::Strategy;
@@ -36,6 +44,7 @@ use faas_workload::generate::WorkloadSpec;
 use faas_workload::mix::MixSpec;
 use faas_workload::scenario::{warmup_for_spec, warmup_waves};
 use faas_workload::sebs::Catalogue;
+use faas_workload::synth::{SynthSpec, SyntheticTrace};
 use faas_workload::trace::CallOutcome;
 use faas_workload::weight::{WeightSpec, WeightTable};
 use rayon::prelude::*;
@@ -124,6 +133,30 @@ pub struct CoupledSweepRow {
     pub response: MetricSummary,
 }
 
+/// One (trace, strategy) row of the trace-replay table: a synthetic
+/// Azure-style trace streamed through the bounded-memory trace engine,
+/// pooled over seeds (each seed draws its own trace realization).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSweepRow {
+    /// Trace label (from [`SynthSpec::label`]).
+    pub trace: String,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Measured calls pooled over all seeds.
+    pub calls: usize,
+    /// Response-time statistics, seconds.
+    pub response: MetricSummary,
+    /// Cold starts, summed over seeds (traces run without warm-up, so
+    /// every call is measured).
+    pub cold_starts: usize,
+    /// Sim health: largest ingestion working set (resident calls summed
+    /// over nodes) of any seed — bounded by chunk × nodes regardless of
+    /// trace length.
+    pub peak_resident: u64,
+    /// Sim health: largest live event-heap size over the seeds.
+    pub peak_events: usize,
+}
+
 /// The sweep result set.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepResult {
@@ -142,6 +175,9 @@ pub struct SweepResult {
     /// Coupled-engine robustness rows (LB-policy axis under the strict
     /// crash preset), ordered by (lb, strategy).
     pub coupled_rows: Vec<CoupledSweepRow>,
+    /// Trace-replay rows (synthetic Azure-style traces through the
+    /// streamed trace engine), ordered by (trace, strategy).
+    pub trace_rows: Vec<TraceSweepRow>,
 }
 
 impl SweepResult {
@@ -182,6 +218,13 @@ impl SweepResult {
         self.coupled_rows
             .iter()
             .find(|r| r.lb == lb && r.strategy == strategy)
+    }
+
+    /// Look up one trace-replay row.
+    pub fn trace_row(&self, trace: &str, strategy: Strategy) -> Option<&TraceSweepRow> {
+        self.trace_rows
+            .iter()
+            .find(|r| r.trace == trace && r.strategy == strategy)
     }
 }
 
@@ -262,6 +305,27 @@ fn node_axis(quick: bool) -> Vec<u16> {
     }
 }
 
+/// The trace axis: Azure-style synthetic traces (Zipf mean rates,
+/// diurnal phase, MMPP bursts, correlated chains) at two cluster-wide
+/// mean rates over the §VIII window. The steady rate keeps the
+/// [`TRACE_NODES`]-worker cluster comfortably inside capacity; the
+/// stressed rate is where scheduling policy starts to matter.
+fn trace_axis(window: SimDuration, quick: bool) -> Vec<SynthSpec> {
+    let mut axis = vec![SynthSpec::azure(2.0, window)];
+    if !quick {
+        axis.push(SynthSpec::azure(6.0, window));
+    }
+    axis
+}
+
+/// Worker count of the trace-replay table.
+const TRACE_NODES: u16 = 2;
+
+/// Ingestion window of the trace-replay table: small enough that the
+/// peak-resident column demonstrates the bounded working set, large
+/// enough to amortize the windowed drain.
+const TRACE_CHUNK: usize = 512;
+
 /// Run the sweep.
 pub fn run(effort: Effort) -> SweepResult {
     let catalogue = Catalogue::sebs();
@@ -324,7 +388,7 @@ pub fn run(effort: Effort) -> SweepResult {
                 burst_start,
                 &mut rng_times,
                 &mut rng_assign,
-                calls.len() as u32,
+                calls.len() as u64,
             ));
             let result = simulate_calls_weighted(
                 &catalogue,
@@ -401,6 +465,7 @@ pub fn run(effort: Effort) -> SweepResult {
     let cluster_rows = run_cluster_sweep(&catalogue, cores, intensity, window, effort);
     let fault_rows = run_fault_sweep(&catalogue, cores, intensity, window, effort);
     let coupled_rows = run_coupled_sweep(&catalogue, cores, intensity, window, effort);
+    let trace_rows = run_trace_sweep(&catalogue, cores, window, effort);
     SweepResult {
         cores,
         intensity,
@@ -408,6 +473,7 @@ pub fn run(effort: Effort) -> SweepResult {
         cluster_rows,
         fault_rows,
         coupled_rows,
+        trace_rows,
     }
 }
 
@@ -488,7 +554,7 @@ fn run_fault_sweep(
             let mut rng_times = root.derive_stream(STREAM_TIMES);
             let mut rng_assign = root.derive_stream(STREAM_ASSIGN);
             let (mut calls, burst_start) = warmup_for_spec(catalogue, cores);
-            let id_base = calls.len() as u32;
+            let id_base = calls.len() as u64;
             calls.extend(spec.generate_sorted(
                 catalogue,
                 burst_start,
@@ -809,6 +875,107 @@ fn run_coupled_sweep(
     rows
 }
 
+/// The trace-replay sweep: each synthetic trace of [`trace_axis`]
+/// streamed through [`run_cluster_trace_streamed`] on [`TRACE_NODES`]
+/// workers with a [`TRACE_CHUNK`]-call ingestion window, per strategy.
+/// The trace seed is derived per run seed, so pooling over seeds pools
+/// over trace realizations of the same synthesizer spec; a trace is the
+/// complete call log, so no warm-up is injected and every outcome is
+/// measured.
+fn run_trace_sweep(
+    catalogue: &Catalogue,
+    cores: u32,
+    window: SimDuration,
+    effort: Effort,
+) -> Vec<TraceSweepRow> {
+    let specs = trace_axis(window, effort.quick);
+    let strategies = vec![Strategy::Baseline, Strategy::Fc];
+    let seeds = effort.seed_set();
+
+    #[allow(clippy::type_complexity)]
+    let tasks: Vec<(&SynthSpec, Strategy, u64)> = specs
+        .iter()
+        .flat_map(|spec| {
+            let seeds = &seeds;
+            strategies
+                .iter()
+                .flat_map(move |&s| seeds.iter().map(move |&seed| (spec, s, seed)))
+        })
+        .collect();
+
+    struct TraceOut {
+        trace: String,
+        strategy: Strategy,
+        outcomes: Vec<CallOutcome>,
+        cold_starts: usize,
+        peak_resident: u64,
+        peak_events: usize,
+    }
+
+    // The node loop inside run_cluster_trace_streamed already fans out on
+    // rayon; run the configurations serially to keep peak memory flat.
+    let outputs: Vec<TraceOut> = tasks
+        .iter()
+        .map(|&(spec, strategy, seed)| {
+            let trace = SyntheticTrace::new(spec, catalogue, SimTime::ZERO, seed ^ 0x7AC3);
+            let cfg = ClusterConfig::independent(
+                TRACE_NODES,
+                NodeConfig::paper(cores),
+                LoadBalancer::RoundRobin,
+            );
+            let result = run_cluster_trace_streamed(
+                catalogue,
+                &trace,
+                &mode_for(strategy),
+                &cfg,
+                &FaultSpec::none(),
+                seed ^ 0xC1u64,
+                TRACE_CHUNK,
+            );
+            TraceOut {
+                trace: spec.label(),
+                strategy,
+                cold_starts: result.measured_cold_starts(),
+                peak_resident: result.peak_resident_calls,
+                peak_events: result.peak_events,
+                outcomes: result.measured().copied().collect(),
+            }
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for spec in &specs {
+        for &strategy in &strategies {
+            let label = spec.label();
+            let mut pooled: Vec<f64> = Vec::new();
+            let mut calls = 0;
+            let mut cold_starts = 0;
+            let mut peak_resident = 0;
+            let mut peak_events = 0;
+            for out in outputs
+                .iter()
+                .filter(|o| o.trace == label && o.strategy == strategy)
+            {
+                pooled.extend(out.outcomes.iter().map(|o| o.response_time().as_secs_f64()));
+                calls += out.outcomes.len();
+                cold_starts += out.cold_starts;
+                peak_resident = peak_resident.max(out.peak_resident);
+                peak_events = peak_events.max(out.peak_events);
+            }
+            rows.push(TraceSweepRow {
+                trace: label,
+                strategy,
+                calls,
+                response: MetricSummary::from_values(&pooled),
+                cold_starts,
+                peak_resident,
+                peak_events,
+            });
+        }
+    }
+    rows
+}
+
 /// Render the sweep comparison tables.
 pub fn render(result: &SweepResult) -> String {
     let mut t = TextTable::new([
@@ -905,13 +1072,36 @@ pub fn render(result: &SweepResult) -> String {
             fmt_secs(r.robustness.p99_response),
         ]);
     }
+    let mut tr = TextTable::new([
+        "trace/strategy",
+        "calls",
+        "R avg",
+        "R p50",
+        "R p95",
+        "cold",
+        "peakRes",
+        "peakEv",
+    ]);
+    for r in &result.trace_rows {
+        tr.row([
+            format!("{}/{}", r.trace, r.strategy.name()),
+            r.calls.to_string(),
+            fmt_secs(r.response.mean),
+            fmt_secs(r.response.p50),
+            fmt_secs(r.response.p95),
+            r.cold_starts.to_string(),
+            r.peak_resident.to_string(),
+            r.peak_events.to_string(),
+        ]);
+    }
     format!(
         "Workload sweep: arrival x mix x weights x strategy at {} cores, \
          intensity-equivalent {}\n{}\n\
          Cluster-size sweep (streamed generation, fixed total load)\n{}\n\
          Fault-scenario sweep (robustness axis)\n{}\n\
          Coupled-engine robustness ({} nodes, strict crash preset, \
-         lookahead {} ms)\n{}",
+         lookahead {} ms)\n{}\n\
+         Trace-replay sweep ({} nodes, streamed ingestion, chunk {})\n{}",
         result.cores,
         result.intensity,
         t.render(),
@@ -919,7 +1109,10 @@ pub fn render(result: &SweepResult) -> String {
         f.render(),
         COUPLED_NODES,
         COUPLED_LOOKAHEAD.as_millis_f64(),
-        cp.render()
+        cp.render(),
+        TRACE_NODES,
+        TRACE_CHUNK,
+        tr.render()
     )
 }
 
@@ -961,6 +1154,10 @@ mod tests {
 
     fn expected_coupled_rows() -> usize {
         coupled_lb_axis(0).len() * 2
+    }
+
+    fn expected_trace_rows(quick: bool) -> usize {
+        trace_axis(SimDuration::from_secs(60), quick).len() * 2
     }
 
     #[test]
@@ -1176,6 +1373,35 @@ mod tests {
     }
 
     #[test]
+    fn trace_table_covers_the_axis_with_bounded_ingestion() {
+        let r = quick();
+        assert_eq!(r.trace_rows.len(), expected_trace_rows(true));
+        let labels: Vec<String> = trace_axis(SimDuration::from_secs(60), true)
+            .iter()
+            .map(|s| s.label())
+            .collect();
+        for label in &labels {
+            let base = r.trace_row(label, Strategy::Baseline).unwrap();
+            let fc = r.trace_row(label, Strategy::Fc).unwrap();
+            // The same trace feeds both strategies: identical call counts.
+            assert_eq!(base.calls, fc.calls, "{label}: shared trace");
+            assert!(base.calls > 0, "{label}: trace produced calls");
+            for row in [base, fc] {
+                assert!(row.peak_events > 0, "{label}: sim health populated");
+                // The bounded-memory contract, end to end: the ingestion
+                // working set never exceeds chunk × nodes.
+                assert!(
+                    row.peak_resident > 0
+                        && row.peak_resident <= (TRACE_CHUNK * TRACE_NODES as usize) as u64,
+                    "{label}: peak resident {} vs bound {}",
+                    row.peak_resident,
+                    TRACE_CHUNK * TRACE_NODES as usize
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sim_health_is_populated() {
         let r = quick();
         for row in &r.rows {
@@ -1200,5 +1426,7 @@ mod tests {
         assert!(s.contains("goodput") && s.contains("retry-storm/"));
         assert!(s.contains("Coupled-engine robustness"));
         assert!(s.contains("static-rr/") && s.contains("jsq/") && s.contains("failover"));
+        assert!(s.contains("Trace-replay sweep"));
+        assert!(s.contains("synth(") && s.contains("peakRes"));
     }
 }

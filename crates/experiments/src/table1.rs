@@ -60,7 +60,7 @@ pub fn run(seed: u64) -> Table1Result {
         }];
         let spacing = SimDuration::from_secs(30);
         let mut at = SimTime::from_secs(30);
-        for i in 0..50u32 {
+        for i in 0..50u64 {
             calls.push(Call {
                 id: CallId(i + 1),
                 func,

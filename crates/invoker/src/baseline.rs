@@ -493,6 +493,7 @@ impl<'a> NodeSim<'a> {
             peak_queue: self.peak_queue,
             peak_concurrency: self.peak_leased,
             peak_events: self.peak_events,
+            peak_resident_calls: 0,
             last_completion: self.last_completion,
             drops: self.drops,
             fault_stats: self.fault_stats,

@@ -426,6 +426,7 @@ impl<'a> NodeSim<'a> {
             peak_queue: self.pending.peak_len(),
             peak_concurrency: self.cores.peak_busy() as usize,
             peak_events: self.peak_events,
+            peak_resident_calls: 0,
             last_completion: self.last_completion,
             drops: self.drops,
             fault_stats: self.fault_stats,

@@ -85,6 +85,13 @@ pub struct NodeResult {
     /// is a simulator-health metric, not a modelled quantity: it bounds the
     /// event heap's memory and guards against stale-event buildup.
     pub peak_events: usize,
+    /// Largest number of calls resident in the ingestion window buffers of
+    /// a trace-streamed run — the bounded-memory RSS proxy. Zero for runs
+    /// that materialize their call list up front. Unlike the other peaks,
+    /// cluster merges *sum* this field: the cluster's resident set is the
+    /// sum of its nodes' windows, which is what the `chunk × nodes` bound
+    /// is stated against.
+    pub peak_resident_calls: u64,
     /// Completion time of the last measured call.
     pub last_completion: SimTime,
     /// Calls that never completed (fault runs only; empty otherwise).
@@ -111,7 +118,8 @@ impl NodeResult {
 
     /// Fold `other` into `self` without allocating: outcome vectors are
     /// appended in place, pool stats summed, peaks and the last completion
-    /// maxed. The accumulated outcome order is unspecified until
+    /// maxed (except `peak_resident_calls`, which sums — see its doc).
+    /// The accumulated outcome order is unspecified until
     /// [`NodeResult::sort_outcomes`] is called.
     pub fn merge_from(&mut self, other: NodeResult) {
         self.outcomes.extend(other.outcomes);
@@ -120,6 +128,7 @@ impl NodeResult {
         self.peak_queue = self.peak_queue.max(other.peak_queue);
         self.peak_concurrency = self.peak_concurrency.max(other.peak_concurrency);
         self.peak_events = self.peak_events.max(other.peak_events);
+        self.peak_resident_calls += other.peak_resident_calls;
         self.last_completion = self.last_completion.max(other.last_completion);
         self.drops.extend(other.drops);
         self.fault_stats = self.fault_stats.add(other.fault_stats);
@@ -169,8 +178,8 @@ mod tests {
     use faas_workload::sebs::FuncId;
     use faas_workload::trace::{CallId, CallKind, ColdStartKind};
 
-    fn outcome(id: u32, kind: CallKind, cold: ColdStartKind, node: u16) -> CallOutcome {
-        let t = SimTime::from_secs(id as u64);
+    fn outcome(id: u64, kind: CallKind, cold: ColdStartKind, node: u16) -> CallOutcome {
+        let t = SimTime::from_secs(id);
         CallOutcome {
             id: CallId(id),
             func: FuncId(0),
@@ -199,6 +208,7 @@ mod tests {
             peak_queue: 3,
             peak_concurrency: 2,
             peak_events: 5,
+            peak_resident_calls: 7,
             last_completion: last,
             drops: Vec::new(),
             fault_stats: FaultStats::default(),
@@ -242,14 +252,19 @@ mod tests {
         assert_eq!(acc.outcomes.len(), 2);
         assert_eq!(acc.outcomes[0].id, CallId(1), "sorted after merge_from");
         assert_eq!(acc.last_completion, SimTime::from_secs(3));
+        assert_eq!(acc.peak_events, 5, "event peak maxes across nodes");
+        assert_eq!(
+            acc.peak_resident_calls, 14,
+            "resident peak sums across nodes"
+        );
     }
 
     #[test]
     fn merge_accumulates_drops_and_fault_stats() {
-        let drop = |id: u32, node: u16| DroppedCall {
+        let drop = |id: u64, node: u16| DroppedCall {
             id: CallId(id),
             func: FuncId(0),
-            release: SimTime::from_secs(id as u64),
+            release: SimTime::from_secs(id),
             node,
             reason: DropReason::ExhaustedRetries,
             attempts: 3,

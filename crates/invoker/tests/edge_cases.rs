@@ -47,7 +47,7 @@ fn memory_of_exactly_one_container_still_completes() {
         .map(|i| Call {
             id: CallId(i),
             func: cat.by_name("graph-bfs").unwrap(),
-            release: SimTime::from_millis(100 * i as u64),
+            release: SimTime::from_millis(100 * i),
             kind: CallKind::Measured,
         })
         .collect();
@@ -76,7 +76,7 @@ fn alternating_functions_on_tiny_memory_thrash_via_eviction() {
         .map(|i| Call {
             id: CallId(i),
             func: if i % 2 == 0 { a } else { b },
-            release: SimTime::from_millis(500 * i as u64),
+            release: SimTime::from_millis(500 * i),
             kind: CallKind::Measured,
         })
         .collect();

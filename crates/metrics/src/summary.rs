@@ -225,7 +225,7 @@ mod tests {
         let release = SimTime::from_secs(release_s);
         let completion = release + SimDuration::from_secs_f64(resp_s);
         CallOutcome {
-            id: CallId(release_s as u32),
+            id: CallId(release_s),
             func,
             kind: CallKind::Measured,
             release,

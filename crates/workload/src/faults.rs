@@ -52,7 +52,7 @@ const TAG_JITTER: u64 = 0xFA11_0002;
 fn unit_draw(seed: u64, call: CallId, attempt: u32, tag: u64) -> f64 {
     let mut s = seed
         ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ (((call.0 as u64) << 32) | attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        ^ ((call.0 << 32) | attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
     splitmix64(&mut s);
     let x = splitmix64(&mut s);
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)

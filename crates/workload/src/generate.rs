@@ -70,7 +70,7 @@ impl WorkloadSpec {
         start: SimTime,
         rng_times: &mut Xoshiro256,
         rng_assign: &mut Xoshiro256,
-        id_base: u32,
+        id_base: u64,
     ) -> Vec<Call> {
         let profile = self
             .arrival
@@ -87,7 +87,7 @@ impl WorkloadSpec {
             .zip(funcs)
             .enumerate()
             .map(|(i, (release, func))| Call {
-                id: CallId(id_base + i as u32),
+                id: CallId(id_base + i as u64),
                 func,
                 release,
                 kind: CallKind::Measured,
@@ -99,7 +99,7 @@ impl WorkloadSpec {
 /// SplitMix64 finalizer: a stateless 64-bit mix for deriving per-call and
 /// per-shard stream seeds.
 #[inline]
-fn mix64(x: u64) -> u64 {
+pub(crate) fn mix64(x: u64) -> u64 {
     let mut s = x;
     splitmix64(&mut s)
 }
@@ -196,7 +196,6 @@ impl ShardedGenerator {
             .process()
             .realize(spec.window.as_secs_f64(), &mut rng_profile);
         let n = profile.sample_count(&mut rng_profile) as u64;
-        assert!(n <= u32::MAX as u64, "call ids are 32-bit");
         let perm = IndexPermutation::new(n.max(1), root.derive_stream(STREAM_PERM).next_u64());
         let base = root.derive_stream(STREAM_CALLS).next_u64();
         ShardedGenerator {
@@ -234,7 +233,7 @@ impl ShardedGenerator {
             .mix
             .function_at(self.perm.permute(index), self.n, &mut rng);
         Call {
-            id: CallId(index as u32),
+            id: CallId(index),
             func,
             release,
             kind: CallKind::Measured,

@@ -36,6 +36,19 @@
 //!   pre-subsystem generators (pinned by `tests/regression_scenarios.rs`).
 //! * [`trace`] — call/outcome record types shared by the node and cluster
 //!   simulations.
+//! * [`trace_source`] — the trace ingestion subsystem: the
+//!   [`trace_source::TraceSource`] trait (indexable, memory-bounded access
+//!   to a fixed release-ordered call log, pure in `(source, index)` so any
+//!   chunk/stride partition reproduces the serial trace bit-for-bit),
+//!   [`trace_source::RecordedTrace`] (JSONL save/load/stream plus a
+//!   `record` path capturing any [`generate::WorkloadSpec`]), and
+//!   [`trace_source::WorkloadSource`] (spec-or-trace, threaded through the
+//!   experiment layers).
+//! * [`synth`] — an Azure-Functions-style trace synthesizer: Zipf
+//!   per-function mean rates, per-function diurnal phases, MMPP bursts and
+//!   correlated invocation chains, all derived lazily per index from
+//!   seeded streams so a 10^8-call day is replayed without ever being
+//!   materialized.
 //! * [`faults`] — seeded deterministic fault injection: capacity
 //!   degradation/restoration ramps, node crash/restart, per-call transient
 //!   failures and the retry/timeout/backoff policy. Every draw is a pure
@@ -58,7 +71,9 @@ pub mod generate;
 pub mod mix;
 pub mod scenario;
 pub mod sebs;
+pub mod synth;
 pub mod trace;
+pub mod trace_source;
 pub mod weight;
 
 pub use arrival::{ArrivalProcess, ArrivalSpec, IntensityProfile};
@@ -70,5 +85,7 @@ pub use generate::{IndexPermutation, ShardedGenerator, WorkloadSpec};
 pub use mix::{FunctionMix, MixSpec};
 pub use scenario::{BurstScenario, FairnessScenario, Scenario};
 pub use sebs::{Catalogue, FuncId, FunctionSpec, IntensityClass};
+pub use synth::{MmppBurst, SynthSpec, SyntheticTrace};
 pub use trace::{Call, CallKind, CallOutcome, ColdStartKind};
+pub use trace_source::{RecordedTrace, TraceSource, TraceSpec, WorkloadSource};
 pub use weight::{TaskShare, TierSpec, WeightSpec, WeightTable};

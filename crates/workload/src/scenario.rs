@@ -52,7 +52,7 @@ pub fn warmup_waves(catalogue: &Catalogue) -> (Vec<(FuncId, SimTime)>, SimTime) 
 /// simultaneous calls per wave, ids `id_base..` in wave order. The single
 /// place the §V-A warm-up layout is encoded — single-node scenarios and
 /// the cluster engine both build from it.
-pub fn warmup_calls_for_waves(waves: &[(FuncId, SimTime)], cores: u32, id_base: u32) -> Vec<Call> {
+pub fn warmup_calls_for_waves(waves: &[(FuncId, SimTime)], cores: u32, id_base: u64) -> Vec<Call> {
     let mut calls = Vec::with_capacity(waves.len() * cores as usize);
     let mut next_id = id_base;
     for &(func, at) in waves {
@@ -186,7 +186,7 @@ impl BurstScenario {
             burst_start,
             &mut rng_times,
             &mut rng_assign,
-            warmup.len() as u32,
+            warmup.len() as u64,
         );
 
         Scenario {
@@ -259,7 +259,7 @@ impl FairnessScenario {
             burst_start,
             &mut rng_times,
             &mut rng_assign,
-            warmup.len() as u32,
+            warmup.len() as u64,
         );
 
         Scenario {
@@ -353,9 +353,9 @@ mod tests {
     #[test]
     fn call_ids_are_unique_and_dense() {
         let sc = BurstScenario::standard(5, 30).generate(&catalogue(), 5);
-        let mut ids: Vec<u32> = sc.all_calls().iter().map(|c| c.id.0).collect();
+        let mut ids: Vec<u64> = sc.all_calls().iter().map(|c| c.id.0).collect();
         ids.sort_unstable();
-        let expected: Vec<u32> = (0..ids.len() as u32).collect();
+        let expected: Vec<u64> = (0..ids.len() as u64).collect();
         assert_eq!(ids, expected);
     }
 

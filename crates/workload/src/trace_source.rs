@@ -1,0 +1,435 @@
+//! The trace ingestion subsystem: indexable, memory-bounded call logs.
+//!
+//! A [`TraceSource`] is a *fixed, time-ordered* call log addressed by
+//! index — the replay counterpart of [`crate::generate::ShardedGenerator`].
+//! It honors the same two contracts that make the sharded generator
+//! compose with every cluster engine:
+//!
+//! 1. **Pure in `(source, index)`** — `call(i)` returns the identical
+//!    [`Call`] however, whenever and on whatever thread it is evaluated,
+//!    so any chunk/stride partition of the index space reproduces the
+//!    serial trace bit-for-bit (the shard-invariance guarantee).
+//! 2. **Release-ordered** — releases are non-decreasing in the index and
+//!    `call(i).id == CallId(i)`. A trace is a log: index order *is*
+//!    arrival order. This is what lets the streaming engines pull bounded
+//!    windows of calls through a cursor instead of materializing a `Vec`,
+//!    and what makes `Call::stride_node` the round-robin assignment.
+//!
+//! Two implementations live here and in [`crate::synth`]:
+//! [`RecordedTrace`] (a materialized log with JSONL save/load, a
+//! chunk-streamed file reader, and a `record` path capturing any
+//! [`WorkloadSpec`]) and [`crate::synth::SyntheticTrace`] (an
+//! Azure-Functions-style synthesizer whose calls are derived lazily per
+//! index, so a 10^8-call day is generated on the fly, never held in
+//! memory). [`WorkloadSource`] is the enum the experiment layers thread
+//! through: an analytic spec or a trace, interchangeably.
+//!
+//! Trace runs inject **no warm-up calls**: a trace is the complete log of
+//! what the cluster received, warm-up included if it was recorded.
+
+use crate::generate::{ShardedGenerator, WorkloadSpec};
+use crate::sebs::Catalogue;
+use crate::synth::SynthSpec;
+use crate::trace::{Call, CallId};
+use faas_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Indexable, memory-bounded access to a fixed, release-ordered call log.
+/// See the module docs for the purity and ordering contract.
+pub trait TraceSource: Sync {
+    /// Number of calls in the log.
+    fn len(&self) -> u64;
+
+    /// The log's start time (all releases are at or after it).
+    fn start(&self) -> SimTime;
+
+    /// The `index`-th call, pure in `(self, index)`; releases are
+    /// non-decreasing in `index` and `call(i).id == CallId(i)`.
+    fn call(&self, index: u64) -> Call;
+
+    /// True when the log is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stream one contiguous chunk `[lo, hi)` in index (= release) order.
+    fn iter_chunk(&self, lo: u64, hi: u64) -> Box<dyn Iterator<Item = Call> + '_> {
+        debug_assert!(lo <= hi && hi <= self.len());
+        Box::new((lo..hi).map(move |i| self.call(i)))
+    }
+
+    /// Stream every `stride`-th call starting at `offset` — the per-node
+    /// view under round-robin assignment by index.
+    fn iter_stride(&self, offset: u64, stride: u64) -> Box<dyn Iterator<Item = Call> + '_> {
+        assert!(stride > 0, "stride must be positive");
+        Box::new(
+            (offset..self.len())
+                .step_by(stride as usize)
+                .map(move |i| self.call(i)),
+        )
+    }
+}
+
+/// The JSONL trace-file header (first line of the file).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TraceHeader {
+    /// Format version.
+    version: u32,
+    /// Trace start time.
+    start: SimTime,
+    /// Number of call records following the header.
+    len: u64,
+}
+
+const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// A materialized, release-ordered call log.
+///
+/// The file format is JSONL — one header line, then one [`Call`] per line
+/// — chosen so [`RecordedTrace::stream`] can replay a file with an O(1
+/// line) working set and no streaming-JSON machinery. [`SimTime`] is
+/// integer nanoseconds, so save/load round-trips bit-exactly.
+pub struct RecordedTrace {
+    start: SimTime,
+    calls: Vec<Call>,
+}
+
+impl RecordedTrace {
+    /// Build a trace from any call list: sorts by `(release, id)` and
+    /// re-assigns dense ids in release order, establishing the
+    /// [`TraceSource`] contract (`id == index`, releases non-decreasing).
+    pub fn from_calls(start: SimTime, mut calls: Vec<Call>) -> RecordedTrace {
+        calls.sort_by_key(|c| (c.release, c.id));
+        for (i, c) in calls.iter_mut().enumerate() {
+            c.id = CallId(i as u64);
+        }
+        RecordedTrace { start, calls }
+    }
+
+    /// Capture an existing [`WorkloadSpec`] into a trace: realize the
+    /// sharded generator for `(spec, seed)`, materialize in parallel, and
+    /// establish release order. The captured multiset of
+    /// `(func, release, kind)` is digest-identical to direct generation —
+    /// only the ids move, from generation order to release order.
+    pub fn record(
+        spec: &WorkloadSpec,
+        catalogue: &Catalogue,
+        start: SimTime,
+        seed: u64,
+    ) -> RecordedTrace {
+        let generator = ShardedGenerator::new(spec, catalogue, start, seed);
+        RecordedTrace::from_calls(start, generator.generate_parallel())
+    }
+
+    /// Save as JSONL (header line + one call per line).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        let header = TraceHeader {
+            version: TRACE_FORMAT_VERSION,
+            start: self.start,
+            len: self.calls.len() as u64,
+        };
+        let header_line = serde_json::to_string(&header).map_err(io::Error::other)?;
+        w.write_all(header_line.as_bytes())?;
+        w.write_all(b"\n")?;
+        for call in &self.calls {
+            let line = serde_json::to_string(call).map_err(io::Error::other)?;
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")?;
+        }
+        w.flush()
+    }
+
+    /// Load a JSONL trace file fully into memory (re-establishing the
+    /// ordering contract on the way in). For O(chunk) replay of a file
+    /// too large to hold, use [`RecordedTrace::stream`].
+    pub fn load(path: &Path) -> io::Result<RecordedTrace> {
+        let mut reader = RecordedTrace::stream(path)?;
+        let mut calls = Vec::with_capacity(reader.len().min(1 << 20) as usize);
+        for call in &mut reader {
+            calls.push(call?);
+        }
+        Ok(RecordedTrace::from_calls(reader.start(), calls))
+    }
+
+    /// Open a chunk-streamed reader over a JSONL trace file: an iterator
+    /// with an O(1 line) working set, plus the header's `len`/`start`.
+    pub fn stream(path: &Path) -> io::Result<TraceFileReader> {
+        let mut lines = BufReader::new(std::fs::File::open(path)?).lines();
+        let header_line = lines
+            .next()
+            .ok_or_else(|| io::Error::other("empty trace file"))??;
+        let header: TraceHeader = serde_json::from_str(&header_line).map_err(io::Error::other)?;
+        if header.version != TRACE_FORMAT_VERSION {
+            return Err(io::Error::other(format!(
+                "unsupported trace format version {}",
+                header.version
+            )));
+        }
+        Ok(TraceFileReader { header, lines })
+    }
+
+    /// The calls, in release order.
+    pub fn calls(&self) -> &[Call] {
+        &self.calls
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn len(&self) -> u64 {
+        self.calls.len() as u64
+    }
+
+    fn start(&self) -> SimTime {
+        self.start
+    }
+
+    fn call(&self, index: u64) -> Call {
+        self.calls[index as usize]
+    }
+}
+
+/// A chunk-streamed JSONL trace-file reader; see [`RecordedTrace::stream`].
+pub struct TraceFileReader {
+    header: TraceHeader,
+    lines: std::io::Lines<BufReader<std::fs::File>>,
+}
+
+impl TraceFileReader {
+    /// Number of calls the header promises.
+    pub fn len(&self) -> u64 {
+        self.header.len
+    }
+
+    /// True when the header promises no calls.
+    pub fn is_empty(&self) -> bool {
+        self.header.len == 0
+    }
+
+    /// Trace start time from the header.
+    pub fn start(&self) -> SimTime {
+        self.header.start
+    }
+}
+
+impl Iterator for TraceFileReader {
+    type Item = io::Result<Call>;
+
+    fn next(&mut self) -> Option<io::Result<Call>> {
+        let line = match self.lines.next()? {
+            Ok(line) => line,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(serde_json::from_str(&line).map_err(io::Error::other))
+    }
+}
+
+/// Serializable description of a trace to replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceSpec {
+    /// Synthesize an Azure-style trace on the fly (never materialized).
+    Synthetic(SynthSpec),
+    /// Replay a recorded JSONL trace file.
+    Recorded {
+        /// Path to the trace file (a `String` so the spec stays
+        /// serializable with the vendored serde subset).
+        path: String,
+    },
+}
+
+impl TraceSpec {
+    /// Open the trace this spec describes. `start`/`seed` parameterize
+    /// synthetic traces; a recorded trace carries its own start time and
+    /// consumes no randomness.
+    pub fn open(
+        &self,
+        catalogue: &Catalogue,
+        start: SimTime,
+        seed: u64,
+    ) -> io::Result<Box<dyn TraceSource>> {
+        match self {
+            TraceSpec::Synthetic(spec) => Ok(Box::new(crate::synth::SyntheticTrace::new(
+                spec, catalogue, start, seed,
+            ))),
+            TraceSpec::Recorded { path } => Ok(Box::new(RecordedTrace::load(Path::new(path))?)),
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            TraceSpec::Synthetic(spec) => spec.label(),
+            TraceSpec::Recorded { path } => format!(
+                "replay({})",
+                Path::new(path)
+                    .file_name()
+                    .map_or_else(|| path.clone(), |f| f.to_string_lossy().into_owned())
+            ),
+        }
+    }
+}
+
+/// What drives a run: an analytic workload spec or a fixed trace. The
+/// experiment layers thread this through so every engine composes with
+/// both generation schemes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSource {
+    /// Generate from an analytic spec (arrival × mix × weights × window).
+    Spec(WorkloadSpec),
+    /// Replay a fixed trace.
+    Trace(TraceSpec),
+}
+
+impl WorkloadSource {
+    /// Short label for report tables.
+    pub fn label(&self, catalogue: &Catalogue) -> String {
+        match self {
+            WorkloadSource::Spec(spec) => spec.label(catalogue),
+            WorkloadSource::Trace(trace) => trace.label(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::ArrivalSpec;
+    use crate::mix::MixSpec;
+    use crate::trace::CallKind;
+    use crate::weight::WeightSpec;
+    use faas_simcore::time::SimDuration;
+    use std::path::PathBuf;
+
+    fn catalogue() -> Catalogue {
+        Catalogue::sebs()
+    }
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            arrival: ArrivalSpec::Poisson { rate: 9.0 },
+            mix: MixSpec::Zipf { s: 1.1 },
+            weights: WeightSpec::Uniform,
+            window: SimDuration::from_secs(60),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("faas-trace-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn record_establishes_the_ordering_contract() {
+        let t = RecordedTrace::record(&spec(), &catalogue(), SimTime::from_secs(3), 11);
+        assert!(!t.is_empty());
+        let mut prev = SimTime::ZERO;
+        for i in 0..t.len() {
+            let c = t.call(i);
+            assert_eq!(c.id, CallId(i), "id == index");
+            assert!(c.release >= prev, "release-ordered at {i}");
+            prev = c.release;
+        }
+    }
+
+    #[test]
+    fn record_is_digest_identical_to_direct_generation() {
+        // Only ids move (generation order -> release order); the
+        // (func, release, kind) multiset is the generator's, bit for bit.
+        let cat = catalogue();
+        let g = ShardedGenerator::new(&spec(), &cat, SimTime::from_secs(3), 11);
+        let mut direct = g.generate_serial();
+        direct.sort_by_key(|c| (c.release, c.id));
+        let t = RecordedTrace::record(&spec(), &cat, SimTime::from_secs(3), 11);
+        assert_eq!(t.len(), direct.len() as u64);
+        for (i, d) in direct.iter().enumerate() {
+            let c = t.call(i as u64);
+            assert_eq!((c.func, c.release, c.kind), (d.func, d.release, d.kind));
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_bit_exactly() {
+        let t = RecordedTrace::record(&spec(), &catalogue(), SimTime::from_secs(5), 13);
+        let path = tmp("roundtrip.jsonl");
+        t.save(&path).expect("save");
+        let loaded = RecordedTrace::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.start(), t.start());
+        assert_eq!(loaded.calls(), t.calls());
+    }
+
+    #[test]
+    fn streamed_reader_matches_indexed_access() {
+        let t = RecordedTrace::record(&spec(), &catalogue(), SimTime::from_secs(5), 17);
+        let path = tmp("stream.jsonl");
+        t.save(&path).expect("save");
+        let reader = RecordedTrace::stream(&path).expect("open");
+        assert_eq!(reader.len(), t.len());
+        assert_eq!(reader.start(), t.start());
+        let streamed: Vec<Call> = reader.map(|c| c.expect("parse")).collect();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(streamed, t.calls());
+    }
+
+    #[test]
+    fn chunks_and_strides_partition_the_trace() {
+        let t = RecordedTrace::record(&spec(), &catalogue(), SimTime::ZERO, 19);
+        let n = t.len();
+        let serial: Vec<Call> = t.iter_chunk(0, n).collect();
+        let mut from_strides: Vec<Call> = (0..3).flat_map(|s| t.iter_stride(s, 3)).collect();
+        from_strides.sort_by_key(|c| c.id);
+        assert_eq!(from_strides, serial);
+        let mid = n / 2;
+        let mut from_chunks: Vec<Call> = t.iter_chunk(0, mid).collect();
+        from_chunks.extend(t.iter_chunk(mid, n));
+        assert_eq!(from_chunks, serial);
+    }
+
+    #[test]
+    fn from_calls_sorts_and_renumbers() {
+        let f = catalogue().by_name("sleep").unwrap();
+        let mk = |id: u64, ms: u64| Call {
+            id: CallId(id),
+            func: f,
+            release: SimTime::from_millis(ms),
+            kind: CallKind::Measured,
+        };
+        let t = RecordedTrace::from_calls(SimTime::ZERO, vec![mk(5, 30), mk(9, 10), mk(2, 20)]);
+        let releases: Vec<u64> = (0..3).map(|i| t.call(i).release.as_nanos()).collect();
+        assert_eq!(
+            releases,
+            vec![
+                SimTime::from_millis(10).as_nanos(),
+                SimTime::from_millis(20).as_nanos(),
+                SimTime::from_millis(30).as_nanos()
+            ]
+        );
+        assert!((0..3).all(|i| t.call(i).id == CallId(i)));
+    }
+
+    #[test]
+    fn trace_spec_open_and_labels() {
+        let cat = catalogue();
+        let synth = TraceSpec::Synthetic(SynthSpec::azure(5.0, SimDuration::from_secs(60)));
+        let t = synth.open(&cat, SimTime::ZERO, 23).expect("synthetic");
+        assert!(!t.is_empty());
+        assert!(synth.label().starts_with("synth("));
+
+        let rec = RecordedTrace::record(&spec(), &cat, SimTime::ZERO, 29);
+        let path = tmp("spec-open.jsonl");
+        rec.save(&path).expect("save");
+        let replay = TraceSpec::Recorded {
+            path: path.to_string_lossy().into_owned(),
+        };
+        let r = replay.open(&cat, SimTime::ZERO, 0).expect("recorded");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(r.len(), rec.len());
+        assert!(replay.label().starts_with("replay("));
+        let src = WorkloadSource::Trace(synth);
+        assert!(src.label(&cat).starts_with("synth("));
+        assert_eq!(WorkloadSource::Spec(spec()).label(&cat), spec().label(&cat));
+    }
+}

@@ -65,7 +65,7 @@ proptest! {
         for (i, c) in calls.iter().enumerate() {
             prop_assert!(c.release >= start && c.release < end, "call {i} at {:?}", c.release);
             prop_assert!(c.release >= prev, "sorted at {i}");
-            prop_assert_eq!(c.id.0, 7 + i as u32, "dense ids");
+            prop_assert_eq!(c.id.0, 7 + i as u64, "dense ids");
             prop_assert_eq!(c.kind as u8, CallKind::Measured as u8);
             prev = c.release;
         }

@@ -24,7 +24,7 @@ fn digest_scenario(s: &Scenario) -> u64 {
     fnv1a(&mut acc, s.burst_start.as_nanos());
     fnv1a(&mut acc, s.burst_window.as_nanos());
     for call in s.warmup.iter().chain(s.burst.iter()) {
-        fnv1a(&mut acc, call.id.0 as u64);
+        fnv1a(&mut acc, call.id.0);
         fnv1a(&mut acc, call.func.0 as u64);
         fnv1a(&mut acc, call.release.as_nanos());
         fnv1a(&mut acc, matches!(call.kind, CallKind::Measured) as u64);

@@ -153,7 +153,7 @@ fn eect_is_starvation_resistant_where_sept_is_not() {
     // The stream starts before the long call's release, so the node is
     // already backlogged with short work when the long call arrives.
     let mut t = SimTime::from_secs(20);
-    for id in 2u32..2002 {
+    for id in 2u64..2002 {
         t += SimDuration::from_millis(50);
         calls.push(Call {
             id: Id(id),
