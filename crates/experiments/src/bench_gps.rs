@@ -16,7 +16,7 @@ use faas_workload::sebs::Catalogue;
 use serde::{Deserialize, Serialize};
 
 /// One dashboard data point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchEntry {
     /// Stable metric name (dashboards key on it across commits).
     pub name: String,

@@ -1,0 +1,730 @@
+//! Durable perf-trajectory history: `BENCH_HISTORY.json`.
+//!
+//! Each `experiments bench` run writes seven point-in-time `BENCH_*.json`
+//! artifacts; this module makes the trajectory durable across commits by
+//! folding them into one **versioned, append-only** history document in
+//! the `github-action-benchmark` / `window.BENCHMARK_DATA` shape
+//! (occlum/ngo's `dev/benchmarks/data.js` is the exemplar): per-commit
+//! points keyed by benchmark suite, appended forever, rendered as a
+//! static dashboard ([`crate::dashboard`]).
+//!
+//! ## File format (version 1)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "lastUpdate": "2026-08-08T15:59:01+00:00",
+//!   "entries": {
+//!     "gps": [
+//!       {
+//!         "commit": {"id": "46ff445…", "message": "…", "timestamp": "…"},
+//!         "benches": [{"name": "gps_churn_n16_speedup", "value": 4.1, "unit": "x"}, …]
+//!       },
+//!       …one object per appended commit, oldest first…
+//!     ],
+//!     "events": […], "replay": […], …
+//!   }
+//! }
+//! ```
+//!
+//! Suites are keyed by the artifact file name with the `BENCH_` prefix and
+//! `.json` suffix stripped. A document without a `version` field is
+//! accepted as the legacy (v0) pre-versioned shape and upgraded on load;
+//! a version newer than [`HISTORY_VERSION`] is refused so an old tool
+//! never silently drops fields it does not understand.
+//!
+//! Commit id/message/timestamp arrive via [`CommitMeta`] — populated from
+//! CLI flags or `GITHUB_SHA` by the binary. Library code never reads
+//! ambient state (no clocks, no env), so append/gate/render are
+//! deterministic and testable.
+//!
+//! ## Regression gate
+//!
+//! [`gate_dir`] compares the current artifacts under a results directory
+//! against the **rolling median of the last [`GateConfig::window`] history
+//! points** per entry:
+//!
+//! * timing entries ([`crate::bench_schema::TIMING_UNITS`]) fail when they
+//!   exceed the median by more than `timing_regress_pct` (default
+//!   [`DEFAULT_TIMING_REGRESS_PCT`]%);
+//! * `calls/s` throughput entries fail when they drop below the median by
+//!   more than `throughput_drop_pct` (default
+//!   [`DEFAULT_THROUGHPUT_DROP_PCT`]%);
+//! * count-style units (`count`, `calls`, …) and derived ratios (`x`) are
+//!   exempt — ratios would double-count their timing pair, counts are not
+//!   noise-distributed;
+//! * per-unit overrides tighten or loosen individual units without code
+//!   changes, and an entry with no history (first run, renamed series, a
+//!   missing baseline file) is skipped rather than failed.
+//!
+//! Values **exactly at** the threshold pass; the gate trips on strict
+//! violation only, so an unchanged rerun against its own history is
+//! always green. On intentional perf changes, merge once with the gate
+//! step's thresholds raised (`--gate-timing-pct` / `--gate-throughput-pct`
+//! in CI) or reset the cached history; the next append re-baselines the
+//! rolling median.
+
+use crate::bench_gps::BenchEntry;
+use crate::bench_schema::{self, TIMING_UNITS};
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+
+/// File name of the append-only history document.
+pub const HISTORY_FILE: &str = "BENCH_HISTORY.json";
+
+/// Current history format version.
+pub const HISTORY_VERSION: i64 = 1;
+
+/// Default rolling-median window (history points per entry).
+pub const DEFAULT_GATE_WINDOW: usize = 5;
+
+/// Default allowed timing regression over the rolling median, percent.
+/// Wall-clock medians on shared CI runners jitter tens of percent; 50%
+/// still catches a 2x regression with margin.
+pub const DEFAULT_TIMING_REGRESS_PCT: f64 = 50.0;
+
+/// Default allowed `calls/s` drop below the rolling median, percent.
+pub const DEFAULT_THROUGHPUT_DROP_PCT: f64 = 40.0;
+
+/// Commit identity stamped on every appended history point. Populated by
+/// the CLI (flags or `GITHUB_SHA`), never from ambient state in here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommitMeta {
+    /// Commit id (full or abbreviated SHA).
+    pub id: String,
+    /// Commit subject line.
+    pub message: String,
+    /// Commit timestamp, ISO-8601 as produced by `git log --pretty=%cI`.
+    pub timestamp: String,
+}
+
+/// One per-commit point of one suite's trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistoryPoint {
+    /// The commit this point was measured at.
+    pub commit: CommitMeta,
+    /// The suite's full entry list at that commit.
+    pub benches: Vec<BenchEntry>,
+}
+
+/// The append-only trajectory: per-suite point lists, oldest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchHistory {
+    /// Format version ([`HISTORY_VERSION`] after load).
+    pub version: i64,
+    /// Timestamp of the newest append (the commit's, not the machine's).
+    pub last_update: String,
+    /// Suite key → points, insertion-ordered.
+    pub series: Vec<(String, Vec<HistoryPoint>)>,
+}
+
+impl Serialize for BenchHistory {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("version".into(), Value::Int(self.version as i128)),
+            ("lastUpdate".into(), Value::Str(self.last_update.clone())),
+            (
+                "entries".into(),
+                Value::Map(
+                    self.series
+                        .iter()
+                        .map(|(key, points)| (key.clone(), points.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for BenchHistory {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("history: expected an object"))?;
+        // No `version` field = the legacy pre-versioned (v0) shape; it is
+        // upgraded in place. Anything newer than this tool is refused.
+        let version = match serde::get_field(map, "version") {
+            Ok(Value::Int(i)) => *i as i64,
+            Ok(_) => return Err(serde::Error::custom("history: non-integer version")),
+            Err(_) => 0,
+        };
+        if version > HISTORY_VERSION {
+            return Err(serde::Error::custom(format!(
+                "history: version {version} is newer than this tool understands \
+                 ({HISTORY_VERSION}); refusing to load and silently drop fields"
+            )));
+        }
+        let last_update = match serde::get_field(map, "lastUpdate") {
+            Ok(v) => String::from_value(v)?,
+            Err(_) => String::new(),
+        };
+        let entries = serde::get_field(map, "entries")?
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("history: `entries` is not an object"))?;
+        let mut series = Vec::with_capacity(entries.len());
+        for (key, points) in entries {
+            series.push((key.clone(), Vec::<HistoryPoint>::from_value(points)?));
+        }
+        Ok(BenchHistory {
+            version: HISTORY_VERSION,
+            last_update,
+            series,
+        })
+    }
+}
+
+/// The suite key an artifact file folds into: `BENCH_gps.json` → `gps`.
+pub fn artifact_key(file_name: &str) -> String {
+    file_name
+        .strip_prefix("BENCH_")
+        .unwrap_or(file_name)
+        .strip_suffix(".json")
+        .unwrap_or(file_name)
+        .to_string()
+}
+
+impl Default for BenchHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BenchHistory {
+    /// An empty current-version history.
+    pub fn new() -> Self {
+        BenchHistory {
+            version: HISTORY_VERSION,
+            last_update: String::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Load a history file; a missing file is an empty history (the first
+    /// run has no trajectory yet), a malformed or future-versioned file is
+    /// an error.
+    pub fn load_or_empty(path: &Path) -> Result<Self, String> {
+        match faas_metrics::export::read_json(path) {
+            Ok(h) => Ok(h),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    /// Write the history as pretty JSON at `path`.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        faas_metrics::export::write_json(path, self).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// The points of one suite, if present.
+    pub fn points(&self, key: &str) -> Option<&[HistoryPoint]> {
+        self.series
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// Fold every `BENCH_*.json` artifact under `dir` into one new
+    /// history point per suite, stamped with `commit`. The directory is
+    /// schema-validated first (canonical seven present, shapes sound), so
+    /// a broken artifact never enters the durable trajectory. Returns the
+    /// appended suite keys.
+    pub fn append(&mut self, dir: &Path, commit: &CommitMeta) -> Result<Vec<String>, String> {
+        let files = bench_schema::validate_dir(dir)?;
+        let mut appended = Vec::with_capacity(files.len());
+        for file_name in files {
+            let path = dir.join(&file_name);
+            let benches: Vec<BenchEntry> = faas_metrics::export::read_json(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let key = artifact_key(&file_name);
+            let point = HistoryPoint {
+                commit: commit.clone(),
+                benches,
+            };
+            match self.series.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, points)) => points.push(point),
+                None => self.series.push((key.clone(), vec![point])),
+            }
+            appended.push(key);
+        }
+        self.last_update = commit.timestamp.clone();
+        Ok(appended)
+    }
+
+    /// Number of points in the longest suite series.
+    pub fn depth(&self) -> usize {
+        self.series.iter().map(|(_, p)| p.len()).max().unwrap_or(0)
+    }
+}
+
+/// Regression-gate thresholds. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Rolling-median window: last K history points per entry.
+    pub window: usize,
+    /// Allowed timing regression over the rolling median, percent.
+    pub timing_regress_pct: f64,
+    /// Allowed `calls/s` drop below the rolling median, percent.
+    pub throughput_drop_pct: f64,
+    /// Per-unit percentage overrides, e.g. `("ms/run", 80.0)` to loosen
+    /// end-to-end wall timings while keeping `ns/iter` kernels tight.
+    pub unit_overrides: Vec<(String, f64)>,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            window: DEFAULT_GATE_WINDOW,
+            timing_regress_pct: DEFAULT_TIMING_REGRESS_PCT,
+            throughput_drop_pct: DEFAULT_THROUGHPUT_DROP_PCT,
+            unit_overrides: Vec::new(),
+        }
+    }
+}
+
+impl GateConfig {
+    fn threshold_pct(&self, unit: &str, class_default: f64) -> f64 {
+        self.unit_overrides
+            .iter()
+            .find(|(u, _)| u == unit)
+            .map(|(_, pct)| *pct)
+            .unwrap_or(class_default)
+    }
+}
+
+/// One named, per-entry gate failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateViolation {
+    /// Suite key (`gps`, `replay`, …).
+    pub suite: String,
+    /// Entry name that regressed.
+    pub entry: String,
+    /// The entry's unit.
+    pub unit: String,
+    /// Current value.
+    pub value: f64,
+    /// Rolling median it was compared against.
+    pub baseline: f64,
+    /// History points behind the median.
+    pub points: usize,
+    /// Threshold percentage that was exceeded.
+    pub limit_pct: f64,
+    /// `"timing regression"` or `"throughput drop"`.
+    pub kind: &'static str,
+}
+
+impl std::fmt::Display for GateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} — {:.3} {} vs rolling median {:.3} over {} point(s), limit {}%",
+            self.suite,
+            self.entry,
+            self.kind,
+            self.value,
+            self.unit,
+            self.baseline,
+            self.points,
+            self.limit_pct
+        )
+    }
+}
+
+/// Median of a non-empty slice (average of the middle pair when even).
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("bench values are finite"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Gate one suite's current entries against its history series. Entries
+/// with no history points are skipped (first run / renamed series).
+pub fn gate_entries(
+    cfg: &GateConfig,
+    history: &BenchHistory,
+    suite: &str,
+    entries: &[BenchEntry],
+) -> Vec<GateViolation> {
+    let Some(points) = history.points(suite) else {
+        return Vec::new();
+    };
+    let mut violations = Vec::new();
+    for e in entries {
+        let is_timing = TIMING_UNITS.contains(&e.unit.as_str());
+        let is_throughput = e.unit == "calls/s";
+        if !is_timing && !is_throughput {
+            continue;
+        }
+        let mut past: Vec<f64> = points
+            .iter()
+            .rev()
+            .filter_map(|p| {
+                p.benches
+                    .iter()
+                    .find(|b| b.name == e.name && b.unit == e.unit)
+                    .map(|b| b.value)
+            })
+            .take(cfg.window)
+            .collect();
+        if past.is_empty() {
+            continue;
+        }
+        let n = past.len();
+        let baseline = median(&mut past);
+        if is_timing {
+            let pct = cfg.threshold_pct(&e.unit, cfg.timing_regress_pct);
+            let limit = baseline * (1.0 + pct / 100.0);
+            if e.value > limit {
+                violations.push(GateViolation {
+                    suite: suite.to_string(),
+                    entry: e.name.clone(),
+                    unit: e.unit.clone(),
+                    value: e.value,
+                    baseline,
+                    points: n,
+                    limit_pct: pct,
+                    kind: "timing regression",
+                });
+            }
+        } else {
+            let pct = cfg.threshold_pct(&e.unit, cfg.throughput_drop_pct);
+            let limit = baseline * (1.0 - pct / 100.0);
+            if e.value < limit {
+                violations.push(GateViolation {
+                    suite: suite.to_string(),
+                    entry: e.name.clone(),
+                    unit: e.unit.clone(),
+                    value: e.value,
+                    baseline,
+                    points: n,
+                    limit_pct: pct,
+                    kind: "throughput drop",
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Gate every `BENCH_*.json` under `dir` against `history`. Returns the
+/// violations plus the number of (suite, entry) pairs actually compared —
+/// 0 compared on an empty/missing baseline is a pass, not an error.
+pub fn gate_dir(
+    cfg: &GateConfig,
+    history: &BenchHistory,
+    dir: &Path,
+) -> Result<(Vec<GateViolation>, usize), String> {
+    let files = bench_schema::validate_dir(dir)?;
+    let mut violations = Vec::new();
+    let mut compared = 0usize;
+    for file_name in files {
+        let path = dir.join(&file_name);
+        let entries: Vec<BenchEntry> = faas_metrics::export::read_json(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let key = artifact_key(&file_name);
+        if let Some(points) = history.points(&key) {
+            compared += entries
+                .iter()
+                .filter(|e| {
+                    (TIMING_UNITS.contains(&e.unit.as_str()) || e.unit == "calls/s")
+                        && points
+                            .iter()
+                            .any(|p| p.benches.iter().any(|b| b.name == e.name))
+                })
+                .count();
+        }
+        violations.extend(gate_entries(cfg, history, &key, &entries));
+    }
+    Ok((violations, compared))
+}
+
+/// Render violations as the named, per-entry report CI prints.
+pub fn render_violations(violations: &[GateViolation]) -> String {
+    let mut out = format!("perf regression gate: {} violation(s)\n", violations.len());
+    for v in violations {
+        out.push_str(&format!("  {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, value: f64, unit: &str) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+        }
+    }
+
+    fn meta(id: &str) -> CommitMeta {
+        CommitMeta {
+            id: id.into(),
+            message: format!("commit {id}"),
+            timestamp: format!("2026-08-0{id}T00:00:00+00:00"),
+        }
+    }
+
+    fn suite(values: &[f64]) -> Vec<HistoryPoint> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| HistoryPoint {
+                commit: meta(&format!("{}", i + 1)),
+                benches: vec![
+                    entry("k_n10_candidate", v, "ns/iter"),
+                    entry("k_rate", 1000.0, "calls/s"),
+                ],
+            })
+            .collect()
+    }
+
+    fn history_with(values: &[f64]) -> BenchHistory {
+        let mut h = BenchHistory::new();
+        h.series.push(("k".into(), suite(values)));
+        h
+    }
+
+    #[test]
+    fn history_round_trips_through_json() {
+        let mut h = history_with(&[100.0, 110.0]);
+        h.last_update = "2026-08-08T00:00:00+00:00".into();
+        let text = serde_json::to_string_pretty(&h).unwrap();
+        let back: BenchHistory = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.version, HISTORY_VERSION);
+        assert_eq!(back.depth(), 2);
+    }
+
+    #[test]
+    fn legacy_unversioned_history_is_upgraded_on_load() {
+        // v0: no version/lastUpdate wrapper fields, same entries map.
+        let v0 = r#"{"entries": {"k": [{"commit": {"id": "a", "message": "m",
+            "timestamp": "t"}, "benches": [{"name": "k_n10_candidate",
+            "value": 100.0, "unit": "ns/iter"}]}]}}"#;
+        let h: BenchHistory = serde_json::from_str(v0).unwrap();
+        assert_eq!(h.version, HISTORY_VERSION);
+        assert_eq!(h.points("k").unwrap().len(), 1);
+        assert_eq!(h.points("k").unwrap()[0].commit.id, "a");
+    }
+
+    #[test]
+    fn future_version_is_refused() {
+        let v9 = r#"{"version": 9, "lastUpdate": "", "entries": {}}"#;
+        let err = serde_json::from_str::<BenchHistory>(v9).unwrap_err();
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn load_or_empty_tolerates_a_missing_file() {
+        let h = BenchHistory::load_or_empty(Path::new("/nonexistent/BENCH_HISTORY.json")).unwrap();
+        assert_eq!(h.depth(), 0);
+    }
+
+    #[test]
+    fn artifact_keys_strip_the_wrapper() {
+        assert_eq!(artifact_key("BENCH_gps.json"), "gps");
+        assert_eq!(artifact_key("BENCH_weighted_gps.json"), "weighted_gps");
+    }
+
+    #[test]
+    fn gate_trips_on_injected_regression_and_passes_at_the_boundary() {
+        let cfg = GateConfig::default();
+        let history = history_with(&[100.0, 100.0, 100.0]);
+        // 2x injected regression: 200 > 100 * 1.5 → named violation.
+        let bad = [entry("k_n10_candidate", 200.0, "ns/iter")];
+        let v = gate_entries(&cfg, &history, "k", &bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].entry, "k_n10_candidate");
+        assert_eq!(v[0].kind, "timing regression");
+        assert_eq!(v[0].baseline, 100.0);
+        assert_eq!(v[0].points, 3);
+        assert!(render_violations(&v).contains("k_n10_candidate"));
+        // Exactly at the 50% limit: passes (strict violation only).
+        let boundary = [entry("k_n10_candidate", 150.0, "ns/iter")];
+        assert!(gate_entries(&cfg, &history, "k", &boundary).is_empty());
+        // Unchanged rerun: passes.
+        let same = [entry("k_n10_candidate", 100.0, "ns/iter")];
+        assert!(gate_entries(&cfg, &history, "k", &same).is_empty());
+    }
+
+    #[test]
+    fn gate_trips_on_throughput_drop_but_not_at_the_boundary() {
+        let cfg = GateConfig::default();
+        let history = history_with(&[100.0]);
+        // calls/s median is 1000; 40% drop limit is 600.
+        let ok = [entry("k_rate", 600.0, "calls/s")];
+        assert!(gate_entries(&cfg, &history, "k", &ok).is_empty());
+        let bad = [entry("k_rate", 599.0, "calls/s")];
+        let v = gate_entries(&cfg, &history, "k", &bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, "throughput drop");
+    }
+
+    #[test]
+    fn gate_uses_a_rolling_median_window() {
+        let cfg = GateConfig {
+            window: 2,
+            ..GateConfig::default()
+        };
+        // Old slow points fall outside the window: the median over the
+        // last 2 ([100, 100]) gates, not the ancient 1000s.
+        let history = history_with(&[1000.0, 1000.0, 1000.0, 100.0, 100.0]);
+        let bad = [entry("k_n10_candidate", 200.0, "ns/iter")];
+        let v = gate_entries(&cfg, &history, "k", &bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].baseline, 100.0);
+        assert_eq!(v[0].points, 2);
+        // A wider window reaching back to the slow majority shifts the
+        // median up to 1000 and the same value passes.
+        let wide = GateConfig {
+            window: 5,
+            ..GateConfig::default()
+        };
+        assert!(gate_entries(&wide, &history, "k", &bad).is_empty());
+    }
+
+    #[test]
+    fn count_units_and_unknown_entries_are_exempt() {
+        let cfg = GateConfig::default();
+        let history = history_with(&[100.0]);
+        let entries = [
+            entry("k_peak_resident", 0.0, "calls"),
+            entry("k_n10_speedup", 0.01, "x"),
+            entry("brand_new_timing", 1e12, "ns/iter"),
+        ];
+        // Counts/ratios exempt; the new timing has no history → skipped.
+        assert!(gate_entries(&cfg, &history, "k", &entries).is_empty());
+        // Unknown suite entirely: skipped.
+        assert!(gate_entries(&cfg, &history, "other", &entries).is_empty());
+    }
+
+    #[test]
+    fn per_unit_overrides_take_precedence() {
+        let cfg = GateConfig {
+            unit_overrides: vec![("ns/iter".into(), 150.0)],
+            ..GateConfig::default()
+        };
+        let history = history_with(&[100.0]);
+        // 2x is within the loosened 150% allowance…
+        let two_x = [entry("k_n10_candidate", 200.0, "ns/iter")];
+        assert!(gate_entries(&cfg, &history, "k", &two_x).is_empty());
+        // …but 2.6x is not.
+        let worse = [entry("k_n10_candidate", 260.0, "ns/iter")];
+        assert_eq!(gate_entries(&cfg, &history, "k", &worse).len(), 1);
+    }
+
+    #[test]
+    fn empty_history_gates_nothing() {
+        let (violations, compared) = {
+            let dir = std::env::temp_dir().join("bench_history_empty_gate");
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            write_canonical_artifacts(&dir, 1.0);
+            let r = gate_dir(&GateConfig::default(), &BenchHistory::new(), &dir).unwrap();
+            let _ = std::fs::remove_dir_all(&dir);
+            r
+        };
+        assert!(violations.is_empty());
+        assert_eq!(compared, 0);
+    }
+
+    /// Write the canonical seven artifacts with timings scaled by
+    /// `scale` (so a 2x scale is a 2x timing regression everywhere).
+    pub(crate) fn write_canonical_artifacts(dir: &Path, scale: f64) {
+        for name in bench_schema::EXPECTED_ARTIFACTS {
+            let mut entries = vec![
+                entry("k_n10_candidate", 120.0 * scale, "ns/iter"),
+                entry("k_n10_reference", 360.0 * scale, "ns/iter"),
+                entry("k_n10_speedup", 3.0, "x"),
+                entry("k_threads", 1.0, "count"),
+            ];
+            if name.contains("replay") {
+                entries.push(entry("k_c1000_calls_per_sec", 2.5e6 / scale, "calls/s"));
+            }
+            faas_metrics::export::write_json(&dir.join(name), &entries).unwrap();
+        }
+    }
+
+    #[test]
+    fn append_folds_the_artifact_directory_and_survives_a_save_load_cycle() {
+        let dir = std::env::temp_dir().join("bench_history_append_dir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        write_canonical_artifacts(&dir, 1.0);
+
+        let mut h = BenchHistory::new();
+        let keys = h.append(&dir, &meta("1")).unwrap();
+        assert_eq!(keys.len(), bench_schema::EXPECTED_ARTIFACTS.len());
+        h.append(&dir, &meta("2")).unwrap();
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.last_update, meta("2").timestamp);
+        assert_eq!(h.points("gps").unwrap().len(), 2);
+        assert_eq!(h.points("replay").unwrap()[1].commit.id, "2");
+
+        let path = dir.join(HISTORY_FILE);
+        h.save(&path).unwrap();
+        let back = BenchHistory::load_or_empty(&path).unwrap();
+        assert_eq!(back, h);
+
+        // The history file sitting in the artifact dir does not break a
+        // subsequent append (validate_dir skips it).
+        h.append(&dir, &meta("3")).unwrap();
+        assert_eq!(h.depth(), 3);
+
+        // End to end: gate the same dir against its own history (pass),
+        // then against a history of 2x-faster runs (every timing and the
+        // throughput entry trips, per artifact).
+        let (violations, compared) = gate_dir(&GateConfig::default(), &h, &dir).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(
+            compared,
+            // 2 timings per artifact + 1 calls/s in the replay artifact.
+            2 * bench_schema::EXPECTED_ARTIFACTS.len() + 1
+        );
+        let mut fast = BenchHistory::new();
+        let fast_dir = std::env::temp_dir().join("bench_history_append_dir_fast");
+        let _ = std::fs::remove_dir_all(&fast_dir);
+        std::fs::create_dir_all(&fast_dir).unwrap();
+        write_canonical_artifacts(&fast_dir, 0.5);
+        fast.append(&fast_dir, &meta("1")).unwrap();
+        let (violations, _) = gate_dir(&GateConfig::default(), &fast, &dir).unwrap();
+        assert_eq!(
+            violations.len(),
+            2 * bench_schema::EXPECTED_ARTIFACTS.len() + 1,
+            "{}",
+            render_violations(&violations)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&fast_dir);
+    }
+
+    #[test]
+    fn append_refuses_a_broken_artifact_directory() {
+        let dir = std::env::temp_dir().join("bench_history_append_broken");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Only one artifact: the canonical-set check refuses the append,
+        // so a partial bench run never pollutes the durable trajectory.
+        faas_metrics::export::write_json(
+            &dir.join("BENCH_gps.json"),
+            &vec![
+                entry("k_n10_candidate", 120.0, "ns/iter"),
+                entry("k_n10_reference", 360.0, "ns/iter"),
+                entry("k_n10_speedup", 3.0, "x"),
+                entry("k_threads", 1.0, "count"),
+            ],
+        )
+        .unwrap();
+        let mut h = BenchHistory::new();
+        let err = h.append(&dir, &meta("1")).unwrap_err();
+        assert!(err.contains("missing canonical artifact"), "{err}");
+        assert_eq!(h.depth(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,9 +15,14 @@
 //!
 //! The headline trajectory numbers are `calls_per_sec` at 10^6 and 10^7
 //! calls (the scaling claim), plus the working-set proxy at 10^7. The
-//! 10^8-call point exists but is opt-in via `BENCH_REPLAY_XL=1` — it
-//! holds ~10^8 outcome records and takes minutes, which is beyond the
-//! default CI budget.
+//! throughput points take the **best of several timed runs** (the
+//! minimum wall-clock is the least scheduler-perturbed estimate) and
+//! record the sample count as a `*_samples` entry, so the regression
+//! gate compares like-for-like measurements instead of tripping on a
+//! single noisy run. The 10^8-call point exists but is opt-in via
+//! `BENCH_REPLAY_XL=1` — it holds ~10^8 outcome records and takes
+//! minutes, which is beyond the default CI budget (it runs
+//! single-sample, and says so in its `*_samples` entry).
 //!
 //! The synthesizer's mean rate is fixed at a sustainable per-cluster load
 //! (the window scales with the call count instead), so queues stay
@@ -45,6 +50,9 @@ const MEAN_RATE: f64 = 4.0;
 /// Ingestion window of the streamed feed.
 const STREAM_CHUNK: usize = 8192;
 const SAMPLES: usize = 3;
+/// Timed runs per throughput point (best-of-N); the 10^8 XL point stays
+/// single-sample because one run is already minutes-scale.
+const THROUGHPUT_SAMPLES: usize = 3;
 
 /// The synthetic benchmark trace for a target call count: the rate is
 /// fixed, the simulated window grows with the count (a bigger slice of
@@ -76,9 +84,9 @@ fn replay(catalogue: &Catalogue, trace: &SyntheticTrace, chunk: usize) -> NodeRe
 /// throughput at 10^7, and (with `BENCH_REPLAY_XL=1`) the 10^8 point.
 pub fn run() -> Vec<BenchEntry> {
     let mut entries = run_level(1_000_000, SAMPLES);
-    entries.extend(throughput_level(10_000_000));
+    entries.extend(throughput_level(10_000_000, THROUGHPUT_SAMPLES));
     if std::env::var("BENCH_REPLAY_XL").as_deref() == Ok("1") {
-        entries.extend(throughput_level(100_000_000));
+        entries.extend(throughput_level(100_000_000, 1));
     }
     entries
 }
@@ -136,26 +144,42 @@ pub fn run_level(calls: u64, samples: usize) -> Vec<BenchEntry> {
     ]
 }
 
-/// Streamed-feed throughput at an explicit call count: one timed run
-/// (these points are minutes-scale; a median over repeats would double a
-/// budget the trajectory does not need).
-pub fn throughput_level(calls: u64) -> Vec<BenchEntry> {
+/// Streamed-feed throughput at an explicit call count: best of `samples`
+/// timed runs. A single wall-clock sample is at the mercy of one
+/// scheduler hiccup — under the CI regression gate that reads as a
+/// throughput drop — so the reported rate uses the minimum elapsed time
+/// over the runs, and the sample count is recorded next to it so the
+/// trajectory never mixes best-of-3 points with single-shot ones
+/// unknowingly.
+pub fn throughput_level(calls: u64, samples: usize) -> Vec<BenchEntry> {
     let catalogue = Catalogue::sebs();
     let trace = bench_trace(&catalogue, calls);
     let n = trace.len();
-    let start = std::time::Instant::now();
-    let r = std::hint::black_box(replay(&catalogue, &trace, STREAM_CHUNK));
-    let elapsed = start.elapsed().as_secs_f64();
+    let samples = samples.max(1);
+    let mut best = f64::INFINITY;
+    let mut peak_resident = 0u64;
+    for _ in 0..samples {
+        let start = std::time::Instant::now();
+        let r = std::hint::black_box(replay(&catalogue, &trace, STREAM_CHUNK));
+        let elapsed = start.elapsed().as_secs_f64();
+        best = best.min(elapsed);
+        peak_resident = peak_resident.max(r.peak_resident_calls);
+    }
     vec![
         BenchEntry {
             name: format!("replay_c{calls}_calls_per_sec"),
-            value: n as f64 / elapsed,
+            value: n as f64 / best,
             unit: "calls/s".into(),
         },
         BenchEntry {
             name: format!("replay_c{calls}_peak_resident"),
-            value: r.peak_resident_calls as f64,
+            value: peak_resident as f64,
             unit: "calls".into(),
+        },
+        BenchEntry {
+            name: format!("replay_c{calls}_samples"),
+            value: samples as f64,
+            unit: "count".into(),
         },
     ]
 }
@@ -205,11 +229,17 @@ mod tests {
     }
 
     #[test]
-    fn throughput_level_reports_rate_and_residency() {
-        let entries = throughput_level(10_000);
-        assert_eq!(entries.len(), 2);
+    fn throughput_level_reports_rate_residency_and_sample_count() {
+        let entries = throughput_level(10_000, 2);
+        assert_eq!(entries.len(), 3);
         assert!(entries[0].name.ends_with("_calls_per_sec"));
         assert!(entries[0].value > 0.0);
         assert!(entries[1].value <= (STREAM_CHUNK * NODES as usize) as f64);
+        assert!(entries[2].name.ends_with("_samples"));
+        assert_eq!(entries[2].unit, "count");
+        assert_eq!(entries[2].value, 2.0);
+        // A zero sample request still measures once.
+        let one = throughput_level(10_000, 0);
+        assert_eq!(one[2].value, 1.0);
     }
 }

@@ -8,13 +8,19 @@
 //! CI right after `experiments bench`) fails loudly instead:
 //!
 //! * every `BENCH_*.json` in the output directory parses as a
-//!   [`BenchEntry`] list with finite, positive values;
+//!   [`BenchEntry`] list with finite values — strictly positive for
+//!   timing (`TIMING_UNITS`), ratio (`x`) and throughput (`calls/s`)
+//!   entries, `>= 0` for count-style units (a zero `*_peak_resident` or
+//!   drop counter is a legitimate measurement, not schema drift);
 //! * every file records the host parallelism (an entry whose name
 //!   contains `threads`, value an integer ≥ 1) so trajectory points stay
 //!   attributable to their machine shape;
 //! * every file carries at least one baseline/candidate timing pair (two
 //!   or more entries in a wall-clock unit) plus the derived `*_speedup`
-//!   ratio in unit `x`;
+//!   ratio in unit `x`, and every `*_speedup` value is cross-validated
+//!   against the ratio of its own baseline/candidate timing pair — a
+//!   stale or miscomputed speedup fails loudly instead of merely
+//!   existing;
 //! * the seven canonical artifacts (`BENCH_gps.json`,
 //!   `BENCH_weighted_gps.json`, `BENCH_events.json`,
 //!   `BENCH_workload.json`, `BENCH_faults.json`, `BENCH_coupled.json`,
@@ -38,7 +44,21 @@ pub const EXPECTED_ARTIFACTS: [&str; 7] = [
 ];
 
 /// Wall-clock units a baseline/candidate timing may use.
-const TIMING_UNITS: [&str; 4] = ["ns/iter", "ns/op", "ms/run", "ms"];
+pub const TIMING_UNITS: [&str; 4] = ["ns/iter", "ns/op", "ms/run", "ms"];
+
+/// Relative tolerance when cross-validating a `*_speedup` value against
+/// the ratio of its baseline/candidate timing pair. The ratio is computed
+/// from the very floats stored next to it (values round-trip exactly
+/// through JSON), so anything beyond rounding slack means the speedup is
+/// stale or miscomputed.
+const SPEEDUP_RATIO_TOL: f64 = 1e-3;
+
+/// Units whose entries must be strictly positive: a zero timing, speedup
+/// or throughput is always a measurement bug. Count-style units (`count`,
+/// `calls`, …) legitimately report 0 (an empty working set, no drops).
+fn requires_strict_positive(unit: &str) -> bool {
+    TIMING_UNITS.contains(&unit) || unit == "x" || unit == "calls/s"
+}
 
 /// Validate one artifact's entry list. `name` is used in error messages.
 pub fn validate_entries(name: &str, entries: &[BenchEntry]) -> Result<(), String> {
@@ -49,10 +69,17 @@ pub fn validate_entries(name: &str, entries: &[BenchEntry]) -> Result<(), String
         if e.name.is_empty() || e.unit.is_empty() {
             return Err(format!("{name}: entry with empty name or unit"));
         }
-        if !e.value.is_finite() || e.value <= 0.0 {
+        if !e.value.is_finite() || e.value < 0.0 {
             return Err(format!(
-                "{name}: entry `{}` has non-finite or non-positive value {}",
+                "{name}: entry `{}` has non-finite or negative value {}",
                 e.name, e.value
+            ));
+        }
+        if e.value == 0.0 && requires_strict_positive(&e.unit) {
+            return Err(format!(
+                "{name}: entry `{}` is zero in unit `{}` (timings, speedups and \
+                 throughputs must be strictly positive)",
+                e.name, e.unit
             ));
         }
     }
@@ -81,6 +108,12 @@ pub fn validate_entries(name: &str, entries: &[BenchEntry]) -> Result<(), String
     {
         return Err(format!("{name}: no `*_speedup` ratio entry in unit `x`"));
     }
+    for speedup in entries
+        .iter()
+        .filter(|e| e.name.ends_with("_speedup") && e.unit == "x")
+    {
+        cross_validate_speedup(name, speedup, entries)?;
+    }
     if name.contains("replay")
         && !entries
             .iter()
@@ -93,15 +126,79 @@ pub fn validate_entries(name: &str, entries: &[BenchEntry]) -> Result<(), String
     Ok(())
 }
 
+/// Cross-validate one `*_speedup` entry against its baseline/candidate
+/// timing pair: strip `_speedup`, then shorten the stem one `_`-segment at
+/// a time until at least two timing entries share the prefix (the bench
+/// modules name pairs `<stem>_reference`/`<stem>_virtual_time`,
+/// `<stem>_serial_wall`/`<stem>_sharded_wall`, …). The speedup must equal
+/// the ratio of one ordered pair within [`SPEEDUP_RATIO_TOL`].
+fn cross_validate_speedup(
+    name: &str,
+    speedup: &BenchEntry,
+    entries: &[BenchEntry],
+) -> Result<(), String> {
+    let full_stem = speedup
+        .name
+        .strip_suffix("_speedup")
+        .expect("caller filtered on the suffix");
+    let mut stem = full_stem;
+    let timings = loop {
+        let matches: Vec<&BenchEntry> = entries
+            .iter()
+            .filter(|e| {
+                TIMING_UNITS.contains(&e.unit.as_str())
+                    && e.name.len() > stem.len() + 1
+                    && e.name.starts_with(stem)
+                    && e.name.as_bytes()[stem.len()] == b'_'
+            })
+            .collect();
+        if matches.len() >= 2 {
+            break matches;
+        }
+        match stem.rfind('_') {
+            Some(i) => stem = &stem[..i],
+            None => {
+                return Err(format!(
+                    "{name}: speedup `{}` has no `{full_stem}*` baseline/candidate \
+                     timing pair to validate against",
+                    speedup.name
+                ))
+            }
+        }
+    };
+    let matched = timings.iter().any(|a| {
+        timings.iter().any(|b| {
+            a.name != b.name && b.value > 0.0 && {
+                let ratio = a.value / b.value;
+                (ratio - speedup.value).abs() <= SPEEDUP_RATIO_TOL * speedup.value.max(ratio)
+            }
+        })
+    });
+    if matched {
+        Ok(())
+    } else {
+        let candidates: Vec<&str> = timings.iter().map(|e| e.name.as_str()).collect();
+        Err(format!(
+            "{name}: speedup `{}` = {} does not match the ratio of any `{stem}_*` \
+             timing pair (candidates: {candidates:?}) — stale or miscomputed",
+            speedup.name, speedup.value
+        ))
+    }
+}
+
 /// Validate every `BENCH_*.json` under `dir` and check the canonical set
-/// is present. Returns the validated file names.
+/// is present. The append-only [`crate::bench_history::HISTORY_FILE`]
+/// shares the `BENCH_` prefix but is a different (multi-commit) document,
+/// so it is skipped here. Returns the validated file names.
 pub fn validate_dir(dir: &Path) -> Result<Vec<String>, String> {
     let mut seen = Vec::new();
     let listing = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     for entry in listing {
         let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
         let file_name = entry.file_name().to_string_lossy().into_owned();
-        if !(file_name.starts_with("BENCH_") && file_name.ends_with(".json")) {
+        if !(file_name.starts_with("BENCH_") && file_name.ends_with(".json"))
+            || file_name == crate::bench_history::HISTORY_FILE
+        {
             continue;
         }
         let path = entry.path();
@@ -190,6 +287,81 @@ mod tests {
     }
 
     #[test]
+    fn zero_valued_count_entries_are_legitimate() {
+        // A zero working set or drop counter is a real measurement: only
+        // timing/ratio/throughput units require strict positivity.
+        let mut entries = valid();
+        entries.push(entry("x_peak_resident", 0.0, "calls"));
+        entries.push(entry("x_drops", 0.0, "count"));
+        validate_entries("BENCH_x.json", &entries).unwrap();
+    }
+
+    #[test]
+    fn zero_timing_ratio_and_throughput_are_rejected() {
+        for (name, unit) in [
+            ("x_n10_candidate", "ns/iter"),
+            ("x_n10_speedup", "x"),
+            ("x_rate", "calls/s"),
+        ] {
+            let mut entries = valid();
+            entries.push(entry(name, 0.0, unit));
+            let err = validate_entries("BENCH_x.json", &entries).unwrap_err();
+            assert!(err.contains("strictly positive"), "{unit}: {err}");
+        }
+        let mut entries = valid();
+        entries.push(entry("x_drops", -1.0, "count"));
+        let err = validate_entries("BENCH_x.json", &entries).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn stale_speedup_is_rejected() {
+        // The pair says 3.0x; a drifted stored ratio fails loudly.
+        let mut entries = valid();
+        entries
+            .iter_mut()
+            .find(|e| e.name.ends_with("_speedup"))
+            .unwrap()
+            .value = 2.4;
+        let err = validate_entries("BENCH_x.json", &entries).unwrap_err();
+        assert!(err.contains("stale or miscomputed"), "{err}");
+    }
+
+    #[test]
+    fn speedup_pair_is_found_by_prefix_shortening() {
+        // The workload-bench shape: the speedup shares only a shortened
+        // prefix with its serial/sharded pair.
+        let entries = vec![
+            entry("gen_bulk_serial_wall", 200.0, "ms/run"),
+            entry("gen_bulk_sharded_wall", 50.0, "ms/run"),
+            entry("gen_bulk_sharded_speedup", 4.0, "x"),
+            entry("gen_threads", 2.0, "count"),
+        ];
+        validate_entries("BENCH_x.json", &entries).unwrap();
+        // Inverted direction (ratio < 1) also validates: either ordered
+        // ratio of the pair may match.
+        let entries = vec![
+            entry("q_n16_indexed", 544.0, "ns/iter"),
+            entry("q_n16_lazy", 432.0, "ns/iter"),
+            entry("q_n16_speedup", 432.0 / 544.0, "x"),
+            entry("q_threads", 1.0, "count"),
+        ];
+        validate_entries("BENCH_x.json", &entries).unwrap();
+    }
+
+    #[test]
+    fn speedup_without_any_pair_names_the_entry() {
+        let entries = vec![
+            entry("a_left_wall", 100.0, "ms/run"),
+            entry("b_right_wall", 100.0, "ms/run"),
+            entry("orphan_speedup", 2.0, "x"),
+            entry("x_threads", 1.0, "count"),
+        ];
+        let err = validate_entries("BENCH_x.json", &entries).unwrap_err();
+        assert!(err.contains("orphan_speedup"), "{err}");
+    }
+
+    #[test]
     fn replay_artifact_requires_a_throughput_entry() {
         // The plain shape passes for any other artifact name but the
         // replay file must also carry calls/s.
@@ -230,6 +402,15 @@ mod tests {
             }
             write(name, &entries);
         }
+        let seen = validate_dir(&dir).unwrap();
+        assert_eq!(seen.len(), EXPECTED_ARTIFACTS.len());
+        // The append-only history shares the BENCH_ prefix but is not an
+        // entry list; it must be skipped, not rejected.
+        std::fs::write(
+            dir.join(crate::bench_history::HISTORY_FILE),
+            "{\"version\": 1, \"lastUpdate\": \"\", \"entries\": {}}",
+        )
+        .unwrap();
         let seen = validate_dir(&dir).unwrap();
         assert_eq!(seen.len(), EXPECTED_ARTIFACTS.len());
         // A malformed artifact fails the whole directory.

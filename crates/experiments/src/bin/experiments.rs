@@ -38,6 +38,18 @@
 //!              trajectory
 //!   replay     Trace-replay benchmark alone at an explicit call count:
 //!              replay [--calls N] [--out DIR]; writes BENCH_replay.json
+//!   check-bench  Validate the BENCH_*.json artifacts under --out and,
+//!              with --baseline HISTORY, gate each timing/throughput
+//!              entry against the rolling median of the history
+//!              (--gate-window K, --gate-timing-pct P,
+//!              --gate-throughput-pct P); exits non-zero on schema drift
+//!              or a named perf regression
+//!   history-append  Fold the current artifacts under --out into the
+//!              append-only BENCH_HISTORY.json, stamped with
+//!              --commit/--message/--timestamp (GITHUB_SHA is the
+//!              commit fallback)
+//!   dashboard  Render BENCH_HISTORY.json as a self-contained static
+//!              HTML page of SVG sparklines (--history IN, --out HTML)
 //!   run        Custom single configuration with per-call CSV trace:
 //!              run --cores C --intensity V --policy P [--seed S]
 //!   all      Everything above
@@ -45,10 +57,11 @@
 //!
 //! Results are also written as JSON under `--out` (default `results/`).
 
+use faas_experiments::bench_history::{BenchHistory, CommitMeta, GateConfig, HISTORY_FILE};
 use faas_experiments::{
-    ablations, bench_coupled, bench_events, bench_faults, bench_gps, bench_replay, bench_schema,
-    bench_weighted_gps, bench_workload, custom, fig2, fig5, fig6, functions, grid, sweep, table1,
-    Effort,
+    ablations, bench_coupled, bench_events, bench_faults, bench_gps, bench_history, bench_replay,
+    bench_schema, bench_weighted_gps, bench_workload, custom, dashboard, fig2, fig5, fig6,
+    functions, grid, sweep, table1, Effort,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -61,8 +74,14 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|sweep|bench|check-bench|replay|run|all> \
-         [--quick] [--seeds N] [--out DIR] [--per-seed] (replay: [--calls N] [--out DIR])"
+        "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|sweep|bench|check-bench|history-append|dashboard|replay|run|all> \
+         [--quick] [--seeds N] [--out DIR] [--per-seed]\n\
+         (replay: [--calls N] [--out DIR])\n\
+         (check-bench: [--out DIR] [--baseline HISTORY] [--gate-window K] \
+         [--gate-timing-pct P] [--gate-throughput-pct P])\n\
+         (history-append: [--out DIR] [--history PATH] [--commit ID] [--message MSG] \
+         [--timestamp TS])\n\
+         (dashboard: [--history PATH] [--out HTML])"
     );
     std::process::exit(2);
 }
@@ -76,6 +95,18 @@ fn main() {
     }
     if cmd == "replay" {
         run_replay(args.collect());
+        return;
+    }
+    if cmd == "check-bench" {
+        run_check_bench(args.collect());
+        return;
+    }
+    if cmd == "history-append" {
+        run_history_append(args.collect());
+        return;
+    }
+    if cmd == "dashboard" {
+        run_dashboard(args.collect());
         return;
     }
     let mut opts = Opts {
@@ -120,7 +151,6 @@ fn main() {
         "functions" => run_functions(&opts),
         "sweep" => run_sweep(&opts),
         "bench" => run_bench(&opts),
-        "check-bench" => run_check_bench(&opts),
         "all" => {
             run_table1(&opts);
             run_fig2(&opts);
@@ -234,13 +264,179 @@ fn run_sweep(opts: &Opts) {
 
 /// Validate the `BENCH_*.json` artifacts under `--out`: every file must
 /// parse, record the host thread count and carry baseline/candidate
-/// timings plus a speedup ratio. Exits non-zero on schema drift, so CI
-/// catches a silently changed file shape.
-fn run_check_bench(opts: &Opts) {
-    match bench_schema::validate_dir(&opts.out) {
+/// timings plus a speedup ratio that matches its own timing pair. With
+/// `--baseline HISTORY`, additionally gate every timing and `calls/s`
+/// entry against the rolling median of the history and exit non-zero
+/// with a named, per-entry report on regression. A missing baseline file
+/// (the first run of a fresh history chain) skips the gate instead of
+/// failing.
+fn run_check_bench(args: Vec<String>) {
+    let mut out = PathBuf::from("results");
+    let mut baseline: Option<PathBuf> = None;
+    let mut cfg = GateConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--out" => out = PathBuf::from(value(&mut i)),
+            "--baseline" => baseline = Some(PathBuf::from(value(&mut i))),
+            "--gate-window" => {
+                cfg.window = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if cfg.window == 0 {
+                    usage();
+                }
+            }
+            "--gate-timing-pct" => {
+                cfg.timing_regress_pct = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--gate-throughput-pct" => {
+                cfg.throughput_drop_pct = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match bench_schema::validate_dir(&out) {
         Ok(seen) => println!("bench artifacts ok: {}", seen.join(", ")),
         Err(e) => {
             eprintln!("bench artifact schema check failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let Some(baseline) = baseline else { return };
+    if !baseline.exists() {
+        println!(
+            "no baseline history at {} (first run): regression gate skipped",
+            baseline.display()
+        );
+        return;
+    }
+    let history = match BenchHistory::load_or_empty(&baseline) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("could not load baseline history: {e}");
+            std::process::exit(1);
+        }
+    };
+    match bench_history::gate_dir(&cfg, &history, &out) {
+        Ok((violations, compared)) if violations.is_empty() => println!(
+            "perf regression gate ok: {compared} entr{} within {}%/{}% of the \
+             rolling median over up to {} point(s)",
+            if compared == 1 { "y" } else { "ies" },
+            cfg.timing_regress_pct,
+            cfg.throughput_drop_pct,
+            cfg.window
+        ),
+        Ok((violations, _)) => {
+            eprint!("{}", bench_history::render_violations(&violations));
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("perf regression gate failed to run: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Fold the current artifacts under `--out` into the append-only
+/// `BENCH_HISTORY.json`. Commit identity comes from `--commit`,
+/// `--message` and `--timestamp` (CI passes `git log -1` values); the
+/// commit id falls back to `GITHUB_SHA`, and the timestamp to the wall
+/// clock — ambient state stays here in the binary, never in the library,
+/// so append/gate/render remain deterministic under test.
+fn run_history_append(args: Vec<String>) {
+    let mut out = PathBuf::from("results");
+    let mut history_path: Option<PathBuf> = None;
+    let mut commit: Option<String> = None;
+    let mut message: Option<String> = None;
+    let mut timestamp: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--out" => out = PathBuf::from(value(&mut i)),
+            "--history" => history_path = Some(PathBuf::from(value(&mut i))),
+            "--commit" => commit = Some(value(&mut i)),
+            "--message" => message = Some(value(&mut i)),
+            "--timestamp" => timestamp = Some(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let history_path = history_path.unwrap_or_else(|| out.join(HISTORY_FILE));
+    let meta = CommitMeta {
+        id: commit
+            .or_else(|| std::env::var("GITHUB_SHA").ok())
+            .unwrap_or_else(|| "unknown".into()),
+        message: message.unwrap_or_default(),
+        timestamp: timestamp.unwrap_or_else(|| {
+            let secs = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            format!("unix:{secs}")
+        }),
+    };
+    let result = BenchHistory::load_or_empty(&history_path).and_then(|mut history| {
+        let keys = history.append(&out, &meta)?;
+        history.save(&history_path)?;
+        Ok((keys, history.depth()))
+    });
+    match result {
+        Ok((keys, depth)) => println!(
+            "history {} now {depth} point(s) deep at commit {} ({} suite(s): {})",
+            history_path.display(),
+            meta.id,
+            keys.len(),
+            keys.join(", ")
+        ),
+        Err(e) => {
+            eprintln!("history append failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Render `BENCH_HISTORY.json` as the self-contained static dashboard.
+fn run_dashboard(args: Vec<String>) {
+    let mut history_path = PathBuf::from("results").join(HISTORY_FILE);
+    let mut out = PathBuf::from("results/dashboard.html");
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--history" => history_path = PathBuf::from(value(&mut i)),
+            "--out" => out = PathBuf::from(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let history = match BenchHistory::load_or_empty(&history_path) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("could not load history: {e}");
+            std::process::exit(1);
+        }
+    };
+    let html = dashboard::render(&history);
+    match faas_metrics::export::write_text(&out, &html) {
+        Ok(()) => println!(
+            "dashboard written to {} ({} suite(s), {} point(s))",
+            out.display(),
+            history.series.len(),
+            history.depth()
+        ),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", out.display());
             std::process::exit(1);
         }
     }

@@ -23,6 +23,12 @@
 //! engine, and replays Azure-style synthetic traces through the
 //! bounded-memory trace engine.
 //!
+//! The `bench_*` modules write the `BENCH_*.json` perf artifacts;
+//! [`bench_history`] folds them into the durable, append-only
+//! `BENCH_HISTORY.json` trajectory and gates regressions against its
+//! rolling median, and [`dashboard`] renders that trajectory as a
+//! self-contained static HTML page of SVG sparklines.
+//!
 //! All experiments run the 5-seed repetitions in parallel (rayon) and are
 //! bit-for-bit reproducible from the seed set.
 
@@ -31,11 +37,13 @@ pub mod bench_coupled;
 pub mod bench_events;
 pub mod bench_faults;
 pub mod bench_gps;
+pub mod bench_history;
 pub mod bench_replay;
 pub mod bench_schema;
 pub mod bench_weighted_gps;
 pub mod bench_workload;
 pub mod custom;
+pub mod dashboard;
 pub mod fig2;
 pub mod fig5;
 pub mod fig6;

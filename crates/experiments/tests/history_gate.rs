@@ -1,0 +1,202 @@
+//! End-to-end coverage of the perf-trajectory toolchain through the real
+//! `experiments` binary: `history-append` builds the durable
+//! `BENCH_HISTORY.json`, `check-bench --baseline` exits non-zero on a
+//! synthetically injected 2x timing regression and zero on an unchanged
+//! rerun, and `dashboard` renders every speedup and `calls/s` series from
+//! a ≥2-point history into a self-contained HTML page — the exact flow CI
+//! runs (restore → bench → gate → append → dashboard → upload).
+
+use faas_experiments::bench_gps::BenchEntry;
+use faas_experiments::bench_history::HISTORY_FILE;
+use faas_experiments::bench_schema::EXPECTED_ARTIFACTS;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn entry(name: &str, value: f64, unit: &str) -> BenchEntry {
+    BenchEntry {
+        name: name.into(),
+        value,
+        unit: unit.into(),
+    }
+}
+
+/// Write the canonical seven artifacts; timings scale with `scale` (and
+/// throughput inversely), so `scale = 2.0` is a uniform 2x regression.
+fn write_artifacts(dir: &Path, scale: f64) {
+    for name in EXPECTED_ARTIFACTS {
+        let mut entries = vec![
+            entry("k_n10_candidate", 120.0 * scale, "ns/iter"),
+            entry("k_n10_reference", 360.0 * scale, "ns/iter"),
+            entry("k_n10_speedup", 3.0, "x"),
+            entry("k_peak_resident", 0.0, "calls"),
+            entry("k_threads", 1.0, "count"),
+        ];
+        if name.contains("replay") {
+            entries.push(entry("k_c1000_calls_per_sec", 2.5e6 / scale, "calls/s"));
+        }
+        faas_metrics::export::write_json(&dir.join(name), &entries).unwrap();
+    }
+}
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary")
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("experiments_cli_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gate_append_and_dashboard_flow_through_the_cli() {
+    let dir = fresh_dir("flow");
+    let out = dir.to_str().unwrap();
+    let history = dir.join(HISTORY_FILE);
+    write_artifacts(&dir, 1.0);
+
+    // First run: no baseline yet — the gate is skipped, not failed.
+    let first = experiments(&["check-bench", "--out", out, "--baseline"]);
+    assert!(!first.status.success(), "--baseline without a value usages");
+    let first = experiments(&[
+        "check-bench",
+        "--out",
+        out,
+        "--baseline",
+        history.to_str().unwrap(),
+    ]);
+    assert!(first.status.success(), "{first:?}");
+    assert!(String::from_utf8_lossy(&first.stdout).contains("first run"));
+
+    // Append two commits' worth of history (identical artifacts — the
+    // trajectory of an unchanged tree).
+    for (id, ts) in [
+        ("c1", "2026-08-07T00:00:00Z"),
+        ("c2", "2026-08-08T00:00:00Z"),
+    ] {
+        let append = experiments(&[
+            "history-append",
+            "--out",
+            out,
+            "--commit",
+            id,
+            "--message",
+            &format!("commit {id}"),
+            "--timestamp",
+            ts,
+        ]);
+        assert!(append.status.success(), "{append:?}");
+    }
+    assert!(history.exists());
+
+    // Unchanged rerun: exits zero.
+    let pass = experiments(&[
+        "check-bench",
+        "--out",
+        out,
+        "--baseline",
+        history.to_str().unwrap(),
+    ]);
+    assert!(pass.status.success(), "{pass:?}");
+    assert!(String::from_utf8_lossy(&pass.stdout).contains("regression gate ok"));
+
+    // Inject a 2x timing regression: exits non-zero with a named report.
+    write_artifacts(&dir, 2.0);
+    let fail = experiments(&[
+        "check-bench",
+        "--out",
+        out,
+        "--baseline",
+        history.to_str().unwrap(),
+    ]);
+    assert!(!fail.status.success(), "{fail:?}");
+    let report = String::from_utf8_lossy(&fail.stderr);
+    assert!(report.contains("k_n10_candidate"), "{report}");
+    assert!(report.contains("timing regression"), "{report}");
+    assert!(report.contains("throughput drop"), "{report}");
+
+    // A loosened per-run threshold lets an intentional change through.
+    let waived = experiments(&[
+        "check-bench",
+        "--out",
+        out,
+        "--baseline",
+        history.to_str().unwrap(),
+        "--gate-timing-pct",
+        "150",
+        "--gate-throughput-pct",
+        "60",
+    ]);
+    assert!(waived.status.success(), "{waived:?}");
+
+    // Dashboard from the ≥2-point history: one series per `*_speedup`
+    // and `*_calls_per_sec` entry, self-contained.
+    let html_path = dir.join("dashboard.html");
+    let dash = experiments(&[
+        "dashboard",
+        "--history",
+        history.to_str().unwrap(),
+        "--out",
+        html_path.to_str().unwrap(),
+    ]);
+    assert!(dash.status.success(), "{dash:?}");
+    let html = std::fs::read_to_string(&html_path).unwrap();
+    assert!(html.contains("data-series=\"k_n10_speedup\""));
+    assert!(html.contains("data-series=\"k_c1000_calls_per_sec\""));
+    assert!(html.contains("<polyline"), "two points draw a line");
+    assert!(!html.contains("<link"), "no external assets");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn history_append_refuses_an_incomplete_artifact_set() {
+    let dir = fresh_dir("partial");
+    faas_metrics::export::write_json(
+        &dir.join("BENCH_gps.json"),
+        &vec![
+            entry("k_n10_candidate", 120.0, "ns/iter"),
+            entry("k_n10_reference", 360.0, "ns/iter"),
+            entry("k_n10_speedup", 3.0, "x"),
+            entry("k_threads", 1.0, "count"),
+        ],
+    )
+    .unwrap();
+    let append = experiments(&[
+        "history-append",
+        "--out",
+        dir.to_str().unwrap(),
+        "--commit",
+        "c1",
+        "--timestamp",
+        "t",
+    ]);
+    assert!(!append.status.success());
+    assert!(String::from_utf8_lossy(&append.stderr).contains("missing canonical artifact"));
+    assert!(!dir.join(HISTORY_FILE).exists(), "no partial history saved");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_bench_still_catches_schema_drift_before_gating() {
+    let dir = fresh_dir("drift");
+    write_artifacts(&dir, 1.0);
+    // A stale speedup (pair says 3.0) is caught by plain check-bench even
+    // without any baseline.
+    let mut entries = vec![
+        entry("k_n10_candidate", 120.0, "ns/iter"),
+        entry("k_n10_reference", 360.0, "ns/iter"),
+        entry("k_n10_speedup", 2.2, "x"),
+        entry("k_threads", 1.0, "count"),
+    ];
+    entries.push(entry("k_c1000_calls_per_sec", 2.5e6, "calls/s"));
+    faas_metrics::export::write_json(&dir.join("BENCH_replay.json"), &entries).unwrap();
+    let check = experiments(&["check-bench", "--out", dir.to_str().unwrap()]);
+    assert!(!check.status.success());
+    assert!(String::from_utf8_lossy(&check.stderr).contains("stale or miscomputed"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
