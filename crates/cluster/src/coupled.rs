@@ -83,7 +83,7 @@ pub fn run_cluster_coupled(
         Some(cfg.lb.assign(&scenario.burst, cfg.nodes))
     };
     let warmup = scenario.node_warmup(cfg.node.cores, scenario.burst.len() as u64);
-    coupled_engine(
+    NodeResult::merge(coupled_engine(
         catalogue,
         &scenario.burst,
         assignment.as_deref(),
@@ -93,7 +93,7 @@ pub fn run_cluster_coupled(
         weights,
         faults,
         seed,
-    )
+    ))
 }
 
 /// Run a [`WorkloadSpec`] on the coupled engine (the streamed-generation
@@ -112,6 +112,32 @@ pub fn run_cluster_streamed_coupled(
     scenario_seed: u64,
     sim_seed: u64,
 ) -> NodeResult {
+    NodeResult::merge(run_cluster_streamed_coupled_per_node(
+        catalogue,
+        spec,
+        mode,
+        cfg,
+        faults,
+        scenario_seed,
+        sim_seed,
+    ))
+}
+
+/// Per-node variant of [`run_cluster_streamed_coupled`]: the same engine
+/// and bit-identical routing, but each node's [`NodeResult`] is returned
+/// separately (index = node id) instead of merged. The resource-
+/// utilization experiments need the per-node `served_cpu_secs` /
+/// `served_mem_units` split to compute cross-node dominant-share fairness,
+/// which a merged result erases.
+pub fn run_cluster_streamed_coupled_per_node(
+    catalogue: &Catalogue,
+    spec: &WorkloadSpec,
+    mode: &NodeMode,
+    cfg: &ClusterConfig,
+    faults: &FaultSpec,
+    scenario_seed: u64,
+    sim_seed: u64,
+) -> Vec<NodeResult> {
     use crate::lb::LoadBalancer;
     let (warmup_waves, burst_start) = warmup_waves_for(catalogue);
     let generator = ShardedGenerator::new(spec, catalogue, burst_start, scenario_seed);
@@ -130,7 +156,10 @@ pub fn run_cluster_streamed_coupled(
                 .collect::<Vec<u16>>(),
         ),
         LoadBalancer::FunctionHash => Some(cfg.lb.assign(&burst, cfg.nodes)),
-        LoadBalancer::JoinShortestQueue { .. } | LoadBalancer::PowerOfTwoChoices { .. } => None,
+        LoadBalancer::JoinShortestQueue { .. }
+        | LoadBalancer::PowerOfTwoChoices { .. }
+        | LoadBalancer::JoinShortestDominant { .. }
+        | LoadBalancer::PowerOfTwoDominant { .. } => None,
     };
     let warmup = warmup_calls_for_waves(&warmup_waves, cfg.node.cores, id_base);
     coupled_engine(
@@ -178,7 +207,7 @@ fn coupled_engine(
     weights: &WeightTable,
     faults: &FaultSpec,
     sim_seed: u64,
-) -> NodeResult {
+) -> Vec<NodeResult> {
     assert!(cfg.nodes > 0, "cluster needs at least one node");
     assert!(
         !cfg.failover || cfg.lookahead < SimDuration::MAX,
@@ -218,6 +247,7 @@ fn coupled_engine(
         NodeView {
             backlog: 0,
             alive: true,
+            dominant_milli: 0,
         };
         cfg.nodes as usize
     ];
@@ -281,6 +311,7 @@ fn coupled_engine(
             *v = NodeView {
                 backlog: p.backlog(),
                 alive: p.alive,
+                dominant_milli: p.dominant_milli,
             };
         }
 
@@ -295,7 +326,7 @@ fn coupled_engine(
 
     assert_eq!(cursor, burst.len(), "every burst call was routed");
     assert!(pending.is_empty(), "every handoff was delivered");
-    NodeResult::merge(nodes.into_iter().map(|n| n.finish()).collect())
+    nodes.into_iter().map(|n| n.finish()).collect()
 }
 
 #[cfg(test)]
@@ -403,6 +434,45 @@ mod tests {
     }
 
     #[test]
+    fn per_node_results_sum_to_the_merged_entry_point() {
+        // The per-node variant is the same engine: node count of results,
+        // and outcome counts / served work that merge to exactly what the
+        // merged entry point reports, dominant routing included.
+        let cat = catalogue();
+        let mut spec = streamed_spec(132);
+        spec.weights = WeightSpec::paper_tiers_mem();
+        let cfg = ClusterConfig::independent(
+            3,
+            NodeConfig::paper(10).with_mem_bandwidth(8.0),
+            LoadBalancer::JoinShortestDominant { seed: 11 },
+        )
+        .coupled(SimDuration::from_millis(250), false);
+        let mode = NodeMode::Baseline;
+        let per_node = run_cluster_streamed_coupled_per_node(
+            &cat,
+            &spec,
+            &mode,
+            &cfg,
+            &FaultSpec::none(),
+            5,
+            6,
+        );
+        assert_eq!(per_node.len(), 3, "one result per node");
+        let merged =
+            run_cluster_streamed_coupled(&cat, &spec, &mode, &cfg, &FaultSpec::none(), 5, 6);
+        assert_eq!(
+            per_node.iter().map(|r| r.outcomes.len()).sum::<usize>(),
+            merged.outcomes.len(),
+            "outcomes partition across nodes"
+        );
+        let cpu: f64 = per_node.iter().map(|r| r.served_cpu_secs).sum();
+        let mem: f64 = per_node.iter().map(|r| r.served_mem_units).sum();
+        assert!((cpu - merged.served_cpu_secs).abs() < 1e-9);
+        assert!((mem - merged.served_mem_units).abs() < 1e-9);
+        assert!(mem > 0.0, "the memory-tiered spec exercises the mem axis");
+    }
+
+    #[test]
     fn coupled_runs_are_thread_count_invariant() {
         // The whole point of the conservative protocol: the schedule is a
         // pure function of (seed, lookahead), however many worker threads
@@ -456,6 +526,41 @@ mod tests {
             jsq.outcomes, p2c.outcomes,
             "two probes differ from global min"
         );
+    }
+
+    #[test]
+    fn dominant_share_policies_route_every_call_and_rerun_identically() {
+        // The dominant-share feedback policies run the same window
+        // protocol: every call resolves exactly once, every node serves
+        // traffic, and reruns are bit-identical. With a memory-bandwidth
+        // axis modeled the dominant signal carries real information (some
+        // functions are bandwidth-heavy), so the routing may legitimately
+        // differ from plain JSQ's.
+        let cat = catalogue();
+        let spec = streamed_spec(264);
+        let mode = NodeMode::Scheduled(SchedulerConfig::paper(Policy::FairChoice));
+        let node = NodeConfig::paper(10).with_mem_bandwidth(4.0);
+        let run = |lb: LoadBalancer| {
+            let cfg = ClusterConfig::independent(3, node, lb)
+                .coupled(SimDuration::from_millis(500), false);
+            run_cluster_streamed_coupled(&cat, &spec, &mode, &cfg, &FaultSpec::none(), 9, 10)
+        };
+        for lb in [
+            LoadBalancer::JoinShortestDominant { seed: 1 },
+            LoadBalancer::PowerOfTwoDominant { seed: 1 },
+        ] {
+            let r = run(lb);
+            let measured: Vec<_> = r.outcomes.iter().filter(|o| o.is_measured()).collect();
+            assert_eq!(measured.len(), 264, "{lb:?}");
+            let mut ids: Vec<u64> = measured.iter().map(|o| o.id.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 264, "{lb:?}: each call served exactly once");
+            let nodes: std::collections::BTreeSet<u16> = measured.iter().map(|o| o.node).collect();
+            assert_eq!(nodes.len(), 3, "{lb:?}: every node serves traffic");
+            let again = run(lb);
+            assert_eq!(r.outcomes, again.outcomes, "{lb:?} rerun");
+        }
     }
 
     #[test]

@@ -12,11 +12,15 @@
 //! [`LoadBalancer::RoundRobin`] and [`LoadBalancer::FunctionHash`] are
 //! *static*: the assignment is a pure function of the call sequence, so the
 //! whole burst can be sharded up front and every node simulated
-//! independently. [`LoadBalancer::JoinShortestQueue`] and
-//! [`LoadBalancer::PowerOfTwoChoices`] are *feedback* policies: they route
-//! on the per-node queue depths the coupled engine observes at each
-//! conservative-window barrier (see `crate::coupled`), so they only exist
-//! there — [`LoadBalancer::assign`] panics for them.
+//! independently. [`LoadBalancer::JoinShortestQueue`],
+//! [`LoadBalancer::PowerOfTwoChoices`] and their dominant-share twins
+//! [`LoadBalancer::JoinShortestDominant`] /
+//! [`LoadBalancer::PowerOfTwoDominant`] are *feedback* policies: they
+//! route on the per-node state the coupled engine observes at each
+//! conservative-window barrier (see `crate::coupled`) — queue depths for
+//! the former pair, `(dominant resource share, backlog)` keys for the
+//! latter — so they only exist there; [`LoadBalancer::assign`] panics for
+//! them.
 //!
 //! Feedback routing is deterministic by construction: every random draw
 //! (tie-breaks, the two probes of power-of-two) is a counter-based
@@ -54,6 +58,25 @@ pub enum LoadBalancer {
         /// Seed of the counter-based probe draws.
         seed: u64,
     },
+    /// Join-shortest-queue on the *dominant resource share*: each call
+    /// goes to the healthy node with the smallest observed
+    /// [`NodeView::dominant_milli`], backlog as the secondary key (so
+    /// nodes with an unmodeled or idle memory axis still spread by queue
+    /// depth). Routes multi-resource load around memory-bandwidth
+    /// hotspots that plain backlog counting cannot see. Feedback policy —
+    /// coupled engine only.
+    JoinShortestDominant {
+        /// Seed of the counter-based tie-break draws.
+        seed: u64,
+    },
+    /// Power-of-two-choices on the dominant resource share: probe two
+    /// seeded-random healthy nodes, route to the one with the smaller
+    /// `(dominant_milli, backlog)` key (first probe on a tie). Feedback
+    /// policy — coupled engine only.
+    PowerOfTwoDominant {
+        /// Seed of the counter-based probe draws.
+        seed: u64,
+    },
 }
 
 impl LoadBalancer {
@@ -62,7 +85,10 @@ impl LoadBalancer {
     pub fn is_feedback(&self) -> bool {
         matches!(
             self,
-            LoadBalancer::JoinShortestQueue { .. } | LoadBalancer::PowerOfTwoChoices { .. }
+            LoadBalancer::JoinShortestQueue { .. }
+                | LoadBalancer::PowerOfTwoChoices { .. }
+                | LoadBalancer::JoinShortestDominant { .. }
+                | LoadBalancer::PowerOfTwoDominant { .. }
         )
     }
 
@@ -90,7 +116,10 @@ impl LoadBalancer {
                     })
                     .collect()
             }
-            LoadBalancer::JoinShortestQueue { .. } | LoadBalancer::PowerOfTwoChoices { .. } => {
+            LoadBalancer::JoinShortestQueue { .. }
+            | LoadBalancer::PowerOfTwoChoices { .. }
+            | LoadBalancer::JoinShortestDominant { .. }
+            | LoadBalancer::PowerOfTwoDominant { .. } => {
                 panic!("feedback policies have no static assignment: use the coupled engine")
             }
         }
@@ -105,6 +134,13 @@ pub struct NodeView {
     pub backlog: usize,
     /// False between a crash and its restart.
     pub alive: bool,
+    /// Dominant resource share at the last barrier, in thousandths
+    /// ([`faas_invoker::NodeProgress::dominant_milli`]): the maximum over
+    /// modeled resource axes of `consumption / capacity`. Stale by one
+    /// window like `backlog`; calls routed since the barrier bump the
+    /// backlog but not this share. Zero on a node whose axes are all
+    /// unmodeled or idle.
+    pub dominant_milli: u32,
 }
 
 /// SplitMix64 finalizer: the counter-based draw behind every feedback
@@ -170,6 +206,43 @@ impl FeedbackRouter {
                 // First probe wins ties: each probe is uniform, so tie
                 // decisions stay unbiased (min-index would favour node 0).
                 if la <= lb {
+                    a
+                } else {
+                    b
+                }
+            }
+            LoadBalancer::JoinShortestDominant { seed } => {
+                // Key (dominant share, backlog): the share routes around
+                // saturated resource axes, the backlog discriminates when
+                // shares agree (all idle, or the memory axis unmodeled —
+                // then this degenerates to plain JSQ tie-broken the same
+                // way).
+                let key = |n: usize| (views[n].dominant_milli, views[n].backlog);
+                let best = (0..views.len())
+                    .filter(|&n| candidate(n))
+                    .map(key)
+                    .min()
+                    .expect("at least one candidate");
+                let ties: Vec<u16> = (0..views.len())
+                    .filter(|&n| candidate(n) && key(n) == best)
+                    .map(|n| n as u16)
+                    .collect();
+                ties[(splitmix64(seed ^ d) % ties.len() as u64) as usize]
+            }
+            LoadBalancer::PowerOfTwoDominant { seed } => {
+                let alive: Vec<u16> = (0..views.len())
+                    .filter(|&n| candidate(n))
+                    .map(|n| n as u16)
+                    .collect();
+                let r = splitmix64(seed ^ d);
+                let a = alive[(r as u32 as u64 % alive.len() as u64) as usize];
+                let b = alive[((r >> 32) % alive.len() as u64) as usize];
+                let key = |n: u16| {
+                    let v = &views[n as usize];
+                    (v.dominant_milli, v.backlog)
+                };
+                // First probe wins ties, as in backlog power-of-two.
+                if key(a) <= key(b) {
                     a
                 } else {
                     b
@@ -328,6 +401,8 @@ mod tests {
         assert!(!LoadBalancer::FunctionHash.is_feedback());
         assert!(LoadBalancer::JoinShortestQueue { seed: 0 }.is_feedback());
         assert!(LoadBalancer::PowerOfTwoChoices { seed: 0 }.is_feedback());
+        assert!(LoadBalancer::JoinShortestDominant { seed: 0 }.is_feedback());
+        assert!(LoadBalancer::PowerOfTwoDominant { seed: 0 }.is_feedback());
     }
 
     #[test]
@@ -349,19 +424,111 @@ mod tests {
             NodeView {
                 backlog: 4,
                 alive: true,
+                dominant_milli: 0,
             },
             NodeView {
                 backlog: 1,
                 alive: true,
+                dominant_milli: 0,
             },
             NodeView {
                 backlog: 7,
                 alive: true,
+                dominant_milli: 0,
             },
         ];
         for _ in 0..10 {
             assert_eq!(router.route(&views), 1);
         }
+    }
+
+    #[test]
+    fn dominant_jsq_routes_around_the_saturated_axis() {
+        // Node 1 has the shortest queue but a saturated memory axis; the
+        // dominant-share policy must send load to node 0 instead, where
+        // plain JSQ would pile onto node 1.
+        let views = [
+            NodeView {
+                backlog: 3,
+                alive: true,
+                dominant_milli: 400,
+            },
+            NodeView {
+                backlog: 1,
+                alive: true,
+                dominant_milli: 1000,
+            },
+            NodeView {
+                backlog: 5,
+                alive: true,
+                dominant_milli: 700,
+            },
+        ];
+        let mut dominant = FeedbackRouter::new(LoadBalancer::JoinShortestDominant { seed: 9 });
+        for _ in 0..10 {
+            assert_eq!(dominant.route(&views), 0);
+        }
+        let mut jsq = FeedbackRouter::new(LoadBalancer::JoinShortestQueue { seed: 9 });
+        assert_eq!(jsq.route(&views), 1);
+    }
+
+    #[test]
+    fn dominant_jsq_degenerates_to_jsq_when_shares_agree() {
+        // All shares equal (e.g. the memory axis unmodeled everywhere and
+        // CPU idle): the backlog key takes over and both policies route
+        // identically, draw for draw (same seed, same tie-break stream).
+        let views = [
+            NodeView {
+                backlog: 4,
+                alive: true,
+                dominant_milli: 0,
+            },
+            NodeView {
+                backlog: 2,
+                alive: true,
+                dominant_milli: 0,
+            },
+            NodeView {
+                backlog: 2,
+                alive: true,
+                dominant_milli: 0,
+            },
+        ];
+        let mut dominant = FeedbackRouter::new(LoadBalancer::JoinShortestDominant { seed: 5 });
+        let mut jsq = FeedbackRouter::new(LoadBalancer::JoinShortestQueue { seed: 5 });
+        for _ in 0..32 {
+            assert_eq!(dominant.route(&views), jsq.route(&views));
+        }
+    }
+
+    #[test]
+    fn dominant_power_of_two_prefers_the_smaller_key() {
+        // Two nodes: node 0 has the smaller (dominant, backlog) key, so it
+        // wins every draw whose probes differ — only the draws where both
+        // probes land on node 1 (a quarter in expectation) go there. Note
+        // plain power-of-two would prefer node 1 (smaller backlog).
+        let views = [
+            NodeView {
+                backlog: 9,
+                alive: true,
+                dominant_milli: 200,
+            },
+            NodeView {
+                backlog: 1,
+                alive: true,
+                dominant_milli: 900,
+            },
+        ];
+        let mut router = FeedbackRouter::new(LoadBalancer::PowerOfTwoDominant { seed: 3 });
+        let rounds = 256;
+        let to_zero = (0..rounds).filter(|_| router.route(&views) == 0).count();
+        assert!(
+            to_zero > rounds / 2,
+            "node 0 won only {to_zero} of {rounds} draws"
+        );
+        let mut backlog = FeedbackRouter::new(LoadBalancer::PowerOfTwoChoices { seed: 3 });
+        let to_one = (0..rounds).filter(|_| backlog.route(&views) == 1).count();
+        assert!(to_one > rounds / 2, "backlog P2C must prefer node 1");
     }
 
     #[test]
@@ -371,10 +538,13 @@ mod tests {
         let views = [NodeView {
             backlog: 0,
             alive: false,
+            dominant_milli: 0,
         }; 3];
         for lb in [
             LoadBalancer::JoinShortestQueue { seed: 2 },
             LoadBalancer::PowerOfTwoChoices { seed: 2 },
+            LoadBalancer::JoinShortestDominant { seed: 2 },
+            LoadBalancer::PowerOfTwoDominant { seed: 2 },
         ] {
             let mut router = FeedbackRouter::new(lb);
             let n = router.route(&views);

@@ -38,7 +38,9 @@ pub mod lb;
 pub mod sim;
 pub mod trace_run;
 
-pub use coupled::{run_cluster_coupled, run_cluster_streamed_coupled};
+pub use coupled::{
+    run_cluster_coupled, run_cluster_streamed_coupled, run_cluster_streamed_coupled_per_node,
+};
 pub use lb::{FeedbackRouter, LoadBalancer, NodeView};
 pub use sim::{
     run_cluster, run_cluster_faulted, run_cluster_streamed, run_cluster_streamed_faulted,

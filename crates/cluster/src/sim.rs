@@ -309,7 +309,10 @@ pub fn run_cluster_streamed_faulted(
             };
             run_cluster_faulted(catalogue, &scenario, mode, cfg, &weights, faults, sim_seed)
         }
-        LoadBalancer::JoinShortestQueue { .. } | LoadBalancer::PowerOfTwoChoices { .. } => {
+        LoadBalancer::JoinShortestQueue { .. }
+        | LoadBalancer::PowerOfTwoChoices { .. }
+        | LoadBalancer::JoinShortestDominant { .. }
+        | LoadBalancer::PowerOfTwoDominant { .. } => {
             panic!("feedback policies need the coupled engine: run_cluster_streamed_coupled")
         }
     }

@@ -156,7 +156,10 @@ pub fn run_cluster_trace_streamed(
                 .collect();
             NodeResult::merge(results)
         }
-        LoadBalancer::JoinShortestQueue { .. } | LoadBalancer::PowerOfTwoChoices { .. } => {
+        LoadBalancer::JoinShortestQueue { .. }
+        | LoadBalancer::PowerOfTwoChoices { .. }
+        | LoadBalancer::JoinShortestDominant { .. }
+        | LoadBalancer::PowerOfTwoDominant { .. } => {
             panic!("feedback policies need the coupled trace engine: run_cluster_trace_coupled")
         }
     }
@@ -261,7 +264,10 @@ pub fn run_cluster_trace_coupled(
     let mut routing = match cfg.lb {
         LoadBalancer::RoundRobin => TraceRouting::Stride,
         LoadBalancer::FunctionHash => TraceRouting::Hash(BTreeMap::new()),
-        LoadBalancer::JoinShortestQueue { .. } | LoadBalancer::PowerOfTwoChoices { .. } => {
+        LoadBalancer::JoinShortestQueue { .. }
+        | LoadBalancer::PowerOfTwoChoices { .. }
+        | LoadBalancer::JoinShortestDominant { .. }
+        | LoadBalancer::PowerOfTwoDominant { .. } => {
             TraceRouting::Feedback(FeedbackRouter::new(cfg.lb))
         }
     };
@@ -269,6 +275,7 @@ pub fn run_cluster_trace_coupled(
         NodeView {
             backlog: 0,
             alive: true,
+            dominant_milli: 0,
         };
         cfg.nodes as usize
     ];
@@ -331,6 +338,7 @@ pub fn run_cluster_trace_coupled(
             *v = NodeView {
                 backlog: p.backlog(),
                 alive: p.alive,
+                dominant_milli: p.dominant_milli,
             };
         }
 

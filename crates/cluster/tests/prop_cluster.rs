@@ -43,7 +43,9 @@ proptest! {
                 LoadBalancer::RoundRobin => 1,
                 LoadBalancer::FunctionHash => funcs as usize,
                 LoadBalancer::JoinShortestQueue { .. }
-                | LoadBalancer::PowerOfTwoChoices { .. } => {
+                | LoadBalancer::PowerOfTwoChoices { .. }
+                | LoadBalancer::JoinShortestDominant { .. }
+                | LoadBalancer::PowerOfTwoDominant { .. } => {
                     unreachable!("feedback policies have no static assignment")
                 }
             };
@@ -61,10 +63,12 @@ proptest! {
     }
 }
 
-fn feedback_policies(seed: u64) -> [LoadBalancer; 2] {
+fn feedback_policies(seed: u64) -> [LoadBalancer; 4] {
     [
         LoadBalancer::JoinShortestQueue { seed },
         LoadBalancer::PowerOfTwoChoices { seed },
+        LoadBalancer::JoinShortestDominant { seed },
+        LoadBalancer::PowerOfTwoDominant { seed },
     ]
 }
 
@@ -81,6 +85,9 @@ fn view_sequence(len: usize, nodes: usize, salt: u64) -> Vec<Vec<NodeView>> {
                         backlog: (h >> 32) as usize % 7,
                         // Keep at least node 0 alive so routing stays defined.
                         alive: n == 0 || h & 0xFF > 40,
+                        // Span idle through transiently oversubscribed so
+                        // the dominant-share policies see real variation.
+                        dominant_milli: ((h >> 16) % 1300) as u32,
                     }
                 })
                 .collect()
@@ -168,7 +175,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let rounds = 2048usize;
-        let flat = vec![NodeView { backlog: 3, alive: true }; nodes];
+        let flat = vec![NodeView { backlog: 3, alive: true, dominant_milli: 250 }; nodes];
         for lb in feedback_policies(seed) {
             let mut router = FeedbackRouter::new(lb);
             let mut counts = vec![0usize; nodes];

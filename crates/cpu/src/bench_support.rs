@@ -7,7 +7,7 @@
 //! pattern against any [`GpsKernel`], so the virtual-time kernel and the
 //! reference integrator can be timed on identical work.
 
-use crate::gps::{GpsCpu, GpsParams, TaskId};
+use crate::gps::{GpsCpu, GpsParams, Resource, ResourceVector, TaskId};
 use crate::gps_reference::ReferenceGpsCpu;
 use faas_simcore::time::SimTime;
 
@@ -28,6 +28,17 @@ pub trait GpsKernel {
     fn work_done(&self) -> f64;
     /// See [`GpsCpu::set_capacity`].
     fn set_capacity(&mut self, now: SimTime, cores: f64);
+    /// See [`GpsCpu::add_task_demand`].
+    fn add_task_demand(
+        &mut self,
+        now: SimTime,
+        work: f64,
+        weight: f64,
+        max_rate: f64,
+        demand: ResourceVector,
+    ) -> TaskId;
+    /// See [`GpsCpu::set_resource_capacity`].
+    fn set_resource_capacity(&mut self, now: SimTime, resource: Resource, capacity: f64);
 }
 
 impl GpsKernel for GpsCpu {
@@ -52,6 +63,19 @@ impl GpsKernel for GpsCpu {
     fn set_capacity(&mut self, now: SimTime, cores: f64) {
         GpsCpu::set_capacity(self, now, cores)
     }
+    fn add_task_demand(
+        &mut self,
+        now: SimTime,
+        work: f64,
+        weight: f64,
+        max_rate: f64,
+        demand: ResourceVector,
+    ) -> TaskId {
+        GpsCpu::add_task_demand(self, now, work, weight, max_rate, demand)
+    }
+    fn set_resource_capacity(&mut self, now: SimTime, resource: Resource, capacity: f64) {
+        GpsCpu::set_resource_capacity(self, now, resource, capacity)
+    }
 }
 
 impl GpsKernel for ReferenceGpsCpu {
@@ -75,6 +99,19 @@ impl GpsKernel for ReferenceGpsCpu {
     }
     fn set_capacity(&mut self, now: SimTime, cores: f64) {
         ReferenceGpsCpu::set_capacity(self, now, cores)
+    }
+    fn add_task_demand(
+        &mut self,
+        now: SimTime,
+        work: f64,
+        weight: f64,
+        max_rate: f64,
+        demand: ResourceVector,
+    ) -> TaskId {
+        ReferenceGpsCpu::add_task_demand(self, now, work, weight, max_rate, demand)
+    }
+    fn set_resource_capacity(&mut self, now: SimTime, resource: Resource, capacity: f64) {
+        ReferenceGpsCpu::set_resource_capacity(self, now, resource, capacity)
     }
 }
 
@@ -227,6 +264,67 @@ pub fn run_capacity_churn<K: GpsKernel>(
     kernel.work_done()
 }
 
+/// Multi-resource churn tiers: the weighted `(weight, max_rate)` tiers
+/// crossed with memory-per-CPU demand ratios spanning CPU-dominant
+/// (`0.0`, `0.25`) through balanced (`1.0`) to memory-dominant (`2.0`,
+/// `4.0`), so a DRF churn run keeps tasks on both sides of the dominant
+/// axis and the per-axis water levels compete.
+pub const DRF_CHURN_SIGNATURES: [(f64, f64, f64); 6] = [
+    (1.0, 1.0, 0.0),
+    (2.0, 1.0, 0.5),
+    (4.0, 1.0, 2.0),
+    (1.0, 0.5, 1.0),
+    (2.0, 0.25, 4.0),
+    (8.0, 2.0, 0.25),
+];
+
+/// Memory-bandwidth capacity the DRF churn runs at: scaled to the CPU
+/// capacity of [`weighted_churn_params`] so that with the
+/// [`DRF_CHURN_SIGNATURES`] demand mix the memory axis genuinely binds
+/// part of the pool (its aggregate demand per CPU unit exceeds this
+/// ratio for the memory-dominant tiers).
+pub fn drf_mem_capacity(tasks: usize) -> f64 {
+    (tasks as f64 * 0.5).max(1.0)
+}
+
+/// Completion-driven churn over the multi-resource tiers: the
+/// [`run_churn`] access pattern with every task carrying a
+/// [`DRF_CHURN_SIGNATURES`] demand vector and a finite memory-bandwidth
+/// capacity installed up front. This is the workload `BENCH_drf.json`
+/// times the incremental dominant-share partition against the O(n)
+/// reference re-derivation on.
+pub fn run_drf_churn<K: GpsKernel>(kernel: &mut K, tasks: usize, completions: usize) -> f64 {
+    let mut now = SimTime::ZERO;
+    kernel.set_resource_capacity(now, Resource::Mem, drf_mem_capacity(tasks));
+    let work = |k: usize| 0.5 + (k % 97) as f64 * 0.013;
+    let sig = |k: usize| {
+        let (weight, max_rate, mem_per_cpu) = DRF_CHURN_SIGNATURES[k % DRF_CHURN_SIGNATURES.len()];
+        let demand = ResourceVector::per_cpu(mem_per_cpu);
+        // Work and rate cap are in dominant-resource units, as the invoker
+        // scales them (see the baseline node's share conversion).
+        let scale = demand.dominant_per_cpu();
+        (weight, max_rate * scale, scale, demand)
+    };
+    for k in 0..tasks {
+        let (weight, max_rate, scale, demand) = sig(k);
+        kernel.add_task_demand(now, work(k) * scale, weight, max_rate, demand);
+    }
+    let mut spawned = tasks;
+    for _ in 0..completions {
+        let Some((_, at)) = kernel.next_completion(now) else {
+            break;
+        };
+        now = now.max(at);
+        for id in kernel.finished_tasks(now) {
+            kernel.remove_task(now, id);
+            let (weight, max_rate, scale, demand) = sig(spawned);
+            kernel.add_task_demand(now, work(spawned) * scale, weight, max_rate, demand);
+            spawned += 1;
+        }
+    }
+    kernel.work_done()
+}
+
 pub fn run_weighted_probe_churn<K: GpsKernel>(
     kernel: &mut K,
     tasks: usize,
@@ -320,6 +418,34 @@ mod tests {
             (a - b).abs() < 1e-4,
             "capacity churn checksum diverged: optimized={a} reference={b}"
         );
+    }
+
+    #[test]
+    fn drf_churn_matches_between_kernels() {
+        let params = weighted_churn_params(64);
+        let mut optimized = GpsCpu::new(params);
+        let mut reference = ReferenceGpsCpu::new(params);
+        let a = run_drf_churn(&mut optimized, 64, 200);
+        let b = run_drf_churn(&mut reference, 64, 200);
+        assert!(
+            (a - b).abs() < 1e-4,
+            "DRF churn checksum diverged: optimized={a} reference={b}"
+        );
+    }
+
+    #[test]
+    fn drf_churn_signatures_span_both_dominant_axes() {
+        // The demand mix must keep tasks on both sides of the dominant
+        // axis, or the benchmark degenerates to single-resource churn.
+        let cpu_dominant = DRF_CHURN_SIGNATURES
+            .iter()
+            .filter(|&&(_, _, m)| m < 1.0)
+            .count();
+        let mem_dominant = DRF_CHURN_SIGNATURES
+            .iter()
+            .filter(|&&(_, _, m)| m > 1.0)
+            .count();
+        assert!(cpu_dominant > 0 && mem_dominant > 0);
     }
 
     #[test]

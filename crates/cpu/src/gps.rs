@@ -165,6 +165,44 @@
 //! suite (`tests/prop_gps_faults.rs`) pins against the reference
 //! integrator.
 //!
+//! # Multi-resource demands and dominant-share allocation (DRF)
+//!
+//! Tasks may demand a second resource — memory bandwidth — alongside CPU.
+//! A task's [`ResourceVector`] demand is normalized into a *profile*
+//! `g = [g_cpu, g_mem]` whose **dominant** component is exactly `1.0` (the
+//! other is demand per dominant unit, in `[0, 1]`); `work`, `weight`-shares
+//! and `max_rate` are then expressed in dominant-resource units. The
+//! water-filling machinery generalizes axis-wise:
+//!
+//! ```text
+//! W_k = Σ_uncapped weight_i · g_ik     K_k = Σ_capped max_rate_i · g_ik
+//! λ_k = (C_k − K_k) / W_k             λ  = min_k λ_k
+//! rate_i = min(max_rate_i, weight_i · λ)      (dominant units / sec)
+//! ```
+//!
+//! **The dominant-share invariant:** a task is capped exactly when its pin
+//! ratio `r_i = max_rate_i / weight_i` satisfies `r_i <= λ`, with `λ` the
+//! *minimum* per-axis water level — the level of the binding (saturated)
+//! resource. The single-threshold two-sweep structure survives because
+//! unpinning a task with `r_i > λ` makes every per-axis level a weighted
+//! average of `λ_k` and `r_i` (`λ_k' = (λ_k W_k + r_i w_i g_ik) /
+//! (W_k + w_i g_ik)`), so `min_k λ_k` cannot fall below `min(λ, r_i) = λ`,
+//! and pinning a task with `r_j <= λ` moves every level away from `r_j`
+//! (upward) — both sweeps only raise the minimum level, exactly the
+//! monotonicity the scalar proof used. The two-clock progression carries
+//! over unchanged with `U = ∫ λ dt` integrating the minimum level. On the
+//! binding axis capacity is exactly consumed (`λ·W_b + K_b = C_b`, Pareto
+//! efficiency) and `λ >= C_b / Σ w_i` (sharing incentive: no uncapped
+//! task's dominant-unit rate falls below its weighted equal split of the
+//! contended axis) — both pinned by `tests/prop_gps_drf.rs`.
+//!
+//! The single-resource path is the degenerate profile `g = [1.0, 0.0]`
+//! with the memory axis disabled ([`GpsCpu::set_resource_capacity`] left
+//! at the `+∞` default): the axis-1 sums stay exactly `0.0`, the axis-1
+//! level is `+∞` and drops out of the `min`, and every floating-point
+//! operation sequence reduces bit-for-bit to the scalar kernel's — pinned
+//! by the digest-regression and differential suites.
+//!
 //! The structure is a pure state machine over simulated time. The owner
 //! drives it with [`GpsCpu::advance`] and re-queries
 //! [`GpsCpu::next_completion`] after every membership change; stale
@@ -246,6 +284,120 @@ impl GpsParams {
     }
 }
 
+/// The resource axes a task may demand. [`Resource::Cpu`] is the classic
+/// scalar axis; [`Resource::Mem`] is the secondary memory-bandwidth axis,
+/// disabled (infinite capacity) until the owner sets it via
+/// [`GpsCpu::set_resource_capacity`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// CPU cores (subject to the context-switch penalty).
+    Cpu,
+    /// Memory bandwidth, in arbitrary but consistent bandwidth units
+    /// (no oversubscription penalty — bandwidth contention has no
+    /// context-switch analogue).
+    Mem,
+}
+
+impl Resource {
+    /// The axis index of this resource in a demand profile.
+    pub(crate) fn axis(self) -> usize {
+        match self {
+            Resource::Cpu => 0,
+            Resource::Mem => 1,
+        }
+    }
+}
+
+/// Number of resource axes.
+pub(crate) const AXES: usize = 2;
+
+/// A task's demand across the resource axes. Absolute units are arbitrary
+/// (only ratios matter): the kernel normalizes the vector into a
+/// per-dominant-unit *profile* via [`ResourceVector::profile`], and all
+/// `work` / `max_rate` quantities handed to the demand-aware entry points
+/// must be expressed in dominant-resource units (see
+/// [`ResourceVector::dominant_per_cpu`] for the conversion callers with
+/// CPU-denominated work use).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceVector {
+    /// CPU demand.
+    pub cpu: f64,
+    /// Memory-bandwidth demand.
+    pub mem: f64,
+}
+
+impl ResourceVector {
+    /// The classic single-resource demand: all CPU, no memory bandwidth.
+    /// Tasks added with this profile take the bit-identical scalar path.
+    pub const CPU_ONLY: ResourceVector = ResourceVector { cpu: 1.0, mem: 0.0 };
+
+    /// A demand of one CPU unit plus `mem_per_cpu` memory-bandwidth units
+    /// per unit of CPU work. `mem_per_cpu == 0.0` is exactly
+    /// [`ResourceVector::CPU_ONLY`]; above `1.0` the task is
+    /// memory-dominant.
+    pub fn per_cpu(mem_per_cpu: f64) -> Self {
+        ResourceVector {
+            cpu: 1.0,
+            mem: mem_per_cpu,
+        }
+    }
+
+    /// Panic unless the vector is well-formed: finite non-negative
+    /// components, at least one strictly positive.
+    pub fn validate(&self) {
+        assert!(
+            self.cpu.is_finite() && self.cpu >= 0.0,
+            "CPU demand must be finite and non-negative, got {}",
+            self.cpu
+        );
+        assert!(
+            self.mem.is_finite() && self.mem >= 0.0,
+            "memory-bandwidth demand must be finite and non-negative, got {}",
+            self.mem
+        );
+        assert!(
+            self.cpu > 0.0 || self.mem > 0.0,
+            "demand vector must name at least one resource"
+        );
+    }
+
+    /// The dominant (largest-demand) resource; CPU wins ties.
+    pub fn dominant(&self) -> Resource {
+        if self.mem > self.cpu {
+            Resource::Mem
+        } else {
+            Resource::Cpu
+        }
+    }
+
+    /// The normalized demand profile `[g_cpu, g_mem]`: demand per
+    /// *dominant-resource unit*, so the dominant component is exactly
+    /// `1.0` and the other lies in `[0, 1]`. Zero components stay exactly
+    /// `+0.0` (so the degenerate single-resource profile is bit-exact
+    /// `[1.0, 0.0]` and `-0.0` inputs cannot split the uniform-mode
+    /// signature).
+    pub fn profile(&self) -> [f64; AXES] {
+        self.validate();
+        let gmax = self.cpu.max(self.mem);
+        let norm = |g: f64| if g == 0.0 { 0.0 } else { g / gmax };
+        [norm(self.cpu), norm(self.mem)]
+    }
+
+    /// Dominant-resource units per CPU unit (`max_component / cpu`):
+    /// callers whose work and rate caps are denominated in CPU terms
+    /// multiply both by this before handing them to
+    /// [`GpsCpu::add_task_demand`]. Exactly `1.0` whenever CPU is the
+    /// dominant axis. Panics if the CPU demand is zero.
+    pub fn dominant_per_cpu(&self) -> f64 {
+        self.validate();
+        assert!(
+            self.cpu > 0.0,
+            "CPU-denominated conversion needs a positive CPU demand"
+        );
+        self.cpu.max(self.mem) / self.cpu
+    }
+}
+
 /// Work below this many core-seconds counts as complete; guards against
 /// floating-point residue keeping a task alive forever.
 pub(crate) const WORK_EPSILON: f64 = 1e-9;
@@ -258,13 +410,19 @@ pub(crate) const WORK_EPSILON: f64 = 1e-9;
 /// free; as a bonus it discards all stale heap entries.
 const VT_REBASE_THRESHOLD: f64 = 16384.0;
 
-/// `(weight, max_rate)` signature used to detect the uniform fast path.
-/// Bit-level equality matches the reference integrator's `!=` comparison
-/// (weights are asserted positive and finite, so `-0.0`/NaN cannot occur).
-type Signature = (u64, u64);
+/// `(weight, max_rate, g_cpu, g_mem)` signature used to detect the uniform
+/// fast path. Bit-level equality matches the reference integrator's `!=`
+/// comparison (weights are asserted positive, profile components are
+/// normalized with zeros pinned to `+0.0`, so `-0.0`/NaN cannot occur).
+type Signature = (u64, u64, u64, u64);
 
-fn signature(weight: f64, max_rate: f64) -> Signature {
-    (weight.to_bits(), max_rate.to_bits())
+fn signature(weight: f64, max_rate: f64, demand: [f64; AXES]) -> Signature {
+    (
+        weight.to_bits(),
+        max_rate.to_bits(),
+        demand[0].to_bits(),
+        demand[1].to_bits(),
+    )
 }
 
 /// Partition-order key: `(pin ratio bits, slot)`. Weights and caps are
@@ -340,6 +498,9 @@ enum Body {
 struct Slot {
     weight: f64,
     max_rate: f64,
+    /// Normalized demand profile `[g_cpu, g_mem]` (dominant component
+    /// exactly `1.0`; single-resource tasks carry `[1.0, 0.0]`).
+    demand: [f64; AXES],
     /// Distinguishes reincarnations of a recycled slot in stale heap keys.
     epoch: u64,
     /// General mode: true while the task sits in the capped side of the
@@ -436,6 +597,9 @@ enum Family {
 #[derive(Debug, Clone)]
 pub struct GpsCpu {
     params: GpsParams,
+    /// Memory-bandwidth capacity (`+∞` while the axis is disabled —
+    /// the degenerate single-resource configuration).
+    mem_capacity: f64,
     slots: Vec<Option<Slot>>,
     free_slots: Vec<u32>,
     runnable: usize,
@@ -481,10 +645,10 @@ pub struct GpsCpu {
     /// Capped tasks in the same order: the tail is the next task to unpin
     /// as the water level falls.
     part_capped: BTreeSet<PartKey>,
-    /// `W`: Σ weight over the uncapped set.
-    uncapped_weight: CompensatedSum,
-    /// `K`: Σ max_rate over the capped set.
-    capped_capacity: CompensatedSum,
+    /// `W_k = Σ weight·g_k` over the uncapped set, per resource axis.
+    uncapped_weight: [CompensatedSum; AXES],
+    /// `K_k = Σ max_rate·g_k` over the capped set, per resource axis.
+    capped_capacity: [CompensatedSum; AXES],
     /// The water level `λ` for the current membership (general mode).
     water_level: f64,
 
@@ -521,6 +685,7 @@ impl GpsCpu {
         params.validate();
         GpsCpu {
             params,
+            mem_capacity: f64::INFINITY,
             slots: Vec::new(),
             free_slots: Vec::new(),
             runnable: 0,
@@ -538,8 +703,8 @@ impl GpsCpu {
             uniform_rate: 0.0,
             part_uncapped: BTreeSet::new(),
             part_capped: BTreeSet::new(),
-            uncapped_weight: CompensatedSum::ZERO,
-            capped_capacity: CompensatedSum::ZERO,
+            uncapped_weight: [CompensatedSum::ZERO; AXES],
+            capped_capacity: [CompensatedSum::ZERO; AXES],
             water_level: 0.0,
             g_uvt: 0.0,
             g_rt: 0.0,
@@ -726,17 +891,100 @@ impl GpsCpu {
         }
     }
 
-    /// Add a task with `work` core-seconds of demand. `advance(now)` must
-    /// already have been called (or be implied by event ordering).
+    /// Change one resource axis's capacity at `now`. The CPU axis is
+    /// exactly [`GpsCpu::set_capacity`]; the memory-bandwidth axis accepts
+    /// any positive capacity including `+∞` (which disables the axis).
+    /// Same cost and capacity-rebase invariant: coordinates are
+    /// capacity-invariant on *every* axis, so only the partition boundary
+    /// moves.
+    pub fn set_resource_capacity(&mut self, now: SimTime, resource: Resource, capacity: f64) {
+        match resource {
+            Resource::Cpu => self.set_capacity(now, capacity),
+            Resource::Mem => {
+                self.advance(now);
+                if capacity == self.mem_capacity {
+                    return;
+                }
+                assert!(
+                    capacity > 0.0 && !capacity.is_nan(),
+                    "memory bandwidth must be positive (+inf disables the axis), got {capacity}"
+                );
+                self.mem_capacity = capacity;
+                self.generation += 1;
+                if self.mode == Mode::General {
+                    self.rebalance_partition();
+                }
+            }
+        }
+    }
+
+    /// The capacity of one resource axis (`Mem` is `+∞` while disabled).
+    pub fn resource_capacity(&self, resource: Resource) -> f64 {
+        match resource {
+            Resource::Cpu => self.params.cores,
+            Resource::Mem => self.mem_capacity,
+        }
+    }
+
+    /// Instantaneous total consumption of `resource` across unfinished
+    /// tasks, in that resource's units. O(n) slot scan — introspection for
+    /// the fairness/efficiency suites and the per-resource utilization
+    /// metrics, not a hot path.
+    pub fn resource_consumption(&mut self, resource: Resource) -> f64 {
+        let axis = resource.axis();
+        if self.runnable == 0 {
+            return 0.0;
+        }
+        let uniform_rate = if self.mode == Mode::Uniform {
+            self.refresh_uniform_rate()
+        } else {
+            0.0
+        };
+        let level = self.water_level;
+        let mut total = 0.0;
+        for slot in self.slots.iter().flatten() {
+            let rate = match slot.body {
+                Body::Virtual { .. } => uniform_rate,
+                Body::GenUncapped { .. } | Body::GenCapped { .. } => {
+                    Self::general_rate(slot, level)
+                }
+                Body::Settled { .. } => 0.0,
+            };
+            total += rate * slot.demand[axis];
+        }
+        total
+    }
+
+    /// Add a single-resource task with `work` core-seconds of demand.
+    /// `advance(now)` must already have been called (or be implied by
+    /// event ordering). Exactly [`GpsCpu::add_task_demand`] with the
+    /// degenerate [`ResourceVector::CPU_ONLY`] profile.
     pub fn add_task(&mut self, now: SimTime, work: f64, weight: f64, max_rate: f64) -> TaskId {
+        self.add_task_demand(now, work, weight, max_rate, ResourceVector::CPU_ONLY)
+    }
+
+    /// Add a task with a multi-resource demand vector. `work` and
+    /// `max_rate` are in *dominant-resource* units (callers with
+    /// CPU-denominated quantities scale by
+    /// [`ResourceVector::dominant_per_cpu`]); `demand` is normalized into
+    /// the per-dominant-unit profile internally.
+    pub fn add_task_demand(
+        &mut self,
+        now: SimTime,
+        work: f64,
+        weight: f64,
+        max_rate: f64,
+        demand: ResourceVector,
+    ) -> TaskId {
         assert!(work >= 0.0 && work.is_finite(), "invalid work {work}");
         assert!(weight > 0.0, "weight must be positive");
         assert!(max_rate > 0.0, "max_rate must be positive");
+        let profile = demand.profile();
         self.advance(now);
         self.generation += 1;
         *self
             .sig_counts
-            .entry(signature(weight, max_rate))
+            .entry(signature(weight, max_rate, profile))
             .or_insert(0) += 1;
         self.runnable += 1;
         let epoch = self.next_epoch;
@@ -759,6 +1007,7 @@ impl GpsCpu {
             self.slots[index as usize] = Some(Slot {
                 weight,
                 max_rate,
+                demand: profile,
                 epoch,
                 capped: false,
                 body: Body::Settled { remaining: work },
@@ -783,6 +1032,7 @@ impl GpsCpu {
             self.slots[index as usize] = Some(Slot {
                 weight,
                 max_rate,
+                demand: profile,
                 epoch,
                 capped: false,
                 body: Body::Virtual { finish_vt },
@@ -809,7 +1059,7 @@ impl GpsCpu {
         }
         self.free_slots.push(id.0);
         self.runnable -= 1;
-        let sig = signature(slot.weight, slot.max_rate);
+        let sig = signature(slot.weight, slot.max_rate, slot.demand);
         let count = self
             .sig_counts
             .get_mut(&sig)
@@ -941,17 +1191,30 @@ impl GpsCpu {
     }
 
     /// The memoized uniform task rate, recomputed only when the membership
-    /// generation moved.
+    /// generation moved. In dominant-resource units: `n` identical tasks
+    /// each run at `min(max_rate, min_k C_k / (n·g_k))` — the binding axis
+    /// is whichever capacity the common profile saturates first. With the
+    /// degenerate `[1.0, 0.0]` profile the memory term drops out and this
+    /// is bit-identical to the scalar `min(C/n, max_rate)`.
     fn refresh_uniform_rate(&mut self) -> f64 {
         if self.rates_generation != Some(self.generation) {
-            let (_, max_rate_bits) = *self
+            let (_, max_rate_bits, g_cpu_bits, g_mem_bits) = *self
                 .sig_counts
                 .keys()
                 .next()
                 .expect("uniform rate queried on a non-empty bank");
             let max_rate = f64::from_bits(max_rate_bits);
+            let g_cpu = f64::from_bits(g_cpu_bits);
+            let g_mem = f64::from_bits(g_mem_bits);
             let cap = self.params.effective_capacity(self.runnable);
-            self.uniform_rate = (cap / self.runnable as f64).min(max_rate);
+            let mut rate = max_rate;
+            if g_cpu > 0.0 {
+                rate = rate.min(cap / (self.runnable as f64 * g_cpu));
+            }
+            if g_mem > 0.0 {
+                rate = rate.min(self.mem_capacity / (self.runnable as f64 * g_mem));
+            }
+            self.uniform_rate = rate;
             self.rates_generation = Some(self.generation);
         }
         self.uniform_rate
@@ -975,8 +1238,12 @@ impl GpsCpu {
             .as_mut()
             .expect("partition insert of a dead slot");
         slot.capped = false;
-        let (weight, max_rate) = (slot.weight, slot.max_rate);
-        self.uncapped_weight.add(weight);
+        let (weight, max_rate, demand) = (slot.weight, slot.max_rate, slot.demand);
+        for (k, &d) in demand.iter().enumerate() {
+            if d > 0.0 {
+                self.uncapped_weight[k].add(weight * d);
+            }
+        }
         self.part_uncapped
             .insert((pin_ratio_bits(weight, max_rate), index));
     }
@@ -988,27 +1255,52 @@ impl GpsCpu {
         if slot.capped {
             let removed = self.part_capped.remove(&key);
             debug_assert!(removed, "capped task missing from partition");
-            self.capped_capacity.add(-slot.max_rate);
+            for k in 0..AXES {
+                if slot.demand[k] > 0.0 {
+                    self.capped_capacity[k].add(-(slot.max_rate * slot.demand[k]));
+                }
+            }
         } else {
             let removed = self.part_uncapped.remove(&key);
             debug_assert!(removed, "uncapped task missing from partition");
-            self.uncapped_weight.add(-slot.weight);
+            for k in 0..AXES {
+                if slot.demand[k] > 0.0 {
+                    self.uncapped_weight[k].add(-(slot.weight * slot.demand[k]));
+                }
+            }
         }
     }
 
-    /// The water level implied by the current sums: `(C_eff − K) / W`.
-    /// With no uncapped weight the level is `+∞` while the caps fit the
-    /// capacity (nothing to unpin) and `−∞` once they exceed it (forcing
-    /// the rebalance to unpin from the top).
-    fn current_level(&self, cap: f64) -> f64 {
-        let w = self.uncapped_weight.value();
+    /// One axis's water level from its sums: `(C_k − K_k) / W_k`. With no
+    /// uncapped demand on the axis the level is `+∞` while the caps fit
+    /// the capacity (the axis cannot bind) and `−∞` once they exceed it
+    /// (forcing the rebalance to unpin from the top).
+    fn axis_level(cap: f64, w: f64, k: f64) -> f64 {
         if w > 0.0 {
-            (cap - self.capped_capacity.value()) / w
-        } else if self.capped_capacity.value() <= cap {
+            (cap - k) / w
+        } else if k <= cap {
             f64::INFINITY
         } else {
             f64::NEG_INFINITY
         }
+    }
+
+    /// The water level implied by the current sums: the *minimum* per-axis
+    /// level `min_k (C_k − K_k) / W_k` — the binding resource's level.
+    /// Disabled axes (no uncapped demand, caps within capacity) contribute
+    /// `+∞` and drop out of the `min`, so the degenerate single-resource
+    /// configuration reduces bit-for-bit to the scalar `(C_eff − K) / W`.
+    fn current_level(&self, cap: f64) -> f64 {
+        let caps = [cap, self.mem_capacity];
+        let mut level = f64::INFINITY;
+        for (k, &axis_cap) in caps.iter().enumerate() {
+            level = level.min(Self::axis_level(
+                axis_cap,
+                self.uncapped_weight[k].value(),
+                self.capped_capacity[k].value(),
+            ));
+        }
+        level
     }
 
     /// Restore the capped/uncapped invariant after a membership change.
@@ -1029,9 +1321,13 @@ impl GpsCpu {
                 .as_mut()
                 .expect("partition holds only live slots");
             slot.capped = false;
-            let (weight, max_rate) = (slot.weight, slot.max_rate);
-            self.capped_capacity.add(-max_rate);
-            self.uncapped_weight.add(weight);
+            let (weight, max_rate, demand) = (slot.weight, slot.max_rate, slot.demand);
+            for (k, &d) in demand.iter().enumerate() {
+                if d > 0.0 {
+                    self.capped_capacity[k].add(-(max_rate * d));
+                    self.uncapped_weight[k].add(weight * d);
+                }
+            }
             self.part_uncapped.insert((rb, index));
             self.cross_boundary(index);
         }
@@ -1045,19 +1341,23 @@ impl GpsCpu {
                 .as_mut()
                 .expect("partition holds only live slots");
             slot.capped = true;
-            let (weight, max_rate) = (slot.weight, slot.max_rate);
-            self.uncapped_weight.add(-weight);
-            self.capped_capacity.add(max_rate);
+            let (weight, max_rate, demand) = (slot.weight, slot.max_rate, slot.demand);
+            for (k, &d) in demand.iter().enumerate() {
+                if d > 0.0 {
+                    self.uncapped_weight[k].add(-(weight * d));
+                    self.capped_capacity[k].add(max_rate * d);
+                }
+            }
             self.part_capped.insert((rb, index));
             self.cross_boundary(index);
         }
         // Pin the sums back to exact zero whenever a side empties, so
         // residual compensation cannot accumulate across mode episodes.
         if self.part_uncapped.is_empty() {
-            self.uncapped_weight = CompensatedSum::ZERO;
+            self.uncapped_weight = [CompensatedSum::ZERO; AXES];
         }
         if self.part_capped.is_empty() {
-            self.capped_capacity = CompensatedSum::ZERO;
+            self.capped_capacity = [CompensatedSum::ZERO; AXES];
         }
         self.water_level = self.current_level(cap);
         #[cfg(debug_assertions)]
@@ -1069,8 +1369,8 @@ impl GpsCpu {
     /// sits more than a rounding margin on the wrong side of the level.
     #[cfg(debug_assertions)]
     fn debug_validate_partition(&self) {
-        let mut w = 0.0;
-        let mut k = 0.0;
+        let mut w = [0.0f64; AXES];
+        let mut k = [0.0f64; AXES];
         let mut live = 0usize;
         for (i, slot) in self.slots.iter().enumerate() {
             let Some(slot) = slot else { continue };
@@ -1078,10 +1378,14 @@ impl GpsCpu {
             let key = (pin_ratio_bits(slot.weight, slot.max_rate), i as u32);
             if slot.capped {
                 debug_assert!(self.part_capped.contains(&key));
-                k += slot.max_rate;
+                for (axis, &d) in slot.demand.iter().enumerate() {
+                    k[axis] += slot.max_rate * d;
+                }
             } else {
                 debug_assert!(self.part_uncapped.contains(&key));
-                w += slot.weight;
+                for (axis, &d) in slot.demand.iter().enumerate() {
+                    w[axis] += slot.weight * d;
+                }
             }
             let ratio = slot.max_rate / slot.weight;
             let margin = 1e-9 * (1.0 + ratio.abs() + self.water_level.abs());
@@ -1100,8 +1404,14 @@ impl GpsCpu {
             }
         }
         debug_assert_eq!(live, self.part_uncapped.len() + self.part_capped.len());
-        debug_assert!((w - self.uncapped_weight.value()).abs() <= 1e-9 * (1.0 + w.abs()));
-        debug_assert!((k - self.capped_capacity.value()).abs() <= 1e-9 * (1.0 + k.abs()));
+        for a in 0..AXES {
+            debug_assert!(
+                (w[a] - self.uncapped_weight[a].value()).abs() <= 1e-9 * (1.0 + w[a].abs())
+            );
+            debug_assert!(
+                (k[a] - self.capped_capacity[a].value()).abs() <= 1e-9 * (1.0 + k[a].abs())
+            );
+        }
         // The unfinished sums cover exactly the coordinate bodies.
         let mut uw = 0.0;
         let mut uc = 0usize;
@@ -1129,8 +1439,8 @@ impl GpsCpu {
     fn clear_partition(&mut self) {
         self.part_uncapped.clear();
         self.part_capped.clear();
-        self.uncapped_weight = CompensatedSum::ZERO;
-        self.capped_capacity = CompensatedSum::ZERO;
+        self.uncapped_weight = [CompensatedSum::ZERO; AXES];
+        self.capped_capacity = [CompensatedSum::ZERO; AXES];
         self.water_level = 0.0;
     }
 
@@ -2244,5 +2554,166 @@ mod tests {
         }
         assert!(cpu.is_empty());
         assert!((cpu.work_done() - reference.work_done()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn profile_normalizes_to_dominant_units() {
+        assert_eq!(ResourceVector::CPU_ONLY.profile(), [1.0, 0.0]);
+        assert_eq!(ResourceVector::CPU_ONLY.dominant(), Resource::Cpu);
+        // CPU-dominant: mem expressed per CPU unit.
+        let v = ResourceVector::per_cpu(0.5);
+        assert_eq!(v.profile(), [1.0, 0.5]);
+        assert_eq!(v.dominant(), Resource::Cpu);
+        assert_eq!(v.dominant_per_cpu(), 1.0);
+        // Memory-dominant: the profile flips, CPU becomes the fraction.
+        let v = ResourceVector::per_cpu(4.0);
+        assert_eq!(v.profile(), [0.25, 1.0]);
+        assert_eq!(v.dominant(), Resource::Mem);
+        assert_eq!(v.dominant_per_cpu(), 4.0);
+        // An exact tie is CPU-dominant; -0.0 mem is sanitized to +0.0.
+        assert_eq!(
+            ResourceVector { cpu: 2.0, mem: 2.0 }.dominant(),
+            Resource::Cpu
+        );
+        let z = ResourceVector {
+            cpu: 1.0,
+            mem: -0.0,
+        };
+        assert_eq!(z.profile()[1].to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn all_zero_demand_rejected() {
+        ResourceVector { cpu: 0.0, mem: 0.0 }.profile();
+    }
+
+    #[test]
+    fn cpu_only_demand_is_bit_identical_to_scalar_path() {
+        // The degenerate profile must reduce to the scalar kernel exactly:
+        // drive a weighted churn through `add_task` and through
+        // `add_task_demand(CPU_ONLY)` and require bit-equality on every
+        // observable after every step.
+        let sigs = [(1.0, 1.0), (2.5, 1.0), (1.0, 0.5), (4.0, 0.25)];
+        let mut scalar = GpsCpu::new(params(3.0, 0.2));
+        let mut demand = GpsCpu::new(params(3.0, 0.2));
+        let mut t = SimTime::ZERO;
+        let mut live = Vec::new();
+        for step in 0..120u64 {
+            t += SimDuration::from_millis(37 + step % 91);
+            let (w, c) = sigs[(step % 4) as usize];
+            let work = 0.05 + (step % 11) as f64 * 0.07;
+            let a = scalar.add_task(t, work, w, c);
+            let b = demand.add_task_demand(t, work, w, c, ResourceVector::CPU_ONLY);
+            assert_eq!(a, b, "slot allocation diverged");
+            live.push(a);
+            if step % 3 == 2 {
+                let id = live.remove(0);
+                let ra = scalar.remove_task(t, id);
+                let rb = demand.remove_task(t, id);
+                assert_eq!(ra.to_bits(), rb.to_bits(), "residual diverged");
+            }
+            assert_eq!(scalar.work_done().to_bits(), demand.work_done().to_bits());
+            for &id in &live {
+                assert_eq!(
+                    scalar.remaining(id).to_bits(),
+                    demand.remaining(id).to_bits(),
+                    "remaining diverged at step {step}"
+                );
+            }
+            assert_eq!(scalar.next_completion(t), demand.next_completion(t));
+        }
+    }
+
+    #[test]
+    fn dominant_share_allocation_on_two_axes() {
+        // 4 cores, 2 bandwidth units. A demands both axes equally, B is
+        // CPU-only; both uncapped. W_cpu = 2, W_mem = 1, so
+        // λ = min(4/2, 2/1) = 2 and both axes are exactly saturated.
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        cpu.set_resource_capacity(SimTime::ZERO, Resource::Mem, 2.0);
+        let a = cpu.add_task_demand(SimTime::ZERO, 1.0, 1.0, 10.0, ResourceVector::per_cpu(1.0));
+        let b = cpu.add_task_demand(SimTime::ZERO, 1.0, 1.0, 10.0, ResourceVector::CPU_ONLY);
+        assert!(
+            !cpu.is_uniform_mode(),
+            "distinct profiles force general mode"
+        );
+        assert_eq!(cpu.water_level(), Some(2.0));
+        assert!((cpu.current_rate(a) - 2.0).abs() < 1e-12);
+        assert!((cpu.current_rate(b) - 2.0).abs() < 1e-12);
+        assert!((cpu.resource_consumption(Resource::Cpu) - 4.0).abs() < 1e-12);
+        assert!((cpu.resource_consumption(Resource::Mem) - 2.0).abs() < 1e-12);
+        // Halve the bandwidth: the memory axis binds, λ drops to 1, and
+        // the CPU axis is left with slack (Pareto: the *binding* axis is
+        // consumed).
+        let t1 = SimTime::from_secs(0);
+        cpu.set_resource_capacity(t1, Resource::Mem, 1.0);
+        assert_eq!(cpu.water_level(), Some(1.0));
+        assert!((cpu.current_rate(a) - 1.0).abs() < 1e-12);
+        assert!((cpu.current_rate(b) - 1.0).abs() < 1e-12);
+        assert!((cpu.resource_consumption(Resource::Mem) - 1.0).abs() < 1e-12);
+        assert!((cpu.resource_consumption(Resource::Cpu) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_uniform_mode_binds_on_bandwidth() {
+        // Two identical tasks demanding bandwidth 1:1 with CPU on a node
+        // with 4 cores but 1 bandwidth unit: the common rate is
+        // min(max_rate, 4/2, 1/2) = 0.5, on the uniform fast path.
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        cpu.set_resource_capacity(SimTime::ZERO, Resource::Mem, 1.0);
+        let a = cpu.add_task_demand(SimTime::ZERO, 1.0, 1.0, 1.0, ResourceVector::per_cpu(1.0));
+        let _b = cpu.add_task_demand(SimTime::ZERO, 1.0, 1.0, 1.0, ResourceVector::per_cpu(1.0));
+        assert!(cpu.is_uniform_mode(), "identical profiles stay uniform");
+        assert!((cpu.current_rate(a) - 0.5).abs() < 1e-12);
+        let (_, at) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert!((at.as_secs_f64() - 2.0).abs() < 1e-9);
+        // Restoring infinite bandwidth re-binds on the CPU axis (rate 1.0
+        // via the max_rate cap).
+        cpu.set_resource_capacity(SimTime::ZERO, Resource::Mem, f64::INFINITY);
+        assert!((cpu.current_rate(a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_dominant_task_runs_in_bandwidth_units() {
+        // One task demanding 4 bandwidth units per CPU unit: work and
+        // max_rate are handed over in dominant (bandwidth) units. With 8
+        // bandwidth units and plenty of CPU it depletes at its 2.0
+        // bandwidth-unit cap: 4 dominant units of work take 2 s, and the
+        // CPU consumed is a quarter of the bandwidth.
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        cpu.set_resource_capacity(SimTime::ZERO, Resource::Mem, 8.0);
+        let v = ResourceVector::per_cpu(4.0);
+        let scale = v.dominant_per_cpu();
+        assert_eq!(scale, 4.0);
+        let cpu_work = 1.0;
+        let cpu_cap = 0.5;
+        let id = cpu.add_task_demand(SimTime::ZERO, cpu_work * scale, 1.0, cpu_cap * scale, v);
+        assert!((cpu.current_rate(id) - 2.0).abs() < 1e-12);
+        assert!((cpu.resource_consumption(Resource::Mem) - 2.0).abs() < 1e-12);
+        assert!((cpu.resource_consumption(Resource::Cpu) - 0.5).abs() < 1e-12);
+        let (_, at) = cpu.next_completion(SimTime::ZERO).unwrap();
+        assert!((at.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_mem_capacity_is_generation_visible_and_idempotent() {
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        assert_eq!(cpu.resource_capacity(Resource::Mem), f64::INFINITY);
+        assert_eq!(cpu.resource_capacity(Resource::Cpu), 4.0);
+        cpu.add_task(SimTime::ZERO, 1.0, 1.0, 1.0);
+        let g0 = cpu.generation();
+        cpu.set_resource_capacity(SimTime::ZERO, Resource::Mem, 2.0);
+        assert!(cpu.generation() > g0);
+        let g1 = cpu.generation();
+        cpu.set_resource_capacity(SimTime::ZERO, Resource::Mem, 2.0);
+        assert_eq!(cpu.generation(), g1, "re-asserting is a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "memory bandwidth must be positive")]
+    fn non_positive_mem_capacity_rejected() {
+        let mut cpu = GpsCpu::new(params(4.0, 0.0));
+        cpu.set_resource_capacity(SimTime::ZERO, Resource::Mem, 0.0);
     }
 }

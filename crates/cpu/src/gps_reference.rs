@@ -14,17 +14,20 @@
 //! Do not use this type in simulations; it exists only as a test and
 //! benchmark oracle.
 
-use crate::gps::{GpsParams, TaskId, WORK_EPSILON};
+use crate::gps::{GpsParams, Resource, ResourceVector, TaskId, AXES, WORK_EPSILON};
 use faas_simcore::time::{SimDuration, SimTime};
 
 #[derive(Debug, Clone, Copy)]
 struct Task {
-    /// Remaining CPU work in core-seconds.
+    /// Remaining work in dominant-resource units.
     remaining: f64,
     /// GPS weight (OpenWhisk: proportional to the container memory limit).
     weight: f64,
-    /// Upper bound on the task's service rate in cores.
+    /// Upper bound on the task's service rate in dominant-resource units.
     max_rate: f64,
+    /// Dominant-normalized demand profile (see
+    /// [`ResourceVector::profile`]); `[1.0, 0.0]` for CPU-only tasks.
+    demand: [f64; AXES],
 }
 
 /// The seed GPS processor bank: correct, allocation-light, but O(n) on
@@ -32,6 +35,8 @@ struct Task {
 #[derive(Debug, Clone)]
 pub struct ReferenceGpsCpu {
     params: GpsParams,
+    /// Memory-bandwidth capacity; `+inf` disables the axis.
+    mem_capacity: f64,
     slots: Vec<Option<Task>>,
     free_slots: Vec<u32>,
     runnable: usize,
@@ -47,6 +52,7 @@ impl ReferenceGpsCpu {
         params.validate();
         ReferenceGpsCpu {
             params,
+            mem_capacity: f64::INFINITY,
             slots: Vec::new(),
             free_slots: Vec::new(),
             runnable: 0,
@@ -133,17 +139,53 @@ impl ReferenceGpsCpu {
         self.generation += 1;
     }
 
+    /// Change the capacity of an arbitrary resource axis; mirrors
+    /// [`crate::gps::GpsCpu::set_resource_capacity`].
+    pub fn set_resource_capacity(&mut self, now: SimTime, resource: Resource, capacity: f64) {
+        match resource {
+            Resource::Cpu => self.set_capacity(now, capacity),
+            Resource::Mem => {
+                self.advance(now);
+                if capacity == self.mem_capacity {
+                    return;
+                }
+                assert!(
+                    capacity > 0.0 && !capacity.is_nan(),
+                    "memory bandwidth must be positive (+inf disables the axis), got {capacity}"
+                );
+                self.mem_capacity = capacity;
+                self.generation += 1;
+            }
+        }
+    }
+
     /// Add a task with `work` core-seconds of demand.
     pub fn add_task(&mut self, now: SimTime, work: f64, weight: f64, max_rate: f64) -> TaskId {
+        self.add_task_demand(now, work, weight, max_rate, ResourceVector::CPU_ONLY)
+    }
+
+    /// Add a task with an explicit per-resource demand profile. `work` and
+    /// `max_rate` are in dominant-resource units, exactly as in
+    /// [`crate::gps::GpsCpu::add_task_demand`].
+    pub fn add_task_demand(
+        &mut self,
+        now: SimTime,
+        work: f64,
+        weight: f64,
+        max_rate: f64,
+        demand: ResourceVector,
+    ) -> TaskId {
         assert!(work >= 0.0 && work.is_finite(), "invalid work {work}");
         assert!(weight > 0.0, "weight must be positive");
         assert!(max_rate > 0.0, "max_rate must be positive");
+        let profile = demand.profile();
         self.advance(now);
         self.generation += 1;
         let task = Task {
             remaining: work,
             weight,
             max_rate,
+            demand: profile,
         };
         self.runnable += 1;
         if let Some(slot) = self.free_slots.pop() {
@@ -228,14 +270,20 @@ impl ReferenceGpsCpu {
         }
         let cap = self.params.effective_capacity(self.runnable);
 
-        // Fast path: uniform weights and max_rates.
+        // Fast path: uniform weights, max_rates, and demand profiles. The
+        // common rate is bounded by every axis the profile touches; axes
+        // with zero demand are skipped so the CPU-only case divides by
+        // exactly `runnable`, as the scalar integrator did.
         let mut uniform = true;
         let mut first: Option<Task> = None;
         for slot in self.slots.iter().flatten() {
             match first {
                 None => first = Some(*slot),
                 Some(f) => {
-                    if f.weight != slot.weight || f.max_rate != slot.max_rate {
+                    if f.weight != slot.weight
+                        || f.max_rate != slot.max_rate
+                        || f.demand != slot.demand
+                    {
                         uniform = false;
                         break;
                     }
@@ -244,7 +292,13 @@ impl ReferenceGpsCpu {
         }
         if uniform {
             let f = first.expect("runnable > 0 implies a task exists");
-            let rate = (cap / self.runnable as f64).min(f.max_rate);
+            let mut rate = f.max_rate;
+            if f.demand[0] > 0.0 {
+                rate = rate.min(cap / (self.runnable as f64 * f.demand[0]));
+            }
+            if f.demand[1] > 0.0 {
+                rate = rate.min(self.mem_capacity / (self.runnable as f64 * f.demand[1]));
+            }
             for (i, slot) in self.slots.iter().enumerate() {
                 if slot.is_some() {
                     self.rates_scratch[i] = rate;
@@ -253,27 +307,42 @@ impl ReferenceGpsCpu {
             return;
         }
 
-        // General water-filling: tasks whose fair share exceeds their cap are
-        // pinned at the cap and the surplus redistributed.
+        // General water-filling, per resource axis: tasks whose fair share
+        // exceeds their cap are pinned at the cap and the surplus
+        // redistributed. The shared level is the minimum over axes of
+        // (remaining capacity) / (total demand-weighted weight); an axis
+        // nobody demands never binds. With CPU-only profiles this reduces
+        // bit-for-bit to the scalar loop: axis 0 multiplies by 1.0
+        // everywhere and axis 1 accumulates exact zeros.
         let mut active: Vec<usize> = self
             .slots
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|_| i))
             .collect();
-        let mut remaining_cap = cap;
+        let mut remaining = [cap, self.mem_capacity];
         while !active.is_empty() {
-            let total_weight: f64 = active
-                .iter()
-                .map(|&i| self.slots[i].as_ref().unwrap().weight)
-                .sum();
-            let per_weight = remaining_cap / total_weight;
+            let mut total_weight = [0.0f64; AXES];
+            for &i in &active {
+                let task = self.slots[i].as_ref().unwrap();
+                for (k, &d) in task.demand.iter().enumerate() {
+                    total_weight[k] += task.weight * d;
+                }
+            }
+            let mut per_weight = f64::INFINITY;
+            for k in 0..AXES {
+                if total_weight[k] > 0.0 {
+                    per_weight = per_weight.min(remaining[k] / total_weight[k]);
+                }
+            }
             let mut pinned_any = false;
             active.retain(|&i| {
                 let task = self.slots[i].as_ref().unwrap();
                 if task.weight * per_weight >= task.max_rate {
                     self.rates_scratch[i] = task.max_rate;
-                    remaining_cap -= task.max_rate;
+                    for (k, &d) in task.demand.iter().enumerate() {
+                        remaining[k] -= task.max_rate * d;
+                    }
                     pinned_any = true;
                     false
                 } else {

@@ -26,6 +26,6 @@ pub mod gps_reference;
 pub mod schedule;
 
 pub use dedicated::CorePool;
-pub use gps::{GpsCpu, GpsParams, TaskId};
+pub use gps::{GpsCpu, GpsParams, Resource, ResourceVector, TaskId};
 pub use gps_reference::ReferenceGpsCpu;
 pub use schedule::{ChurnOp, DifferentialPair, SignaturePool};

@@ -19,7 +19,7 @@
 //!   per-task remaining, next completion, finished sets, residuals) after
 //!   every operation.
 
-use crate::gps::{GpsCpu, GpsParams, TaskId};
+use crate::gps::{GpsCpu, GpsParams, Resource, ResourceVector, TaskId};
 use crate::gps_reference::ReferenceGpsCpu;
 use faas_simcore::rng::Xoshiro256;
 use faas_simcore::time::{SimDuration, SimTime};
@@ -57,20 +57,38 @@ pub enum ChurnOp {
     /// kernels; zero is clamped to one centi-core so shrunk schedules stay
     /// valid.
     SetCapacity { cores_centi: u64 },
+    /// Set the memory-bandwidth capacity to `mem_centi / 100` units
+    /// (multi-resource DRF schedules only). Zero is clamped to one
+    /// centi-unit; applied to both kernels.
+    SetMemCapacity { mem_centi: u64 },
 }
 
-/// A pool of `(weight, max_rate)` signatures a schedule draws from.
+/// A pool of `(weight, max_rate, demand)` signatures a schedule draws
+/// from. Single-resource pools carry [`ResourceVector::CPU_ONLY`] demands,
+/// which keeps every pre-DRF suite on the bit-identical degenerate path.
 #[derive(Debug, Clone)]
 pub struct SignaturePool {
-    sigs: Vec<(f64, f64)>,
+    sigs: Vec<(f64, f64, ResourceVector)>,
 }
 
 impl SignaturePool {
-    /// Build a pool from explicit signatures.
+    /// Build a CPU-only pool from explicit `(weight, max_rate)` signatures.
     pub fn new(sigs: Vec<(f64, f64)>) -> Self {
+        SignaturePool::new_with_demands(
+            sigs.into_iter()
+                .map(|(w, c)| (w, c, ResourceVector::CPU_ONLY))
+                .collect(),
+        )
+    }
+
+    /// Build a multi-resource pool from explicit
+    /// `(weight, max_rate, demand)` signatures.
+    pub fn new_with_demands(sigs: Vec<(f64, f64, ResourceVector)>) -> Self {
         assert!(!sigs.is_empty(), "signature pool cannot be empty");
-        for &(w, c) in &sigs {
+        for &(w, c, d) in &sigs {
             assert!(w > 0.0 && c > 0.0, "invalid signature ({w}, {c})");
+            // Profile normalization also validates the vector.
+            let _ = d.profile();
         }
         SignaturePool { sigs }
     }
@@ -126,8 +144,54 @@ impl SignaturePool {
         ])
     }
 
-    /// The `sig`-th signature (wrapping).
+    /// A mixed DRF pool: the paper's weighted/capped signatures crossed
+    /// with CPU-only, balanced, CPU-heavy and memory-dominant demand
+    /// profiles, so schedules exercise every partition shape the
+    /// dominant-share kernel distinguishes (pure axis-0, both axes, axis-1
+    /// dominant).
+    pub fn drf_mixed() -> Self {
+        SignaturePool::new_with_demands(vec![
+            (1.0, 1.0, ResourceVector::CPU_ONLY),
+            (2.5, 1.0, ResourceVector::per_cpu(0.5)),
+            (1.0, 0.5, ResourceVector::per_cpu(1.0)),
+            (4.0, 0.25, ResourceVector::per_cpu(2.0)),
+            (1.0, 1.0, ResourceVector::per_cpu(4.0)),
+        ])
+    }
+
+    /// A seeded heterogeneous DRF pool: the [`SignaturePool::weighted`]
+    /// weight/cap lattice crossed with a seeded memory-per-CPU draw
+    /// (including exact zeros, so degenerate and demanding signatures mix
+    /// in one schedule). Signature 0 is pinned CPU-only and signature 1 to
+    /// the balanced 1:1 profile.
+    pub fn drf_weighted(seed: u64) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xD8F5_1CE5);
+        let weights = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+        let caps = [0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+        let mems = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0];
+        let n = 6 + (rng.next_u64() % 5) as usize;
+        let mut sigs: Vec<(f64, f64, ResourceVector)> = (0..n)
+            .map(|_| {
+                (
+                    *rng.choose(&weights),
+                    *rng.choose(&caps),
+                    ResourceVector::per_cpu(*rng.choose(&mems)),
+                )
+            })
+            .collect();
+        sigs[0] = (1.0, 1.0, ResourceVector::CPU_ONLY);
+        sigs[1] = (2.0, 1.0, ResourceVector::per_cpu(1.0));
+        SignaturePool::new_with_demands(sigs)
+    }
+
+    /// The `sig`-th signature's `(weight, max_rate)` (wrapping).
     pub fn get(&self, sig: u8) -> (f64, f64) {
+        let (w, c, _) = self.sigs[sig as usize % self.sigs.len()];
+        (w, c)
+    }
+
+    /// The `sig`-th full `(weight, max_rate, demand)` signature (wrapping).
+    pub fn get_full(&self, sig: u8) -> (f64, f64, ResourceVector) {
         self.sigs[sig as usize % self.sigs.len()]
     }
 
@@ -164,6 +228,40 @@ pub fn random_schedule(
             },
             6 => ChurnOp::Remove {
                 pick: rng.next_u64(),
+            },
+            _ => ChurnOp::CompleteNext,
+        })
+        .collect()
+}
+
+/// Generate a seeded multi-resource schedule: the [`random_schedule`] op
+/// mix with one slot of the decade re-pointed at memory-bandwidth capacity
+/// churn, so DRF schedules move the binding axis (CPU↔memory) while tasks
+/// come and go. `mem_centi_range` bounds the bandwidth draw, in
+/// centi-units above the one-centi floor.
+pub fn drf_schedule(
+    rng: &mut Xoshiro256,
+    steps: usize,
+    sig_range: u8,
+    max_work_ms: u64,
+    max_dt_ms: u64,
+    mem_centi_range: u64,
+) -> Vec<ChurnOp> {
+    assert!(sig_range > 0 && max_work_ms > 0 && max_dt_ms > 0 && mem_centi_range > 0);
+    (0..steps)
+        .map(|_| match rng.next_u64() % 10 {
+            0..=3 => ChurnOp::Add {
+                work_ms: 1 + rng.next_u64() % max_work_ms,
+                sig: (rng.next_u64() % sig_range as u64) as u8,
+            },
+            4..=5 => ChurnOp::Advance {
+                dt_ms: 1 + rng.next_u64() % max_dt_ms,
+            },
+            6 => ChurnOp::Remove {
+                pick: rng.next_u64(),
+            },
+            7 => ChurnOp::SetMemCapacity {
+                mem_centi: 1 + rng.next_u64() % mem_centi_range,
             },
             _ => ChurnOp::CompleteNext,
         })
@@ -344,6 +442,17 @@ impl DifferentialPair {
         }
     }
 
+    /// Fresh pair with a finite memory-bandwidth capacity on both kernels,
+    /// for multi-resource DRF schedules.
+    pub fn new_with_mem(cores: f64, kappa: f64, mem: f64, pool: SignaturePool) -> Self {
+        let mut pair = DifferentialPair::new(cores, kappa, pool);
+        pair.opt
+            .set_resource_capacity(SimTime::ZERO, Resource::Mem, mem);
+        pair.reference
+            .set_resource_capacity(SimTime::ZERO, Resource::Mem, mem);
+        pair
+    }
+
     /// Current simulated time of the pair.
     pub fn now(&self) -> SimTime {
         self.now
@@ -439,9 +548,13 @@ impl DifferentialPair {
         match op {
             ChurnOp::Add { work_ms, sig } => {
                 let work = work_ms as f64 / 1000.0;
-                let (weight, max_rate) = self.pool.get(sig);
-                let ida = self.opt.add_task(self.now, work, weight, max_rate);
-                let idb = self.reference.add_task(self.now, work, weight, max_rate);
+                let (weight, max_rate, demand) = self.pool.get_full(sig);
+                let ida = self
+                    .opt
+                    .add_task_demand(self.now, work, weight, max_rate, demand);
+                let idb = self
+                    .reference
+                    .add_task_demand(self.now, work, weight, max_rate, demand);
                 assert_eq!(ida, idb, "slot allocation diverged");
                 self.live
                     .push((ida, (sig as usize % self.pool.len()) as u8));
@@ -484,6 +597,12 @@ impl DifferentialPair {
                 let cores = cores_centi.max(1) as f64 / 100.0;
                 self.opt.set_capacity(self.now, cores);
                 self.reference.set_capacity(self.now, cores);
+            }
+            ChurnOp::SetMemCapacity { mem_centi } => {
+                let mem = mem_centi.max(1) as f64 / 100.0;
+                self.opt.set_resource_capacity(self.now, Resource::Mem, mem);
+                self.reference
+                    .set_resource_capacity(self.now, Resource::Mem, mem);
             }
             ChurnOp::CompleteNext => {
                 let Some((id, at)) = self.reference.next_completion(self.now) else {
@@ -534,6 +653,27 @@ pub fn run_differential_schedule(seed: u64, pool: &SignaturePool, max_steps: usi
     let steps = max_steps / 4 + (rng.next_u64() % (3 * max_steps as u64 / 4).max(1)) as usize;
     let ops = random_schedule(&mut rng, steps, pool.len() as u8, 4_000, 1_200);
     let mut pair = DifferentialPair::new(cores, kappa, pool.clone());
+    for op in ops {
+        pair.apply(op);
+    }
+    pair.drain();
+}
+
+/// Drive one fully seeded multi-resource DRF schedule end to end: node
+/// shape (cores *and* a finite memory-bandwidth capacity), schedule and
+/// bandwidth churn all derive from `seed`; every observable is pinned to
+/// the reference integrator per step. A failing seed reproduces exactly.
+pub fn run_drf_differential_schedule(seed: u64, pool: &SignaturePool, max_steps: usize) {
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xDF00_D0D0);
+    let cores = 1.0 + (rng.next_u64() % 12) as f64;
+    let kappa = (rng.next_u64() % 100) as f64 / 100.0;
+    // Bandwidth envelope 0.5–12 units: below, inside and above the pool's
+    // memory demand range, so either axis can bind.
+    let mem_centi = 50 + rng.next_u64() % 1_151;
+    let steps = max_steps / 4 + (rng.next_u64() % (3 * max_steps as u64 / 4).max(1)) as usize;
+    let ops = drf_schedule(&mut rng, steps, pool.len() as u8, 4_000, 1_200, 1_200);
+    let mut pair =
+        DifferentialPair::new_with_mem(cores, kappa, mem_centi as f64 / 100.0, pool.clone());
     for op in ops {
         pair.apply(op);
     }
@@ -605,9 +745,24 @@ mod tests {
         let distinct: std::collections::BTreeSet<(u64, u64)> = a
             .sigs
             .iter()
-            .map(|&(w, c)| (w.to_bits(), c.to_bits()))
+            .map(|&(w, c, _)| (w.to_bits(), c.to_bits()))
             .collect();
         assert!(distinct.len() >= 2, "pool must be heterogeneous");
+    }
+
+    #[test]
+    fn drf_pools_are_seed_deterministic_and_mix_demand_shapes() {
+        let a = SignaturePool::drf_weighted(7);
+        let b = SignaturePool::drf_weighted(7);
+        assert_eq!(a.sigs, b.sigs, "same seed, same pool");
+        assert!(a.len() >= 6);
+        let mixed = SignaturePool::drf_mixed();
+        let has_cpu_only = mixed.sigs.iter().any(|&(_, _, d)| d.mem == 0.0);
+        let has_mem_dominant = mixed.sigs.iter().any(|&(_, _, d)| d.mem > d.cpu);
+        assert!(
+            has_cpu_only && has_mem_dominant,
+            "pool must span demand shapes"
+        );
     }
 
     #[test]
@@ -625,6 +780,36 @@ mod tests {
     fn differential_pair_smoke() {
         run_differential_schedule(1, &SignaturePool::paper_mixed(), 60);
         run_differential_schedule(2, &SignaturePool::weighted(2), 60);
+    }
+
+    #[test]
+    fn drf_differential_pair_smoke() {
+        run_drf_differential_schedule(1, &SignaturePool::drf_mixed(), 60);
+        run_drf_differential_schedule(2, &SignaturePool::drf_weighted(2), 60);
+    }
+
+    #[test]
+    fn set_mem_capacity_op_applies_to_both_kernels() {
+        let mut pair = DifferentialPair::new_with_mem(4.0, 0.0, 2.0, SignaturePool::drf_mixed());
+        pair.apply(ChurnOp::Add {
+            work_ms: 900,
+            sig: 2,
+        });
+        pair.apply(ChurnOp::Add {
+            work_ms: 900,
+            sig: 4,
+        });
+        pair.apply(ChurnOp::SetMemCapacity { mem_centi: 120 });
+        assert_eq!(pair.opt.resource_capacity(crate::gps::Resource::Mem), 1.2);
+        pair.apply(ChurnOp::Advance { dt_ms: 300 });
+        pair.apply(ChurnOp::SetMemCapacity { mem_centi: 0 });
+        assert_eq!(
+            pair.opt.resource_capacity(crate::gps::Resource::Mem),
+            0.01,
+            "zero clamps to a centi-unit"
+        );
+        pair.apply(ChurnOp::SetMemCapacity { mem_centi: 400 });
+        pair.drain();
     }
 
     #[test]

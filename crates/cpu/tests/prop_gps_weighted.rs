@@ -166,7 +166,8 @@ fn weighted_schedules_populate_the_partition() {
                 // capacity ops.
                 ChurnOp::RemoveSig { .. }
                 | ChurnOp::DrainSig { .. }
-                | ChurnOp::SetCapacity { .. } => {}
+                | ChurnOp::SetCapacity { .. }
+                | ChurnOp::SetMemCapacity { .. } => {}
                 ChurnOp::Advance { dt_ms } => {
                     now += faas_simcore::time::SimDuration::from_millis(dt_ms);
                     cpu.advance(now);

@@ -21,8 +21,8 @@
 //!   against the ratio of its own baseline/candidate timing pair — a
 //!   stale or miscomputed speedup fails loudly instead of merely
 //!   existing;
-//! * the seven canonical artifacts (`BENCH_gps.json`,
-//!   `BENCH_weighted_gps.json`, `BENCH_events.json`,
+//! * the eight canonical artifacts (`BENCH_gps.json`,
+//!   `BENCH_weighted_gps.json`, `BENCH_drf.json`, `BENCH_events.json`,
 //!   `BENCH_workload.json`, `BENCH_faults.json`, `BENCH_coupled.json`,
 //!   `BENCH_replay.json`) are all present;
 //! * the replay artifact additionally carries at least one throughput
@@ -33,9 +33,10 @@ use crate::bench_gps::BenchEntry;
 use std::path::Path;
 
 /// The artifacts `experiments bench` must produce.
-pub const EXPECTED_ARTIFACTS: [&str; 7] = [
+pub const EXPECTED_ARTIFACTS: [&str; 8] = [
     "BENCH_gps.json",
     "BENCH_weighted_gps.json",
+    "BENCH_drf.json",
     "BENCH_events.json",
     "BENCH_workload.json",
     "BENCH_faults.json",
@@ -381,6 +382,14 @@ mod tests {
         // shape fails the test suite even before CI's check-bench step.
         let weighted = crate::bench_weighted_gps::run_levels(&[40], 40, 20);
         validate_entries("BENCH_weighted_gps.json", &weighted).unwrap();
+    }
+
+    #[test]
+    fn drf_bench_emits_a_valid_shape() {
+        // Same guard for the DRF artifact: the dominant-share kernel
+        // timing pair and its speedup must satisfy the schema.
+        let drf = crate::bench_drf::run_levels(&[40], 40);
+        validate_entries("BENCH_drf.json", &drf).unwrap();
     }
 
     #[test]

@@ -2,6 +2,12 @@
 //!
 //! ```text
 //! experiments <subcommand> [--quick] [--seeds N] [--out DIR] [--per-seed]
+//!             [--source synth:RATE|trace:PATH]
+//!
+//! `--source` replaces the analytic workload of the experiments that
+//! thread a `WorkloadSource` (table1, fig5, fig6) with an Azure-style
+//! synthetic trace (`synth:RATE`, mean calls/sec over the 60 s window)
+//! or a recorded JSONL trace (`trace:PATH`), so they run trace-backed.
 //!
 //! subcommands:
 //!   table1   Idle-system function latencies (paper Table I)
@@ -29,11 +35,11 @@
 //!              cross-node failover under the strict crash preset) and a
 //!              trace-replay table (Azure-style synthetic traces through
 //!              the bounded-memory streamed trace engine)
-//!   bench      GPS-kernel (uniform and weighted), event-queue,
-//!              workload-generation, dynamic-capacity, coupled-engine and
-//!              trace-replay micro-benchmarks; writes BENCH_gps.json,
-//!              BENCH_weighted_gps.json, BENCH_events.json,
-//!              BENCH_workload.json, BENCH_faults.json,
+//!   bench      GPS-kernel (uniform, weighted and multi-resource DRF),
+//!              event-queue, workload-generation, dynamic-capacity,
+//!              coupled-engine and trace-replay micro-benchmarks; writes
+//!              BENCH_gps.json, BENCH_weighted_gps.json, BENCH_drf.json,
+//!              BENCH_events.json, BENCH_workload.json, BENCH_faults.json,
 //!              BENCH_coupled.json and BENCH_replay.json for the perf
 //!              trajectory
 //!   replay     Trace-replay benchmark alone at an explicit call count:
@@ -59,10 +65,13 @@
 
 use faas_experiments::bench_history::{BenchHistory, CommitMeta, GateConfig, HISTORY_FILE};
 use faas_experiments::{
-    ablations, bench_coupled, bench_events, bench_faults, bench_gps, bench_history, bench_replay,
-    bench_schema, bench_weighted_gps, bench_workload, custom, dashboard, fig2, fig5, fig6,
-    functions, grid, sweep, table1, Effort,
+    ablations, bench_coupled, bench_drf, bench_events, bench_faults, bench_gps, bench_history,
+    bench_replay, bench_schema, bench_weighted_gps, bench_workload, custom, dashboard, fig2, fig5,
+    fig6, functions, grid, sweep, table1, Effort,
 };
+use faas_simcore::time::SimDuration;
+use faas_workload::synth::SynthSpec;
+use faas_workload::trace_source::{TraceSpec, WorkloadSource};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -70,12 +79,19 @@ struct Opts {
     effort: Effort,
     out: PathBuf,
     per_seed: bool,
+    /// Replacement workload for the experiments that thread a
+    /// [`WorkloadSource`] (table1, fig5, fig6): run trace-backed instead
+    /// of on the paper's analytic scenario.
+    source: Option<WorkloadSource>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|fig2|table2|table3|fig3|fig4|fig5|fig6|ablations|functions|sweep|bench|check-bench|history-append|dashboard|replay|run|all> \
-         [--quick] [--seeds N] [--out DIR] [--per-seed]\n\
+         [--quick] [--seeds N] [--out DIR] [--per-seed] \
+         [--source synth:RATE|trace:PATH]\n\
+         (--source runs table1/fig5/fig6 trace-backed: an Azure-style \
+         synthetic trace at RATE calls/s, or a recorded JSONL trace)\n\
          (replay: [--calls N] [--out DIR])\n\
          (check-bench: [--out DIR] [--baseline HISTORY] [--gate-window K] \
          [--gate-timing-pct P] [--gate-throughput-pct P])\n\
@@ -113,6 +129,7 @@ fn main() {
         effort: Effort::full(),
         out: PathBuf::from("results"),
         per_seed: false,
+        source: None,
     };
     let rest: Vec<String> = args.collect();
     let mut i = 0;
@@ -134,6 +151,12 @@ fn main() {
             "--out" => {
                 i += 1;
                 opts.out = PathBuf::from(rest.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--source" => {
+                i += 1;
+                opts.source = Some(parse_source(
+                    &rest.get(i).cloned().unwrap_or_else(|| usage()),
+                ));
             }
             _ => usage(),
         }
@@ -167,8 +190,37 @@ fn main() {
     eprintln!("[done in {:.1}s]", started.elapsed().as_secs_f64());
 }
 
+/// Parse `--source synth:RATE` (an Azure-style synthetic trace at a
+/// mean of RATE calls/sec over the paper's 60 s window) or
+/// `--source trace:PATH` (a recorded JSONL trace).
+fn parse_source(spec: &str) -> WorkloadSource {
+    if let Some(rate) = spec.strip_prefix("synth:") {
+        let rate: f64 = rate.parse().unwrap_or_else(|_| usage());
+        WorkloadSource::Trace(TraceSpec::Synthetic(SynthSpec::azure(
+            rate,
+            SimDuration::from_secs(60),
+        )))
+    } else if let Some(path) = spec.strip_prefix("trace:") {
+        WorkloadSource::Trace(TraceSpec::Recorded { path: path.into() })
+    } else {
+        usage()
+    }
+}
+
+/// Unwrap a trace-backed experiment result (the only error is a recorded
+/// trace file that could not be opened).
+fn open_source<T>(result: std::io::Result<T>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("failed to open trace: {e}");
+        std::process::exit(1);
+    })
+}
+
 fn run_table1(opts: &Opts) {
-    let result = table1::run(faas_experiments::SEEDS[0]);
+    let result = match &opts.source {
+        Some(source) => open_source(table1::run_source(source, faas_experiments::SEEDS[0])),
+        None => table1::run(faas_experiments::SEEDS[0]),
+    };
     println!("{}", table1::render(&result));
     save(opts, "table1.json", &result);
 }
@@ -211,6 +263,9 @@ fn run_bench(opts: &Opts) {
     let weighted = bench_weighted_gps::run();
     println!("{}", bench_weighted_gps::render(&weighted));
     save(opts, "BENCH_weighted_gps.json", &weighted);
+    let drf = bench_drf::run();
+    println!("{}", bench_drf::render(&drf));
+    save(opts, "BENCH_drf.json", &drf);
     let events = bench_events::run();
     println!("{}", bench_events::render(&events));
     save(opts, "BENCH_events.json", &events);
@@ -443,13 +498,19 @@ fn run_dashboard(args: Vec<String>) {
 }
 
 fn run_fig5(opts: &Opts) {
-    let result = fig5::run(opts.effort);
+    let result = match &opts.source {
+        Some(source) => open_source(fig5::run_source(source, opts.effort)),
+        None => fig5::run(opts.effort),
+    };
     println!("{}", fig5::render(&result));
     save(opts, "fig5.json", &result);
 }
 
 fn run_fig6(opts: &Opts) {
-    let result = fig6::run(opts.effort);
+    let result = match &opts.source {
+        Some(source) => open_source(fig6::run_source(source, 10, opts.effort)),
+        None => fig6::run(opts.effort),
+    };
     println!("{}", fig6::render(&result));
     save(opts, "fig6.json", &result);
 }

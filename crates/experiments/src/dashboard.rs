@@ -39,6 +39,7 @@ fn escape_html(s: &str) -> String {
             '<' => out.push_str("&lt;"),
             '>' => out.push_str("&gt;"),
             '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
             c => out.push(c),
         }
     }
@@ -300,6 +301,23 @@ mod tests {
         // escaped so commit messages cannot break out of the script block.
         assert!(html.contains("type=\"application/json\""));
         assert!(html.contains("\\u003c1>"), "commit message `<` unescaped");
+    }
+
+    #[test]
+    fn tooltip_text_is_html_escaped_including_apostrophes() {
+        assert_eq!(
+            escape_html(r#"don't <b>&"x"</b>"#),
+            "don&#39;t &lt;b&gt;&amp;&quot;x&quot;&lt;/b&gt;"
+        );
+        // A commit message with an apostrophe lands in a <title> tooltip;
+        // it must arrive escaped so it can never terminate a single-quoted
+        // attribute in downstream embeddings of the SVG.
+        let mut p = point("1", 1.0);
+        p.commit.message = "don't regress".into();
+        let mut h = BenchHistory::new();
+        h.series.push(("gps".into(), vec![p]));
+        let html = render(&h);
+        assert!(html.contains("don&#39;t regress"), "{html}");
     }
 
     #[test]

@@ -13,13 +13,16 @@
 
 use crate::grid::{mode_for, STRATEGIES};
 use crate::Effort;
+use faas_cluster::{run_cluster_source, ClusterConfig, LoadBalancer};
 use faas_invoker::{simulate_scenario, NodeConfig};
 use faas_metrics::compare::Strategy;
 use faas_metrics::summary::{stretches, MetricSummary};
 use faas_metrics::table::{fmt_secs, TextTable};
+use faas_workload::faults::FaultSpec;
 use faas_workload::scenario::FairnessScenario;
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::CallOutcome;
+use faas_workload::trace_source::WorkloadSource;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +84,81 @@ pub fn run(effort: Effort) -> Fig5Result {
         .collect();
 
     Fig5Result { rows }
+}
+
+/// Ingestion window of trace-backed runs (matches the sweep's chunk).
+const SOURCE_CHUNK: usize = 512;
+
+/// A summary that tolerates an absent panel: a trace need not call every
+/// function the paper's fairness scenario names.
+fn summary_or_empty(values: &[f64]) -> MetricSummary {
+    if values.is_empty() {
+        MetricSummary {
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p75: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        }
+    } else {
+        MetricSummary::from_values(values)
+    }
+}
+
+/// The fairness panels over an arbitrary [`WorkloadSource`] — the
+/// trace-backed counterpart of [`run`]: the same three stretch panels on
+/// the paper's 10-core node, but the calls come from any analytic spec or
+/// trace instead of the materialized fairness scenario. Trace seeds are
+/// the run seeds, so pooling over seeds pools over trace realizations.
+/// Panels of functions the source never calls report a zero-count
+/// summary. The only fallible path is opening a recorded trace file.
+pub fn run_source(source: &WorkloadSource, effort: Effort) -> std::io::Result<Fig5Result> {
+    let catalogue = Catalogue::sebs();
+    let scenario_cfg = FairnessScenario::paper();
+    let seeds = effort.seed_set();
+    let dna = catalogue.by_name("dna-visualisation").expect("dna exists");
+    let bfs = catalogue.by_name("graph-bfs").expect("bfs exists");
+
+    let mut rows = Vec::new();
+    for &strategy in STRATEGIES.iter() {
+        let mut all = Vec::new();
+        let mut dna_vals = Vec::new();
+        let mut bfs_vals = Vec::new();
+        for &seed in seeds {
+            let cfg = ClusterConfig::independent(
+                1,
+                NodeConfig::paper(scenario_cfg.cores),
+                LoadBalancer::RoundRobin,
+            );
+            let result = run_cluster_source(
+                &catalogue,
+                source,
+                &mode_for(strategy),
+                &cfg,
+                &FaultSpec::none(),
+                seed,
+                seed ^ 0xC1u64,
+                SOURCE_CHUNK,
+            )?;
+            let outcomes: Vec<&CallOutcome> = result.measured().collect();
+            all.extend(stretches(&outcomes, &catalogue));
+            let dna_outs: Vec<&CallOutcome> =
+                outcomes.iter().copied().filter(|o| o.func == dna).collect();
+            dna_vals.extend(stretches(&dna_outs, &catalogue));
+            let bfs_outs: Vec<&CallOutcome> =
+                outcomes.iter().copied().filter(|o| o.func == bfs).collect();
+            bfs_vals.extend(stretches(&bfs_outs, &catalogue));
+        }
+        rows.push(Fig5Row {
+            strategy,
+            all: summary_or_empty(&all),
+            dna: summary_or_empty(&dna_vals),
+            bfs: summary_or_empty(&bfs_vals),
+        });
+    }
+    Ok(Fig5Result { rows })
 }
 
 /// Render the three panels.
@@ -184,6 +262,49 @@ mod tests {
         let base = row(&r, Strategy::Baseline);
         let fc = row(&r, Strategy::Fc);
         assert!(base.all.mean > fc.all.mean);
+    }
+
+    #[test]
+    fn spec_and_trace_sources_run_the_panels() {
+        use faas_simcore::time::SimDuration;
+        use faas_workload::arrival::ArrivalSpec;
+        use faas_workload::generate::WorkloadSpec;
+        use faas_workload::mix::MixSpec;
+        use faas_workload::synth::SynthSpec;
+        use faas_workload::trace_source::TraceSpec;
+        use faas_workload::weight::WeightSpec;
+        let effort = Effort {
+            seeds: 1,
+            quick: true,
+        };
+        // A spec source with the paper's rare-function mix populates every
+        // panel, dna included.
+        let spec = WorkloadSource::Spec(WorkloadSpec {
+            arrival: ArrivalSpec::Uniform { count: 330 },
+            mix: MixSpec::Fairness {
+                rare_function: "dna-visualisation".into(),
+                rare_calls: 10,
+            },
+            weights: WeightSpec::Uniform,
+            window: SimDuration::from_secs(60),
+        });
+        let r = run_source(&spec, effort).unwrap();
+        assert_eq!(r.rows.len(), STRATEGIES.len());
+        for row in &r.rows {
+            assert!(row.all.count > 0, "{:?}: all-calls panel", row.strategy);
+            assert!(row.dna.count > 0, "{:?}: dna panel", row.strategy);
+        }
+        // A synthetic Azure-style trace drives the same panels; functions
+        // the trace never draws degrade to zero-count summaries instead of
+        // panicking.
+        let trace = WorkloadSource::Trace(TraceSpec::Synthetic(SynthSpec::azure(
+            6.0,
+            SimDuration::from_secs(60),
+        )));
+        let r = run_source(&trace, effort).unwrap();
+        for row in &r.rows {
+            assert!(row.all.count > 0, "{:?}: trace-backed panel", row.strategy);
+        }
     }
 
     #[test]

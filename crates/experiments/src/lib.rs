@@ -34,6 +34,7 @@
 
 pub mod ablations;
 pub mod bench_coupled;
+pub mod bench_drf;
 pub mod bench_events;
 pub mod bench_faults;
 pub mod bench_gps;

@@ -23,17 +23,25 @@
 //! ([`faas_cluster::run_cluster_trace_streamed`]), putting a
 //! recorded-workload-shaped scenario column next to the parametric axes
 //! and reporting the ingestion working set per combination.
+//!
+//! The multi-resource table is the DRF-vs-single-resource comparison the
+//! PR 10 refactor exists for: the fixed total load under the
+//! memory-correlated tier model, routed by backlog- and dominant-share-
+//! keyed policies through the per-node coupled entry point, reporting
+//! per-resource utilization and the cross-node dominant-share Jain index
+//! next to a single-resource (memory-unmodeled) control.
 
 use crate::grid::mode_for;
 use crate::Effort;
 use faas_cluster::{
-    run_cluster_streamed, run_cluster_streamed_coupled, run_cluster_trace_streamed, ClusterConfig,
-    LoadBalancer,
+    run_cluster_streamed, run_cluster_streamed_coupled, run_cluster_streamed_coupled_per_node,
+    run_cluster_trace_streamed, ClusterConfig, LoadBalancer,
 };
 use faas_invoker::{simulate_calls_faulted, simulate_calls_weighted, NodeConfig};
 use faas_metrics::compare::Strategy;
 use faas_metrics::summary::{
-    response_times_into, stretches_into, FaultCounts, MetricSummary, RobustnessSummary,
+    response_times_into, stretches_into, FaultCounts, MetricSummary, ResourceSummary,
+    ResourceUsage, RobustnessSummary,
 };
 use faas_metrics::table::{fmt_secs, TextTable};
 use faas_simcore::rng::Xoshiro256;
@@ -133,6 +141,28 @@ pub struct CoupledSweepRow {
     pub response: MetricSummary,
 }
 
+/// One (resource configuration, strategy) row of the multi-resource
+/// table: the §VIII fixed total load under the memory-correlated tier
+/// model, routed by a backlog- or dominant-share-keyed policy, with the
+/// per-resource utilization and cross-node dominant-share fairness the
+/// DRF refactor makes observable. The `cpu-only` row is the
+/// single-resource control (memory axis unmodeled — its utilization must
+/// read zero).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceSweepRow {
+    /// Configuration label (`cpu-only/jsq`, `mem/jsq`, `mem/jsd`).
+    pub config: String,
+    /// Scheduling strategy.
+    pub strategy: Strategy,
+    /// Measured calls pooled over all seeds.
+    pub calls: usize,
+    /// Response-time statistics, seconds.
+    pub response: MetricSummary,
+    /// Per-resource utilization and dominant-share fairness, pooled over
+    /// seeds (served work and horizons summed before dividing).
+    pub resource: ResourceSummary,
+}
+
 /// One (trace, strategy) row of the trace-replay table: a synthetic
 /// Azure-style trace streamed through the bounded-memory trace engine,
 /// pooled over seeds (each seed draws its own trace realization).
@@ -178,6 +208,9 @@ pub struct SweepResult {
     /// Trace-replay rows (synthetic Azure-style traces through the
     /// streamed trace engine), ordered by (trace, strategy).
     pub trace_rows: Vec<TraceSweepRow>,
+    /// Multi-resource rows (DRF vs single-resource control under the
+    /// memory-correlated tiers), ordered by (config, strategy).
+    pub resource_rows: Vec<ResourceSweepRow>,
 }
 
 impl SweepResult {
@@ -225,6 +258,13 @@ impl SweepResult {
         self.trace_rows
             .iter()
             .find(|r| r.trace == trace && r.strategy == strategy)
+    }
+
+    /// Look up one multi-resource row.
+    pub fn resource_row(&self, config: &str, strategy: Strategy) -> Option<&ResourceSweepRow> {
+        self.resource_rows
+            .iter()
+            .find(|r| r.config == config && r.strategy == strategy)
     }
 }
 
@@ -466,6 +506,7 @@ pub fn run(effort: Effort) -> SweepResult {
     let fault_rows = run_fault_sweep(&catalogue, cores, intensity, window, effort);
     let coupled_rows = run_coupled_sweep(&catalogue, cores, intensity, window, effort);
     let trace_rows = run_trace_sweep(&catalogue, cores, window, effort);
+    let resource_rows = run_resource_sweep(&catalogue, cores, intensity, window, effort);
     SweepResult {
         cores,
         intensity,
@@ -474,6 +515,7 @@ pub fn run(effort: Effort) -> SweepResult {
         fault_rows,
         coupled_rows,
         trace_rows,
+        resource_rows,
     }
 }
 
@@ -976,6 +1018,163 @@ fn run_trace_sweep(
     rows
 }
 
+/// The resource-configuration axis of the multi-resource table: a
+/// single-resource control (memory unmodeled, backlog-keyed JSQ — the
+/// pre-DRF semantics), the same backlog routing with the memory axis
+/// modeled, and dominant-share routing on the modeled axis. LB seeds are
+/// derived per run seed so pooling over seeds samples tie-break
+/// realizations too. The bool marks whether the memory axis is modeled.
+fn resource_lb_axis(seed: u64) -> Vec<(String, LoadBalancer, bool)> {
+    let lb_seed = seed ^ 0xD2F;
+    vec![
+        (
+            "cpu-only/jsq".into(),
+            LoadBalancer::JoinShortestQueue { seed: lb_seed },
+            false,
+        ),
+        (
+            "mem/jsq".into(),
+            LoadBalancer::JoinShortestQueue { seed: lb_seed },
+            true,
+        ),
+        (
+            "mem/jsd".into(),
+            LoadBalancer::JoinShortestDominant { seed: lb_seed },
+            true,
+        ),
+    ]
+}
+
+/// Worker count of the multi-resource table.
+const RESOURCE_NODES: u16 = 4;
+
+/// Per-node memory-bandwidth capacity of the modeled rows, in bandwidth
+/// units. Against the 10-core node and [`WeightSpec::paper_tiers_mem`]'s
+/// demand profile (the popular 4x tier streams 2 bandwidth units per CPU
+/// unit) this makes the memory axis the binding constraint for the
+/// big-memory tier, so dominant shares genuinely diverge from backlogs.
+const RESOURCE_MEM_BW: f64 = 8.0;
+
+/// The multi-resource sweep: the §VIII fixed total load on
+/// [`RESOURCE_NODES`] workers under the memory-correlated tier model,
+/// per resource configuration (see [`resource_lb_axis`]) and strategy.
+/// Runs through the per-node coupled entry point so each node's served
+/// CPU/memory work is observable, then reduces to per-resource
+/// utilization and the cross-node dominant-share fairness index: served
+/// work and horizons are summed over seeds before dividing, so the pooled
+/// utilization is the work-weighted mean of the per-seed ones.
+fn run_resource_sweep(
+    catalogue: &Catalogue,
+    cores: u32,
+    intensity: u32,
+    window: SimDuration,
+    effort: Effort,
+) -> Vec<ResourceSweepRow> {
+    let count = catalogue.len() * cores as usize * intensity as usize / 10;
+    let strategies = vec![Strategy::Baseline, Strategy::Fc];
+    let seeds = effort.seed_set();
+    let labels: Vec<(String, bool)> = resource_lb_axis(0)
+        .into_iter()
+        .map(|(label, _, mem_modeled)| (label, mem_modeled))
+        .collect();
+
+    struct ResourceOut {
+        config: String,
+        strategy: Strategy,
+        outcomes: Vec<CallOutcome>,
+        usages: Vec<ResourceUsage>,
+        horizon_secs: f64,
+    }
+
+    // The window loop inside the coupled engine already fans the nodes out
+    // on rayon; run the configurations serially.
+    let mut outputs: Vec<ResourceOut> = Vec::new();
+    for &seed in seeds {
+        for (label, lb, mem_modeled) in resource_lb_axis(seed) {
+            for &strategy in &strategies {
+                let spec = WorkloadSpec {
+                    arrival: ArrivalSpec::Uniform { count },
+                    mix: MixSpec::Equal,
+                    weights: WeightSpec::paper_tiers_mem(),
+                    window,
+                };
+                let node = if mem_modeled {
+                    NodeConfig::paper(cores).with_mem_bandwidth(RESOURCE_MEM_BW)
+                } else {
+                    NodeConfig::paper(cores)
+                };
+                let cfg = ClusterConfig::independent(RESOURCE_NODES, node, lb)
+                    .coupled(COUPLED_LOOKAHEAD, false);
+                let per_node = run_cluster_streamed_coupled_per_node(
+                    catalogue,
+                    &spec,
+                    &mode_for(strategy),
+                    &cfg,
+                    &FaultSpec::none(),
+                    seed,
+                    seed ^ 0xC1u64,
+                );
+                let horizon_secs = per_node
+                    .iter()
+                    .map(|r| r.last_completion)
+                    .max()
+                    .expect("at least one node")
+                    .as_secs_f64();
+                outputs.push(ResourceOut {
+                    config: label.clone(),
+                    strategy,
+                    usages: per_node
+                        .iter()
+                        .map(|r| ResourceUsage {
+                            cpu_secs: r.served_cpu_secs,
+                            mem_units: r.served_mem_units,
+                        })
+                        .collect(),
+                    horizon_secs,
+                    outcomes: per_node
+                        .iter()
+                        .flat_map(|r| r.measured().copied())
+                        .collect(),
+                });
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (label, mem_modeled) in &labels {
+        for &strategy in &strategies {
+            let mut usages = vec![ResourceUsage::default(); RESOURCE_NODES as usize];
+            let mut horizon_secs = 0.0;
+            let mut resp: Vec<f64> = Vec::new();
+            for out in outputs
+                .iter()
+                .filter(|o| &o.config == label && o.strategy == strategy)
+            {
+                for (acc, u) in usages.iter_mut().zip(&out.usages) {
+                    acc.cpu_secs += u.cpu_secs;
+                    acc.mem_units += u.mem_units;
+                }
+                horizon_secs += out.horizon_secs;
+                resp.extend(out.outcomes.iter().map(|o| o.response_time().as_secs_f64()));
+            }
+            let mem_bandwidth = if *mem_modeled { RESOURCE_MEM_BW } else { 0.0 };
+            rows.push(ResourceSweepRow {
+                config: label.clone(),
+                strategy,
+                calls: resp.len(),
+                response: MetricSummary::from_values(&resp),
+                resource: ResourceSummary::from_usages(
+                    &usages,
+                    cores as f64,
+                    mem_bandwidth,
+                    horizon_secs,
+                ),
+            });
+        }
+    }
+    rows
+}
+
 /// Render the sweep comparison tables.
 pub fn render(result: &SweepResult) -> String {
     let mut t = TextTable::new([
@@ -1094,6 +1293,30 @@ pub fn render(result: &SweepResult) -> String {
             r.peak_events.to_string(),
         ]);
     }
+    let mut rs = TextTable::new([
+        "config/strategy",
+        "calls",
+        "R avg",
+        "R p95",
+        "cpuUtil",
+        "memUtil",
+        "domMin",
+        "domMax",
+        "jain",
+    ]);
+    for r in &result.resource_rows {
+        rs.row([
+            format!("{}/{}", r.config, r.strategy.name()),
+            r.calls.to_string(),
+            fmt_secs(r.response.mean),
+            fmt_secs(r.response.p95),
+            format!("{:.3}", r.resource.cpu_utilization),
+            format!("{:.3}", r.resource.mem_utilization),
+            format!("{:.3}", r.resource.dominant_min),
+            format!("{:.3}", r.resource.dominant_max),
+            format!("{:.4}", r.resource.dominant_jain),
+        ]);
+    }
     format!(
         "Workload sweep: arrival x mix x weights x strategy at {} cores, \
          intensity-equivalent {}\n{}\n\
@@ -1101,7 +1324,9 @@ pub fn render(result: &SweepResult) -> String {
          Fault-scenario sweep (robustness axis)\n{}\n\
          Coupled-engine robustness ({} nodes, strict crash preset, \
          lookahead {} ms)\n{}\n\
-         Trace-replay sweep ({} nodes, streamed ingestion, chunk {})\n{}",
+         Trace-replay sweep ({} nodes, streamed ingestion, chunk {})\n{}\n\
+         Multi-resource sweep ({} nodes, mem bandwidth {} units, \
+         memory-correlated tiers)\n{}",
         result.cores,
         result.intensity,
         t.render(),
@@ -1112,7 +1337,10 @@ pub fn render(result: &SweepResult) -> String {
         cp.render(),
         TRACE_NODES,
         TRACE_CHUNK,
-        tr.render()
+        tr.render(),
+        RESOURCE_NODES,
+        RESOURCE_MEM_BW,
+        rs.render()
     )
 }
 
@@ -1158,6 +1386,10 @@ mod tests {
 
     fn expected_trace_rows(quick: bool) -> usize {
         trace_axis(SimDuration::from_secs(60), quick).len() * 2
+    }
+
+    fn expected_resource_rows() -> usize {
+        resource_lb_axis(0).len() * 2
     }
 
     #[test]
@@ -1402,6 +1634,67 @@ mod tests {
     }
 
     #[test]
+    fn resource_table_covers_the_axis_and_models_the_memory_column() {
+        let r = quick();
+        assert_eq!(r.resource_rows.len(), expected_resource_rows());
+        for row in &r.resource_rows {
+            // The fixed total load reaches every configuration.
+            assert_eq!(row.calls, 660, "{}/{:?}", row.config, row.strategy);
+            assert!(
+                row.resource.cpu_utilization > 0.0 && row.resource.cpu_utilization <= 1.0,
+                "{}: cpu utilization {} in (0, 1]",
+                row.config,
+                row.resource.cpu_utilization
+            );
+            assert!(
+                row.resource.dominant_min <= row.resource.dominant_max,
+                "{}: dominant share ordering",
+                row.config
+            );
+            assert!(
+                row.resource.dominant_jain > 0.0 && row.resource.dominant_jain <= 1.0,
+                "{}: Jain index {} in (0, 1]",
+                row.config,
+                row.resource.dominant_jain
+            );
+        }
+        for strategy in [Strategy::Baseline, Strategy::Fc] {
+            // The single-resource control: memory axis unmodeled, so its
+            // utilization reads zero and the dominant axis is the CPU one.
+            let control = r.resource_row("cpu-only/jsq", strategy).unwrap();
+            assert_eq!(control.resource.mem_utilization, 0.0);
+            // The modeled rows observe genuine bandwidth consumption: the
+            // memory-correlated tiers demand it on two of three tiers.
+            for config in ["mem/jsq", "mem/jsd"] {
+                let row = r.resource_row(config, strategy).unwrap();
+                assert!(
+                    row.resource.mem_utilization > 0.0,
+                    "{config}/{strategy:?}: modeled memory axis must be consumed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modeling_the_memory_axis_slows_the_bandwidth_hungry_tier() {
+        // The single-resource control pretends bandwidth is free; once the
+        // axis is modeled the big-memory tier competes for 8 units/node
+        // and response times cannot improve.
+        let r = quick();
+        for strategy in [Strategy::Baseline, Strategy::Fc] {
+            let control = r.resource_row("cpu-only/jsq", strategy).unwrap();
+            let modeled = r.resource_row("mem/jsq", strategy).unwrap();
+            assert!(
+                modeled.response.mean >= control.response.mean,
+                "{strategy:?}: modeled memory contention ({}) must not beat \
+                 the unmodeled control ({})",
+                modeled.response.mean,
+                control.response.mean
+            );
+        }
+    }
+
+    #[test]
     fn sim_health_is_populated() {
         let r = quick();
         for row in &r.rows {
@@ -1428,5 +1721,7 @@ mod tests {
         assert!(s.contains("static-rr/") && s.contains("jsq/") && s.contains("failover"));
         assert!(s.contains("Trace-replay sweep"));
         assert!(s.contains("synth(") && s.contains("peakRes"));
+        assert!(s.contains("Multi-resource sweep"));
+        assert!(s.contains("cpu-only/jsq/") && s.contains("mem/jsd/") && s.contains("jain"));
     }
 }

@@ -55,7 +55,7 @@ use crate::fault_rt::{FaultCall, FaultPhase};
 use crate::pool::{ContainerId, ContainerPool};
 use crate::result::{DroppedCall, FaultStats, NodeResult};
 use crate::step::{Handoff, NodeProgress};
-use faas_cpu::{GpsCpu, GpsParams, TaskId};
+use faas_cpu::{GpsCpu, GpsParams, Resource, ResourceVector, TaskId};
 use faas_simcore::dist::Sampler;
 use faas_simcore::events::{EventHandle, EventQueue};
 use faas_simcore::rng::Xoshiro256;
@@ -63,7 +63,7 @@ use faas_simcore::time::{SimDuration, SimTime};
 use faas_workload::faults::{DropReason, FaultEvent, FaultKind, FaultSpec};
 use faas_workload::sebs::Catalogue;
 use faas_workload::trace::{Call, CallKind, CallOutcome, ColdStartKind};
-use faas_workload::weight::{CallPhase, WeightTable};
+use faas_workload::weight::{CallPhase, TaskShare, WeightTable};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -143,7 +143,18 @@ pub struct NodeSim<'a> {
     cpu: GpsCpu,
     fifo: VecDeque<u32>,
     pool: ContainerPool,
-    owners: HashMap<TaskId, Owner>,
+    /// Each live GPS task's owner and demand profile (per dominant-resource
+    /// unit, from `ResourceVector::profile`), so removals can settle the
+    /// per-resource served-work counters.
+    owners: HashMap<TaskId, (Owner, [f64; 2])>,
+    /// Per-resource work served by the GPS bank, in axis units:
+    /// `[core-seconds, bandwidth-unit-seconds]`. Accumulated as offered
+    /// work at task entry minus the residual returned at removal, so
+    /// crash-killed work counts only what actually ran.
+    served_work: [f64; 2],
+    /// Cached dominant-share consumption in milli-units, refreshed at the
+    /// end of every `advance_to` window (see [`NodeProgress::dominant_milli`]).
+    dominant_milli: u32,
     runtime: Vec<CallRuntime>,
     outcomes: Vec<CallOutcome>,
     /// Slots of `outcomes` already overwritten with a real completion.
@@ -305,6 +316,8 @@ impl<'a> NodeSim<'a> {
                     .unwrap_or(256),
             ),
             owners: HashMap::new(),
+            served_work: [0.0; 2],
+            dominant_milli: 0,
             runtime: Vec::new(),
             outcomes: Vec::new(),
             outcomes_filled: 0,
@@ -330,6 +343,14 @@ impl<'a> NodeSim<'a> {
             handoffs: Vec::new(),
             migrated: 0,
         };
+
+        // A modeled memory-bandwidth capacity enters the GPS bank before
+        // any task exists; with the 0.0 sentinel the bank never hears
+        // about the axis and stays bit-identical to the CPU-only model.
+        if cfg.mem_bandwidth > 0.0 {
+            sim.cpu
+                .set_resource_capacity(SimTime::ZERO, Resource::Mem, cfg.mem_bandwidth);
+        }
 
         // Fault-timeline events go in before the arrivals: a fault at the
         // same instant as an arrival gets the smaller sequence number and
@@ -417,7 +438,23 @@ impl<'a> NodeSim<'a> {
                 Ev::PendingTimeout(i, attempt) => self.on_pending_timeout(now, i, attempt),
             }
         }
+        self.refresh_dominant_share();
         self.progress()
+    }
+
+    /// Recompute the cached dominant-share signal: the maximum over
+    /// modeled resource axes of the GPS bank's `consumption / capacity`.
+    /// One O(live tasks) scan per `advance_to` window; `progress()` then
+    /// reads the cache, so the snapshot itself stays `&self`.
+    fn refresh_dominant_share(&mut self) {
+        let mut share: f64 = 0.0;
+        for r in [Resource::Cpu, Resource::Mem] {
+            let cap = self.cpu.resource_capacity(r);
+            if cap.is_finite() && cap > 0.0 {
+                share = share.max(self.cpu.resource_consumption(r) / cap);
+            }
+        }
+        self.dominant_milli = (share * 1000.0).round() as u32;
     }
 
     /// The [`NodeProgress`] snapshot `advance_to` returns.
@@ -428,6 +465,7 @@ impl<'a> NodeSim<'a> {
             queue_depth: self.fifo.len(),
             inflight: self.leased,
             alive: self.alive,
+            dominant_milli: self.dominant_milli,
             completed: self.outcomes_filled,
             dropped: self.drops.len(),
             handoffs: self.handoffs.len(),
@@ -495,6 +533,10 @@ impl<'a> NodeSim<'a> {
             peak_events: self.peak_events,
             peak_resident_calls: 0,
             last_completion: self.last_completion,
+            // Compensated entry/exit accounting can leave a ±ulp residue
+            // around zero; served work is non-negative by construction.
+            served_cpu_secs: self.served_work[0].max(0.0),
+            served_mem_units: self.served_work[1].max(0.0),
             drops: self.drops,
             fault_stats: self.fault_stats,
         }
@@ -578,10 +620,8 @@ impl<'a> NodeSim<'a> {
             let share = self
                 .weights
                 .phase_share(func, self.calls[idx].kind, CallPhase::Init);
-            let tid = self
-                .cpu
-                .add_task(now, init_work, share.weight, share.max_rate);
-            self.owners.insert(tid, Owner::Init(i));
+            let (tid, profile) = self.add_share_task(now, init_work, &share);
+            self.owners.insert(tid, (Owner::Init(i), profile));
         } else {
             self.start_exec(now, i);
         }
@@ -602,10 +642,51 @@ impl<'a> NodeSim<'a> {
         let share = self
             .weights
             .phase_share(func, self.calls[idx].kind, CallPhase::Exec);
-        let tid = self
-            .cpu
-            .add_task(now, cpu_work, share.weight, share.max_rate);
-        self.owners.insert(tid, Owner::Exec(i));
+        let (tid, profile) = self.add_share_task(now, cpu_work, &share);
+        self.owners.insert(tid, (Owner::Exec(i), profile));
+    }
+
+    /// Enter a CPU phase of `cpu_work` core-seconds into the GPS bank
+    /// under `share`, returning the task and its demand profile. CPU-only
+    /// shares take the scalar `add_task` path — bit-identical to the
+    /// pre-DRF model. Shares with a memory-bandwidth demand convert work
+    /// and rate cap into dominant-resource units
+    /// (`ResourceVector::dominant_per_cpu`) so the bank's water-filling
+    /// allocates by dominant share (see `faas_cpu::gps`). Offered work is
+    /// credited to the per-resource served counters here; removals debit
+    /// the unserved residual.
+    fn add_share_task(
+        &mut self,
+        now: SimTime,
+        cpu_work: f64,
+        share: &TaskShare,
+    ) -> (TaskId, [f64; 2]) {
+        if share.is_cpu_only() {
+            self.served_work[0] += cpu_work;
+            let tid = self
+                .cpu
+                .add_task(now, cpu_work, share.weight, share.max_rate);
+            (tid, [1.0, 0.0])
+        } else {
+            let demand = ResourceVector::per_cpu(share.mem_per_cpu);
+            let scale = demand.dominant_per_cpu();
+            let profile = demand.profile();
+            let work = cpu_work * scale;
+            self.served_work[0] += work * profile[0];
+            self.served_work[1] += work * profile[1];
+            let tid =
+                self.cpu
+                    .add_task_demand(now, work, share.weight, share.max_rate * scale, demand);
+            (tid, profile)
+        }
+    }
+
+    /// Remove a GPS task and debit the unserved residual from the
+    /// per-resource served-work counters.
+    fn remove_gps_task(&mut self, now: SimTime, tid: TaskId, profile: [f64; 2]) {
+        let residual = self.cpu.remove_task(now, tid);
+        self.served_work[0] -= residual * profile[0];
+        self.served_work[1] -= residual * profile[1];
     }
 
     fn on_gps_tick(&mut self, now: SimTime) {
@@ -617,12 +698,12 @@ impl<'a> NodeSim<'a> {
         let mut finished = std::mem::take(&mut self.finished_scratch);
         self.cpu.finished_tasks_into(now, &mut finished);
         for &tid in &finished {
-            let owner = *self
+            let (owner, profile) = *self
                 .owners
                 .get(&tid)
                 .expect("finished GPS task must have an owner");
             self.owners.remove(&tid);
-            self.cpu.remove_task(now, tid);
+            self.remove_gps_task(now, tid, profile);
             match owner {
                 Owner::Init(i) => self.start_exec(now, i),
                 Owner::Exec(i) => {
@@ -813,7 +894,8 @@ impl<'a> NodeSim<'a> {
         let mut tasks: Vec<TaskId> = self.owners.keys().copied().collect();
         tasks.sort_unstable();
         for tid in tasks {
-            self.cpu.remove_task(now, tid);
+            let profile = self.owners[&tid].1;
+            self.remove_gps_task(now, tid, profile);
         }
         self.owners.clear();
         // Kill every in-flight attempt (init, CPU or I/O phase). Their

@@ -182,6 +182,16 @@ pub struct NodeConfig {
     /// then slows proportionally to the oversubscription (see
     /// `faas_invoker::ours` for the approximation used).
     pub busy_limit_factor: f64,
+    /// Memory bandwidth available to action containers, in bandwidth
+    /// units (one unit saturates the working set of one fully CPU-bound
+    /// container of the reference footprint). `0.0` means the memory axis
+    /// is *unmodeled* — the sentinel rather than infinity, because the
+    /// config is serialized as JSON, which cannot represent infinities.
+    /// With `0.0` every simulation is bit-identical to the pre-DRF,
+    /// CPU-only model; a positive value enables dominant-share (DRF)
+    /// scheduling on the baseline node's GPS bank and the
+    /// bandwidth-pressure slowdown on the scheduled node.
+    pub mem_bandwidth: f64,
     /// Calibration constants.
     pub calibration: Calibration,
 }
@@ -194,6 +204,7 @@ impl NodeConfig {
             memory_mb: 32 * 1024,
             prewarm_count: 2,
             busy_limit_factor: 1.0,
+            mem_bandwidth: 0.0,
             calibration: Calibration::paper(),
         }
     }
@@ -209,6 +220,19 @@ impl NodeConfig {
     pub fn with_busy_limit_factor(mut self, factor: f64) -> Self {
         assert!(factor >= 1.0, "busy limit cannot be below the core count");
         self.busy_limit_factor = factor;
+        self
+    }
+
+    /// Same node with a modeled memory-bandwidth capacity (DRF axis).
+    /// The capacity must be positive and finite; pass it in bandwidth
+    /// units (see [`NodeConfig::mem_bandwidth`]).
+    pub fn with_mem_bandwidth(mut self, bandwidth: f64) -> Self {
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "memory bandwidth must be positive and finite (0.0 in the \
+             field itself means unmodeled)"
+        );
+        self.mem_bandwidth = bandwidth;
         self
     }
 
@@ -243,6 +267,19 @@ mod tests {
     #[should_panic(expected = "below the core count")]
     fn busy_limit_below_one_rejected() {
         NodeConfig::paper(4).with_busy_limit_factor(0.5);
+    }
+
+    #[test]
+    fn paper_node_leaves_the_memory_axis_unmodeled() {
+        let n = NodeConfig::paper(10);
+        assert_eq!(n.mem_bandwidth, 0.0, "0.0 is the unmodeled sentinel");
+        assert_eq!(n.with_mem_bandwidth(6.5).mem_bandwidth, 6.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory bandwidth must be positive")]
+    fn zero_mem_bandwidth_rejected_by_builder() {
+        NodeConfig::paper(4).with_mem_bandwidth(0.0);
     }
 
     #[test]

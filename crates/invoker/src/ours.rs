@@ -119,6 +119,18 @@ pub struct NodeSim<'a> {
     /// Summed CPU fraction of currently executing calls, for the
     /// oversubscription slowdown (zero-cost at the default busy limit).
     cpu_load: f64,
+    /// Summed memory-bandwidth demand of currently executing calls, in
+    /// bandwidth units — each call's working-set footprint
+    /// (`memory_mb / 1024`) as a proxy for its bandwidth draw. Maintained
+    /// unconditionally, but only read when
+    /// [`NodeConfig::mem_bandwidth`] models the axis, so the default
+    /// configuration is bit-identical to the CPU-only model.
+    mem_load: f64,
+    /// Intrinsic CPU work of completed executions, core-seconds.
+    served_cpu_secs: f64,
+    /// Memory-bandwidth work of completed executions,
+    /// bandwidth-unit-seconds (zero while the axis is unmodeled).
+    served_mem_units: f64,
     runtime: Vec<CallRuntime>,
     outcomes: Vec<CallOutcome>,
     /// Slots of `outcomes` already overwritten with a real completion.
@@ -239,6 +251,9 @@ impl<'a> NodeSim<'a> {
             ),
             cores: CorePool::new(cfg.busy_limit()),
             cpu_load: 0.0,
+            mem_load: 0.0,
+            served_cpu_secs: 0.0,
+            served_mem_units: 0.0,
             runtime: Vec::new(),
             outcomes: Vec::new(),
             outcomes_filled: 0,
@@ -357,12 +372,20 @@ impl<'a> NodeSim<'a> {
     /// reaped lazily, so under faults this over-reports, exactly like the
     /// noisy queue metric a real controller polls.
     pub fn progress(&self) -> NodeProgress {
+        // Dominant share on the dedicated-core node: core occupancy, or
+        // bandwidth pressure when the memory axis is modeled — whichever
+        // axis is tighter (the DRF signal feedback balancers route on).
+        let mut share = self.cores.busy() as f64 / self.cfg.busy_limit() as f64;
+        if self.cfg.mem_bandwidth > 0.0 {
+            share = share.max(self.mem_load / self.cfg.mem_bandwidth);
+        }
         NodeProgress {
             now: self.events.now(),
             next_event: self.events.peek_time(),
             queue_depth: self.pending.len(),
             inflight: self.cores.busy() as usize,
             alive: self.alive,
+            dominant_milli: (share * 1000.0).round() as u32,
             completed: self.outcomes_filled,
             dropped: self.drops.len(),
             handoffs: self.handoffs.len(),
@@ -428,6 +451,8 @@ impl<'a> NodeSim<'a> {
             peak_events: self.peak_events,
             peak_resident_calls: 0,
             last_completion: self.last_completion,
+            served_cpu_secs: self.served_cpu_secs,
+            served_mem_units: self.served_mem_units,
             drops: self.drops,
             fault_stats: self.fault_stats,
         }
@@ -475,7 +500,16 @@ impl<'a> NodeSim<'a> {
         let idx = i as usize;
         let call = &self.calls[idx];
         let rt = self.runtime[idx];
-        self.cpu_load -= self.catalogue.spec(call.func).cpu_fraction;
+        let spec = self.catalogue.spec(call.func);
+        self.cpu_load -= spec.cpu_fraction;
+        self.mem_load -= mem_units(spec.memory_mb);
+        // The work was consumed whether or not the response survives the
+        // transient-failure draw below, so it counts as served either way.
+        self.served_cpu_secs += rt.processing * spec.cpu_fraction;
+        if self.cfg.mem_bandwidth > 0.0 {
+            self.served_mem_units +=
+                now.saturating_since(rt.exec_start).as_secs_f64() * mem_units(spec.memory_mb);
+        }
         let calib = self.cfg.calibration;
         let processing = SimDuration::from_secs_f64(rt.processing);
         let container = rt.container.expect("executed call must hold a container");
@@ -633,6 +667,7 @@ impl<'a> NodeSim<'a> {
             }
         }
         self.cpu_load = 0.0;
+        self.mem_load = 0.0;
         self.cores.release_all();
         self.pool.crash();
     }
@@ -693,8 +728,16 @@ impl<'a> NodeSim<'a> {
                     let p = spec.service_dist().sample(&mut self.rng_service);
                     // Oversubscription slowdown, frozen at dispatch (see the
                     // module docs); exactly 1 at the paper's busy limit.
+                    // With a modeled memory axis the slowdown is the
+                    // dominant-resource pressure: the max over the CPU and
+                    // bandwidth axes (DRF semantics — the binding axis
+                    // stretches the execution).
                     self.cpu_load += spec.cpu_fraction;
-                    let slowdown = (self.cpu_load / self.cfg.cores as f64).max(1.0);
+                    self.mem_load += mem_units(spec.memory_mb);
+                    let mut slowdown = (self.cpu_load / self.cfg.cores as f64).max(1.0);
+                    if self.cfg.mem_bandwidth > 0.0 {
+                        slowdown = slowdown.max(self.mem_load / self.cfg.mem_bandwidth);
+                    }
                     let exec_secs = p * (spec.cpu_fraction * slowdown + (1.0 - spec.cpu_fraction));
                     let exec_start = now + SimDuration::from_secs_f64(init_secs);
                     self.runtime[idx].exec_start = exec_start;
@@ -718,6 +761,12 @@ impl<'a> NodeSim<'a> {
             }
         }
     }
+}
+
+/// A container's memory-bandwidth demand in bandwidth units: its
+/// working-set footprint in GiB (see [`NodeConfig::mem_bandwidth`]).
+fn mem_units(memory_mb: u32) -> f64 {
+    memory_mb as f64 / 1024.0
 }
 
 fn prewarm_mem_mb(catalogue: &Catalogue) -> u64 {

@@ -94,6 +94,17 @@ pub struct NodeResult {
     pub peak_resident_calls: u64,
     /// Completion time of the last measured call.
     pub last_completion: SimTime,
+    /// CPU work served by the node's processor model, in core-seconds.
+    /// On the baseline node this is the GPS bank's completed work across
+    /// every CPU phase (cold-start init, execution, warm-up included);
+    /// on the scheduled node it is the intrinsic CPU work of completed
+    /// executions. Cluster merges sum it.
+    pub served_cpu_secs: f64,
+    /// Memory-bandwidth work served, in bandwidth-unit-seconds. Zero
+    /// whenever the memory axis is unmodeled
+    /// (`NodeConfig::mem_bandwidth == 0.0`) or no task demanded it.
+    /// Cluster merges sum it.
+    pub served_mem_units: f64,
     /// Calls that never completed (fault runs only; empty otherwise).
     pub drops: Vec<DroppedCall>,
     /// Robustness counters (all zero on fault-free runs).
@@ -130,6 +141,8 @@ impl NodeResult {
         self.peak_events = self.peak_events.max(other.peak_events);
         self.peak_resident_calls += other.peak_resident_calls;
         self.last_completion = self.last_completion.max(other.last_completion);
+        self.served_cpu_secs += other.served_cpu_secs;
+        self.served_mem_units += other.served_mem_units;
         self.drops.extend(other.drops);
         self.fault_stats = self.fault_stats.add(other.fault_stats);
     }
@@ -210,6 +223,8 @@ mod tests {
             peak_events: 5,
             peak_resident_calls: 7,
             last_completion: last,
+            served_cpu_secs: 1.5,
+            served_mem_units: 0.5,
             drops: Vec::new(),
             fault_stats: FaultStats::default(),
         }
@@ -257,6 +272,8 @@ mod tests {
             acc.peak_resident_calls, 14,
             "resident peak sums across nodes"
         );
+        assert_eq!(acc.served_cpu_secs, 3.0, "served CPU work sums");
+        assert_eq!(acc.served_mem_units, 1.0, "served bandwidth work sums");
     }
 
     #[test]

@@ -71,6 +71,14 @@ pub struct NodeProgress {
     pub inflight: usize,
     /// False between a crash and its restart.
     pub alive: bool,
+    /// Dominant-share resource consumption at the last snapshot, in
+    /// thousandths: the maximum over modeled resource axes (CPU always;
+    /// memory bandwidth when [`crate::NodeConfig::mem_bandwidth`] is set)
+    /// of `consumption / capacity`, rounded to milli-units. Integer so the
+    /// snapshot stays `Eq`-comparable; `1000` means some axis is
+    /// saturated, and values above `1000` are possible transiently on the
+    /// scheduled node (queued work oversubscribing the busy limit).
+    pub dominant_milli: u32,
     /// Outcomes written so far.
     pub completed: usize,
     /// Calls dropped so far.

@@ -16,5 +16,7 @@ pub mod export;
 pub mod summary;
 pub mod table;
 
-pub use summary::{FaultCounts, MetricSummary, RobustnessSummary, RunSummary};
+pub use summary::{
+    FaultCounts, MetricSummary, ResourceSummary, ResourceUsage, RobustnessSummary, RunSummary,
+};
 pub use table::TextTable;

@@ -205,6 +205,92 @@ impl RobustnessSummary {
     }
 }
 
+/// Served-resource totals of one node (or any other aggregation unit the
+/// caller chooses). Mirrors the invoker's per-run served counters without
+/// coupling the metrics crate to it — experiment code copies the fields
+/// over, exactly like [`FaultCounts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// CPU work served, core-seconds.
+    pub cpu_secs: f64,
+    /// Memory-bandwidth work served, bandwidth-unit-seconds. Zero when
+    /// the memory axis is unmodeled.
+    pub mem_units: f64,
+}
+
+/// Multi-resource view of one run: per-resource utilization of the
+/// offered capacity, plus the spread of per-node *dominant shares* — each
+/// node's busiest axis relative to its capacity, the quantity DRF
+/// equalizes. `min`/`max` bound the spread; Jain's fairness index
+/// summarizes it (1 when every node carries the same dominant share,
+/// `1/n` when one node carries everything).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSummary {
+    /// Served CPU work over offered CPU capacity:
+    /// `Σ cpu_secs / (nodes × cores × horizon)`.
+    pub cpu_utilization: f64,
+    /// Served memory-bandwidth work over offered bandwidth capacity;
+    /// zero when the memory axis is unmodeled.
+    pub mem_utilization: f64,
+    /// Smallest per-node dominant share.
+    pub dominant_min: f64,
+    /// Largest per-node dominant share.
+    pub dominant_max: f64,
+    /// Jain's fairness index of the per-node dominant shares; 1 when the
+    /// whole cluster degenerates to zero served work.
+    pub dominant_jain: f64,
+}
+
+impl ResourceSummary {
+    /// Summarise per-node served totals against a homogeneous cluster:
+    /// every node offers `cores` CPU capacity and `mem_bandwidth`
+    /// memory-bandwidth capacity (`0.0` = the axis is unmodeled) over
+    /// `horizon_secs` of simulated time.
+    pub fn from_usages(
+        usages: &[ResourceUsage],
+        cores: f64,
+        mem_bandwidth: f64,
+        horizon_secs: f64,
+    ) -> ResourceSummary {
+        assert!(!usages.is_empty(), "resource summary of zero nodes");
+        assert!(
+            cores > 0.0 && horizon_secs > 0.0,
+            "resource summary needs positive capacity and horizon"
+        );
+        let n = usages.len() as f64;
+        let cpu_total: f64 = usages.iter().map(|u| u.cpu_secs).sum();
+        let mem_total: f64 = usages.iter().map(|u| u.mem_units).sum();
+        let dominant: Vec<f64> = usages
+            .iter()
+            .map(|u| {
+                let mut share = u.cpu_secs / (cores * horizon_secs);
+                if mem_bandwidth > 0.0 {
+                    share = share.max(u.mem_units / (mem_bandwidth * horizon_secs));
+                }
+                share
+            })
+            .collect();
+        let sum: f64 = dominant.iter().sum();
+        let sum_sq: f64 = dominant.iter().map(|d| d * d).sum();
+        let jain = if sum_sq > 0.0 {
+            (sum * sum) / (n * sum_sq)
+        } else {
+            1.0
+        };
+        ResourceSummary {
+            cpu_utilization: cpu_total / (n * cores * horizon_secs),
+            mem_utilization: if mem_bandwidth > 0.0 {
+                mem_total / (n * mem_bandwidth * horizon_secs)
+            } else {
+                0.0
+            },
+            dominant_min: dominant.iter().copied().fold(f64::INFINITY, f64::min),
+            dominant_max: dominant.iter().copied().fold(0.0, f64::max),
+            dominant_jain: jain,
+        }
+    }
+}
+
 /// Box-plot statistics of response times (for figure regeneration).
 pub fn response_boxplot(outcomes: &[&CallOutcome]) -> BoxPlot {
     BoxPlot::from_data(&response_times(outcomes))
@@ -372,5 +458,70 @@ mod tests {
     #[should_panic(expected = "zero calls")]
     fn robustness_summary_of_nothing_panics() {
         RobustnessSummary::from_outcomes(&[], 0, FaultCounts::default());
+    }
+
+    #[test]
+    fn resource_summary_equal_nodes_are_perfectly_fair() {
+        // Two identical nodes, CPU-dominant: utilization is the per-node
+        // share and Jain's index is exactly 1.
+        let usages = [ResourceUsage {
+            cpu_secs: 40.0,
+            mem_units: 5.0,
+        }; 2];
+        let s = ResourceSummary::from_usages(&usages, 10.0, 2.0, 10.0);
+        assert!((s.cpu_utilization - 0.4).abs() < 1e-12);
+        assert!((s.mem_utilization - 0.25).abs() < 1e-12);
+        // Dominant axis per node: max(40/100, 5/20) = 0.4.
+        assert!((s.dominant_min - 0.4).abs() < 1e-12);
+        assert!((s.dominant_max - 0.4).abs() < 1e-12);
+        assert!((s.dominant_jain - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_summary_dominant_axis_can_be_memory() {
+        // One node's memory axis dominates its CPU axis: the dominant
+        // share must pick it up, and the skew shows in Jain < 1.
+        let usages = [
+            ResourceUsage {
+                cpu_secs: 10.0,
+                mem_units: 18.0,
+            },
+            ResourceUsage {
+                cpu_secs: 10.0,
+                mem_units: 2.0,
+            },
+        ];
+        let s = ResourceSummary::from_usages(&usages, 10.0, 2.0, 10.0);
+        // Node 0: max(0.1, 0.9) = 0.9; node 1: max(0.1, 0.1) = 0.1.
+        assert!((s.dominant_max - 0.9).abs() < 1e-12);
+        assert!((s.dominant_min - 0.1).abs() < 1e-12);
+        assert!(s.dominant_jain < 0.7, "skew must lower Jain's index");
+    }
+
+    #[test]
+    fn resource_summary_unmodeled_memory_axis_reads_zero() {
+        // mem_bandwidth 0.0 = unmodeled: memory never contributes, even
+        // with nonzero served mem units recorded.
+        let usages = [ResourceUsage {
+            cpu_secs: 30.0,
+            mem_units: 99.0,
+        }];
+        let s = ResourceSummary::from_usages(&usages, 10.0, 0.0, 10.0);
+        assert_eq!(s.mem_utilization, 0.0);
+        assert!((s.dominant_max - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_summary_idle_cluster_is_fair() {
+        let usages = [ResourceUsage::default(); 3];
+        let s = ResourceSummary::from_usages(&usages, 10.0, 2.0, 10.0);
+        assert_eq!(s.cpu_utilization, 0.0);
+        assert_eq!(s.dominant_jain, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero nodes")]
+    fn resource_summary_of_nothing_panics() {
+        ResourceSummary::from_usages(&[], 10.0, 2.0, 10.0);
     }
 }

@@ -35,6 +35,27 @@
 //!   phase) its own [`TaskShare`] models that cgroup-update latency
 //!   instead of retroactively billing the measured function's share —
 //!   see [`WarmupShares`].
+//! * [`WeightSpec::ZipfMemCorrelated`] — Zipf weights plus a
+//!   memory-bandwidth demand correlated with popularity, the
+//!   multi-resource axis (below).
+//!
+//! # Per-resource demands (DRF)
+//!
+//! Since PR 10 a [`TaskShare`] also carries `mem_per_cpu`: the
+//! memory-bandwidth units a function consumes per unit of CPU. The
+//! invoker turns it into a `faas_cpu::ResourceVector` and the GPS bank
+//! allocates by *dominant share* — each task's water-filling key is its
+//! rate on whichever resource axis its profile demands most, so the
+//! capped/uncapped partition machinery is reused unchanged across axes
+//! (Dominant Resource Fairness on top of weighted water-filling). The
+//! invariant the whole stack preserves: **`mem_per_cpu == 0.0` is the
+//! degenerate single-resource profile, and every schedule built only
+//! from such shares is bit-for-bit identical to the pre-DRF scalar
+//! kernel** — the digest regressions in `tests/regression_scenarios.rs`
+//! still pin the legacy scenarios unchanged. Tier and Zipf models grow
+//! correlated CPU/mem variants ([`WeightSpec::paper_tiers_mem`],
+//! [`WeightSpec::ZipfMemCorrelated`]); labels render the memory axis at
+//! full precision so distinct specs never alias to one sweep row.
 
 use crate::sebs::{Catalogue, FuncId};
 use crate::trace::CallKind;
@@ -48,6 +69,12 @@ pub struct TaskShare {
     /// Service-rate cap in cores (single-threaded functions cannot exceed
     /// one core).
     pub max_rate: f64,
+    /// Memory-bandwidth units consumed per unit of CPU. `0.0` (the
+    /// default everywhere) is the degenerate single-resource profile: the
+    /// invoker places such tasks through the scalar `add_task` path,
+    /// bit-identical to the pre-DRF kernel. Values above `1.0` make the
+    /// function memory-dominant under DRF.
+    pub mem_per_cpu: f64,
 }
 
 impl TaskShare {
@@ -55,13 +82,22 @@ impl TaskShare {
     pub const UNIFORM: TaskShare = TaskShare {
         weight: 1.0,
         max_rate: 1.0,
+        mem_per_cpu: 0.0,
     };
 
     /// True iff this is bit-for-bit the uniform signature. Introspection
     /// only — the GPS kernel detects uniformity itself from the live
     /// signature set; nothing needs to pre-certify it.
     pub fn is_uniform(&self) -> bool {
-        self.weight.to_bits() == 1.0f64.to_bits() && self.max_rate.to_bits() == 1.0f64.to_bits()
+        self.weight.to_bits() == 1.0f64.to_bits()
+            && self.max_rate.to_bits() == 1.0f64.to_bits()
+            && self.mem_per_cpu == 0.0
+    }
+
+    /// True iff the share demands no memory bandwidth — the degenerate
+    /// single-resource profile the invoker keeps on the scalar path.
+    pub fn is_cpu_only(&self) -> bool {
+        self.mem_per_cpu == 0.0
     }
 }
 
@@ -72,6 +108,9 @@ pub struct TierSpec {
     pub weight: f64,
     /// Rate cap of the tier, cores.
     pub max_rate: f64,
+    /// Memory-bandwidth demand per unit of CPU (see
+    /// [`TaskShare::mem_per_cpu`]); `0.0` keeps the tier CPU-only.
+    pub mem_per_cpu: f64,
 }
 
 /// The CPU phase a GPS task belongs to, from the weight model's point of
@@ -125,6 +164,20 @@ pub enum WeightSpec {
         /// The warm-up phase overrides.
         warmup: WarmupShares,
     },
+    /// Zipf weights plus a memory-bandwidth demand correlated with
+    /// popularity: rank `r` gets weight `(r + 1)^{-s}` (normalized to
+    /// mean 1, as [`WeightSpec::ZipfCorrelated`]) and
+    /// `mem_per_cpu = mem_top · (r + 1)^{-s}` — the popular functions
+    /// that dominate the call volume are also the bandwidth-hungry ones,
+    /// so the memory axis saturates first under a Zipf mix. Caps stay at
+    /// one core.
+    ZipfMemCorrelated {
+        /// Skew exponent (matches [`crate::mix::ZipfMix`]'s rank order).
+        s: f64,
+        /// `mem_per_cpu` of the rank-0 function; later ranks decay by the
+        /// same Zipf law. `mem_top > 1.0` makes the head memory-dominant.
+        mem_top: f64,
+    },
 }
 
 impl WeightSpec {
@@ -137,14 +190,45 @@ impl WeightSpec {
                 TierSpec {
                     weight: 4.0,
                     max_rate: 1.0,
+                    mem_per_cpu: 0.0,
                 },
                 TierSpec {
                     weight: 1.0,
                     max_rate: 1.0,
+                    mem_per_cpu: 0.0,
                 },
                 TierSpec {
                     weight: 1.0,
                     max_rate: 0.5,
+                    mem_per_cpu: 0.0,
+                },
+            ],
+        }
+    }
+
+    /// The three-tier memory picture with correlated bandwidth demands:
+    /// the big-memory tier is memory-dominant (2 bandwidth units per CPU
+    /// unit — large containers stream large working sets), the baseline
+    /// tier is balanced-but-CPU-dominant at 0.5, and the throttled tier is
+    /// CPU-only. The multi-resource counterpart of
+    /// [`WeightSpec::paper_tiers`] for the DRF sweeps.
+    pub fn paper_tiers_mem() -> WeightSpec {
+        WeightSpec::Tiers {
+            tiers: vec![
+                TierSpec {
+                    weight: 4.0,
+                    max_rate: 1.0,
+                    mem_per_cpu: 2.0,
+                },
+                TierSpec {
+                    weight: 1.0,
+                    max_rate: 1.0,
+                    mem_per_cpu: 0.5,
+                },
+                TierSpec {
+                    weight: 1.0,
+                    max_rate: 0.5,
+                    mem_per_cpu: 0.0,
                 },
             ],
         }
@@ -166,15 +250,29 @@ impl WeightSpec {
     }
 
     /// Short label for report tables (`w-uniform`, `w-tiers3`,
-    /// `w-zipf1`, `w-tiers3+wu-i1x1`). The Zipf skew and the warm-up
-    /// override shares are rendered at full precision: sweep rows are
+    /// `w-zipf1`, `w-tiers3+wu-i1x1`, `w-tiers3-m2x0.5x0`,
+    /// `w-zipfmem1x2`). The Zipf skew, warm-up override shares and
+    /// memory demands are rendered at full precision: sweep rows are
     /// grouped and looked up purely by label, so two distinct specs must
     /// never alias.
     pub fn label(&self) -> String {
         match self {
             WeightSpec::Uniform => "w-uniform".into(),
-            WeightSpec::Tiers { tiers } => format!("w-tiers{}", tiers.len()),
+            WeightSpec::Tiers { tiers } => {
+                let mut label = format!("w-tiers{}", tiers.len());
+                if tiers.iter().any(|t| t.mem_per_cpu != 0.0) {
+                    label.push_str("-m");
+                    for (i, t) in tiers.iter().enumerate() {
+                        if i > 0 {
+                            label.push('x');
+                        }
+                        label.push_str(&format!("{}", t.mem_per_cpu));
+                    }
+                }
+                label
+            }
             WeightSpec::ZipfCorrelated { s } => format!("w-zipf{s}"),
+            WeightSpec::ZipfMemCorrelated { s, mem_top } => format!("w-zipfmem{s}x{mem_top}"),
             WeightSpec::PhasedWarmup { base, warmup } => {
                 let mut label = format!("{}+wu", base.label());
                 if let Some(s) = warmup.init {
@@ -216,6 +314,10 @@ impl WeightSpec {
                         t.weight > 0.0 && t.max_rate > 0.0,
                         "tier weights and caps must be positive"
                     );
+                    assert!(
+                        t.mem_per_cpu >= 0.0 && t.mem_per_cpu.is_finite(),
+                        "tier memory demand must be finite and non-negative"
+                    );
                 }
                 (0..n)
                     .map(|i| {
@@ -223,6 +325,7 @@ impl WeightSpec {
                         TaskShare {
                             weight: t.weight,
                             max_rate: t.max_rate,
+                            mem_per_cpu: t.mem_per_cpu,
                         }
                     })
                     .collect()
@@ -235,6 +338,25 @@ impl WeightSpec {
                     .map(|w| TaskShare {
                         weight: w / mean,
                         max_rate: 1.0,
+                        mem_per_cpu: 0.0,
+                    })
+                    .collect()
+            }
+            WeightSpec::ZipfMemCorrelated { s, mem_top } => {
+                assert!(s.is_finite() && *s >= 0.0, "zipf skew must be non-negative");
+                assert!(
+                    mem_top.is_finite() && *mem_top >= 0.0,
+                    "mem_top must be finite and non-negative"
+                );
+                let raw: Vec<f64> = (0..n).map(|r| (r as f64 + 1.0).powf(-s)).collect();
+                let mean = raw.iter().sum::<f64>() / n as f64;
+                raw.iter()
+                    .map(|w| TaskShare {
+                        weight: w / mean,
+                        max_rate: 1.0,
+                        // raw[0] is exactly 1.0, so the head function gets
+                        // mem_top and later ranks decay by the Zipf law.
+                        mem_per_cpu: mem_top * w,
                     })
                     .collect()
             }
@@ -428,6 +550,7 @@ mod tests {
                 init: Some(TaskShare {
                     weight: 2.0,
                     max_rate: 1.0,
+                    mem_per_cpu: 0.0,
                 }),
                 exec: None,
             },
@@ -453,12 +576,112 @@ mod tests {
     }
 
     #[test]
+    fn mem_tiers_correlate_and_keep_legacy_shares_cpu_only() {
+        let plain = WeightSpec::paper_tiers().table(&catalogue());
+        for func in catalogue().ids() {
+            assert!(plain.share(func).is_cpu_only(), "legacy tiers stay scalar");
+        }
+        let mem = WeightSpec::paper_tiers_mem().table(&catalogue());
+        // Same weights and caps as the plain tiers; only the memory axis
+        // differs, and the big-memory tier is memory-dominant.
+        for func in catalogue().ids() {
+            let a = plain.share(func);
+            let b = mem.share(func);
+            assert_eq!(a.weight, b.weight);
+            assert_eq!(a.max_rate, b.max_rate);
+        }
+        assert!((mem.share(FuncId(0)).mem_per_cpu - 2.0).abs() < 1e-12);
+        assert!(
+            mem.share(FuncId(2)).is_cpu_only(),
+            "throttled tier stays CPU-only"
+        );
+    }
+
+    #[test]
+    fn zipf_mem_demand_decays_with_rank() {
+        let t = WeightSpec::ZipfMemCorrelated {
+            s: 1.0,
+            mem_top: 2.0,
+        }
+        .table(&catalogue());
+        assert!(
+            (t.share(FuncId(0)).mem_per_cpu - 2.0).abs() < 1e-12,
+            "head gets mem_top"
+        );
+        for i in 1..t.len() {
+            let prev = t.share(FuncId(i as u16 - 1));
+            let cur = t.share(FuncId(i as u16));
+            assert!(
+                cur.mem_per_cpu < prev.mem_per_cpu,
+                "memory demand decays with rank"
+            );
+            assert!(cur.weight < prev.weight, "weights still decay with rank");
+        }
+    }
+
+    #[test]
+    fn mem_labels_do_not_alias() {
+        assert_eq!(WeightSpec::paper_tiers().label(), "w-tiers3");
+        assert_eq!(WeightSpec::paper_tiers_mem().label(), "w-tiers3-m2x0.5x0");
+        assert_eq!(
+            WeightSpec::ZipfMemCorrelated {
+                s: 1.0,
+                mem_top: 2.0
+            }
+            .label(),
+            "w-zipfmem1x2"
+        );
+        assert_ne!(
+            WeightSpec::ZipfMemCorrelated {
+                s: 1.0,
+                mem_top: 2.0
+            }
+            .label(),
+            WeightSpec::ZipfMemCorrelated {
+                s: 1.0,
+                mem_top: 2.5
+            }
+            .label(),
+            "distinct memory tops must not collapse to one sweep row"
+        );
+    }
+
+    #[test]
+    fn uniform_share_is_cpu_only_and_mem_share_is_not_uniform() {
+        assert!(TaskShare::UNIFORM.is_cpu_only());
+        let s = TaskShare {
+            weight: 1.0,
+            max_rate: 1.0,
+            mem_per_cpu: 0.5,
+        };
+        assert!(
+            !s.is_uniform(),
+            "a memory demand breaks the uniform signature"
+        );
+        assert!(!s.is_cpu_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "memory demand must be finite")]
+    fn negative_tier_mem_rejected() {
+        WeightSpec::Tiers {
+            tiers: vec![TierSpec {
+                weight: 1.0,
+                max_rate: 1.0,
+                mem_per_cpu: -1.0,
+            }],
+        }
+        .table(&catalogue());
+    }
+
+    #[test]
     #[should_panic(expected = "positive")]
     fn non_positive_tier_rejected() {
         WeightSpec::Tiers {
             tiers: vec![TierSpec {
                 weight: 0.0,
                 max_rate: 1.0,
+                mem_per_cpu: 0.0,
             }],
         }
         .table(&catalogue());
